@@ -1,0 +1,66 @@
+"""Shared glue for the per-figure bench modules.
+
+Each bench module wraps one experiment from
+:mod:`repro.bench.experiments` in a pytest-benchmark test, prints the
+paper-style table, and persists it under ``bench_results/``.
+
+Environment knobs:
+
+* ``REPRO_BENCH_T``     — iteration count T (default 20; paper: 50).
+* ``REPRO_BENCH_QUICK`` — set to 1 for reduced dataset grids.
+
+Results are memoised per process, so benches that share runs (e.g.
+Figure 4 and Figure 6 print compactness and time of the same
+executions) only pay once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.bench.charts import grouped_bar_chart, series_chart
+from repro.bench.reporting import format_table, save_report
+
+__all__ = ["run_and_report"]
+
+
+def run_and_report(
+    benchmark,
+    experiment: Callable[[], tuple[str, list[dict]]],
+    name: str,
+    columns: Sequence[str] | None = None,
+    chart_value: str | None = None,
+    chart_log: bool = False,
+    series_x: str | None = None,
+) -> list[dict]:
+    """Time ``experiment`` once, print and save its table, return rows.
+
+    When ``chart_value`` names a row column and the rows carry
+    dataset/algorithm keys, a grouped bar chart (the paper's figure
+    shape) is appended to the saved report.
+    """
+    title, rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    report = format_table(rows, columns=columns, title=title)
+    if series_x and chart_value and rows:
+        # Sweep figures (11-16): one series per (dataset, algorithm).
+        keyed = [
+            {**r, "series": f"{r['dataset']}/{r['algorithm']}"}
+            for r in rows
+        ]
+        report += "\n\n" + series_chart(
+            keyed, "series", series_x, chart_value,
+            title=f"{title} — series",
+        )
+    elif (
+        chart_value
+        and rows
+        and "dataset" in rows[0]
+        and "algorithm" in rows[0]
+    ):
+        report += "\n\n" + grouped_bar_chart(
+            rows, "dataset", "algorithm", chart_value,
+            title=f"{title} — chart", log_scale=chart_log,
+        )
+    print("\n" + report)
+    save_report(report, name)
+    return rows

@@ -1,0 +1,43 @@
+"""Ablation (beyond the paper's figures): Mags candidate budget k as a
+cost/quality frontier — the knob DESIGN.md calls out as the heart of the
+unpromising-pair reduction.
+
+Expected shape: small k already captures nearly all the compactness;
+candidate-generation time grows with k.
+"""
+
+from repro.algorithms import MagsSummarizer
+from repro.bench import format_table, save_report
+from repro.bench.runner import bench_iterations, run_on_dataset
+
+
+def test_ablation_candidates(benchmark):
+    T = bench_iterations()
+    code = "EN"
+
+    def run():
+        rows = []
+        for k in (2, 5, 10, 20, 40):
+            result = run_on_dataset(
+                code, lambda: MagsSummarizer(iterations=T, k=k)
+            )
+            rows.append(
+                {
+                    "dataset": code,
+                    "k": k,
+                    "relative_size": result.relative_size,
+                    "candidates_time_s": result.phase_seconds.get(
+                        "candidate_generation"
+                    ),
+                    "time_s": result.runtime_seconds,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = format_table(
+        rows, title="Ablation: Mags candidate budget k (cost/quality)"
+    )
+    print("\n" + report)
+    save_report(report, "ablation_candidates")
+    assert rows[-1]["relative_size"] <= rows[0]["relative_size"] + 0.01

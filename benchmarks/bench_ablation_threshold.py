@@ -1,0 +1,44 @@
+"""Ablation (beyond the paper's figures): omega(t) vs theta(t) inside
+Mags-DM, isolating Merging Strategy 3.
+
+Expected shape: omega's slower early decay defers low-quality merges
+and yields an equal-or-more compact summary (the paper reports ~1%).
+"""
+
+from repro.algorithms import MagsDMSummarizer
+from repro.bench import format_table, save_report
+from repro.bench.runner import bench_iterations, run_on_dataset
+from repro.bench.experiments import small_codes
+
+
+def test_ablation_threshold(benchmark):
+    T = bench_iterations()
+
+    def run():
+        rows = []
+        for code in small_codes():
+            for label, threshold in (("omega", "omega"), ("theta", "theta")):
+                result = run_on_dataset(
+                    code,
+                    lambda: MagsDMSummarizer(iterations=T, threshold=threshold),
+                )
+                rows.append(
+                    {
+                        "dataset": code,
+                        "threshold": label,
+                        "relative_size": result.relative_size,
+                        "time_s": result.runtime_seconds,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = format_table(rows, title="Ablation: omega(t) vs theta(t) in Mags-DM")
+    print("\n" + report)
+    save_report(report, "ablation_threshold")
+    by_cell = {(r["dataset"], r["threshold"]): r["relative_size"] for r in rows}
+    wins = sum(
+        by_cell[(c, "omega")] <= by_cell[(c, "theta")] + 0.01
+        for c in {r["dataset"] for r in rows}
+    )
+    assert wins >= len({r["dataset"] for r in rows}) * 0.6

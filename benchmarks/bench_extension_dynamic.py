@@ -1,0 +1,68 @@
+"""Extension bench (§8 future work): dynamic update throughput and the
+drift/rebuild trade-off.
+
+Expected shape: updates are cheap and constant-time-ish; without
+rebuilds the representation cost drifts upward under structured
+insertions; automatic rebuilds bound the drift.
+"""
+
+import random
+import time
+
+from repro.algorithms import MagsDMSummarizer
+from repro.bench import format_table, save_report
+from repro.bench.runner import bench_iterations, get_graph
+from repro.dynamic import DynamicGraphSummary
+
+
+def test_dynamic_stream(benchmark):
+    T = bench_iterations()
+    code = "EN"
+
+    def run():
+        rows = []
+        for label, factor in (("no rebuilds", None), ("rebuild@1.2x", 1.2)):
+            graph = get_graph(code)
+            dyn = DynamicGraphSummary(
+                graph,
+                summarizer_factory=lambda: MagsDMSummarizer(
+                    iterations=T, seed=0
+                ),
+                rebuild_factor=factor,
+            )
+            rng = random.Random(3)
+            start_cost = dyn.cost
+            start = time.perf_counter()
+            updates = 0
+            while updates < 2_000:
+                u = rng.randrange(dyn.n)
+                v = rng.randrange(dyn.n)
+                if u == v:
+                    continue
+                if dyn.has_edge(u, v):
+                    dyn.delete_edge(u, v)
+                else:
+                    dyn.insert_edge(u, v)
+                updates += 1
+            elapsed = time.perf_counter() - start
+            rows.append(
+                {
+                    "mode": label,
+                    "updates": updates,
+                    "updates_per_s": updates / elapsed,
+                    "cost_before": start_cost,
+                    "cost_after": dyn.cost,
+                    "rebuilds": dyn.num_rebuilds,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = format_table(
+        rows, title="Extension: dynamic updates and rebuild policy"
+    )
+    print("\n" + report)
+    save_report(report, "extension_dynamic")
+    no_rebuild, with_rebuild = rows
+    assert no_rebuild["rebuilds"] == 0
+    assert with_rebuild["cost_after"] <= no_rebuild["cost_after"] * 1.4

@@ -1,0 +1,53 @@
+"""Extension bench (§8 future work): lossy compactness vs epsilon.
+
+Expected shape: representation cost decreases monotonically with the
+error budget, with the biggest wins on correction-heavy summaries;
+every point respects the per-node error bound (asserted).
+"""
+
+from repro.algorithms import MagsDMSummarizer
+from repro.bench import format_table, save_report
+from repro.bench.runner import bench_iterations, get_graph, run_on_dataset
+from repro.core.lossy import make_lossy, neighborhood_errors
+
+
+def test_lossy_epsilon_curve(benchmark):
+    T = bench_iterations()
+    codes = ["EN", "YT"]
+    epsilons = [0.0, 0.05, 0.1, 0.2, 0.4]
+
+    def run():
+        rows = []
+        for code in codes:
+            graph = get_graph(code)
+            result = run_on_dataset(
+                code, lambda: MagsDMSummarizer(iterations=T)
+            )
+            for epsilon in epsilons:
+                lossy = make_lossy(result.representation, epsilon)
+                errors = neighborhood_errors(graph, lossy.representation)
+                worst = max(
+                    (err / graph.degree(v) if graph.degree(v) else 0.0)
+                    for v, err in enumerate(errors)
+                )
+                rows.append(
+                    {
+                        "dataset": code,
+                        "epsilon": epsilon,
+                        "relative_size": lossy.relative_size,
+                        "dropped": lossy.corrections_dropped,
+                        "worst_node_error": worst,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = format_table(rows, title="Extension: lossy size vs epsilon")
+    print("\n" + report)
+    save_report(report, "extension_lossy")
+    for code in codes:
+        series = [r for r in rows if r["dataset"] == code]
+        sizes = [r["relative_size"] for r in series]
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+        for r in series:
+            assert r["worst_node_error"] <= r["epsilon"] + 1e-9

@@ -1,0 +1,29 @@
+"""Figure 11: compactness vs iteration count T.
+
+Expected shape (paper): compactness converges quickly (by T~20) and
+improves only slightly with larger T.
+"""
+
+from repro.bench import experiments
+
+from _util import run_and_report
+
+
+def test_fig11_compactness_vs_T(benchmark):
+    rows = run_and_report(
+        benchmark,
+        experiments.fig11_fig12_iterations_sweep,
+        "fig11_compactness_vs_T",
+        columns=["dataset", "algorithm", "T", "relative_size"],
+        chart_value="relative_size",
+        series_x="T",
+    )
+    # Largest T is never much worse than smallest T.
+    series = {}
+    for r in rows:
+        series.setdefault((r["dataset"], r["algorithm"]), []).append(
+            (r["T"], r["relative_size"])
+        )
+    for points in series.values():
+        points.sort()
+        assert points[-1][1] <= points[0][1] + 0.02

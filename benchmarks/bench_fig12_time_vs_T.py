@@ -1,0 +1,38 @@
+"""Figure 12: running time vs iteration count T.
+
+Expected shape (paper): time grows moderately with T (about +35-37%
+from T=10 to T=50 there), not linearly, because later iterations have
+little work left.
+"""
+
+from repro.bench import experiments
+
+from _util import run_and_report
+
+
+def test_fig12_time_vs_T(benchmark):
+    rows = run_and_report(
+        benchmark,
+        experiments.fig11_fig12_iterations_sweep,
+        "fig12_time_vs_T",
+        columns=["dataset", "algorithm", "T", "time_s"],
+        chart_value="time_s",
+        series_x="T",
+    )
+    series = {}
+    for r in rows:
+        series.setdefault((r["dataset"], r["algorithm"]), []).append(
+            (r["T"], r["time_s"])
+        )
+    # Aggregate sub-linear growth: Mags-DM's dividing phase is O(n)
+    # per round regardless of merges, so an individual series can
+    # approach linear; across all series, 5x iterations must cost
+    # clearly less than 5x time (the paper reports ~+37%).
+    low_total = high_total = 0.0
+    ratio_T = 1.0
+    for points in series.values():
+        points.sort()
+        low_total += points[0][1]
+        high_total += points[-1][1]
+        ratio_T = points[-1][0] / points[0][0]
+    assert high_total < low_total * ratio_T * 0.9

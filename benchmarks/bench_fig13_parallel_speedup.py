@@ -1,0 +1,25 @@
+"""Figure 13: parallel speedup vs thread count (work-partition model).
+
+Expected shape (paper): Mags-DM scales well (~12x at 40 cores there);
+Mags is limited by merge data races (~3.4x there).  See DESIGN.md for
+the substitution rationale (CPython threads cannot show CPU speedup).
+"""
+
+from repro.bench import experiments
+
+from _util import run_and_report
+
+
+def test_fig13_parallel_speedup(benchmark):
+    rows = run_and_report(
+        benchmark,
+        experiments.fig13_parallel_speedup,
+        "fig13_parallel_speedup",
+    )
+    at_40 = {}
+    for r in rows:
+        if r["p"] == 40:
+            at_40.setdefault(r["algorithm"], []).append(r["speedup"])
+    # Mags-DM out-scales Mags on average.
+    avg = {a: sum(v) / len(v) for a, v in at_40.items()}
+    assert avg["Mags-DM"] > avg["Mags"]

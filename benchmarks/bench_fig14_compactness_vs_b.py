@@ -1,0 +1,27 @@
+"""Figure 14: compactness vs the sampling width b.
+
+Expected shape (paper): b has a limited impact (< 0.5% average
+difference across the sweep).
+"""
+
+from repro.bench import experiments
+
+from _util import run_and_report
+
+
+def test_fig14_compactness_vs_b(benchmark):
+    rows = run_and_report(
+        benchmark,
+        experiments.fig14_b_sweep,
+        "fig14_compactness_vs_b",
+        columns=["dataset", "algorithm", "b", "relative_size"],
+        chart_value="relative_size",
+        series_x="b",
+    )
+    series = {}
+    for r in rows:
+        series.setdefault((r["dataset"], r["algorithm"]), []).append(
+            r["relative_size"]
+        )
+    for values in series.values():
+        assert max(values) - min(values) < 0.05

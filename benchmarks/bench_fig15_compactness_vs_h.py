@@ -1,0 +1,26 @@
+"""Figure 15: compactness vs the number of hash functions h.
+
+Expected shape (paper): limited impact across h in {10..50}.
+"""
+
+from repro.bench import experiments
+
+from _util import run_and_report
+
+
+def test_fig15_compactness_vs_h(benchmark):
+    rows = run_and_report(
+        benchmark,
+        experiments.fig15_h_sweep,
+        "fig15_compactness_vs_h",
+        columns=["dataset", "algorithm", "h", "relative_size"],
+        chart_value="relative_size",
+        series_x="h",
+    )
+    series = {}
+    for r in rows:
+        series.setdefault((r["dataset"], r["algorithm"]), []).append(
+            r["relative_size"]
+        )
+    for values in series.values():
+        assert max(values) - min(values) < 0.05

@@ -1,0 +1,25 @@
+"""Figure 16: compactness vs the candidate budget k (Mags only).
+
+Expected shape (paper): limited impact across k in {10..50} — the
+candidate pool saturates once enough promising pairs are retained.
+"""
+
+from repro.bench import experiments
+
+from _util import run_and_report
+
+
+def test_fig16_compactness_vs_k(benchmark):
+    rows = run_and_report(
+        benchmark,
+        experiments.fig16_k_sweep,
+        "fig16_compactness_vs_k",
+        columns=["dataset", "algorithm", "k", "relative_size"],
+        chart_value="relative_size",
+        series_x="k",
+    )
+    series = {}
+    for r in rows:
+        series.setdefault(r["dataset"], []).append(r["relative_size"])
+    for values in series.values():
+        assert max(values) - min(values) < 0.06

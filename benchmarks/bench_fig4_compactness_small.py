@@ -1,0 +1,24 @@
+"""Figure 4: summary compactness on small graphs (5 algorithms).
+
+Expected shape (paper): Greedy is the most compact; Mags within 0.1%
+and Mags-DM within ~2% of it; LDME and Slugger trail by 20-30%.
+"""
+
+from repro.bench import experiments
+
+from _util import run_and_report
+
+
+def test_fig4_compactness_small(benchmark):
+    rows = run_and_report(
+        benchmark,
+        experiments.fig4_fig6_small_graphs,
+        "fig4_compactness_small",
+        columns=["dataset", "algorithm", "relative_size"],
+        chart_value="relative_size",
+    )
+    by_cell = {(r["dataset"], r["algorithm"]): r["relative_size"] for r in rows}
+    datasets = {r["dataset"] for r in rows}
+    # Shape check: Mags tracks Greedy closely on every small graph.
+    for code in datasets:
+        assert by_cell[(code, "Mags")] <= by_cell[(code, "Greedy")] + 0.02

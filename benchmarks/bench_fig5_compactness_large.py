@@ -1,0 +1,26 @@
+"""Figure 5: summary compactness on large graphs (no Greedy).
+
+Expected shape (paper): Mags leads, Mags-DM within ~2.8%; LDME trails;
+Slugger is skipped on UK/IT (exceeds the time budget, as in the paper).
+"""
+
+from repro.bench import experiments
+
+from _util import run_and_report
+
+
+def test_fig5_compactness_large(benchmark):
+    rows = run_and_report(
+        benchmark,
+        experiments.fig5_fig7_large_graphs,
+        "fig5_compactness_large",
+        columns=["dataset", "algorithm", "relative_size", "note"],
+        chart_value="relative_size",
+    )
+    by_cell = {(r["dataset"], r["algorithm"]): r["relative_size"] for r in rows}
+    datasets = {r["dataset"] for r in rows}
+    wins = sum(
+        by_cell[(code, "Mags")] <= by_cell[(code, "LDME")] + 1e-9
+        for code in datasets
+    )
+    assert wins >= len(datasets) - 1  # Mags beats LDME (HO-style outliers allowed)

@@ -1,0 +1,25 @@
+"""Figure 6: running time on small graphs (5 algorithms).
+
+Expected shape (paper): Greedy is 2-4 orders of magnitude slower than
+Mags; Mags-DM is the fastest of the paper's pair.
+"""
+
+from repro.bench import experiments
+
+from _util import run_and_report
+
+
+def test_fig6_time_small(benchmark):
+    rows = run_and_report(
+        benchmark,
+        experiments.fig4_fig6_small_graphs,
+        "fig6_time_small",
+        columns=["dataset", "algorithm", "time_s"],
+        chart_value="time_s",
+        chart_log=True,
+    )
+    times = {}
+    for r in rows:
+        times.setdefault(r["algorithm"], []).append(r["time_s"])
+    # Shape check: Greedy's total time dominates Mags's.
+    assert sum(times["Greedy"]) > sum(times["Mags"])

@@ -1,0 +1,30 @@
+"""Figure 7: running time on large graphs.
+
+Expected shape (paper): Mags-DM is the fastest of the paper's pair by
+~an order of magnitude (13.4x on the real testbed).
+"""
+
+from repro.bench import experiments, geometric_mean
+
+from _util import run_and_report
+
+
+def test_fig7_time_large(benchmark):
+    rows = run_and_report(
+        benchmark,
+        experiments.fig5_fig7_large_graphs,
+        "fig7_time_large",
+        columns=["dataset", "algorithm", "time_s", "note"],
+        chart_value="time_s",
+        chart_log=True,
+    )
+    times = {}
+    for r in rows:
+        if r["time_s"] is not None:
+            times.setdefault(r["algorithm"], {})[r["dataset"]] = r["time_s"]
+    ratios = [
+        times["Mags"][code] / times["Mags-DM"][code]
+        for code in times["Mags"]
+        if code in times["Mags-DM"]
+    ]
+    assert geometric_mean(ratios) > 2.0  # Mags-DM clearly faster

@@ -1,0 +1,26 @@
+"""Figure 9: Mags-DM strategy ablation — compactness.
+
+Expected shape (paper): full Mags-DM is the most compact of the four;
+removing the merging strategies (no MS) hurts most; SWeG is worst.
+"""
+
+from repro.bench import experiments
+
+from _util import run_and_report
+
+
+def test_fig9_magsdm_ablation_compactness(benchmark):
+    rows = run_and_report(
+        benchmark,
+        experiments.fig9_fig10_magsdm_ablation,
+        "fig9_magsdm_ablation",
+        columns=["dataset", "algorithm", "relative_size"],
+        chart_value="relative_size",
+    )
+    by_cell = {(r["dataset"], r["algorithm"]): r["relative_size"] for r in rows}
+    datasets = {r["dataset"] for r in rows}
+    wins = sum(
+        by_cell[(code, "Mags-DM")] <= by_cell[(code, "SWeG")] + 0.01
+        for code in datasets
+    )
+    assert wins >= len(datasets) * 0.7

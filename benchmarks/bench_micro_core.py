@@ -1,0 +1,77 @@
+"""Microbenchmarks of the package's hot paths.
+
+Unlike the figure benches (one timed end-to-end run each), these use
+pytest-benchmark's statistical looping: they are the regression guard
+for the inner loops every algorithm sits on — saving evaluation,
+merging, signature construction, encoding, and reconstruction.
+"""
+
+import pytest
+
+from repro.core.encoding import encode
+from repro.core.minhash import MinHashSignatures
+from repro.core.supernodes import SuperNodePartition
+from repro.graph.generators import planted_partition
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return planted_partition(400, 20, 0.5, 0.01, seed=7)
+
+
+@pytest.fixture(scope="module")
+def partition(graph):
+    p = SuperNodePartition(graph)
+    for u in range(0, 100, 2):
+        ru, rv = p.find(u), p.find(u + 1)
+        if ru != rv:
+            p.merge(ru, rv)
+    return p
+
+
+def test_micro_saving(benchmark, partition):
+    roots = sorted(partition.roots())
+    pairs = list(zip(roots[:64], roots[64:128]))
+
+    def run():
+        total = 0.0
+        for u, v in pairs:
+            total += partition.saving(u, v)
+        return total
+
+    benchmark(run)
+
+
+def test_micro_merge_and_rebuild(benchmark, graph):
+    def run():
+        p = SuperNodePartition(graph)
+        roots = sorted(p.roots())
+        for u, v in zip(roots[0:60:2], roots[1:60:2]):
+            p.merge(p.find(u), p.find(v))
+        return p.num_merges
+
+    benchmark(run)
+
+
+def test_micro_minhash_signatures(benchmark, graph):
+    benchmark(lambda: MinHashSignatures(graph, 40, seed=1))
+
+
+def test_micro_encode(benchmark, partition):
+    benchmark(lambda: encode(partition))
+
+
+def test_micro_reconstruct(benchmark, partition):
+    rep = encode(partition)
+    benchmark(lambda: rep.reconstruct_edges())
+
+
+def test_micro_neighbor_queries(benchmark, graph, partition):
+    from repro.queries.neighbors import SummaryNeighborIndex
+
+    index = SummaryNeighborIndex(encode(partition))
+
+    def run():
+        return sum(len(index.neighbors(q)) for q in range(0, graph.n, 7))
+
+    benchmark(run)

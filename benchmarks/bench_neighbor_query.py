@@ -1,0 +1,17 @@
+"""Section 6.6: neighbor-query cost on the summary.
+
+Expected shape (paper): expected per-query work is ~1.12 * d_avg.
+"""
+
+from repro.bench import experiments
+
+from _util import run_and_report
+
+
+def test_neighbor_query_cost(benchmark):
+    rows = run_and_report(
+        benchmark,
+        experiments.neighbor_query_cost,
+        "neighbor_query_cost",
+    )
+    assert all(r["ratio"] < 2.0 for r in rows)

@@ -1,0 +1,97 @@
+"""Empirical complexity check: runtime vs graph size.
+
+The paper's complexity claims (Theorems 2-5): Mags runs in
+``O(T * m * (d_avg + log m))`` and Mags-DM in ``O(T * m)``.  This
+bench times both on a geometric series of same-family graphs
+(templated web, constant average degree) and fits the log-log slope —
+near 1 means linear in m, which is what the theorems predict at fixed
+``d_avg`` up to the log factor and interpreter noise.
+"""
+
+import math
+import time
+
+from repro.algorithms import MagsDMSummarizer, MagsSummarizer
+from repro.bench import format_table, save_report
+from repro.graph.generators import templated_web
+
+
+def _workload(scale: int):
+    n = 500 * scale
+    return templated_web(
+        n,
+        templates=20 * scale,
+        hubs=60 * scale,
+        template_size=8,
+        mutation=0.08,
+        seed=scale,
+    )
+
+
+def _fit_slope(points: list[tuple[int, float]]) -> float:
+    """Least-squares slope of log(time) vs log(m)."""
+    xs = [math.log(m) for m, __ in points]
+    ys = [math.log(t) for __, t in points]
+    n = len(points)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var = sum((x - mean_x) ** 2 for x in xs)
+    return cov / var
+
+
+def test_scalability_curve(benchmark):
+    scales = [1, 2, 4, 8]
+    T = 15
+
+    def run():
+        rows = []
+        series: dict[str, list[tuple[int, float]]] = {
+            "Mags": [], "Mags-DM": [],
+        }
+        for scale in scales:
+            graph = _workload(scale)
+            for label, factory in (
+                ("Mags", lambda: MagsSummarizer(iterations=T, seed=0)),
+                ("Mags-DM", lambda: MagsDMSummarizer(iterations=T, seed=0)),
+            ):
+                start = time.perf_counter()
+                result = factory().summarize(graph)
+                elapsed = time.perf_counter() - start
+                series[label].append((graph.m, elapsed))
+                rows.append(
+                    {
+                        "algorithm": label,
+                        "n": graph.n,
+                        "m": graph.m,
+                        "time_s": elapsed,
+                        "relative_size": result.relative_size,
+                    }
+                )
+        for label, points in series.items():
+            rows.append(
+                {
+                    "algorithm": f"{label} (log-log slope)",
+                    "n": None,
+                    "m": None,
+                    "time_s": _fit_slope(points),
+                    "relative_size": None,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = format_table(
+        rows, title="Empirical complexity: runtime vs m (Theorems 2-5)"
+    )
+    print("\n" + report)
+    save_report(report, "scalability")
+    slopes = {
+        r["algorithm"]: r["time_s"]
+        for r in rows
+        if "slope" in r["algorithm"]
+    }
+    # Near-linear growth in m; allow generous interpreter slack but
+    # reject anything resembling quadratic behaviour.
+    assert slopes["Mags-DM (log-log slope)"] < 1.6
+    assert slopes["Mags (log-log slope)"] < 1.8

@@ -1,0 +1,14 @@
+"""Table 2: dataset statistics (paper originals vs synthetic analogs)."""
+
+from repro.bench import experiments
+
+from _util import run_and_report
+
+
+def test_table2_dataset_statistics(benchmark):
+    rows = run_and_report(
+        benchmark,
+        experiments.table2_dataset_statistics,
+        "table2_datasets",
+    )
+    assert len(rows) == 18

@@ -1,0 +1,24 @@
+"""Table 3: PageRank on the input graph vs on the summary.
+
+Expected shape (paper): the summary side wins on the highly
+compressible graphs (relative size well below ~0.5) and loses on the
+rest due to constant-factor overheads; averages are comparable.
+"""
+
+from repro.bench import experiments
+
+from _util import run_and_report
+
+
+def test_table3_pagerank(benchmark):
+    rows = run_and_report(
+        benchmark,
+        experiments.table3_pagerank,
+        "table3_pagerank",
+    )
+    compressible = [r for r in rows if r["relative_size"] < 0.3]
+    if compressible:
+        wins = sum(
+            r["summary_s"] < r["input_graph_s"] for r in compressible
+        )
+        assert wins >= len(compressible) * 0.5

@@ -1,0 +1,49 @@
+"""Summarize a graph across simulated workers and measure what the
+distribution costs — compactness loss, cut edges, network bytes.
+
+Run:  python examples/distributed_summarization.py
+"""
+
+from repro import MagsDMSummarizer, generators, verify_lossless
+from repro.distributed import DistributedSummarizer
+
+
+def main() -> None:
+    graph = generators.templated_web(
+        1_500, templates=50, hubs=120, template_size=8,
+        mutation=0.05, seed=41,
+    )
+    print(f"graph: {graph}")
+
+    central = MagsDMSummarizer(iterations=20, seed=0).summarize(graph)
+    print(
+        f"central baseline: relative_size={central.relative_size:.3f} "
+        f"({central.runtime_seconds:.2f}s)"
+    )
+
+    print(f"{'workers':>8} {'rel_size':>9} {'cut':>6} {'comm_KiB':>9} "
+          f"{'refine_merges':>14}")
+    for workers in (2, 4, 8, 16):
+        result = DistributedSummarizer(
+            workers=workers,
+            summarizer_factory=lambda: MagsDMSummarizer(
+                iterations=20, seed=0
+            ),
+            seed=0,
+        ).summarize(graph)
+        verify_lossless(graph, result.representation)
+        print(
+            f"{workers:>8} {result.relative_size:>9.3f} "
+            f"{result.cut_edge_count:>6} "
+            f"{result.total_communication_bytes / 1024:>9.1f} "
+            f"{result.refinement_merges:>14}"
+        )
+    print(
+        "\nEvery distributed result reconstructs the graph exactly; "
+        "the price of distribution is compactness (cut edges cannot "
+        "merge locally) and shuffle bytes, both shown above."
+    )
+
+
+if __name__ == "__main__":
+    main()

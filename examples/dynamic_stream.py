@@ -1,0 +1,84 @@
+"""Maintain a summary under a stream of edge updates, with lossy
+compaction — both future-work extensions from the paper's Section 8.
+
+A social network evolves: communities densify over time.  The dynamic
+summary absorbs each update in O(1) by toggling corrections, rebuilds
+itself when drift inflates the representation, and the final summary
+is optionally pruned with a bounded error for archival storage.
+
+Run:  python examples/dynamic_stream.py
+"""
+
+import random
+
+from repro import MagsDMSummarizer, generators
+from repro.core.lossy import make_lossy, neighborhood_errors
+from repro.dynamic import DynamicGraphSummary
+
+
+def main() -> None:
+    graph = generators.planted_partition(300, 15, 0.45, 0.01, seed=31)
+    print(f"initial graph: {graph}")
+
+    dyn = DynamicGraphSummary(
+        graph,
+        summarizer_factory=lambda: MagsDMSummarizer(iterations=15, seed=0),
+        rebuild_factor=1.25,
+    )
+    print(
+        f"initial summary: cost={dyn.cost} "
+        f"relative_size={dyn.relative_size:.3f}"
+    )
+
+    # Stream: densify communities (members keep befriending each other)
+    # with a trickle of random noise and occasional unfriending.
+    rng = random.Random(5)
+    inserts = deletes = 0
+    for step in range(4_000):
+        u = rng.randrange(dyn.n)
+        if rng.random() < 0.9:
+            # Densify: connect u to a same-community node.
+            v = (u + 15 * rng.randrange(1, dyn.n // 15)) % dyn.n
+        else:
+            v = rng.randrange(dyn.n)
+        if u == v:
+            continue
+        if dyn.has_edge(u, v):
+            if rng.random() < 0.15:
+                dyn.delete_edge(u, v)
+                deletes += 1
+        else:
+            dyn.insert_edge(u, v)
+            inserts += 1
+    print(
+        f"stream applied: +{inserts} / -{deletes} edges, "
+        f"{dyn.num_rebuilds} automatic rebuilds"
+    )
+    print(
+        f"live summary: m={dyn.m} cost={dyn.cost} "
+        f"relative_size={dyn.relative_size:.3f}"
+    )
+
+    # Exactness check: the overlay always reconstructs the current
+    # graph edge-for-edge.
+    current = dyn.to_graph()
+    assert dyn.to_representation().reconstruct_edges() == current.edge_set()
+    print("exactness verified after the full stream")
+
+    # Archive with a bounded error (epsilon-lossy, Navlakha's model).
+    epsilon = 0.1
+    lossy = make_lossy(dyn.to_representation(), epsilon)
+    worst = max(
+        err / max(1, current.degree(v))
+        for v, err in enumerate(neighborhood_errors(current, lossy.representation))
+    )
+    print(
+        f"lossy archive (epsilon={epsilon}): dropped "
+        f"{lossy.corrections_dropped} corrections, relative size "
+        f"{dyn.relative_size:.3f} -> {lossy.relative_size:.3f}, "
+        f"worst per-node error {worst:.3f} (bound {epsilon})"
+    )
+
+
+if __name__ == "__main__":
+    main()

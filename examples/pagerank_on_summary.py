@@ -1,0 +1,63 @@
+"""Run PageRank directly on a summary and compare against the input
+graph (the paper's Table 3 experiment, Section 6.6).
+
+Algorithm 7 aggregates rank mass per super-node, pushes it across
+super-edges, and patches the result with the corrections — exact to
+floating point, with per-iteration work O(|E| + |C|) instead of O(m).
+
+Run:  python examples/pagerank_on_summary.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import MagsDMSummarizer, generators
+from repro.queries import SummaryPageRank, pagerank_input_graph
+
+
+def main() -> None:
+    # A highly compressible crawl: the regime where summary-side
+    # computation wins (Table 3's IN/IC/UK/IT rows).
+    graph = generators.templated_web(
+        4_000, templates=80, hubs=250, template_size=12,
+        mutation=0.02, seed=23,
+    )
+    print(f"graph: {graph}")
+
+    result = MagsDMSummarizer(iterations=25, seed=0).summarize(graph)
+    print(
+        f"summary: relative size {result.relative_size:.3f} "
+        f"({result.runtime_seconds:.2f}s to build)"
+    )
+
+    damping, iterations = 0.85, 20
+
+    start = time.perf_counter()
+    reference = pagerank_input_graph(graph, damping, iterations)
+    input_time = time.perf_counter() - start
+
+    engine = SummaryPageRank(result.representation)  # build index once
+    start = time.perf_counter()
+    summary_ranks = engine.run(damping, iterations)
+    summary_time = time.perf_counter() - start
+
+    assert np.allclose(summary_ranks, reference)
+    print(f"input-graph PageRank:  {input_time * 1e3:8.2f} ms")
+    print(f"summary PageRank:      {summary_time * 1e3:8.2f} ms (exact match)")
+    if summary_time < input_time:
+        print(f"summary side wins by {input_time / summary_time:.2f}x")
+    else:
+        print(
+            "input side wins here — the paper sees the same on "
+            "less-compressible graphs (Table 3, SL/DB/YT rows)"
+        )
+
+    top = np.argsort(reference)[-5:][::-1]
+    print("top-5 nodes by rank:", ", ".join(
+        f"{node} ({reference[node]:.2f})" for node in top
+    ))
+
+
+if __name__ == "__main__":
+    main()

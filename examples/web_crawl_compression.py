@@ -1,0 +1,62 @@
+"""Compress a web-crawl-style graph and serve neighbor queries from it.
+
+Web crawls are graph summarization's best case: whole site sections
+share boilerplate link blocks, so thousands of pages have identical
+neighborhoods and collapse into super-nodes (the paper's CNR/UK/IT
+datasets land at relative sizes near 0.1).  This example compresses a
+synthetic crawl with Mags-DM, then answers adjacency queries straight
+from the compressed representation — no decompression step.
+
+Run:  python examples/web_crawl_compression.py
+"""
+
+import random
+
+from repro import MagsDMSummarizer, generators
+from repro.queries import SummaryNeighborIndex
+
+
+def main() -> None:
+    crawl = generators.templated_web(
+        2_000, templates=60, hubs=150, template_size=10,
+        mutation=0.03, seed=11,
+    )
+    print(f"synthetic crawl: {crawl}")
+
+    result = MagsDMSummarizer(iterations=25, seed=0).summarize(crawl)
+    rep = result.representation
+    print(
+        f"Mags-DM summarized in {result.runtime_seconds:.2f}s -> "
+        f"relative size {result.relative_size:.3f} "
+        f"({rep.cost} units vs {crawl.m} edges)"
+    )
+
+    # Storage accounting: what a serialized adjacency store would hold.
+    original_units = crawl.m
+    summary_units = rep.cost
+    print(
+        f"storage: {original_units} edge records -> "
+        f"{summary_units} summary records "
+        f"({100 * (1 - summary_units / original_units):.1f}% smaller)"
+    )
+
+    # Serve adjacency queries from the summary (Algorithm 6).
+    index = SummaryNeighborIndex(rep)
+    rng = random.Random(3)
+    sample = [rng.randrange(crawl.n) for _ in range(5)]
+    for q in sample:
+        answer = index.neighbors(q)
+        assert answer == set(crawl.neighbors(q))
+        print(
+            f"  neighbors({q}): {len(answer)} nodes, "
+            f"query work = {index.work_units(q)} ops"
+        )
+    avg_work = sum(index.work_units(q) for q in crawl.nodes()) / crawl.n
+    print(
+        f"average query work {avg_work:.2f} ops vs d_avg "
+        f"{crawl.avg_degree:.2f} (paper's bound: 1.12 * d_avg)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,150 @@
+"""Common interface for all summarization algorithms.
+
+Every algorithm (Greedy, Randomized, SWeG, LDME, Slugger, Mags,
+Mags-DM) is a :class:`Summarizer`: construct it with its parameters,
+call :meth:`Summarizer.summarize` on a graph, get a
+:class:`SummaryResult` back.  The result carries the representation,
+wall-clock phase timings (the quantities plotted in Figures 6-8, 10,
+12) and merge statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.encoding import Representation
+from repro.graph.graph import Graph
+
+__all__ = ["SummaryResult", "Summarizer", "TimeLimitExceeded", "PhaseTimer"]
+
+
+class TimeLimitExceeded(RuntimeError):
+    """The per-run time budget was exhausted (the paper's 24h cutoff)."""
+
+
+@dataclass
+class SummaryResult:
+    """Output of one summarization run."""
+
+    algorithm: str
+    representation: Representation
+    runtime_seconds: float
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    num_merges: int = 0
+    params: dict[str, Any] = field(default_factory=dict)
+    #: Algorithm-specific metrics, e.g. Slugger's hierarchical cost
+    #: (|P+| + |P-| + |H|) which uses its own compactness measure.
+    extra_metrics: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def relative_size(self) -> float:
+        """Compactness measure ``(|E| + |C|) / m`` (Section 6.1)."""
+        return self.representation.relative_size
+
+    @property
+    def cost(self) -> int:
+        """Representation cost ``c(R)``."""
+        return self.representation.cost
+
+    def summary_line(self) -> str:
+        """One-line human-readable summary for harness output."""
+        return (
+            f"{self.algorithm}: relative_size={self.relative_size:.4f} "
+            f"cost={self.cost} supernodes={self.representation.num_supernodes} "
+            f"merges={self.num_merges} time={self.runtime_seconds:.3f}s"
+        )
+
+
+class PhaseTimer:
+    """Accumulates named phase durations and enforces a time budget."""
+
+    def __init__(self, time_limit: float | None = None):
+        self.phases: dict[str, float] = {}
+        self._start = time.perf_counter()
+        self._time_limit = time_limit
+        self._phase_start: float | None = None
+        self._phase_name: str | None = None
+
+    def start(self, name: str) -> None:
+        """Begin timing phase ``name`` (ends any running phase)."""
+        self.stop()
+        self._phase_name = name
+        self._phase_start = time.perf_counter()
+
+    def stop(self) -> None:
+        """End the current phase, if any."""
+        if self._phase_name is not None and self._phase_start is not None:
+            elapsed = time.perf_counter() - self._phase_start
+            self.phases[self._phase_name] = (
+                self.phases.get(self._phase_name, 0.0) + elapsed
+            )
+        self._phase_name = None
+        self._phase_start = None
+
+    @property
+    def total(self) -> float:
+        """Seconds since construction."""
+        return time.perf_counter() - self._start
+
+    def check_budget(self) -> None:
+        """Raise :class:`TimeLimitExceeded` when over the time limit."""
+        if self._time_limit is not None and self.total > self._time_limit:
+            raise TimeLimitExceeded(
+                f"exceeded time limit of {self._time_limit:.1f}s"
+            )
+
+
+class Summarizer(ABC):
+    """Base class for summarization algorithms.
+
+    Subclasses implement :meth:`_run`, returning the final
+    representation plus bookkeeping; :meth:`summarize` adds timing.
+
+    Parameters common to all subclasses:
+
+    seed:
+        Seed for every stochastic component (hash functions, sampling
+        order); identical seeds give identical output.
+    time_limit:
+        Optional wall-clock budget in seconds (the paper kills runs at
+        24 hours); :class:`TimeLimitExceeded` is raised when blown.
+    """
+
+    #: Human-readable algorithm name, set by subclasses.
+    name: str = "abstract"
+
+    def __init__(self, seed: int = 0, time_limit: float | None = None):
+        self.seed = seed
+        self.time_limit = time_limit
+        #: Populated by _run implementations that report extra metrics.
+        self._extra_metrics: dict[str, float] = {}
+
+    @abstractmethod
+    def _run(
+        self, graph: Graph, timer: PhaseTimer
+    ) -> tuple[Representation, int]:
+        """Summarize ``graph``; return (representation, num_merges)."""
+
+    def params(self) -> dict[str, Any]:
+        """Parameter dict recorded in results (subclasses extend)."""
+        return {"seed": self.seed}
+
+    def summarize(self, graph: Graph) -> SummaryResult:
+        """Run the algorithm on ``graph`` and time it."""
+        timer = PhaseTimer(self.time_limit)
+        self._extra_metrics = {}
+        start = time.perf_counter()
+        representation, num_merges = self._run(graph, timer)
+        timer.stop()
+        return SummaryResult(
+            algorithm=self.name,
+            representation=representation,
+            runtime_seconds=time.perf_counter() - start,
+            phase_seconds=dict(timer.phases),
+            num_merges=num_merges,
+            params=self.params(),
+            extra_metrics=dict(self._extra_metrics),
+        )

@@ -1,0 +1,206 @@
+"""Hierarchical representations (Slugger's model, materialised).
+
+Slugger [25] generalises the flat summary: super-nodes may contain
+other super-nodes, and a graph is encoded as
+``R_H = (S, P+, P-, H)`` with set semantics
+
+    G  =  (union over (A, B) in P+ of A x B)  minus
+          (union over (A, B) in P- of A x B)
+
+where ``A`` and ``B`` are hierarchy nodes (leaves are graph nodes)
+and ``A x B`` expands to the leaf pairs under them (unordered, no
+self-pairs).  ``H`` is the containment forest, and Slugger's
+compactness measure is ``(|P+| + |P-| + |H|) / m``.
+
+This module materialises that model:
+
+* :class:`HierarchicalRepresentation` — the data structure, with
+  exact reconstruction and cost accounting where ``|H|`` counts the
+  containment links actually needed: unused hierarchy nodes are
+  spliced out, and a used node pays one link per maximal used-or-leaf
+  descendant beneath it;
+* :func:`build_hierarchical` — converts a merge dendrogram plus the
+  bottom-up encoding plan of
+  :func:`repro.algorithms.slugger.hierarchical_intra_cost` into a
+  concrete representation (the Slugger summarizer wires this in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.graph import Graph
+
+__all__ = ["HierarchicalRepresentation", "HierarchyBuilder"]
+
+
+def _ordered(a: int, b: int) -> tuple[int, int]:
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass
+class HierarchicalRepresentation:
+    """Slugger-style hierarchical encoding ``R_H = (S, P+, P-, H)``.
+
+    Hierarchy node ids: ``0..n-1`` are graph nodes (leaves); internal
+    nodes use ids ``>= n``.  ``leaves_of`` maps every *internal* node
+    to its leaf set (leaves map to themselves implicitly).
+    """
+
+    n: int
+    m: int
+    leaves_of: dict[int, list[int]] = field(default_factory=dict)
+    positive_edges: set[tuple[int, int]] = field(default_factory=set)
+    negative_edges: set[tuple[int, int]] = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+    def leaves(self, node: int) -> list[int]:
+        """Leaf set under a hierarchy node."""
+        if node < self.n:
+            return [node]
+        return self.leaves_of[node]
+
+    def _expand(self, a: int, b: int) -> set[tuple[int, int]]:
+        """Leaf pairs covered by the hierarchy-node pair (a, b)."""
+        left = self.leaves(a)
+        if a == b:
+            return {
+                _ordered(x, y)
+                for i, x in enumerate(left)
+                for y in left[i + 1:]
+            }
+        right = self.leaves(b)
+        return {
+            _ordered(x, y) for x in left for y in right if x != y
+        }
+
+    def reconstruct_edges(self) -> set[tuple[int, int]]:
+        """Expand ``P+`` then subtract ``P-`` (Slugger's semantics)."""
+        edges: set[tuple[int, int]] = set()
+        for a, b in self.positive_edges:
+            edges |= self._expand(a, b)
+        for a, b in self.negative_edges:
+            edges -= self._expand(a, b)
+        return edges
+
+    def reconstruct(self) -> Graph:
+        """Recreate the graph."""
+        return Graph(self.n, sorted(self.reconstruct_edges()))
+
+    # ------------------------------------------------------------------
+    @property
+    def used_internal_nodes(self) -> set[int]:
+        """Internal hierarchy nodes referenced by P+ or P-."""
+        used = {
+            node
+            for pair in (self.positive_edges | self.negative_edges)
+            for node in pair
+            if node >= self.n
+        }
+        return used
+
+    def hierarchy_links(self) -> int:
+        """``|H|``: containment links after splicing unused nodes.
+
+        Each used internal node pays one link per *maximal*
+        used-or-leaf unit strictly beneath it; nested used nodes are
+        charged once at their closest used ancestor.
+        """
+        used = self.used_internal_nodes
+        if not used:
+            return 0
+        total = 0
+        for node in used:
+            total += len(self._exposed_children(node, used))
+        return total
+
+    def _exposed_children(self, node: int, used: set[int]) -> list[int]:
+        """Maximal used-or-leaf units strictly below ``node``.
+
+        Without an explicit tree we derive containment from leaf sets:
+        a used node ``b`` is beneath ``node`` when its leaves are a
+        strict subset of ``node``'s.  Maximal such nodes partition part
+        of the leaf set; uncovered leaves are linked directly.
+        """
+        my_leaves = set(self.leaves(node))
+        below = [
+            b
+            for b in used
+            if b != node and set(self.leaves(b)) < my_leaves
+        ]
+        # Keep only maximal ones (not beneath another candidate).
+        maximal = []
+        for b in below:
+            b_leaves = set(self.leaves(b))
+            if not any(
+                other != b and b_leaves < set(self.leaves(other))
+                for other in below
+            ):
+                maximal.append(b)
+        covered: set[int] = set()
+        for b in maximal:
+            covered |= set(self.leaves(b))
+        direct_leaves = my_leaves - covered
+        return maximal + sorted(direct_leaves)
+
+    @property
+    def cost(self) -> int:
+        """``|P+| + |P-| + |H|`` — Slugger's size."""
+        return (
+            len(self.positive_edges)
+            + len(self.negative_edges)
+            + self.hierarchy_links()
+        )
+
+    @property
+    def relative_size(self) -> float:
+        """Slugger's compactness measure."""
+        if self.m == 0:
+            return 0.0
+        return self.cost / self.m
+
+
+class HierarchyBuilder:
+    """Incrementally assembles a :class:`HierarchicalRepresentation`.
+
+    The Slugger summarizer walks each super-node's merge dendrogram
+    with the encoding plan and calls these primitives; internal node
+    ids are handed out on demand, keyed by the frozen leaf set so the
+    same subtree used twice is materialised once.
+    """
+
+    def __init__(self, graph: Graph):
+        self._graph = graph
+        self._rep = HierarchicalRepresentation(n=graph.n, m=graph.m)
+        self._node_of_leafset: dict[frozenset[int], int] = {}
+        self._next_id = graph.n
+
+    def node_for(self, leaves: list[int]) -> int:
+        """Hierarchy node covering ``leaves`` (creates it if needed)."""
+        if len(leaves) == 1:
+            return leaves[0]
+        key = frozenset(leaves)
+        node = self._node_of_leafset.get(key)
+        if node is None:
+            node = self._next_id
+            self._next_id += 1
+            self._node_of_leafset[key] = node
+            self._rep.leaves_of[node] = sorted(leaves)
+        return node
+
+    def add_positive(self, a: int, b: int) -> None:
+        """Assert all leaf pairs under (a, b)."""
+        self._rep.positive_edges.add(_ordered(a, b))
+
+    def add_negative(self, a: int, b: int) -> None:
+        """Retract all leaf pairs under (a, b)."""
+        self._rep.negative_edges.add(_ordered(a, b))
+
+    def add_positive_leaf_pairs(self, pairs) -> None:
+        """Assert individual leaf edges."""
+        for x, y in pairs:
+            self._rep.positive_edges.add(_ordered(x, y))
+
+    def build(self) -> HierarchicalRepresentation:
+        """Finish and return the representation."""
+        return self._rep

@@ -1,0 +1,512 @@
+"""Mags: the paper's scalable greedy summarizer (Section 3).
+
+Mags keeps Greedy's high-quality merge order but caps the search
+space:
+
+1. **Candidate generation** (Algorithm 2): for each node ``u``, sample
+   ``b`` neighbors, union their neighborhoods into an approximate
+   2-hop set, score members with the MinHash estimator ``mh(u, v)``
+   (Equation 5), and keep the top ``k`` as candidate pairs — at most
+   ``k * n`` pairs in total, versus Greedy's ``n * d_avg^2``.
+2. **Greedy merge** (Algorithm 3): ``T`` iterations; iteration ``t``
+   merges candidate pairs in decreasing saving while the saving clears
+   ``omega(t)`` (Equation 6), re-verifying each popped pair's saving
+   before committing (savings in the queue may be stale because
+   updates are deferred), then refreshes the savings of every
+   candidate pair touching the merged neighborhoods.
+3. **Output** (Algorithm 4): the shared optimal encoding.
+
+Overall ``O(T * m * (d_avg + log m))`` versus Greedy's
+``O(n * d_avg^3 * (d_avg + log m))``.
+
+The ``candidate_method='naive'`` variant implements the exhaustive
+top-k-by-exact-saving generation discussed at the start of Section 3.1
+and benchmarked in Figure 8 ("Mags (naive CG)").
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Literal
+
+from repro.algorithms.base import PhaseTimer, Summarizer
+from repro.core.encoding import Representation, encode
+from repro.core.minhash import MinHashSignatures
+from repro.core.supernodes import SuperNodePartition
+from repro.core.thresholds import omega
+from repro.graph.graph import Graph
+
+__all__ = ["MagsSummarizer", "CandidatePairs"]
+
+_EPS = 1e-12
+
+
+class CandidatePairs:
+    """The candidate pair set ``CP`` with per-node indexing (Section 5.1).
+
+    Stores each pair under both endpoints so that "every candidate
+    pair containing u" (Algorithm 3, line 11) is a dict lookup, and
+    keeps the authoritative saving per pair for stale-heap-entry
+    detection.
+    """
+
+    __slots__ = ("_partners",)
+
+    def __init__(self):
+        self._partners: dict[int, dict[int, float]] = {}
+
+    def add(self, u: int, v: int, saving: float) -> None:
+        """Insert or update the pair ``(u, v)``."""
+        self._partners.setdefault(u, {})[v] = saving
+        self._partners.setdefault(v, {})[u] = saving
+
+    def saving(self, u: int, v: int) -> float | None:
+        """Stored saving of the pair, or None if absent."""
+        return self._partners.get(u, {}).get(v)
+
+    def partners(self, u: int) -> dict[int, float]:
+        """All candidate partners of ``u`` (live view; do not mutate)."""
+        return self._partners.get(u, {})
+
+    def discard(self, u: int, v: int) -> None:
+        """Remove the pair if present."""
+        for a, b in ((u, v), (v, u)):
+            table = self._partners.get(a)
+            if table is not None:
+                table.pop(b, None)
+                if not table:
+                    del self._partners[a]
+
+    def replace_node(self, dead: int, survivor: int) -> list[int]:
+        """Re-key every pair touching ``dead`` onto ``survivor``.
+
+        Implements "Replace u and v by w in CP" (Algorithm 3, line 8).
+        Returns the partners that were moved (their savings are stale
+        and will be refreshed in the update phase).
+        """
+        table = self._partners.pop(dead, None)
+        if table is None:
+            return []
+        moved: list[int] = []
+        for partner, saving in table.items():
+            partner_table = self._partners.get(partner)
+            if partner_table is not None:
+                partner_table.pop(dead, None)
+            if partner == survivor:
+                continue
+            if self.saving(survivor, partner) is None:
+                self.add(survivor, partner, saving)
+            moved.append(partner)
+        return moved
+
+    def __len__(self) -> int:
+        return sum(len(t) for t in self._partners.values()) // 2
+
+    def pairs(self) -> list[tuple[int, int]]:
+        """All pairs as ``(u, v)`` with ``u < v``."""
+        return [
+            (u, v)
+            for u, table in self._partners.items()
+            for v in table
+            if u < v
+        ]
+
+
+class MagsSummarizer(Summarizer):
+    """The paper's Mags algorithm (Algorithms 1-4).
+
+    Parameters
+    ----------
+    iterations:
+        ``T``, the number of greedy-merge iterations (paper: 50).
+    k:
+        Candidate pairs kept per node; ``None`` uses the paper's
+        default ``min(5 * d_avg, 30)`` (Section 3.4).
+    b:
+        Neighbors sampled when approximating the 2-hop set (paper: 5).
+    h:
+        Number of MinHash functions; ``None`` uses the paper's default
+        ``min(10 * d_avg, 50)``.
+    candidate_method:
+        ``'minhash'`` for Algorithm 2, ``'naive'`` for the exhaustive
+        exact-saving generation (Figure 8's ablation).
+    workers:
+        Parallelism degree (Section 5.1).  Candidate generation is
+        chunked per worker; with ``workers > 1`` the greedy merge also
+        switches to the paper's batch scheme — each iteration's
+        qualifying pairs are grouped by connectivity and the groups
+        are processed concurrently (merges of disjoint super-node sets
+        cannot conflict), with the shared partition updates behind a
+        lock.  The batch scheme relaxes the strict global merge order
+        *within* an iteration, exactly as the paper's parallel Mags
+        does; thresholds still gate every merge.
+    """
+
+    name = "Mags"
+
+    def __init__(
+        self,
+        iterations: int = 50,
+        k: int | None = None,
+        b: int = 5,
+        h: int | None = None,
+        candidate_method: Literal["minhash", "naive"] = "minhash",
+        workers: int = 1,
+        seed: int = 0,
+        time_limit: float | None = None,
+    ):
+        super().__init__(seed=seed, time_limit=time_limit)
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if b < 1:
+            raise ValueError("b must be >= 1")
+        if candidate_method not in ("minhash", "naive"):
+            raise ValueError(f"unknown candidate_method {candidate_method!r}")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.iterations = iterations
+        self.k = k
+        self.b = b
+        self.h = h
+        self.candidate_method = candidate_method
+        self.workers = workers
+        #: Per-iteration lists of merged (root, root) pairs from the
+        #: last run; the Figure 13 speedup model derives Mags's merge
+        #: batches (connectivity-conflict groups, Section 5.1) from it.
+        self.last_iteration_merges: list[list[tuple[int, int]]] = []
+
+    def params(self):
+        return {
+            "seed": self.seed,
+            "T": self.iterations,
+            "k": self.k,
+            "b": self.b,
+            "h": self.h,
+            "candidate_method": self.candidate_method,
+            "workers": self.workers,
+        }
+
+    # ------------------------------------------------------------------
+    # Parameter defaults (Section 3.4)
+    # ------------------------------------------------------------------
+    def _resolved_k(self, graph: Graph) -> int:
+        if self.k is not None:
+            return self.k
+        return max(1, min(int(5 * graph.avg_degree), 30))
+
+    def _resolved_h(self, graph: Graph) -> int:
+        if self.h is not None:
+            return self.h
+        return max(1, min(int(10 * graph.avg_degree), 50))
+
+    # ------------------------------------------------------------------
+    # Main pipeline (Algorithm 1)
+    # ------------------------------------------------------------------
+    def _run(
+        self, graph: Graph, timer: PhaseTimer
+    ) -> tuple[Representation, int]:
+        partition = SuperNodePartition(graph)
+
+        timer.start("candidate_generation")
+        candidates = self._generate_candidates(graph, partition, timer)
+
+        timer.start("greedy_merge")
+        num_merges = self._greedy_merge(partition, candidates, timer)
+
+        timer.start("output")
+        return encode(partition), num_merges
+
+    # ------------------------------------------------------------------
+    # Phase 1: candidate generation (Algorithm 2)
+    # ------------------------------------------------------------------
+    def _generate_candidates(
+        self,
+        graph: Graph,
+        partition: SuperNodePartition,
+        timer: PhaseTimer,
+    ) -> CandidatePairs:
+        if self.candidate_method == "naive":
+            pair_lists = self._naive_candidates(graph, partition)
+        else:
+            pair_lists = self._minhash_candidates(graph)
+        candidates = CandidatePairs()
+        for u, v in pair_lists:
+            if candidates.saving(u, v) is None:
+                candidates.add(u, v, partition.saving(u, v))
+        timer.check_budget()
+        return candidates
+
+    def _minhash_candidates(self, graph: Graph) -> list[tuple[int, int]]:
+        """Algorithm 2: sampled 2-hop + MinHash top-k per node."""
+        k = self._resolved_k(graph)
+        h = self._resolved_h(graph)
+        signatures = MinHashSignatures(graph, h, self.seed)
+        adjacency = graph.adjacency()
+        rng = random.Random(self.seed)
+        nodes = list(graph.nodes())
+        if self.workers > 1:
+            from repro.algorithms.parallel import map_chunks
+
+            chunks = map_chunks(
+                nodes,
+                self.workers,
+                lambda chunk, offset: self._candidates_for_nodes(
+                    chunk, adjacency, signatures, k,
+                    random.Random(self.seed * 1_000_003 + offset),
+                ),
+            )
+            return [pair for chunk in chunks for pair in chunk]
+        return self._candidates_for_nodes(nodes, adjacency, signatures, k, rng)
+
+    def _candidates_for_nodes(
+        self,
+        nodes: list[int],
+        adjacency,
+        signatures: MinHashSignatures,
+        k: int,
+        rng: random.Random,
+    ) -> list[tuple[int, int]]:
+        pairs: list[tuple[int, int]] = []
+        sig = signatures.sig
+        h = signatures.h
+        for u in nodes:
+            neighbors = adjacency[u]
+            if not neighbors:
+                continue
+            neighbor_list = list(neighbors)
+            if len(neighbor_list) > self.b:
+                sampled = rng.sample(neighbor_list, self.b)
+            else:
+                sampled = neighbor_list
+            two_hop = set(neighbors)
+            for w in sampled:
+                two_hop |= adjacency[w]
+            two_hop.discard(u)
+            if not two_hop:
+                continue
+            # Score all of 2Hop with mh(u, .) in one vectorised pass.
+            candidates = list(two_hop)
+            sims = (sig[:, candidates] == sig[:, [u]]).sum(axis=0)
+            if len(candidates) > k:
+                top = heapq.nlargest(
+                    k, range(len(candidates)), key=lambda i: (sims[i], -candidates[i])
+                )
+            else:
+                top = range(len(candidates))
+            for i in top:
+                if sims[i] == 0 and h > 1:
+                    continue  # no signature overlap: not promising
+                v = candidates[i]
+                pairs.append((u, v) if u < v else (v, u))
+        return pairs
+
+    def _naive_candidates(
+        self, graph: Graph, partition: SuperNodePartition
+    ) -> list[tuple[int, int]]:
+        """The exhaustive generation of Section 3.1's opening.
+
+        For each node, computes the exact saving against *every* 2-hop
+        neighbor and keeps the top ``k`` — correct but
+        ``O(n * d_avg^2 * (d_avg + log k))``.
+        """
+        k = self._resolved_k(graph)
+        adjacency = graph.adjacency()
+        pairs: list[tuple[int, int]] = []
+        for u in graph.nodes():
+            two_hop: set[int] = set(adjacency[u])
+            for w in adjacency[u]:
+                two_hop |= adjacency[w]
+            two_hop.discard(u)
+            scored = [
+                (partition.saving(u, v), v)
+                for v in two_hop
+            ]
+            top = heapq.nlargest(k, scored, key=lambda sv: (sv[0], -sv[1]))
+            for s, v in top:
+                if s > _EPS:
+                    pairs.append((u, v) if u < v else (v, u))
+        return pairs
+
+    # ------------------------------------------------------------------
+    # Phase 2: greedy merge (Algorithm 3)
+    # ------------------------------------------------------------------
+    def _greedy_merge(
+        self,
+        partition: SuperNodePartition,
+        candidates: CandidatePairs,
+        timer: PhaseTimer,
+    ) -> int:
+        heap: list[tuple[float, int, int]] = [
+            (-candidates.saving(u, v), u, v) for u, v in candidates.pairs()
+        ]
+        heapq.heapify(heap)
+        num_merges = 0
+        self.last_iteration_merges = []
+
+        for t in range(1, self.iterations + 1):
+            threshold = omega(t, self.iterations)
+            merged_roots: set[int] = set()
+            iteration_merges: list[tuple[int, int]] = []
+            self.last_iteration_merges.append(iteration_merges)
+
+            if self.workers > 1:
+                num_merges += self._batch_merge_iteration(
+                    partition, candidates, heap, threshold,
+                    merged_roots, iteration_merges,
+                )
+                self._refresh_affected(
+                    partition, candidates, heap, merged_roots
+                )
+                timer.check_budget()
+                continue
+
+            # -- First part: merge pairs in decreasing stored saving --
+            while heap:
+                neg_s, u, v = heap[0]
+                stored = candidates.saving(u, v)
+                if stored is None or stored != -neg_s:
+                    heapq.heappop(heap)  # stale entry
+                    continue
+                if stored < threshold:
+                    break  # all remaining pairs are below omega(t)
+                heapq.heappop(heap)
+                fresh = partition.saving(u, v)
+                if fresh >= threshold:
+                    w = partition.merge(u, v)
+                    dead = v if w == u else u
+                    moved = candidates.replace_node(dead, w)
+                    for partner in moved:
+                        stale = candidates.saving(w, partner)
+                        if stale is not None:
+                            heapq.heappush(heap, (-stale, w, partner))
+                    merged_roots.add(w)
+                    merged_roots.discard(dead)
+                    iteration_merges.append((u, v))
+                    num_merges += 1
+                elif fresh > _EPS:
+                    # Stale optimistic saving: record the renewed value;
+                    # the pair stays for later (lower-threshold) rounds.
+                    candidates.add(u, v, fresh)
+                    heapq.heappush(heap, (-fresh, u, v))
+                else:
+                    candidates.discard(u, v)
+                timer.check_budget()
+
+            # -- Second part: refresh savings around the merges --
+            self._refresh_affected(partition, candidates, heap, merged_roots)
+            timer.check_budget()
+        return num_merges
+
+    @staticmethod
+    def _refresh_affected(
+        partition: SuperNodePartition,
+        candidates: CandidatePairs,
+        heap: list[tuple[float, int, int]],
+        merged_roots: set[int],
+    ) -> None:
+        """Refresh savings of every candidate pair the merges touched."""
+        affected: set[int] = set()
+        for w in merged_roots:
+            affected.add(w)
+            affected.update(partition.weights(w))
+        for x in affected:
+            for y in list(candidates.partners(x)):
+                fresh = partition.saving(x, y)
+                if candidates.saving(x, y) != fresh:
+                    candidates.add(x, y, fresh)
+                    heapq.heappush(heap, (-fresh, x, y))
+
+    def _batch_merge_iteration(
+        self,
+        partition: SuperNodePartition,
+        candidates: CandidatePairs,
+        heap: list[tuple[float, int, int]],
+        threshold: float,
+        merged_roots: set[int],
+        iteration_merges: list[tuple[int, int]],
+    ) -> int:
+        """One iteration of the paper's parallel merge scheme (§5.1).
+
+        Pops every pair whose stored saving clears the threshold,
+        groups them by connectivity (pairs sharing a super-node
+        conflict and must serialise), then processes the groups
+        through a thread pool — each group replays its pairs in
+        decreasing stored saving with the usual fresh-saving
+        re-verification, holding the shared-partition lock across the
+        verify-and-merge step.
+        """
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        qualifying: list[tuple[float, int, int]] = []
+        while heap:
+            neg_s, u, v = heap[0]
+            stored = candidates.saving(u, v)
+            if stored is None or stored != -neg_s:
+                heapq.heappop(heap)
+                continue
+            if stored < threshold:
+                break
+            heapq.heappop(heap)
+            qualifying.append((stored, u, v))
+        if not qualifying:
+            return 0
+
+        # Connectivity grouping via union-find over the pair endpoints.
+        parent: dict[int, int] = {}
+
+        def find(x: int) -> int:
+            parent.setdefault(x, x)
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for __, u, v in qualifying:
+            ru, rv = find(u), find(v)
+            if ru != rv:
+                parent[ru] = rv
+        groups: dict[int, list[tuple[float, int, int]]] = {}
+        for entry in qualifying:
+            groups.setdefault(find(entry[1]), []).append(entry)
+
+        lock = threading.Lock()
+        merges = 0
+
+        def process(group: list[tuple[float, int, int]]) -> int:
+            local_merges = 0
+            for stored, u, v in sorted(group, reverse=True):
+                with lock:
+                    if candidates.saving(u, v) is None:
+                        continue  # re-keyed away by an earlier merge
+                    fresh = partition.saving(u, v)
+                    if fresh >= threshold:
+                        w = partition.merge(u, v)
+                        dead = v if w == u else u
+                        moved = candidates.replace_node(dead, w)
+                        for partner in moved:
+                            stale = candidates.saving(w, partner)
+                            if stale is not None:
+                                heapq.heappush(
+                                    heap, (-stale, w, partner)
+                                )
+                        merged_roots.add(w)
+                        merged_roots.discard(dead)
+                        iteration_merges.append((u, v))
+                        local_merges += 1
+                    elif fresh > _EPS:
+                        candidates.add(u, v, fresh)
+                        heapq.heappush(heap, (-fresh, u, v))
+                    else:
+                        candidates.discard(u, v)
+            return local_merges
+
+        group_lists = list(groups.values())
+        if len(group_lists) == 1:
+            return process(group_lists[0])
+        with ThreadPoolExecutor(
+            max_workers=min(self.workers, len(group_lists))
+        ) as pool:
+            merges = sum(pool.map(process, group_lists))
+        return merges

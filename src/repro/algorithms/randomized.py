@@ -1,0 +1,61 @@
+"""Navlakha et al.'s Randomized baseline.
+
+Alongside Greedy, the original graph-summarization paper [30] proposed
+a cheaper randomized variant (mentioned in Section 7 of the Mags
+paper): repeatedly pick a random unfinished super-node ``u``, merge it
+with its best 2-hop partner if that merge has positive saving, and
+retire ``u`` otherwise.  It trades compactness for speed and sits
+between Greedy and the divide-and-merge family, so it makes a useful
+extra reference point in ablation benches.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.algorithms.base import PhaseTimer, Summarizer
+from repro.algorithms.greedy import two_hop_pairs
+from repro.core.encoding import Representation, encode
+from repro.core.supernodes import SuperNodePartition
+from repro.graph.graph import Graph
+
+__all__ = ["RandomizedSummarizer"]
+
+_EPS = 1e-12
+
+
+class RandomizedSummarizer(Summarizer):
+    """The randomized greedy variant of Navlakha et al. [30]."""
+
+    name = "Randomized"
+
+    def _run(
+        self, graph: Graph, timer: PhaseTimer
+    ) -> tuple[Representation, int]:
+        rng = random.Random(self.seed)
+        partition = SuperNodePartition(graph)
+
+        timer.start("merge")
+        unfinished = set(graph.nodes())
+        num_merges = 0
+        while unfinished:
+            u = rng.choice(tuple(unfinished))
+            candidates = two_hop_pairs(partition, u)
+            best_v = -1
+            best_s = _EPS
+            for v in candidates:
+                s = partition.saving(u, v)
+                if s > best_s:
+                    best_s, best_v = s, v
+            if best_v < 0:
+                unfinished.discard(u)
+            else:
+                w = partition.merge(u, best_v)
+                num_merges += 1
+                dead = best_v if w == u else u
+                unfinished.discard(dead)
+                unfinished.add(w)
+            timer.check_budget()
+
+        timer.start("output")
+        return encode(partition), num_merges

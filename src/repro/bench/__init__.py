@@ -1,0 +1,25 @@
+"""Benchmark harness: experiment definitions, runner, and reporting."""
+
+from repro.bench import experiments
+from repro.bench.reporting import format_table, geometric_mean, save_report
+from repro.bench.runner import (
+    bench_iterations,
+    clear_caches,
+    get_graph,
+    quick_mode,
+    run_grid,
+    run_on_dataset,
+)
+
+__all__ = [
+    "experiments",
+    "format_table",
+    "geometric_mean",
+    "save_report",
+    "bench_iterations",
+    "clear_caches",
+    "get_graph",
+    "quick_mode",
+    "run_grid",
+    "run_on_dataset",
+]

@@ -1,0 +1,113 @@
+"""Text rendering of the paper's figures.
+
+The evaluation figures are grouped bar charts (relative size or
+running time per dataset, one bar per algorithm) and line series
+(parameter sweeps).  This module renders the harness's row data in
+those shapes as monospace text, so a bench run reproduces not just
+the numbers but a readable figure, saved alongside the tables in
+``bench_results/``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["grouped_bar_chart", "series_chart"]
+
+_BAR_WIDTH = 40
+
+
+def grouped_bar_chart(
+    rows: Sequence[dict],
+    group_key: str,
+    bar_key: str,
+    value_key: str,
+    title: str | None = None,
+    log_scale: bool = False,
+) -> str:
+    """Render rows as a grouped horizontal bar chart.
+
+    One group per distinct ``group_key`` (e.g. dataset), one bar per
+    ``bar_key`` (e.g. algorithm) scaled to the global maximum of
+    ``value_key``.  ``log_scale`` renders bar length on log10, the way
+    the paper draws its running-time figures; missing values (None)
+    render as a ``(skipped)`` marker, mirroring the paper's timed-out
+    cells.
+    """
+    usable = [r for r in rows if r.get(value_key) is not None]
+    if not usable:
+        return (title or "") + "\n(no data)"
+    values = [float(r[value_key]) for r in usable]
+    maximum = max(values)
+    positives = [v for v in values if v > 0]
+    minimum = min(positives) if positives else 1.0
+
+    def bar_length(value: float) -> int:
+        if value <= 0 or maximum <= 0:
+            return 0
+        if log_scale and maximum > minimum:
+            span = math.log10(maximum) - math.log10(minimum)
+            if span == 0:
+                return _BAR_WIDTH
+            frac = (math.log10(value) - math.log10(minimum)) / span
+            return max(1, round(frac * _BAR_WIDTH))
+        return max(1, round(value / maximum * _BAR_WIDTH))
+
+    label_width = max(
+        (len(str(r[bar_key])) for r in rows), default=0
+    )
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    seen_groups: list = []
+    for row in rows:
+        if row[group_key] not in seen_groups:
+            seen_groups.append(row[group_key])
+    for group in seen_groups:
+        lines.append(f"{group_key}={group}")
+        for row in rows:
+            if row[group_key] != group:
+                continue
+            label = str(row[bar_key]).ljust(label_width)
+            value = row.get(value_key)
+            if value is None:
+                lines.append(f"  {label}  (skipped)")
+                continue
+            bar = "#" * bar_length(float(value))
+            lines.append(f"  {label}  {bar} {float(value):.4g}")
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def series_chart(
+    rows: Sequence[dict],
+    series_key: str,
+    x_key: str,
+    value_key: str,
+    title: str | None = None,
+) -> str:
+    """Render parameter-sweep rows as per-series value lists.
+
+    One line per (series, x) pair grouped by series — the textual
+    equivalent of Figures 11-16's line plots.
+    """
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    series_names: list = []
+    for row in rows:
+        if row[series_key] not in series_names:
+            series_names.append(row[series_key])
+    for name in series_names:
+        points = [
+            (row[x_key], row[value_key])
+            for row in rows
+            if row[series_key] == name and row.get(value_key) is not None
+        ]
+        points.sort()
+        rendered = "  ".join(f"{x}:{v:.4g}" for x, v in points)
+        lines.append(f"{name}: {rendered}")
+    return "\n".join(lines)

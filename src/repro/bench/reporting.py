@@ -1,0 +1,67 @@
+"""Tabular reporting for the benchmark harness.
+
+The harness prints the same rows/series the paper's figures plot:
+one row per (dataset, algorithm) with relative size or running time.
+Formatting is plain aligned text so results diff cleanly run-to-run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Sequence
+
+__all__ = ["format_table", "save_report", "geometric_mean"]
+
+
+def _render(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[dict[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render dict rows as an aligned text table."""
+    if columns is None:
+        columns = list(rows[0].keys()) if rows else []
+    rendered = [[_render(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) if rendered else len(col)
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rendered:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def save_report(text: str, name: str, directory: str | Path = "bench_results") -> Path:
+    """Persist a rendered report under ``directory`` and return the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, the paper's aggregation for ratios ("on average
+    11.1x faster")."""
+    filtered = [v for v in values if v > 0]
+    if not filtered:
+        return 0.0
+    product = 1.0
+    for v in filtered:
+        product *= v
+    return product ** (1.0 / len(filtered))

@@ -1,0 +1,253 @@
+"""Command-line interface.
+
+Exposes the library's pipeline as a tool::
+
+    python -m repro summarize graph.txt -a mags -T 50 -o summary.txt
+    python -m repro reconstruct summary.txt -o restored.txt
+    python -m repro stats graph.txt
+    python -m repro compare graph.txt -a mags,mags-dm,ldme
+    python -m repro dataset CN -o cn_analog.txt
+
+Edge lists are whitespace-separated ``u v`` lines (SNAP style, ``#``
+comments allowed); summaries use the v1 text format of
+:mod:`repro.core.serialization`.  Both transparently gzip when the
+path ends in ``.gz``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.algorithms import (
+    GreedySummarizer,
+    LDMESummarizer,
+    MagsDMSummarizer,
+    MagsSummarizer,
+    RandomizedSummarizer,
+    SluggerSummarizer,
+    Summarizer,
+    SWeGSummarizer,
+)
+from repro.core.lossy import make_lossy
+from repro.core.serialization import load_representation, save_representation
+from repro.core.verify import verify_lossless
+from repro.graph.datasets import dataset_codes, load_dataset
+from repro.graph.io import load_graph, save_graph
+from repro.graph.stats import graph_stats
+
+__all__ = ["main", "build_parser", "ALGORITHMS"]
+
+#: CLI name -> summarizer factory (iterations, seed) -> Summarizer.
+ALGORITHMS: dict[str, Callable[[int, int], Summarizer]] = {
+    "mags": lambda T, seed: MagsSummarizer(iterations=T, seed=seed),
+    "mags-dm": lambda T, seed: MagsDMSummarizer(iterations=T, seed=seed),
+    "greedy": lambda T, seed: GreedySummarizer(seed=seed),
+    "randomized": lambda T, seed: RandomizedSummarizer(seed=seed),
+    "sweg": lambda T, seed: SWeGSummarizer(iterations=T, seed=seed),
+    "ldme": lambda T, seed: LDMESummarizer(
+        iterations=T, signature_length=2, seed=seed
+    ),
+    "slugger": lambda T, seed: SluggerSummarizer(iterations=T, seed=seed),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Lossless graph summarization (SIGMOD 2024 'Compactness "
+            "Meets Efficiency' reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    summarize = sub.add_parser(
+        "summarize", help="summarize an edge-list file"
+    )
+    summarize.add_argument("input", help="edge-list file (u v per line)")
+    summarize.add_argument(
+        "-a", "--algorithm", choices=sorted(ALGORITHMS), default="mags-dm"
+    )
+    summarize.add_argument(
+        "-T", "--iterations", type=int, default=50,
+        help="iteration count T (default 50, the paper's setting)",
+    )
+    summarize.add_argument("-s", "--seed", type=int, default=0)
+    summarize.add_argument(
+        "-o", "--output", help="write the summary here (v1 text format)"
+    )
+    summarize.add_argument(
+        "--epsilon", type=float, default=0.0,
+        help="bounded-error lossy pruning (0 = lossless, the default)",
+    )
+    summarize.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the lossless reconstruction check",
+    )
+
+    reconstruct = sub.add_parser(
+        "reconstruct", help="restore the edge list from a summary"
+    )
+    reconstruct.add_argument("input", help="summary file")
+    reconstruct.add_argument("-o", "--output", required=True)
+
+    stats = sub.add_parser("stats", help="print edge-list statistics")
+    stats.add_argument("input")
+
+    compare = sub.add_parser(
+        "compare", help="run several algorithms and print a comparison"
+    )
+    compare.add_argument("input")
+    compare.add_argument(
+        "-a", "--algorithms",
+        default="mags,mags-dm,sweg,ldme",
+        help="comma-separated list (default: mags,mags-dm,sweg,ldme)",
+    )
+    compare.add_argument("-T", "--iterations", type=int, default=25)
+    compare.add_argument("-s", "--seed", type=int, default=0)
+
+    dataset = sub.add_parser(
+        "dataset", help="export a Table 2 synthetic analog as an edge list"
+    )
+    dataset.add_argument("code", help=f"one of: {', '.join(dataset_codes())}")
+    dataset.add_argument("-o", "--output", required=True)
+
+    bench = sub.add_parser(
+        "bench", help="run one of the paper's experiments and print it"
+    )
+    bench.add_argument(
+        "experiment",
+        help="experiment name (see --list), e.g. fig4, table3",
+    )
+    bench.add_argument(
+        "--list", action="store_true", dest="list_experiments",
+        help="list available experiment names and exit",
+    )
+
+    return parser
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    graph = load_graph(args.input)
+    print(f"loaded {graph}")
+    summarizer = ALGORITHMS[args.algorithm](args.iterations, args.seed)
+    result = summarizer.summarize(graph)
+    if not args.no_verify:
+        verify_lossless(graph, result.representation)
+    print(result.summary_line())
+
+    representation = result.representation
+    if args.epsilon > 0.0:
+        lossy = make_lossy(representation, args.epsilon)
+        representation = lossy.representation
+        print(
+            f"lossy (epsilon={args.epsilon}): dropped "
+            f"{lossy.corrections_dropped} corrections -> "
+            f"relative_size={lossy.relative_size:.4f}"
+        )
+    if args.output:
+        save_representation(args.output, representation)
+        print(f"summary written to {args.output}")
+    return 0
+
+
+def _cmd_reconstruct(args: argparse.Namespace) -> int:
+    representation = load_representation(args.input)
+    graph = representation.reconstruct()
+    save_graph(args.output, graph)
+    print(f"reconstructed {graph} -> {args.output}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = load_graph(args.input)
+    for key, value in graph_stats(graph).as_row().items():
+        print(f"{key:10s} {value}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    graph = load_graph(args.input)
+    print(f"loaded {graph}")
+    names = [name.strip() for name in args.algorithms.split(",") if name.strip()]
+    unknown = [name for name in names if name not in ALGORITHMS]
+    if unknown:
+        print(f"unknown algorithm(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    header = f"{'algorithm':12s} {'rel_size':>9s} {'cost':>8s} {'time_s':>8s}"
+    print(header)
+    print("-" * len(header))
+    for name in names:
+        result = ALGORITHMS[name](args.iterations, args.seed).summarize(graph)
+        verify_lossless(graph, result.representation)
+        print(
+            f"{name:12s} {result.relative_size:9.4f} "
+            f"{result.cost:8d} {result.runtime_seconds:8.3f}"
+        )
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.code)
+    save_graph(args.output, graph)
+    print(f"{args.code}: {graph} -> {args.output}")
+    return 0
+
+
+#: CLI experiment name -> repro.bench.experiments function name.
+_EXPERIMENTS = {
+    "table2": "table2_dataset_statistics",
+    "fig4": "fig4_fig6_small_graphs",
+    "fig6": "fig4_fig6_small_graphs",
+    "fig5": "fig5_fig7_large_graphs",
+    "fig7": "fig5_fig7_large_graphs",
+    "fig8": "fig8_mags_ablation",
+    "fig9": "fig9_fig10_magsdm_ablation",
+    "fig10": "fig9_fig10_magsdm_ablation",
+    "fig11": "fig11_fig12_iterations_sweep",
+    "fig12": "fig11_fig12_iterations_sweep",
+    "fig13": "fig13_parallel_speedup",
+    "fig14": "fig14_b_sweep",
+    "fig15": "fig15_h_sweep",
+    "fig16": "fig16_k_sweep",
+    "table3": "table3_pagerank",
+    "neighbor": "neighbor_query_cost",
+}
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import experiments, format_table
+
+    if args.list_experiments or args.experiment == "list":
+        for name in sorted(_EXPERIMENTS):
+            print(name)
+        return 0
+    key = args.experiment.lower()
+    if key not in _EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment!r}; known: "
+            f"{', '.join(sorted(_EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    title, rows = getattr(experiments, _EXPERIMENTS[key])()
+    print(format_table(rows, title=title))
+    return 0
+
+
+_COMMANDS = {
+    "summarize": _cmd_summarize,
+    "reconstruct": _cmd_reconstruct,
+    "stats": _cmd_stats,
+    "compare": _cmd_compare,
+    "dataset": _cmd_dataset,
+    "bench": _cmd_bench,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)

@@ -1,0 +1,214 @@
+"""Gap-encoded binary codecs for graphs and for representations.
+
+Section 7 of the paper: graph compression "complements (and is
+orthogonal to)" summarization — "we can feed the output of our Mags or
+Mags-DM to another graph compression method, and compress it
+further."  This module makes that claim testable:
+
+* :class:`GraphCodec` serialises a plain graph the way adjacency-list
+  compressors do — sorted neighbor lists, delta (gap) coded, varint
+  bytes;
+* :class:`SummaryCodec` serialises a representation ``R = (S, C)``
+  with the same machinery (member lists, super-adjacency, correction
+  lists, all gap-coded);
+* :func:`compression_report` compares the two end to end, giving the
+  bits-per-edge numbers a storage engineer would look at.
+
+Both codecs round-trip exactly; the tests verify bit-identical
+recovery and that the decoded summary still reconstructs the original
+graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compression.varint import (
+    decode_varint,
+    encode_varint,
+)
+from repro.core.encoding import Representation
+from repro.graph.graph import Graph
+
+__all__ = [
+    "GraphCodec",
+    "SummaryCodec",
+    "CompressionReport",
+    "compression_report",
+]
+
+_GRAPH_MAGIC = b"RGv1"
+_SUMMARY_MAGIC = b"RSv1"
+
+
+def _encode_sorted_list(values: list[int], out: bytearray) -> None:
+    """Length + first value + gaps, all varints."""
+    out.extend(encode_varint(len(values)))
+    previous = 0
+    for index, value in enumerate(values):
+        if index == 0:
+            out.extend(encode_varint(value))
+        else:
+            out.extend(encode_varint(value - previous - 1))
+        previous = value
+    return None
+
+
+def _decode_sorted_list(data: bytes, offset: int) -> tuple[list[int], int]:
+    count, offset = decode_varint(data, offset)
+    values: list[int] = []
+    previous = 0
+    for index in range(count):
+        gap, offset = decode_varint(data, offset)
+        value = gap if index == 0 else previous + gap + 1
+        values.append(value)
+        previous = value
+    return values, offset
+
+
+class GraphCodec:
+    """Binary adjacency-list codec (gap + varint)."""
+
+    @staticmethod
+    def encode(graph: Graph) -> bytes:
+        out = bytearray(_GRAPH_MAGIC)
+        out.extend(encode_varint(graph.n))
+        for u in graph.nodes():
+            # Store only higher-numbered neighbors: each edge once.
+            successors = sorted(v for v in graph.adjacency()[u] if v > u)
+            _encode_sorted_list(successors, out)
+        return bytes(out)
+
+    @staticmethod
+    def decode(data: bytes) -> Graph:
+        if data[:4] != _GRAPH_MAGIC:
+            raise ValueError("not a graph blob")
+        offset = 4
+        n, offset = decode_varint(data, offset)
+        edges: list[tuple[int, int]] = []
+        for u in range(n):
+            successors, offset = _decode_sorted_list(data, offset)
+            edges.extend((u, v) for v in successors)
+        return Graph(n, edges)
+
+
+class SummaryCodec:
+    """Binary codec for a representation ``R = (S, C)``."""
+
+    @staticmethod
+    def encode(rep: Representation) -> bytes:
+        out = bytearray(_SUMMARY_MAGIC)
+        out.extend(encode_varint(rep.n))
+        out.extend(encode_varint(rep.m))
+        # Super-node member lists, in sorted super-node id order; ids
+        # themselves are re-numbered densely on decode, so only the
+        # membership structure is stored.
+        sids = sorted(rep.supernodes)
+        sid_index = {sid: i for i, sid in enumerate(sids)}
+        out.extend(encode_varint(len(sids)))
+        for sid in sids:
+            _encode_sorted_list(sorted(rep.supernodes[sid]), out)
+        # Super-edges as per-super-node successor lists.
+        successors: list[list[int]] = [[] for _ in sids]
+        for su, sv in rep.summary_edges:
+            iu, iv = sid_index[su], sid_index[sv]
+            iu, iv = min(iu, iv), max(iu, iv)
+            successors[iu].append(iv)
+        for succ in successors:
+            _encode_sorted_list(sorted(succ), out)
+        # Corrections as adjacency-style per-node successor lists:
+        # sorted source nodes (gap-coded) each carrying a gap-coded
+        # sorted list of targets — the same layout as GraphCodec, so
+        # correction-heavy summaries pay graph-codec prices, not
+        # flat-pair prices.
+        for pairs in (rep.additions, rep.removals):
+            by_source: dict[int, list[int]] = {}
+            for u, v in pairs:
+                by_source.setdefault(u, []).append(v)
+            out.extend(encode_varint(len(by_source)))
+            previous_u = 0
+            for index, u in enumerate(sorted(by_source)):
+                if index == 0:
+                    out.extend(encode_varint(u))
+                else:
+                    out.extend(encode_varint(u - previous_u - 1))
+                previous_u = u
+                _encode_sorted_list(sorted(by_source[u]), out)
+        return bytes(out)
+
+    @staticmethod
+    def decode(data: bytes) -> Representation:
+        if data[:4] != _SUMMARY_MAGIC:
+            raise ValueError("not a summary blob")
+        offset = 4
+        n, offset = decode_varint(data, offset)
+        m, offset = decode_varint(data, offset)
+        count, offset = decode_varint(data, offset)
+        supernodes: dict[int, list[int]] = {}
+        for sid in range(count):
+            members, offset = _decode_sorted_list(data, offset)
+            supernodes[sid] = members
+        summary_edges: set[tuple[int, int]] = set()
+        for iu in range(count):
+            succ, offset = _decode_sorted_list(data, offset)
+            for iv in succ:
+                summary_edges.add((iu, iv))
+        corrections: list[set[tuple[int, int]]] = []
+        for __ in range(2):
+            groups, offset = decode_varint(data, offset)
+            pairs: set[tuple[int, int]] = set()
+            previous_u = 0
+            for index in range(groups):
+                gap, offset = decode_varint(data, offset)
+                u = gap if index == 0 else previous_u + gap + 1
+                previous_u = u
+                targets, offset = _decode_sorted_list(data, offset)
+                pairs.update((u, v) for v in targets)
+            corrections.append(pairs)
+        node_to_supernode = {
+            node: sid for sid, members in supernodes.items() for node in members
+        }
+        return Representation(
+            n=n,
+            m=m,
+            supernodes=supernodes,
+            node_to_supernode=node_to_supernode,
+            summary_edges=summary_edges,
+            additions=corrections[0],
+            removals=corrections[1],
+        )
+
+
+@dataclass(frozen=True)
+class CompressionReport:
+    """Byte accounting for plain vs summarized storage."""
+
+    m: int
+    graph_bytes: int
+    summary_bytes: int
+
+    @property
+    def graph_bits_per_edge(self) -> float:
+        return 8 * self.graph_bytes / self.m if self.m else 0.0
+
+    @property
+    def summary_bits_per_edge(self) -> float:
+        return 8 * self.summary_bytes / self.m if self.m else 0.0
+
+    @property
+    def ratio(self) -> float:
+        """summary/graph byte ratio (below 1 = summarization helps)."""
+        if self.graph_bytes == 0:
+            return 0.0
+        return self.summary_bytes / self.graph_bytes
+
+
+def compression_report(
+    graph: Graph, representation: Representation
+) -> CompressionReport:
+    """Compare gap+varint storage of the graph vs its summary."""
+    return CompressionReport(
+        m=graph.m,
+        graph_bytes=len(GraphCodec.encode(graph)),
+        summary_bytes=len(SummaryCodec.encode(representation)),
+    )

@@ -1,0 +1,52 @@
+"""Core cost calculus: partition, costs, saving, MinHash, encoding."""
+
+from repro.core.costs import (
+    pair_cost,
+    potential_edges,
+    potential_self_edges,
+    self_cost,
+    use_superedge,
+)
+from repro.core.encoding import Representation, encode
+from repro.core.lossy import LossyResult, make_lossy, neighborhood_errors
+from repro.core.minhash import (
+    MinHashSignatures,
+    exact_jaccard,
+    node_signatures,
+    super_jaccard,
+)
+from repro.core.serialization import (
+    FormatError,
+    load_representation,
+    save_representation,
+)
+from repro.core.supernodes import SuperNodePartition
+from repro.core.thresholds import omega, omega_schedule, theta, theta_schedule
+from repro.core.verify import LosslessnessError, verify_lossless
+
+__all__ = [
+    "pair_cost",
+    "potential_edges",
+    "potential_self_edges",
+    "self_cost",
+    "use_superedge",
+    "Representation",
+    "encode",
+    "LossyResult",
+    "make_lossy",
+    "neighborhood_errors",
+    "FormatError",
+    "load_representation",
+    "save_representation",
+    "MinHashSignatures",
+    "exact_jaccard",
+    "node_signatures",
+    "super_jaccard",
+    "SuperNodePartition",
+    "omega",
+    "omega_schedule",
+    "theta",
+    "theta_schedule",
+    "LosslessnessError",
+    "verify_lossless",
+]

@@ -1,0 +1,71 @@
+"""Pairwise encoding costs (Section 2.2 of the paper).
+
+Given two super-nodes ``u`` and ``v`` with ``|P_u|`` and ``|P_v|``
+member nodes and ``|E_uv|`` actual edges between them, the optimal
+encoding chooses between a super-edge plus minus-corrections and plain
+plus-corrections (Equation 2):
+
+    c_uv = min(|Pi_uv| - |E_uv| + 1, |E_uv|)
+
+where ``Pi_uv = P_u x P_v`` is the set of *potential* edges.  For the
+self pair (edges inside one super-node) ``|Pi_uu| = s(s-1)/2``.
+
+These tiny functions are the bedrock of everything else — every
+algorithm's merge decisions reduce to sums of ``pair_cost`` — so they
+live in one module with exhaustive tests.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "potential_edges",
+    "potential_self_edges",
+    "pair_cost",
+    "self_cost",
+    "use_superedge",
+]
+
+
+def potential_edges(size_u: int, size_v: int) -> int:
+    """``|Pi_uv|`` for two distinct super-nodes."""
+    return size_u * size_v
+
+
+def potential_self_edges(size_u: int) -> int:
+    """``|Pi_uu|``: unordered node pairs within one super-node."""
+    return size_u * (size_u - 1) // 2
+
+
+def pair_cost(pi: int, edges: int) -> int:
+    """Optimal encoding cost of an edge group (Equation 2).
+
+    ``pi`` is the number of potential edges, ``edges`` the number that
+    actually exist.  A group with no edges costs nothing (the pair is
+    simply not adjacent in the summary).
+
+    >>> pair_cost(12, 2)    # sparse: two plus-corrections
+    2
+    >>> pair_cost(12, 11)   # dense: super-edge + one minus-correction
+    2
+    >>> pair_cost(12, 0)
+    0
+    """
+    if edges < 0 or pi < edges:
+        raise ValueError(f"invalid edge group: pi={pi}, edges={edges}")
+    if edges == 0:
+        return 0
+    return min(pi - edges + 1, edges)
+
+
+def self_cost(size_u: int, intra_edges: int) -> int:
+    """Cost of the edges internal to one super-node (self pair)."""
+    return pair_cost(potential_self_edges(size_u), intra_edges)
+
+
+def use_superedge(pi: int, edges: int) -> bool:
+    """Whether the optimal encoding uses a super-edge (Section 2.2).
+
+    True iff ``|E_uv| > (1 + |Pi_uv|) / 2``, i.e. the super-edge plus
+    minus-corrections is strictly cheaper than plus-corrections.
+    """
+    return 2 * edges > pi + 1

@@ -1,0 +1,150 @@
+"""Lossy summarization with bounded error (the paper's future work).
+
+Section 8 names the natural extension of Mags/Mags-DM: "we allow a
+bounded error in the representation".  This module implements the
+bounded-error model of Navlakha et al. [30] on top of any lossless
+representation produced by this package:
+
+Given an error bound ``epsilon``, a lossy representation must satisfy,
+for every node ``v``,
+
+    |N'_v  symmetric-difference  N_v|  <=  epsilon * |N_v|
+
+where ``N'_v`` is the neighborhood reconstructed from the lossy
+representation.  The construction drops corrections greedily — each
+dropped correction saves one unit of representation cost and spends
+one unit of error budget at each endpoint — which is exactly
+Navlakha's correction-pruning step and composes with every summarizer
+here (``MagsSummarizer`` then ``make_lossy`` is the paper's suggested
+pipeline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.encoding import Representation
+from repro.graph.graph import Graph
+
+__all__ = ["LossyResult", "make_lossy", "neighborhood_errors"]
+
+
+@dataclass
+class LossyResult:
+    """A lossy representation plus its error accounting."""
+
+    representation: Representation
+    epsilon: float
+    dropped_additions: set[tuple[int, int]] = field(default_factory=set)
+    dropped_removals: set[tuple[int, int]] = field(default_factory=set)
+
+    @property
+    def corrections_dropped(self) -> int:
+        """How many corrections the pruning removed."""
+        return len(self.dropped_additions) + len(self.dropped_removals)
+
+    @property
+    def cost(self) -> int:
+        """Cost of the lossy representation."""
+        return self.representation.cost
+
+    @property
+    def relative_size(self) -> float:
+        """Relative size of the lossy representation."""
+        return self.representation.relative_size
+
+
+def make_lossy(
+    representation: Representation, epsilon: float
+) -> LossyResult:
+    """Prune corrections within a per-node error budget.
+
+    Dropping ``+(u, v)`` removes a true edge from the reconstruction;
+    dropping ``-(u, v)`` leaves a spurious edge in it.  Either way the
+    symmetric difference at both ``u`` and ``v`` grows by one, so a
+    correction may be dropped only while both endpoints have budget
+    ``floor(epsilon * |N_v|)`` remaining.  Corrections are visited
+    largest-budget-endpoints-first (then lexicographically) so the
+    pruning is deterministic and spends budget where it is slack.
+
+    With ``epsilon = 0`` the output is the input (lossless).
+    """
+    if not 0.0 <= epsilon <= 1.0:
+        raise ValueError(f"epsilon must be in [0, 1], got {epsilon}")
+
+    degrees = _true_degrees(representation)
+    budget = {v: int(epsilon * degrees[v]) for v in range(representation.n)}
+
+    def order_key(edge: tuple[int, int]):
+        u, v = edge
+        return (-min(budget[u], budget[v]), edge)
+
+    dropped_additions: set[tuple[int, int]] = set()
+    dropped_removals: set[tuple[int, int]] = set()
+    for pool, dropped in (
+        (representation.additions, dropped_additions),
+        (representation.removals, dropped_removals),
+    ):
+        for u, v in sorted(pool, key=order_key):
+            if budget[u] >= 1 and budget[v] >= 1:
+                budget[u] -= 1
+                budget[v] -= 1
+                dropped.add((u, v))
+
+    lossy = Representation(
+        n=representation.n,
+        m=representation.m,
+        supernodes={
+            sid: list(members)
+            for sid, members in representation.supernodes.items()
+        },
+        node_to_supernode=dict(representation.node_to_supernode),
+        summary_edges=set(representation.summary_edges),
+        additions=representation.additions - dropped_additions,
+        removals=representation.removals - dropped_removals,
+    )
+    return LossyResult(
+        representation=lossy,
+        epsilon=epsilon,
+        dropped_additions=dropped_additions,
+        dropped_removals=dropped_removals,
+    )
+
+
+def neighborhood_errors(graph: Graph, lossy: Representation) -> list[int]:
+    """Per-node symmetric-difference error of a lossy reconstruction.
+
+    Returns ``|N'_v symmetric-difference N_v|`` for every node; a valid
+    ``epsilon``-bounded representation keeps every entry at or below
+    ``epsilon * |N_v|``.
+    """
+    reconstructed = lossy.reconstruct_edges()
+    original = graph.edge_set()
+    errors = [0] * graph.n
+    for u, v in reconstructed ^ original:
+        errors[u] += 1
+        errors[v] += 1
+    return errors
+
+
+def _true_degrees(representation: Representation) -> list[int]:
+    """Original-graph degrees recovered from the representation."""
+    degrees = [0] * representation.n
+    for su, sv in representation.summary_edges:
+        members_u = representation.supernodes[su]
+        if su == sv:
+            for node in members_u:
+                degrees[node] += len(members_u) - 1
+        else:
+            members_v = representation.supernodes[sv]
+            for node in members_u:
+                degrees[node] += len(members_v)
+            for node in members_v:
+                degrees[node] += len(members_u)
+    for u, v in representation.additions:
+        degrees[u] += 1
+        degrees[v] += 1
+    for u, v in representation.removals:
+        degrees[u] -= 1
+        degrees[v] -= 1
+    return degrees

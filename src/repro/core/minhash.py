@@ -1,0 +1,230 @@
+"""MinHash machinery (Section 3.1) and Super-Jaccard (Equation 7).
+
+The paper's algorithms rely on MinHash in two roles:
+
+* **Mags** scores candidate pairs with ``mh(u, v)`` (Equation 5), the
+  empirical probability over ``h`` hash functions that ``u`` and ``v``
+  have the same MinHash of their neighbor sets — an unbiased estimator
+  of the Jaccard similarity ``J(N_u, N_v)``;
+* **Mags-DM** (and SWeG / LDME) additionally *divides* super-nodes
+  into groups by MinHash value, and maintains super-node signatures
+  incrementally under merges via
+  ``f_min(w) = min(f_min(u), f_min(v))``.
+
+The paper instantiates each hash function as a random permutation of
+``1..n``; we use the standard universal-hash substitute
+``(a*x + b) mod p`` with a Mersenne prime ``p``, which has identical
+collision statistics for MinHash purposes and avoids materialising
+``h`` permutations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.supernodes import SuperNodePartition
+from repro.graph.graph import Graph
+
+__all__ = [
+    "MERSENNE_PRIME",
+    "node_hash_values",
+    "node_signatures",
+    "MinHashSignatures",
+    "super_jaccard",
+    "exact_jaccard",
+    "weighted_minhash_signature",
+]
+
+#: 2**61 - 1; hash values live in [0, p).  The sentinel for an empty
+#: neighbor set is p itself (larger than every real value).
+MERSENNE_PRIME = (1 << 61) - 1
+EMPTY_SENTINEL = MERSENNE_PRIME
+
+
+def node_hash_values(n: int, h: int, seed: int) -> np.ndarray:
+    """``h`` universal hash functions evaluated on every node id.
+
+    Returns an array of shape ``(h, n)`` with entries in
+    ``[0, MERSENNE_PRIME)``.
+    """
+    rng = np.random.default_rng(seed)
+    a = rng.integers(1, MERSENNE_PRIME, size=(h, 1), dtype=np.uint64)
+    b = rng.integers(0, MERSENNE_PRIME, size=(h, 1), dtype=np.uint64)
+    ids = np.arange(n, dtype=np.uint64)
+    # Modular arithmetic on uint64 objects overflows; go through Python
+    # ints only for the multiplication-heavy path via object dtype is
+    # too slow, so compute in uint64 with the prime < 2**61 and values
+    # < 2**61: a*x can overflow 64 bits, hence split multiplication.
+    return _mulmod(a, ids, b)
+
+
+def _mulmod(a: np.ndarray, x: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``(a*x + b) mod p`` without 64-bit overflow.
+
+    Splits ``a`` into 30-bit halves so every intermediate product stays
+    below 2**63.  Shapes broadcast: ``a``/``b`` are ``(h, 1)``, ``x``
+    is ``(n,)``.
+    """
+    p = np.uint64(MERSENNE_PRIME)
+    lo = a & np.uint64((1 << 30) - 1)
+    hi = a >> np.uint64(30)
+    # (hi * 2^30 + lo) * x mod p, with x < p < 2^61 reduced first.
+    x = x % p
+    part_hi = (hi * x) % p
+    part_hi = (part_hi << np.uint64(30)) % p
+    part_lo = (lo * x) % p
+    return (part_hi + part_lo + b) % p
+
+
+def node_signatures(graph: Graph, h: int, seed: int) -> np.ndarray:
+    """MinHash signatures of every node's neighbor set.
+
+    ``sig[i, u] = min over v in N_u of f_i(v)`` (Section 3.1).  Nodes
+    with no neighbors get the sentinel value, which never collides
+    with a real MinHash.
+
+    Uses the CSR layout plus ``np.minimum.reduceat`` so the whole
+    signature matrix is computed in ``O(h * m)`` vectorised work.
+    """
+    if h < 1:
+        raise ValueError("need at least one hash function")
+    values = node_hash_values(graph.n, h, seed)
+    indptr, indices = graph.csr()
+    sig = np.full((h, graph.n), EMPTY_SENTINEL, dtype=np.uint64)
+    if len(indices) == 0:
+        return sig
+    nonempty = np.flatnonzero(np.diff(indptr) > 0)
+    starts = indptr[nonempty]
+    for i in range(h):
+        row = values[i][indices]
+        sig[i, nonempty] = np.minimum.reduceat(row, starts)
+    return sig
+
+
+class MinHashSignatures:
+    """Mutable per-super-node MinHash signatures.
+
+    Starts from node-level signatures and supports the paper's merge
+    update (Algorithm 5, line 13): the signature of a merged super-node
+    is the element-wise minimum of its parts.
+    """
+
+    __slots__ = ("sig", "h")
+
+    def __init__(self, graph: Graph, h: int, seed: int):
+        self.h = h
+        self.sig = node_signatures(graph, h, seed)
+
+    def merge(self, survivor: int, absorbed: int) -> None:
+        """Fold ``absorbed``'s signature into ``survivor``'s."""
+        np.minimum(
+            self.sig[:, survivor],
+            self.sig[:, absorbed],
+            out=self.sig[:, survivor],
+        )
+
+    def similarity(self, u: int, v: int) -> float:
+        """``mh(u, v)`` (Equation 5): fraction of equal components.
+
+        Pairs of empty neighborhoods compare as similar (both carry
+        the sentinel), matching the Jaccard convention J(∅, ∅) = 1 used
+        implicitly by the grouping step.
+        """
+        return float(np.count_nonzero(self.sig[:, u] == self.sig[:, v])) / self.h
+
+    def value(self, function_index: int, u: int) -> int:
+        """The MinHash of ``u`` under one specific hash function."""
+        return int(self.sig[function_index, u])
+
+    def column(self, u: int) -> np.ndarray:
+        """Full signature of one super-node (read-only view)."""
+        return self.sig[:, u]
+
+
+def super_jaccard(partition: SuperNodePartition, u: int, v: int) -> float:
+    """SWeG's Super-Jaccard similarity (Equation 7).
+
+    ``w(u, x)`` counts members of super-node ``u`` adjacent to original
+    node ``x``; Super-Jaccard is the weighted Jaccard of those weight
+    vectors.  The paper's Example 2 shows how this measure is biased
+    toward large super-nodes, which Mags-DM's ``mh(.)`` avoids.
+    """
+    weights_u = _member_adjacency_weights(partition, u)
+    weights_v = _member_adjacency_weights(partition, v)
+    numer = 0
+    denom = 0
+    for x in weights_u.keys() | weights_v.keys():
+        wu = weights_u.get(x, 0)
+        wv = weights_v.get(x, 0)
+        numer += min(wu, wv)
+        denom += max(wu, wv)
+    if denom == 0:
+        return 0.0
+    return numer / denom
+
+
+def _member_adjacency_weights(
+    partition: SuperNodePartition, root: int
+) -> dict[int, int]:
+    """``x -> w(root, x)`` over all original nodes ``x`` adjacent to P_root."""
+    adjacency = partition.graph.adjacency()
+    weights: dict[int, int] = {}
+    for member in partition.members(root):
+        for x in adjacency[member]:
+            weights[x] = weights.get(x, 0) + 1
+    return weights
+
+
+def _mix64(a: int, b: int, c: int, d: int) -> int:
+    """Stateless 64-bit mix of four integers (splitmix-style)."""
+    x = (a * 0x9E3779B97F4A7C15 + b * 0xBF58476D1CE4E5B9
+         + c * 0x94D049BB133111EB + d + 0x2545F4914F6CDD1D) & _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+_MASK64 = (1 << 64) - 1
+
+
+def weighted_minhash_signature(
+    partition: SuperNodePartition, root: int, k: int, seed: int
+) -> tuple[int, ...]:
+    """Weighted MinHash of a super-node's adjacency weights (LDME).
+
+    LDME [45] divides super-nodes by a *weighted* LSH over
+    ``w(u, x)`` — the number of members of ``u`` adjacent to node
+    ``x``.  For integer weights, the textbook construction hashes the
+    expanded multiset ``{(x, i) : 0 <= i < w(u, x)}`` and takes the
+    minimum per hash function: two super-nodes collide on a function
+    with probability equal to their weighted Jaccard similarity.
+
+    Returns a ``k``-tuple signature; the expansion cost is
+    ``O(k * sum of weights)`` = ``O(k * member degrees)``.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    weights = _member_adjacency_weights(partition, root)
+    if not weights:
+        return tuple([-1] * k)
+    signature = []
+    for fn in range(k):
+        best = _MASK64
+        for x, weight in weights.items():
+            for copy in range(weight):
+                value = _mix64(seed, fn, x, copy)
+                if value < best:
+                    best = value
+        signature.append(best)
+    return tuple(signature)
+
+
+def exact_jaccard(graph: Graph, u: int, v: int) -> float:
+    """Exact Jaccard similarity of two nodes' neighbor sets."""
+    nu, nv = graph.adjacency()[u], graph.adjacency()[v]
+    union = len(nu | nv)
+    if union == 0:
+        return 0.0
+    return len(nu & nv) / union

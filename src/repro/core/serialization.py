@@ -1,0 +1,133 @@
+"""On-disk format for representations.
+
+A summary is only useful if it can be stored and shipped; this module
+defines a plain-text, line-oriented format for ``R = (S, C)`` that
+round-trips exactly and diffs cleanly:
+
+```
+# repro summary v1
+G <n> <m>
+S <supernode-id> <member> <member> ...
+E <supernode-id> <supernode-id>
++ <u> <v>
+- <u> <v>
+```
+
+Sections may interleave; ordering within the file is normalised on
+write so serialisation is deterministic.  Gzip is applied when the
+path ends in ``.gz``.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+
+from repro.core.encoding import Representation
+
+__all__ = ["save_representation", "load_representation", "FormatError"]
+
+_HEADER = "# repro summary v1"
+
+
+class FormatError(ValueError):
+    """Raised when a summary file cannot be parsed."""
+
+
+def _open_text(path: Path, mode: str):
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
+def save_representation(path: str | Path, rep: Representation) -> None:
+    """Write ``rep`` to ``path`` in the v1 text format."""
+    path = Path(path)
+    with _open_text(path, "w") as out:
+        out.write(_HEADER + "\n")
+        out.write(f"G {rep.n} {rep.m}\n")
+        for sid in sorted(rep.supernodes):
+            members = " ".join(map(str, sorted(rep.supernodes[sid])))
+            out.write(f"S {sid} {members}\n")
+        for su, sv in sorted(rep.summary_edges):
+            out.write(f"E {su} {sv}\n")
+        for u, v in sorted(rep.additions):
+            out.write(f"+ {u} {v}\n")
+        for u, v in sorted(rep.removals):
+            out.write(f"- {u} {v}\n")
+
+
+def load_representation(path: str | Path) -> Representation:
+    """Read a representation written by :func:`save_representation`.
+
+    Raises :class:`FormatError` on malformed input; structural
+    soundness (partition coverage, id validity) is validated so a
+    corrupted file fails loudly instead of mis-reconstructing.
+    """
+    path = Path(path)
+    n = m = None
+    supernodes: dict[int, list[int]] = {}
+    summary_edges: set[tuple[int, int]] = set()
+    additions: set[tuple[int, int]] = set()
+    removals: set[tuple[int, int]] = set()
+
+    with _open_text(path, "r") as handle:
+        first = handle.readline().rstrip("\n")
+        if first != _HEADER:
+            raise FormatError(f"bad header: {first!r}")
+        for line_number, line in enumerate(handle, start=2):
+            parts = line.split()
+            if not parts:
+                continue
+            tag = parts[0]
+            try:
+                if tag == "G":
+                    n, m = int(parts[1]), int(parts[2])
+                elif tag == "S":
+                    sid = int(parts[1])
+                    if sid in supernodes:
+                        raise FormatError(f"duplicate super-node {sid}")
+                    supernodes[sid] = [int(x) for x in parts[2:]]
+                    if not supernodes[sid]:
+                        raise FormatError(f"empty super-node {sid}")
+                elif tag == "E":
+                    summary_edges.add((int(parts[1]), int(parts[2])))
+                elif tag == "+":
+                    additions.add(_ordered(int(parts[1]), int(parts[2])))
+                elif tag == "-":
+                    removals.add(_ordered(int(parts[1]), int(parts[2])))
+                else:
+                    raise FormatError(
+                        f"unknown record {tag!r} at line {line_number}"
+                    )
+            except (IndexError, ValueError) as exc:
+                if isinstance(exc, FormatError):
+                    raise
+                raise FormatError(
+                    f"malformed line {line_number}: {line!r}"
+                ) from exc
+
+    if n is None or m is None:
+        raise FormatError("missing G header record")
+    covered = sorted(x for members in supernodes.values() for x in members)
+    if covered != list(range(n)):
+        raise FormatError("super-nodes do not partition 0..n-1")
+    for su, sv in summary_edges:
+        if su not in supernodes or sv not in supernodes:
+            raise FormatError(f"super-edge ({su}, {sv}) references unknown id")
+    node_to_supernode = {
+        node: sid for sid, members in supernodes.items() for node in members
+    }
+    return Representation(
+        n=n,
+        m=m,
+        supernodes=supernodes,
+        node_to_supernode=node_to_supernode,
+        summary_edges=summary_edges,
+        additions=additions,
+        removals=removals,
+    )
+
+
+def _ordered(u: int, v: int) -> tuple[int, int]:
+    return (u, v) if u <= v else (v, u)

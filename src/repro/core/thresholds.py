@@ -1,0 +1,52 @@
+"""Merge-threshold schedules.
+
+Divide-and-merge summarizers only merge a pair in iteration ``t`` when
+its saving exceeds a threshold.  SWeG uses ``theta(t) = 1/(t + 1)``;
+the paper's Equation 6 replaces it with a geometric schedule
+``omega(t)`` from 0.5 down to 0.005, which decreases more slowly for
+small ``t`` and therefore commits to high-saving merges first
+(Merging Strategy 3 of Section 4).
+"""
+
+from __future__ import annotations
+
+__all__ = ["omega", "theta", "omega_schedule", "theta_schedule"]
+
+_OMEGA_FIRST = 0.5
+_OMEGA_LAST = 0.005
+
+
+def omega(t: int, total_iterations: int) -> float:
+    """The paper's merge threshold ``omega(t)`` (Equation 6).
+
+    ``t`` is 1-based.  ``omega(1) = 0.5`` (the saving of two nodes with
+    identical neighborhoods), ``omega(T) = 0.005``, geometric ratio
+    ``r = (0.01)**(1/(T-1))`` in between.
+    """
+    if total_iterations < 1:
+        raise ValueError("total_iterations must be >= 1")
+    if not 1 <= t <= total_iterations:
+        raise ValueError(
+            f"t must be in [1, {total_iterations}], got {t}"
+        )
+    if total_iterations == 1 or t == total_iterations:
+        return _OMEGA_LAST
+    ratio = (_OMEGA_LAST / _OMEGA_FIRST) ** (1.0 / (total_iterations - 1))
+    return _OMEGA_FIRST * ratio ** (t - 1)
+
+
+def theta(t: int) -> float:
+    """SWeG's merge threshold ``theta(t) = 1/(t + 1)`` (Section 2.4)."""
+    if t < 1:
+        raise ValueError("t must be >= 1")
+    return 1.0 / (t + 1)
+
+
+def omega_schedule(total_iterations: int) -> list[float]:
+    """The full ``omega`` sequence for ``t = 1..T``."""
+    return [omega(t, total_iterations) for t in range(1, total_iterations + 1)]
+
+
+def theta_schedule(total_iterations: int) -> list[float]:
+    """The full ``theta`` sequence for ``t = 1..T``."""
+    return [theta(t) for t in range(1, total_iterations + 1)]

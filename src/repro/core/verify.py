@@ -1,0 +1,60 @@
+"""Lossless reconstruction checking.
+
+Definition 1 requires that the original graph be recreated from
+``R = (S, C)`` *exactly*.  The test-suite runs every algorithm's
+output through :func:`verify_lossless`; the benchmark harness can do
+the same with ``--verify``.
+"""
+
+from __future__ import annotations
+
+from repro.core.encoding import Representation
+from repro.graph.graph import Graph
+
+__all__ = ["verify_lossless", "LosslessnessError"]
+
+
+class LosslessnessError(AssertionError):
+    """The representation does not reproduce the original graph."""
+
+
+def verify_lossless(graph: Graph, representation: Representation) -> None:
+    """Raise :class:`LosslessnessError` unless ``R`` recreates ``graph``.
+
+    Checks, in order of increasing cost:
+
+    1. the super-nodes partition exactly the node set;
+    2. corrections do not overlap (no edge both added and removed);
+    3. the reconstructed edge set equals the original edge set.
+    """
+    covered = sorted(
+        node
+        for members in representation.supernodes.values()
+        for node in members
+    )
+    if covered != list(range(graph.n)):
+        raise LosslessnessError(
+            "super-nodes are not a partition of the node set"
+        )
+
+    overlap = representation.additions & representation.removals
+    if overlap:
+        raise LosslessnessError(
+            f"{len(overlap)} corrections appear with both signs, "
+            f"e.g. {next(iter(overlap))}"
+        )
+
+    reconstructed = representation.reconstruct_edges()
+    original = graph.edge_set()
+    if reconstructed != original:
+        missing = original - reconstructed
+        spurious = reconstructed - original
+        raise LosslessnessError(
+            f"reconstruction differs from the original graph: "
+            f"{len(missing)} edges missing (e.g. {_peek(missing)}), "
+            f"{len(spurious)} spurious (e.g. {_peek(spurious)})"
+        )
+
+
+def _peek(edge_set: set[tuple[int, int]]) -> tuple[int, int] | None:
+    return next(iter(edge_set), None)

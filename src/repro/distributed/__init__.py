@@ -1,0 +1,23 @@
+"""Distributed summarization simulation (partition, local, refine)."""
+
+from repro.distributed.coordinator import (
+    DistributedResult,
+    DistributedSummarizer,
+)
+from repro.distributed.partitioning import (
+    chunk_partition,
+    cut_edges,
+    hash_partition,
+    neighborhood_partition,
+    partition_quality,
+)
+
+__all__ = [
+    "DistributedResult",
+    "DistributedSummarizer",
+    "chunk_partition",
+    "cut_edges",
+    "hash_partition",
+    "neighborhood_partition",
+    "partition_quality",
+]

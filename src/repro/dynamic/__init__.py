@@ -1,0 +1,5 @@
+"""Dynamic graph summarization (corrections overlay + rebuilds)."""
+
+from repro.dynamic.summary import DynamicGraphSummary
+
+__all__ = ["DynamicGraphSummary"]

@@ -1,0 +1,31 @@
+"""Graph substrate: data structure, I/O, generators, dataset registry."""
+
+from repro.graph.graph import Graph, GraphError
+from repro.graph.io import clean_edges, load_graph, save_graph
+from repro.graph.stats import GraphStats, graph_stats
+from repro.graph.datasets import (
+    DATASETS,
+    LARGE_DATASETS,
+    MEDIUM_DATASETS,
+    SMALL_DATASETS,
+    DatasetSpec,
+    dataset_codes,
+    load_dataset,
+)
+
+__all__ = [
+    "Graph",
+    "GraphError",
+    "clean_edges",
+    "load_graph",
+    "save_graph",
+    "GraphStats",
+    "graph_stats",
+    "DATASETS",
+    "SMALL_DATASETS",
+    "LARGE_DATASETS",
+    "MEDIUM_DATASETS",
+    "DatasetSpec",
+    "dataset_codes",
+    "load_dataset",
+]

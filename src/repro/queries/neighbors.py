@@ -1,0 +1,122 @@
+"""Neighbor queries on the summary (Algorithm 6, Section 6.6).
+
+A neighbor query for node ``q`` is answered directly from
+``R = (S, C)``: expand the member sets of the super-nodes adjacent to
+``q``'s super-node, then apply the corrections that mention ``q``.
+The paper shows the expected cost is ``~1.12 * d_avg`` because the
+negative corrections are at most 6% of ``m`` in practice.
+
+:class:`SummaryNeighborIndex` pre-buckets the corrections per node so
+repeated queries run in time proportional to the answer, which is how
+a deployed summary store would serve adjacency.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.encoding import Representation
+
+__all__ = ["neighbor_query", "SummaryNeighborIndex"]
+
+
+def neighbor_query(representation: Representation, q: int) -> set[int]:
+    """Answer one neighbor query by scanning the correction sets.
+
+    This is the literal Algorithm 6; for repeated queries use
+    :class:`SummaryNeighborIndex`, which amortises the correction scan.
+    """
+    if not 0 <= q < representation.n:
+        raise IndexError(f"node {q} out of range")
+    supernode = representation.node_to_supernode[q]
+    neighbors: set[int] = set()
+    for su, sv in representation.summary_edges:
+        if su == supernode:
+            neighbors.update(representation.supernodes[sv])
+        elif sv == supernode:
+            neighbors.update(representation.supernodes[su])
+    if (supernode, supernode) in representation.summary_edges:
+        neighbors.discard(q)
+    additions = {
+        y if x == q else x
+        for x, y in representation.additions
+        if q in (x, y)
+    }
+    removals = {
+        y if x == q else x
+        for x, y in representation.removals
+        if q in (x, y)
+    }
+    return (neighbors | additions) - removals - {q}
+
+
+class SummaryNeighborIndex:
+    """Adjacency service over a representation.
+
+    Buckets super-edges per super-node and corrections per node once,
+    after which :meth:`neighbors` costs
+    ``O(|answer| + |C^-_q|)`` — the expected ``1.12 * d_avg`` bound of
+    Section 6.6.
+    """
+
+    def __init__(self, representation: Representation):
+        self._representation = representation
+        self._super_adj: dict[int, list[int]] = defaultdict(list)
+        self._self_edge: set[int] = set()
+        for su, sv in representation.summary_edges:
+            if su == sv:
+                self._self_edge.add(su)
+            else:
+                self._super_adj[su].append(sv)
+                self._super_adj[sv].append(su)
+        self._add: dict[int, list[int]] = defaultdict(list)
+        for x, y in representation.additions:
+            self._add[x].append(y)
+            self._add[y].append(x)
+        self._remove: dict[int, set[int]] = defaultdict(set)
+        for x, y in representation.removals:
+            self._remove[x].add(y)
+            self._remove[y].add(x)
+
+    @property
+    def representation(self) -> Representation:
+        """The representation being served."""
+        return self._representation
+
+    def neighbors(self, q: int) -> set[int]:
+        """The exact neighbor set of node ``q`` in the original graph."""
+        rep = self._representation
+        if not 0 <= q < rep.n:
+            raise IndexError(f"node {q} out of range")
+        supernode = rep.node_to_supernode[q]
+        result: set[int] = set()
+        for sv in self._super_adj.get(supernode, ()):
+            result.update(rep.supernodes[sv])
+        if supernode in self._self_edge:
+            result.update(rep.supernodes[supernode])
+            result.discard(q)
+        result.update(self._add.get(q, ()))
+        result -= self._remove.get(q, set())
+        result.discard(q)
+        return result
+
+    def degree(self, q: int) -> int:
+        """Degree of node ``q``."""
+        return len(self.neighbors(q))
+
+    def work_units(self, q: int) -> int:
+        """Operations Algorithm 6 performs for node ``q``.
+
+        ``|answer expanded| + 2 * |C^-_q|`` — the quantity whose
+        expectation Section 6.6 bounds by ``1.12 * d_avg``.
+        """
+        rep = self._representation
+        supernode = rep.node_to_supernode[q]
+        expanded = sum(
+            len(rep.supernodes[sv])
+            for sv in self._super_adj.get(supernode, ())
+        )
+        if supernode in self._self_edge:
+            expanded += len(rep.supernodes[supernode]) - 1
+        expanded += len(self._add.get(q, ()))
+        return expanded + 2 * len(self._remove.get(q, ()))

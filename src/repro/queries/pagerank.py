@@ -1,0 +1,187 @@
+"""PageRank on the input graph vs. on the summary (Section 6.6).
+
+Equation 8 defines the iteration on the input graph:
+
+    PR_0(x) = 1
+    PR_t(x) = (1 - d) + d * sum over y in N_x of PR_{t-1}(y) / |N_y|
+
+Algorithm 7 evaluates the same recurrence *on the representation*:
+per-super-node mass ``A_u`` is aggregated once, summed over
+super-edges into ``B_u``, broadcast back to members, and finally
+adjusted by the corrections.  Its running time is
+``O(T * (|E| + |C|))`` versus ``O(T * m)`` on the input graph, so a
+compact summary computes PageRank asymptotically faster — Table 3's
+experiment.
+
+Both sides are vectorised with numpy over pre-built index arrays so
+the timing comparison in the Table 3 bench measures the algorithmic
+difference, not interpreter overhead asymmetry.  A pure-Python
+reference (:func:`pagerank_reference`) pins down the exact semantics
+for tests, including the isolated-node convention (zero-degree nodes
+contribute no mass).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.encoding import Representation
+from repro.graph.graph import Graph
+
+__all__ = [
+    "pagerank_reference",
+    "pagerank_input_graph",
+    "SummaryPageRank",
+    "pagerank_summary",
+]
+
+
+def pagerank_reference(
+    graph: Graph, damping: float = 0.85, iterations: int = 20
+) -> list[float]:
+    """Literal Equation 8, pure Python; the testing oracle."""
+    ranks = [1.0] * graph.n
+    adjacency = graph.adjacency()
+    for _ in range(iterations):
+        contribution = [
+            damping * ranks[y] / len(adjacency[y]) if adjacency[y] else 0.0
+            for y in range(graph.n)
+        ]
+        ranks = [
+            (1.0 - damping) + sum(contribution[y] for y in adjacency[x])
+            for x in range(graph.n)
+        ]
+    return ranks
+
+
+def pagerank_input_graph(
+    graph: Graph, damping: float = 0.85, iterations: int = 20
+) -> np.ndarray:
+    """Equation 8 vectorised over the CSR adjacency (the baseline side
+    of Table 3)."""
+    n = graph.n
+    if n == 0:
+        return np.zeros(0)
+    indptr, indices = graph.csr()
+    degrees = graph.degrees().astype(np.float64)
+    safe_degrees = np.where(degrees > 0, degrees, 1.0)
+    ranks = np.ones(n)
+    has_neighbors = np.diff(indptr) > 0
+    nonempty = np.flatnonzero(has_neighbors)
+    starts = indptr[nonempty]
+    for _ in range(iterations):
+        contribution = damping * ranks / safe_degrees
+        contribution[degrees == 0] = 0.0
+        sums = np.zeros(n)
+        if len(indices):
+            sums[nonempty] = np.add.reduceat(contribution[indices], starts)
+        ranks = (1.0 - damping) + sums
+    return ranks
+
+
+class SummaryPageRank:
+    """Algorithm 7 with the index arrays prebuilt.
+
+    Build once per representation, then call :meth:`run` for any
+    damping/iteration setting.  The self-super-edge case (all-pairs
+    inside one super-node) subtracts each member's own contribution,
+    which the flat cartesian-product semantics requires but the
+    paper's pseudocode leaves implicit.
+    """
+
+    def __init__(self, representation: Representation):
+        self._rep = representation
+        n = representation.n
+        # Dense renumbering of super-nodes.
+        ids = sorted(representation.supernodes)
+        self._index_of = {sid: i for i, sid in enumerate(ids)}
+        self._num_super = len(ids)
+        self._membership = np.zeros(n, dtype=np.int64)
+        for sid, members in representation.supernodes.items():
+            self._membership[members] = self._index_of[sid]
+        # Super-edges as (src, dst) index arrays, both directions;
+        # self-edges broadcast to members with self-exclusion.
+        src, dst = [], []
+        self._self_loop = np.zeros(self._num_super, dtype=bool)
+        for su, sv in representation.summary_edges:
+            if su == sv:
+                self._self_loop[self._index_of[su]] = True
+            else:
+                iu, iv = self._index_of[su], self._index_of[sv]
+                src.extend((iu, iv))
+                dst.extend((iv, iu))
+        self._edge_src = np.asarray(src, dtype=np.int64)
+        self._edge_dst = np.asarray(dst, dtype=np.int64)
+        self._plus_x, self._plus_y = _correction_arrays(
+            representation.additions
+        )
+        self._minus_x, self._minus_y = _correction_arrays(
+            representation.removals
+        )
+        # True degrees are needed for the contribution denominators;
+        # recover them from the representation itself so no access to
+        # the original graph is required (the summary is self-contained).
+        from repro.queries.analytics import degree_vector
+
+        self._degrees = degree_vector(representation).astype(np.float64)
+
+    def run(
+        self, damping: float = 0.85, iterations: int = 20
+    ) -> np.ndarray:
+        """Run Algorithm 7 and return the final rank vector."""
+        rep = self._rep
+        n = rep.n
+        if n == 0:
+            return np.zeros(0)
+        degrees = self._degrees
+        safe_degrees = np.where(degrees > 0, degrees, 1.0)
+        membership = self._membership
+        ranks = np.ones(n)
+        for _ in range(iterations):
+            contribution = damping * ranks / safe_degrees
+            contribution[degrees == 0] = 0.0
+            # Line 4: per-super-node aggregated mass A_u.
+            mass = np.bincount(
+                membership, weights=contribution, minlength=self._num_super
+            )
+            # Lines 5-7: B_u over super-edges, broadcast to members.
+            received = np.zeros(self._num_super)
+            if len(self._edge_src):
+                np.add.at(received, self._edge_src, mass[self._edge_dst])
+            received[self._self_loop] += mass[self._self_loop]
+            ranks_new = (1.0 - damping) + received[membership]
+            # Self-super-edge: a node must not receive its own mass.
+            own_loop = self._self_loop[membership]
+            ranks_new[own_loop] -= contribution[own_loop]
+            # Lines 8-9: corrections.
+            if len(self._plus_x):
+                np.add.at(ranks_new, self._plus_x, contribution[self._plus_y])
+                np.add.at(ranks_new, self._plus_y, contribution[self._plus_x])
+            if len(self._minus_x):
+                np.subtract.at(
+                    ranks_new, self._minus_x, contribution[self._minus_y]
+                )
+                np.subtract.at(
+                    ranks_new, self._minus_y, contribution[self._minus_x]
+                )
+            ranks = ranks_new
+        return ranks
+
+
+def pagerank_summary(
+    representation: Representation,
+    damping: float = 0.85,
+    iterations: int = 20,
+) -> np.ndarray:
+    """One-shot convenience wrapper around :class:`SummaryPageRank`."""
+    return SummaryPageRank(representation).run(damping, iterations)
+
+
+def _correction_arrays(
+    pairs: set[tuple[int, int]],
+) -> tuple[np.ndarray, np.ndarray]:
+    if not pairs:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty
+    array = np.asarray(sorted(pairs), dtype=np.int64)
+    return array[:, 0], array[:, 1]

@@ -1,0 +1,218 @@
+"""Graph traversal answered directly on the summary.
+
+More of Section 6.6's "other graph queries": BFS distances, shortest
+paths, and connected components, all served from ``R = (S, C)``
+without reconstructing the graph.
+
+The component query exploits the summary's structure rather than
+expanding it: a super-edge connects *every* pair across its two
+member sets, so whole super-nodes collapse into one component in a
+single union — the component sweep runs in
+``O(|P| + |E| + |C|)`` instead of ``O(n + m)``.  BFS uses the
+Algorithm 6 neighbor index, with the standard summary-side
+optimisation that an unvisited super-node's members are enqueued as a
+block.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.encoding import Representation
+from repro.queries.neighbors import SummaryNeighborIndex
+
+__all__ = [
+    "bfs_distances",
+    "shortest_path",
+    "connected_components",
+    "num_connected_components",
+]
+
+
+def bfs_distances(
+    index: SummaryNeighborIndex, source: int
+) -> dict[int, int]:
+    """Exact BFS hop distances from ``source`` (reachable nodes only)."""
+    rep = index.representation
+    if not 0 <= source < rep.n:
+        raise IndexError(f"node {source} out of range")
+    distances = {source: 0}
+    frontier = deque([source])
+    while frontier:
+        u = frontier.popleft()
+        next_distance = distances[u] + 1
+        for v in index.neighbors(u):
+            if v not in distances:
+                distances[v] = next_distance
+                frontier.append(v)
+    return distances
+
+
+def shortest_path(
+    index: SummaryNeighborIndex, source: int, target: int
+) -> list[int] | None:
+    """One shortest path from ``source`` to ``target``, or None.
+
+    Bidirectional-free simple BFS with parent tracking; exact because
+    the neighbor index is exact.
+    """
+    rep = index.representation
+    for node in (source, target):
+        if not 0 <= node < rep.n:
+            raise IndexError(f"node {node} out of range")
+    if source == target:
+        return [source]
+    parent: dict[int, int] = {source: source}
+    frontier = deque([source])
+    while frontier:
+        u = frontier.popleft()
+        for v in index.neighbors(u):
+            if v in parent:
+                continue
+            parent[v] = u
+            if v == target:
+                path = [v]
+                while path[-1] != source:
+                    path.append(parent[path[-1]])
+                path.reverse()
+                return path
+            frontier.append(v)
+    return None
+
+
+def connected_components(representation: Representation) -> list[int]:
+    """Component label per node, computed on the summary structure.
+
+    Labels are the smallest node id in each component.  Work is
+    proportional to the representation size: each super-node is one
+    union-find block, each super-edge and correction one union.
+    """
+    parent = list(range(representation.n))
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            if ra > rb:
+                ra, rb = rb, ra
+            parent[rb] = ra
+
+    # Removals are bucketed per super-edge so each super-edge can
+    # decide locally how its surviving cartesian product connects.
+    node_to_supernode = representation.node_to_supernode
+    removals_by_edge: dict[tuple[int, int], list[tuple[int, int]]] = {}
+    for x, y in representation.removals:
+        sx, sy = node_to_supernode[x], node_to_supernode[y]
+        key = (sx, sy) if sx <= sy else (sy, sx)
+        removals_by_edge.setdefault(key, []).append((x, y))
+
+    for su, sv in representation.summary_edges:
+        key = (su, sv) if su <= sv else (sv, su)
+        _union_superedge(
+            representation.supernodes[su],
+            representation.supernodes[sv],
+            su == sv,
+            removals_by_edge.get(key, []),
+            union,
+        )
+
+    for x, y in representation.additions:
+        union(x, y)
+
+    return [find(x) for x in range(representation.n)]
+
+
+def _union_superedge(
+    members_u: list[int],
+    members_v: list[int],
+    self_edge: bool,
+    removals: list[tuple[int, int]],
+    union,
+) -> None:
+    """Union exactly the connectivity of one super-edge's survivors.
+
+    Case analysis keeps the common paths linear:
+
+    * no removals — the (bi)clique is connected: chain-union everyone;
+    * some side has a node untouched by removals — that node is a
+      universal anchor (all its pairs survive), so the whole other
+      side unions to it and each touched node just needs one
+      surviving partner;
+    * every node is touched — rare and removal-heavy; fall back to
+      enumerating the surviving pairs, which is bounded by the number
+      of edges this super-edge reconstructs.
+    """
+    if not removals:
+        anchor = members_u[0]
+        for x in members_u[1:]:
+            union(anchor, x)
+        if not self_edge:
+            for y in members_v:
+                union(anchor, y)
+        return
+
+    removed_of: dict[int, set[int]] = {}
+    for x, y in removals:
+        removed_of.setdefault(x, set()).add(y)
+        removed_of.setdefault(y, set()).add(x)
+
+    if self_edge:
+        untouched = [x for x in members_u if x not in removed_of]
+        if untouched:
+            # Every other member's pair with the anchor survives.
+            anchor = untouched[0]
+            for x in members_u:
+                if x != anchor:
+                    union(anchor, x)
+            return
+        removed_pairs = {tuple(sorted(p)) for p in removals}
+        for i, x in enumerate(members_u):
+            for y in members_u[i + 1:]:
+                if tuple(sorted((x, y))) not in removed_pairs:
+                    union(x, y)
+        return
+
+    untouched_u = [x for x in members_u if x not in removed_of]
+    untouched_v = [y for y in members_v if y not in removed_of]
+    if untouched_u or untouched_v:
+        if untouched_u:
+            anchors, anchor_side, other_side = (
+                untouched_u, members_u, members_v
+            )
+        else:
+            anchors, anchor_side, other_side = (
+                untouched_v, members_v, members_u
+            )
+        anchor = anchors[0]
+        # All of the other side survives against the anchor.
+        for y in other_side:
+            union(anchor, y)
+        # Touched nodes on the anchor's side need one surviving partner.
+        for x in anchor_side:
+            if x == anchor or x not in removed_of:
+                union(anchor, x)
+                continue
+            removed = removed_of[x]
+            for y in other_side:
+                if y not in removed:
+                    union(x, y)
+                    break
+        return
+
+    removed_pairs = {tuple(sorted(p)) for p in removals}
+    for x in members_u:
+        for y in members_v:
+            if tuple(sorted((x, y))) not in removed_pairs:
+                union(x, y)
+
+
+def num_connected_components(representation: Representation) -> int:
+    """Number of connected components."""
+    return len(set(connected_components(representation)))

@@ -1,0 +1,110 @@
+"""Shared fixtures: small graphs with known structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """K3."""
+    return Graph(3, [(0, 1), (0, 2), (1, 2)])
+
+
+@pytest.fixture
+def paper_like_graph() -> Graph:
+    """A graph shaped like the paper's Figure 1 example.
+
+    Nodes 0..7 play a..h.  Groups {0,1}, {3,4}, {5,6,7} have
+    near-identical neighborhoods, so a good summary uses three
+    super-edges plus corrections -(4,5) and +(2,6).
+    """
+    edges = [
+        (0, 2), (1, 2),                    # {a,b} - c
+        (0, 3), (0, 4), (1, 3), (1, 4),    # {a,b} x {d,e}
+        (3, 5), (3, 6), (3, 7), (4, 6), (4, 7),  # {d,e} x {f,g,h} \ (e,f)
+        (2, 6),                            # c - g
+    ]
+    return Graph(8, edges)
+
+
+@pytest.fixture
+def twin_graph() -> Graph:
+    """Four pairs of twins (identical neighborhoods) around a 4-cycle.
+
+    Nodes 2i and 2i+1 are twins attached to hub nodes 8..11; every
+    reasonable summarizer collapses each twin pair.
+    """
+    edges = []
+    for i in range(4):
+        hub = 8 + i
+        nxt = 8 + (i + 1) % 4
+        edges.append((hub, nxt))
+        edges.extend([(2 * i, hub), (2 * i + 1, hub)])
+        edges.extend([(2 * i, nxt), (2 * i + 1, nxt)])
+    return Graph(12, edges)
+
+
+@pytest.fixture
+def clique_graph() -> Graph:
+    """K6 — collapses to a single super-node with a self-edge."""
+    return Graph(6, [(i, j) for i in range(6) for j in range(i + 1, 6)])
+
+
+@pytest.fixture
+def star_graph() -> Graph:
+    """Star with 9 leaves — leaves are mutually mergeable."""
+    return Graph(10, [(0, leaf) for leaf in range(1, 10)])
+
+
+@pytest.fixture
+def path_graph() -> Graph:
+    """P6 — sparse and nearly incompressible."""
+    return Graph(6, [(i, i + 1) for i in range(5)])
+
+
+@pytest.fixture
+def disconnected_graph() -> Graph:
+    """Two triangles plus two isolated nodes."""
+    return Graph(
+        8, [(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)]
+    )
+
+
+@pytest.fixture
+def community_graph() -> Graph:
+    """A 150-node planted-partition graph (deterministic)."""
+    return generators.planted_partition(150, 10, 0.7, 0.02, seed=42)
+
+
+@pytest.fixture
+def scale_free_graph() -> Graph:
+    """A 120-node Barabási–Albert graph (deterministic)."""
+    return generators.barabasi_albert(120, 3, seed=42)
+
+
+def all_test_graphs() -> list[tuple[str, Graph]]:
+    """Named graphs for exhaustive algorithm tests (module-level so
+    parametrised tests can use it without fixtures)."""
+    return [
+        ("triangle", Graph(3, [(0, 1), (0, 2), (1, 2)])),
+        ("path", Graph(6, [(i, i + 1) for i in range(5)])),
+        ("star", Graph(10, [(0, leaf) for leaf in range(1, 10)])),
+        (
+            "clique",
+            Graph(6, [(i, j) for i in range(6) for j in range(i + 1, 6)]),
+        ),
+        ("empty", Graph(5, [])),
+        ("single_edge", Graph(2, [(0, 1)])),
+        (
+            "two_triangles",
+            Graph(8, [(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)]),
+        ),
+        ("community", generators.planted_partition(80, 5, 0.8, 0.05, seed=1)),
+        ("scale_free", generators.barabasi_albert(80, 3, seed=1)),
+        ("caveman", generators.caveman(5, 6, seed=1)),
+        ("web", generators.templated_web(120, 8, 20, 5, 0.1, seed=1)),
+    ]

@@ -1,0 +1,75 @@
+"""Cross-cutting contract tests every summarizer must satisfy.
+
+For every algorithm and every structured test graph: the output is
+lossless, the cost accounting is consistent, the run is deterministic
+per seed, and the summary is never larger than the trivial encoding.
+"""
+
+import pytest
+
+from repro.algorithms import (
+    GreedySummarizer,
+    LDMESummarizer,
+    MagsDMSummarizer,
+    MagsSummarizer,
+    RandomizedSummarizer,
+    SluggerSummarizer,
+    SWeGSummarizer,
+)
+from repro.core.verify import verify_lossless
+
+from tests.conftest import all_test_graphs
+
+ALGORITHMS = {
+    "greedy": lambda: GreedySummarizer(),
+    "randomized": lambda: RandomizedSummarizer(seed=3),
+    "sweg": lambda: SWeGSummarizer(iterations=8, seed=3),
+    "ldme": lambda: LDMESummarizer(iterations=8, signature_length=2, seed=3),
+    "slugger": lambda: SluggerSummarizer(iterations=8, seed=3),
+    "mags": lambda: MagsSummarizer(iterations=8, seed=3),
+    "mags_dm": lambda: MagsDMSummarizer(iterations=8, seed=3),
+}
+
+GRAPHS = all_test_graphs()
+
+
+@pytest.mark.parametrize("algo_name", ALGORITHMS)
+@pytest.mark.parametrize("graph_name,graph", GRAPHS, ids=[g[0] for g in GRAPHS])
+class TestSummarizerContract:
+    def test_lossless_and_consistent(self, algo_name, graph_name, graph):
+        result = ALGORITHMS[algo_name]().summarize(graph)
+        rep = result.representation
+        verify_lossless(graph, rep)
+        assert rep.cost == len(rep.summary_edges) + rep.num_corrections
+        assert result.cost == rep.cost
+        if graph.m:
+            assert result.relative_size <= 1.0 + 1e-9
+        assert result.runtime_seconds >= 0.0
+        assert result.algorithm
+        assert result.num_merges == graph.n - rep.num_supernodes
+
+
+@pytest.mark.parametrize("algo_name", ALGORITHMS)
+def test_deterministic_per_seed(algo_name, community_graph):
+    a = ALGORITHMS[algo_name]().summarize(community_graph)
+    b = ALGORITHMS[algo_name]().summarize(community_graph)
+    assert a.cost == b.cost
+    assert a.representation.summary_edges == b.representation.summary_edges
+    assert a.representation.additions == b.representation.additions
+
+
+@pytest.mark.parametrize("algo_name", ALGORITHMS)
+def test_result_metadata(algo_name, twin_graph):
+    result = ALGORITHMS[algo_name]().summarize(twin_graph)
+    assert "seed" in result.params
+    assert isinstance(result.phase_seconds, dict)
+    assert result.summary_line().startswith(result.algorithm)
+
+
+@pytest.mark.parametrize("algo_name", ALGORITHMS)
+def test_twins_get_merged(algo_name, twin_graph):
+    """Every algorithm must find at least some of the twin merges —
+    they have the maximum possible saving (0.5)."""
+    result = ALGORITHMS[algo_name]().summarize(twin_graph)
+    assert result.num_merges >= 2
+    assert result.relative_size < 1.0

@@ -1,0 +1,185 @@
+"""Tests for the benchmark harness (runner, reporting, experiments)."""
+
+import pytest
+
+from repro.algorithms.mags_dm import MagsDMSummarizer
+from repro.bench import experiments
+from repro.bench.reporting import format_table, geometric_mean, save_report
+from repro.bench.runner import (
+    bench_iterations,
+    clear_caches,
+    get_graph,
+    quick_mode,
+    run_grid,
+    run_on_dataset,
+)
+
+
+@pytest.fixture(autouse=True)
+def quick_env(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_QUICK", "1")
+    monkeypatch.setenv("REPRO_BENCH_T", "4")
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestReporting:
+    def test_format_table_aligns_columns(self):
+        rows = [
+            {"a": 1, "b": 0.5},
+            {"a": 22, "b": 0.25},
+        ]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "0.5000" in text
+        assert "22" in text
+
+    def test_format_table_handles_none(self):
+        text = format_table([{"x": None}])
+        assert "-" in text
+
+    def test_format_empty_rows(self):
+        assert "a" in format_table([], columns=["a"])
+
+    def test_save_report(self, tmp_path):
+        path = save_report("hello", "report", directory=tmp_path)
+        assert path.read_text() == "hello\n"
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([0.0, 4.0]) == pytest.approx(4.0)
+
+
+class TestRunner:
+    def test_env_controls(self):
+        assert bench_iterations() == 4
+        assert quick_mode()
+
+    def test_graph_cache_returns_same_object(self):
+        assert get_graph("CA") is get_graph("CA")
+
+    def test_run_on_dataset_caches_by_config(self):
+        first = run_on_dataset("CA", lambda: MagsDMSummarizer(iterations=2))
+        second = run_on_dataset("CA", lambda: MagsDMSummarizer(iterations=2))
+        assert first is second
+        third = run_on_dataset("CA", lambda: MagsDMSummarizer(iterations=3))
+        assert third is not first
+
+    def test_run_grid_rows(self):
+        rows = run_grid(
+            ["CA"],
+            {"Mags-DM": lambda: MagsDMSummarizer(iterations=2)},
+        )
+        assert len(rows) == 1
+        assert rows[0]["dataset"] == "CA"
+        assert 0 < rows[0]["relative_size"] <= 1.0
+
+    def test_run_grid_skip_cells(self):
+        rows = run_grid(
+            ["CA"],
+            {"Mags-DM": lambda: MagsDMSummarizer(iterations=2)},
+            skip={("Mags-DM", "CA")},
+        )
+        assert rows[0]["relative_size"] is None
+        assert "skipped" in rows[0]["note"]
+
+
+class TestExperiments:
+    def test_table2(self):
+        title, rows = experiments.table2_dataset_statistics()
+        assert len(rows) == 18
+        assert {"paper_n", "analog_n"} <= set(rows[0])
+
+    def test_fig4_rows_cover_all_algorithms(self):
+        __, rows = experiments.fig4_fig6_small_graphs()
+        algorithms = {row["algorithm"] for row in rows}
+        assert algorithms == {"Mags", "Mags-DM", "Greedy", "LDME", "Slugger"}
+
+    def test_fig13_speedup_series(self):
+        __, rows = experiments.fig13_parallel_speedup()
+        by_algo: dict[str, list[float]] = {}
+        for row in rows:
+            if row["dataset"] == rows[0]["dataset"]:
+                by_algo.setdefault(row["algorithm"], []).append(
+                    row["speedup"]
+                )
+        for series in by_algo.values():
+            assert series[0] == 1.0
+            assert all(
+                a <= b + 1e-9 for a, b in zip(series, series[1:])
+            )
+
+    def test_fig13_mags_dm_scales_better(self):
+        """The paper's Figure 13 shape: Mags-DM out-scales Mags."""
+        __, rows = experiments.fig13_parallel_speedup()
+        at_40 = {
+            (row["algorithm"], row["dataset"]): row["speedup"]
+            for row in rows
+            if row["p"] == 40
+        }
+        datasets = {d for (__, d) in at_40}
+        better = sum(
+            at_40[("Mags-DM", d)] >= at_40[("Mags", d)] for d in datasets
+        )
+        assert better >= len(datasets) / 2
+
+    def test_neighbor_query_ratio_is_small(self):
+        __, rows = experiments.neighbor_query_cost()
+        assert all(row["ratio"] < 2.0 for row in rows)
+
+    def test_table3_rows(self):
+        __, rows = experiments.table3_pagerank()
+        assert all(
+            row["input_graph_s"] > 0 and row["summary_s"] > 0
+            for row in rows
+        )
+
+    def test_medium_codes_subset_of_large(self):
+        from repro.graph.datasets import LARGE_DATASETS
+
+        assert set(experiments.medium_codes()) <= set(LARGE_DATASETS)
+
+
+class TestRemainingExperiments:
+    def test_fig5_fig7_rows_and_skips(self):
+        __, rows = experiments.fig5_fig7_large_graphs()
+        assert all(r["algorithm"] != "Greedy" for r in rows)
+        datasets = {r["dataset"] for r in rows}
+        assert datasets <= set(experiments.large_codes())
+
+    def test_fig8_includes_naive_variant(self):
+        __, rows = experiments.fig8_mags_ablation()
+        algorithms = {r["algorithm"] for r in rows}
+        assert "Mags (naive CG)" in algorithms
+        naive = [r for r in rows if r["algorithm"] == "Mags (naive CG)"]
+        assert all(r["cg_time_s"] is not None for r in naive)
+
+    def test_fig9_includes_all_variants(self):
+        __, rows = experiments.fig9_fig10_magsdm_ablation()
+        assert {r["algorithm"] for r in rows} == {
+            "Mags-DM", "Mags-DM (no DS)", "Mags-DM (no MS)", "SWeG"
+        }
+
+    def test_fig11_sweep_values(self):
+        __, rows = experiments.fig11_fig12_iterations_sweep()
+        assert {r["T"] for r in rows} == {10, 30, 50}
+
+    def test_parameter_sweeps_have_expected_axes(self):
+        __, rows_b = experiments.fig14_b_sweep()
+        assert all("b" in r for r in rows_b)
+        __, rows_h = experiments.fig15_h_sweep()
+        assert all("h" in r for r in rows_h)
+        __, rows_k = experiments.fig16_k_sweep()
+        assert all("k" in r for r in rows_k)
+        assert {r["algorithm"] for r in rows_k} == {"Mags"}
+
+    def test_run_on_dataset_verify_flag(self):
+        result = run_on_dataset(
+            "CA",
+            lambda: MagsDMSummarizer(iterations=2),
+            verify=True,
+        )
+        assert result.relative_size > 0

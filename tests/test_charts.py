@@ -1,0 +1,115 @@
+"""Tests for the text figure renderers."""
+
+import pytest
+
+from repro.bench.charts import grouped_bar_chart, series_chart
+
+
+@pytest.fixture
+def figure_rows():
+    return [
+        {"dataset": "CA", "algorithm": "Mags", "relative_size": 0.7},
+        {"dataset": "CA", "algorithm": "LDME", "relative_size": 0.9},
+        {"dataset": "EN", "algorithm": "Mags", "relative_size": 0.6},
+        {"dataset": "EN", "algorithm": "LDME", "relative_size": None},
+    ]
+
+
+class TestGroupedBarChart:
+    def test_groups_and_bars_present(self, figure_rows):
+        chart = grouped_bar_chart(
+            figure_rows, "dataset", "algorithm", "relative_size",
+            title="demo",
+        )
+        assert "demo" in chart
+        assert "dataset=CA" in chart
+        assert "dataset=EN" in chart
+        assert chart.count("Mags") == 2
+
+    def test_bar_length_proportional(self, figure_rows):
+        chart = grouped_bar_chart(
+            figure_rows, "dataset", "algorithm", "relative_size"
+        )
+        lines = [line for line in chart.splitlines() if "#" in line]
+        lengths = {line.split()[0]: line.count("#") for line in lines[:2]}
+        assert lengths["LDME"] > lengths["Mags"]
+
+    def test_missing_values_marked_skipped(self, figure_rows):
+        chart = grouped_bar_chart(
+            figure_rows, "dataset", "algorithm", "relative_size"
+        )
+        assert "(skipped)" in chart
+
+    def test_log_scale_compresses_ratios(self):
+        rows = [
+            {"dataset": "X", "algorithm": "fast", "t": 0.01},
+            {"dataset": "X", "algorithm": "slow", "t": 100.0},
+        ]
+        linear = grouped_bar_chart(rows, "dataset", "algorithm", "t")
+        log = grouped_bar_chart(
+            rows, "dataset", "algorithm", "t", log_scale=True
+        )
+
+        def bar_of(chart, label):
+            for line in chart.splitlines():
+                if label in line:
+                    return line.count("#")
+            return 0
+
+        assert bar_of(linear, "fast") <= 1
+        assert bar_of(log, "fast") >= 1
+        assert bar_of(log, "slow") == 40
+
+    def test_all_missing(self):
+        chart = grouped_bar_chart(
+            [{"dataset": "X", "algorithm": "a", "v": None}],
+            "dataset", "algorithm", "v", title="empty",
+        )
+        assert "(no data)" in chart
+
+    def test_group_order_preserved(self):
+        rows = [
+            {"dataset": "Z", "algorithm": "a", "v": 1.0},
+            {"dataset": "A", "algorithm": "a", "v": 2.0},
+        ]
+        chart = grouped_bar_chart(rows, "dataset", "algorithm", "v")
+        assert chart.index("dataset=Z") < chart.index("dataset=A")
+
+    def test_zero_values_render_empty_bar(self):
+        rows = [
+            {"dataset": "X", "algorithm": "zero", "v": 0.0},
+            {"dataset": "X", "algorithm": "one", "v": 1.0},
+        ]
+        chart = grouped_bar_chart(rows, "dataset", "algorithm", "v")
+        zero_line = next(l for l in chart.splitlines() if "zero" in l)
+        assert "#" not in zero_line
+
+
+class TestSeriesChart:
+    def test_series_rendering(self):
+        rows = [
+            {"algorithm": "Mags", "T": 10, "rel": 0.65},
+            {"algorithm": "Mags", "T": 20, "rel": 0.64},
+            {"algorithm": "Mags-DM", "T": 10, "rel": 0.66},
+        ]
+        chart = series_chart(rows, "algorithm", "T", "rel", title="sweep")
+        assert "sweep" in chart
+        assert "Mags: 10:0.65  20:0.64" in chart
+        assert "Mags-DM: 10:0.66" in chart
+
+    def test_points_sorted_by_x(self):
+        rows = [
+            {"algorithm": "a", "T": 30, "rel": 0.3},
+            {"algorithm": "a", "T": 10, "rel": 0.1},
+        ]
+        chart = series_chart(rows, "algorithm", "T", "rel")
+        assert "10:0.1  30:0.3" in chart
+
+    def test_none_values_skipped(self):
+        rows = [
+            {"algorithm": "a", "T": 10, "rel": None},
+            {"algorithm": "a", "T": 20, "rel": 0.5},
+        ]
+        chart = series_chart(rows, "algorithm", "T", "rel")
+        assert "10:" not in chart
+        assert "20:0.5" in chart

@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import ALGORITHMS, build_parser, main
+from repro.graph.io import load_graph, save_graph
+from repro.graph.generators import planted_partition
+
+
+@pytest.fixture
+def edge_file(tmp_path):
+    graph = planted_partition(80, 5, 0.7, 0.05, seed=2)
+    path = tmp_path / "graph.txt"
+    save_graph(path, graph)
+    return path, graph
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_summarize_defaults(self):
+        args = build_parser().parse_args(["summarize", "g.txt"])
+        assert args.algorithm == "mags-dm"
+        assert args.iterations == 50
+        assert args.epsilon == 0.0
+
+    def test_all_algorithms_registered(self):
+        assert set(ALGORITHMS) == {
+            "mags", "mags-dm", "greedy", "randomized",
+            "sweg", "ldme", "slugger",
+        }
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["summarize", "g.txt", "-a", "nope"])
+
+
+class TestSummarize:
+    def test_summarize_and_reconstruct(self, tmp_path, edge_file, capsys):
+        path, graph = edge_file
+        summary = tmp_path / "summary.txt"
+        restored = tmp_path / "restored.txt"
+        assert main([
+            "summarize", str(path), "-a", "mags", "-T", "8",
+            "-o", str(summary),
+        ]) == 0
+        assert "relative_size" in capsys.readouterr().out
+        assert main(["reconstruct", str(summary), "-o", str(restored)]) == 0
+        assert load_graph(restored) == graph
+
+    def test_lossy_flag(self, tmp_path, edge_file, capsys):
+        path, __ = edge_file
+        assert main([
+            "summarize", str(path), "-T", "8", "--epsilon", "0.3",
+            "-o", str(tmp_path / "s.txt"),
+        ]) == 0
+        assert "lossy" in capsys.readouterr().out
+
+    def test_no_verify_flag(self, edge_file):
+        path, __ = edge_file
+        assert main(["summarize", str(path), "-T", "4", "--no-verify"]) == 0
+
+
+class TestOtherCommands:
+    def test_stats(self, edge_file, capsys):
+        path, graph = edge_file
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"{graph.n}" in out
+        assert f"{graph.m}" in out
+
+    def test_compare(self, edge_file, capsys):
+        path, __ = edge_file
+        assert main([
+            "compare", str(path), "-a", "mags-dm,sweg", "-T", "5"
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mags-dm" in out
+        assert "sweg" in out
+
+    def test_compare_unknown_algorithm(self, edge_file):
+        path, __ = edge_file
+        assert main(["compare", str(path), "-a", "nope"]) == 2
+
+    def test_dataset_export(self, tmp_path, capsys):
+        out_path = tmp_path / "ca.txt"
+        assert main(["dataset", "CA", "-o", str(out_path)]) == 0
+        exported = load_graph(out_path)
+        assert exported.n > 0
+
+
+class TestBenchCommand:
+    def test_list_experiments(self, capsys):
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "table3" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["bench", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_table2(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_QUICK", "1")
+        monkeypatch.setenv("REPRO_BENCH_T", "3")
+        assert main(["bench", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "CA" in out

@@ -1,0 +1,96 @@
+"""Tests for the pairwise cost calculus (Equation 2 / Section 2.2)."""
+
+import pytest
+
+from repro.core.costs import (
+    pair_cost,
+    potential_edges,
+    potential_self_edges,
+    self_cost,
+    use_superedge,
+)
+
+
+class TestPotentialEdges:
+    def test_cross_product(self):
+        assert potential_edges(3, 4) == 12
+
+    def test_singletons(self):
+        assert potential_edges(1, 1) == 1
+
+    def test_self_pairs(self):
+        assert potential_self_edges(1) == 0
+        assert potential_self_edges(2) == 1
+        assert potential_self_edges(5) == 10
+
+
+class TestPairCost:
+    def test_no_edges_costs_nothing(self):
+        assert pair_cost(12, 0) == 0
+
+    def test_sparse_group_uses_plus_corrections(self):
+        # 2 of 12 potential edges: cheaper to list both.
+        assert pair_cost(12, 2) == 2
+
+    def test_dense_group_uses_superedge(self):
+        # 11 of 12: super-edge + 1 minus-correction = 2.
+        assert pair_cost(12, 11) == 2
+
+    def test_full_group_costs_one(self):
+        assert pair_cost(12, 12) == 1
+
+    def test_exact_balance_point(self):
+        # pi=9, edges=5: superedge way = 9-5+1 = 5 = edges way.
+        assert pair_cost(9, 5) == 5
+
+    def test_single_potential_edge(self):
+        assert pair_cost(1, 1) == 1
+
+    def test_negative_edges_rejected(self):
+        with pytest.raises(ValueError):
+            pair_cost(4, -1)
+
+    def test_more_edges_than_potential_rejected(self):
+        with pytest.raises(ValueError):
+            pair_cost(4, 5)
+
+    @pytest.mark.parametrize("pi", [1, 2, 5, 10, 100])
+    def test_cost_never_exceeds_either_encoding(self, pi):
+        for edges in range(pi + 1):
+            cost = pair_cost(pi, edges)
+            assert cost <= edges or edges == 0
+            if edges:
+                assert cost <= pi - edges + 1
+
+
+class TestSelfCost:
+    def test_clique_interior(self):
+        # K4 interior: pi=6, edges=6 -> one self super-edge.
+        assert self_cost(4, 6) == 1
+
+    def test_singleton_has_no_interior(self):
+        assert self_cost(1, 0) == 0
+
+    def test_sparse_interior(self):
+        assert self_cost(4, 2) == 2
+
+
+class TestUseSuperedge:
+    def test_threshold_is_strict(self):
+        # |E| > (1 + pi)/2  <=>  2|E| > pi + 1.
+        assert not use_superedge(3, 2)  # 4 > 4 is false
+        assert use_superedge(3, 3)
+
+    def test_single_edge_pair(self):
+        # pi=1, edges=1: 2 > 2 false -> plus-correction, cost 1 either way.
+        assert not use_superedge(1, 1)
+
+    def test_agreement_with_pair_cost(self):
+        for pi in range(1, 30):
+            for edges in range(1, pi + 1):
+                superedge_cost = pi - edges + 1
+                plus_cost = edges
+                if use_superedge(pi, edges):
+                    assert superedge_cost < plus_cost
+                else:
+                    assert plus_cost <= superedge_cost

@@ -1,0 +1,73 @@
+"""Tests for the dataset registry (Table 2 analogs)."""
+
+import pytest
+
+from repro.graph.datasets import (
+    DATASETS,
+    LARGE_DATASETS,
+    MEDIUM_DATASETS,
+    SMALL_DATASETS,
+    dataset_codes,
+    load_dataset,
+)
+
+
+class TestRegistry:
+    def test_eighteen_datasets(self):
+        assert len(dataset_codes()) == 18
+
+    def test_small_large_partition(self):
+        assert set(SMALL_DATASETS) | set(LARGE_DATASETS) == set(dataset_codes())
+        assert not set(SMALL_DATASETS) & set(LARGE_DATASETS)
+
+    def test_small_set_matches_paper(self):
+        assert SMALL_DATASETS == ["CA", "EN", "BK", "EA", "SL", "DB"]
+
+    def test_medium_subset_is_large(self):
+        assert set(MEDIUM_DATASETS) <= set(LARGE_DATASETS)
+
+    def test_paper_statistics_recorded(self):
+        ca = DATASETS["CA"]
+        assert ca.paper_n == 26_475
+        assert ca.paper_m == 53_381
+        assert ca.paper_davg == pytest.approx(4.0)
+
+    def test_unknown_code_raises_with_hint(self):
+        with pytest.raises(KeyError, match="known codes"):
+            load_dataset("nope")
+
+    def test_code_lookup_is_case_insensitive(self):
+        assert load_dataset("ca") == load_dataset("CA")
+
+
+class TestAnalogs:
+    @pytest.mark.parametrize("code", SMALL_DATASETS)
+    def test_small_analogs_load(self, code):
+        g = load_dataset(code)
+        assert 0 < g.n < 1_000
+        assert g.m > 0
+
+    def test_loading_twice_is_deterministic(self):
+        assert load_dataset("EN") == load_dataset("EN")
+
+    @pytest.mark.parametrize("code", ["CA", "EN", "BK", "SL"])
+    def test_avg_degree_tracks_paper(self, code):
+        spec = DATASETS[code]
+        g = load_dataset(code)
+        # Within a factor ~2 of the paper's average degree.
+        assert spec.paper_davg / 2.2 < g.avg_degree < spec.paper_davg * 2.2
+
+    def test_large_analogs_are_larger(self):
+        small = load_dataset("CA")
+        large = load_dataset("IT")
+        assert large.n > 5 * small.n
+
+    def test_web_analogs_are_highly_compressible(self):
+        # The defining property of the paper's web crawls: huge groups
+        # of nodes with identical neighborhoods.
+        g = load_dataset("CN")
+        groups: dict[frozenset, int] = {}
+        for u in g.nodes():
+            key = frozenset(g.neighbors(u))
+            groups[key] = groups.get(key, 0) + 1
+        assert max(groups.values()) > 20

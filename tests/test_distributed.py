@@ -1,0 +1,174 @@
+"""Tests for the distributed summarization simulation."""
+
+import pytest
+
+from repro.algorithms.mags_dm import MagsDMSummarizer
+from repro.core.verify import verify_lossless
+from repro.distributed import (
+    DistributedSummarizer,
+    chunk_partition,
+    cut_edges,
+    hash_partition,
+    neighborhood_partition,
+    partition_quality,
+)
+from repro.graph.generators import planted_partition, templated_web
+from repro.graph.graph import Graph
+
+
+class TestPartitioners:
+    def test_hash_partition_is_deterministic(self, community_graph):
+        a = hash_partition(community_graph, 4, seed=1)
+        b = hash_partition(community_graph, 4, seed=1)
+        assert a == b
+        assert hash_partition(community_graph, 4, seed=2) != a
+
+    def test_hash_partition_is_roughly_balanced(self, community_graph):
+        assignment = hash_partition(community_graph, 4, seed=0)
+        loads = [assignment.count(p) for p in range(4)]
+        ideal = community_graph.n / 4
+        assert max(loads) < 1.6 * ideal
+
+    def test_hash_partition_range(self, community_graph):
+        assignment = hash_partition(community_graph, 3, seed=0)
+        assert set(assignment) <= {0, 1, 2}
+        assert len(assignment) == community_graph.n
+
+    def test_chunk_partition_contiguous(self):
+        g = Graph(10, [])
+        assert chunk_partition(g, 2) == [0] * 5 + [1] * 5
+
+    def test_chunk_partition_uneven(self):
+        g = Graph(5, [])
+        assignment = chunk_partition(g, 2)
+        assert assignment == [0, 0, 0, 1, 1]
+
+    def test_chunk_partition_empty_graph(self):
+        assert chunk_partition(Graph(0, []), 3) == []
+
+    def test_neighborhood_partition_balanced(self, community_graph):
+        assignment = neighborhood_partition(community_graph, 4)
+        loads = [assignment.count(p) for p in range(4)]
+        capacity = 1.1 * community_graph.n / 4
+        assert max(loads) <= capacity + 1
+
+    def test_neighborhood_partition_reduces_cut_on_chunked_communities(self):
+        # Communities laid out contiguously: affinity placement should
+        # cut far fewer edges than hashing.
+        blocks = []
+        edges = []
+        for c in range(4):
+            base = c * 25
+            for i in range(25):
+                for j in range(i + 1, 25):
+                    if (i + j) % 3 == 0:
+                        edges.append((base + i, base + j))
+        graph = Graph(100, edges)
+        hash_cut = len(cut_edges(graph, hash_partition(graph, 4, seed=0)))
+        affinity_cut = len(
+            cut_edges(graph, neighborhood_partition(graph, 4))
+        )
+        assert affinity_cut < hash_cut
+
+    def test_invalid_workers(self, triangle):
+        with pytest.raises(ValueError):
+            hash_partition(triangle, 0)
+        with pytest.raises(ValueError):
+            neighborhood_partition(triangle, 0)
+
+    def test_negative_slack_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            neighborhood_partition(triangle, 2, balance_slack=-0.1)
+
+    def test_cut_edges_wrong_length(self, triangle):
+        with pytest.raises(ValueError):
+            cut_edges(triangle, [0])
+
+    def test_partition_quality_fields(self, community_graph):
+        assignment = hash_partition(community_graph, 4, seed=0)
+        quality = partition_quality(community_graph, assignment, 4)
+        assert 0.0 <= quality["cut_fraction"] <= 1.0
+        assert quality["imbalance"] >= 1.0
+
+
+class TestDistributedSummarizer:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return templated_web(400, 20, 50, 6, 0.05, seed=6)
+
+    def _summarizer(self, workers, **kwargs):
+        kwargs.setdefault(
+            "summarizer_factory",
+            lambda: MagsDMSummarizer(iterations=8, seed=1),
+        )
+        return DistributedSummarizer(workers=workers, seed=1, **kwargs)
+
+    def test_single_worker_matches_central_quality(self, workload):
+        central = MagsDMSummarizer(iterations=8, seed=1).summarize(workload)
+        distributed = self._summarizer(1).summarize(workload)
+        verify_lossless(workload, distributed.representation)
+        assert distributed.cut_edge_count == 0
+        assert distributed.relative_size <= central.relative_size * 1.1
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_lossless_for_any_worker_count(self, workload, workers):
+        result = self._summarizer(workers).summarize(workload)
+        verify_lossless(workload, result.representation)
+
+    def test_quality_degrades_gracefully(self, workload):
+        few = self._summarizer(2).summarize(workload)
+        many = self._summarizer(8).summarize(workload)
+        assert few.relative_size <= many.relative_size + 0.05
+        assert many.relative_size < 1.0
+
+    def test_refinement_improves_quality(self, workload):
+        raw = self._summarizer(4, refinement_rounds=0).summarize(workload)
+        refined = self._summarizer(4, refinement_rounds=10).summarize(
+            workload
+        )
+        assert refined.refinement_merges > 0
+        assert refined.relative_size <= raw.relative_size
+
+    def test_communication_accounting(self, workload):
+        result = self._summarizer(4).summarize(workload)
+        assert len(result.upload_bytes) == 4
+        assert all(b > 0 for b in result.upload_bytes)
+        assert result.cut_payload_bytes > 0
+        assert result.total_communication_bytes == (
+            sum(result.upload_bytes) + result.cut_payload_bytes
+        )
+
+    def test_custom_partitioner(self, workload):
+        result = DistributedSummarizer(
+            workers=3,
+            partitioner=lambda g, w: chunk_partition(g, w),
+            summarizer_factory=lambda: MagsDMSummarizer(
+                iterations=6, seed=1
+            ),
+        ).summarize(workload)
+        verify_lossless(workload, result.representation)
+
+    def test_bad_partitioner_rejected(self, workload):
+        bad = DistributedSummarizer(
+            workers=2, partitioner=lambda g, w: [0]
+        )
+        with pytest.raises(ValueError, match="wrong-length"):
+            bad.summarize(workload)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DistributedSummarizer(workers=0)
+        with pytest.raises(ValueError):
+            DistributedSummarizer(workers=2, refinement_rounds=-1)
+
+    def test_deterministic(self, workload):
+        a = self._summarizer(4).summarize(workload)
+        b = self._summarizer(4).summarize(workload)
+        assert a.relative_size == b.relative_size
+        assert a.upload_bytes == b.upload_bytes
+
+    def test_community_graph_pipeline(self):
+        graph = planted_partition(160, 8, 0.7, 0.02, seed=9)
+        result = self._summarizer(4).summarize(graph)
+        verify_lossless(graph, result.representation)
+        assert result.relative_size < 1.0

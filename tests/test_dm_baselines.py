@@ -1,0 +1,142 @@
+"""Tests for the divide-and-merge baselines: SWeG, LDME, Randomized."""
+
+import random
+
+import pytest
+
+from repro.algorithms._dm_common import (
+    divide_by_single_hash,
+    merge_group_superjaccard,
+)
+from repro.algorithms.ldme import LDMESummarizer
+from repro.algorithms.randomized import RandomizedSummarizer
+from repro.algorithms.sweg import SWeGSummarizer
+from repro.core.minhash import MinHashSignatures
+from repro.core.supernodes import SuperNodePartition
+from repro.core.verify import verify_lossless
+from repro.graph.generators import planted_partition
+
+
+class TestSingleHashDividing:
+    def test_groups_nontrivial(self, twin_graph):
+        signatures = MinHashSignatures(twin_graph, 4, seed=1)
+        groups = divide_by_single_hash(
+            list(twin_graph.nodes()), signatures, 0
+        )
+        assert all(len(g) >= 2 for g in groups)
+        # Twins share a MinHash, so they land in a common bucket.
+        found = any(0 in g and 1 in g for g in groups)
+        assert found
+
+    def test_row_selects_function(self, community_graph):
+        signatures = MinHashSignatures(community_graph, 4, seed=1)
+        g0 = divide_by_single_hash(
+            list(community_graph.nodes()), signatures, 0
+        )
+        g1 = divide_by_single_hash(
+            list(community_graph.nodes()), signatures, 1
+        )
+        assert sorted(map(len, g0)) != sorted(map(len, g1)) or g0 != g1
+
+
+class TestGroupMerging:
+    def test_merges_twins_at_half_threshold(self, twin_graph):
+        partition = SuperNodePartition(twin_graph)
+        signatures = MinHashSignatures(twin_graph, 8, seed=2)
+        merges = merge_group_superjaccard(
+            partition, signatures, [0, 1], 0.5, random.Random(1)
+        )
+        assert merges == 1
+        assert partition.find(0) == partition.find(1)
+
+    def test_threshold_blocks_bad_merges(self, path_graph):
+        partition = SuperNodePartition(path_graph)
+        signatures = MinHashSignatures(path_graph, 8, seed=2)
+        merges = merge_group_superjaccard(
+            partition, signatures, [0, 3], 0.5, random.Random(1)
+        )
+        assert merges == 0
+
+    def test_on_merge_callback(self, twin_graph):
+        partition = SuperNodePartition(twin_graph)
+        signatures = MinHashSignatures(twin_graph, 8, seed=2)
+        events = []
+        merge_group_superjaccard(
+            partition, signatures, [0, 1], 0.4, random.Random(1),
+            on_merge=lambda w, dead: events.append((w, dead)),
+        )
+        assert len(events) == 1
+
+
+class TestSWeG:
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            SWeGSummarizer(iterations=0)
+
+    def test_compactness_improves_with_iterations(self):
+        g = planted_partition(120, 8, 0.7, 0.03, seed=3)
+        one = SWeGSummarizer(iterations=1, seed=3).summarize(g)
+        many = SWeGSummarizer(iterations=15, seed=3).summarize(g)
+        assert many.cost <= one.cost
+
+    def test_phases_recorded(self, community_graph):
+        result = SWeGSummarizer(iterations=3).summarize(community_graph)
+        assert {"divide", "merge", "output"} <= set(result.phase_seconds)
+
+    def test_params(self):
+        assert SWeGSummarizer(iterations=7, seed=2).params() == {
+            "seed": 2, "T": 7
+        }
+
+
+class TestLDME:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LDMESummarizer(iterations=0)
+        with pytest.raises(ValueError):
+            LDMESummarizer(signature_length=0)
+
+    def test_longer_signatures_give_finer_groups(self, community_graph):
+        """LDME's k-length signatures divide more finely than SWeG's
+        single hash, which is where its speedup comes from."""
+        coarse = LDMESummarizer(
+            iterations=5, signature_length=1, seed=1
+        ).summarize(community_graph)
+        fine = LDMESummarizer(
+            iterations=5, signature_length=4, seed=1
+        ).summarize(community_graph)
+        # Finer groups -> fewer merge opportunities per round.
+        assert fine.num_merges <= coarse.num_merges
+
+    def test_k1_close_to_sweg(self, community_graph):
+        """With k=1, LDME's dividing degenerates to SWeG's."""
+        ldme = LDMESummarizer(
+            iterations=8, signature_length=1, seed=5
+        ).summarize(community_graph)
+        sweg = SWeGSummarizer(iterations=8, seed=5).summarize(
+            community_graph
+        )
+        assert abs(ldme.cost - sweg.cost) <= 0.15 * community_graph.m
+
+    def test_params(self):
+        params = LDMESummarizer(
+            iterations=7, signature_length=3, seed=2
+        ).params()
+        assert params == {"seed": 2, "T": 7, "k": 3}
+
+
+class TestRandomized:
+    def test_merges_twins(self, twin_graph):
+        result = RandomizedSummarizer(seed=1).summarize(twin_graph)
+        assert result.num_merges >= 3
+
+    def test_never_worse_than_trivial(self, community_graph):
+        result = RandomizedSummarizer(seed=1).summarize(community_graph)
+        assert result.cost <= community_graph.m
+
+    def test_different_seeds_may_differ(self, community_graph):
+        a = RandomizedSummarizer(seed=1).summarize(community_graph)
+        b = RandomizedSummarizer(seed=2).summarize(community_graph)
+        # Not required to differ, but both must be valid; check costs
+        # are in a sane band of each other (same algorithm).
+        assert abs(a.cost - b.cost) < 0.2 * community_graph.m

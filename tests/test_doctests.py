@@ -1,0 +1,42 @@
+"""Docstring examples must actually run.
+
+The package docstring and several module docstrings carry runnable
+examples; this keeps them honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.costs
+import repro.core.supernodes
+import repro.graph.graph
+import repro.graph.io
+
+_MODULES = [
+    repro.graph.graph,
+    repro.graph.io,
+    repro.core.costs,
+    repro.core.supernodes,
+]
+
+
+@pytest.mark.parametrize(
+    "module", _MODULES, ids=[m.__name__ for m in _MODULES]
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0
+
+
+def test_package_quickstart_docstring():
+    """The quickstart in the package docstring is executable as-is."""
+    from repro import MagsSummarizer, generators
+
+    graph = generators.planted_partition(500, 25, 0.6, 0.01, seed=7)
+    result = MagsSummarizer(iterations=30).summarize(graph)
+    assert 0 < result.relative_size < 1
+    rep = result.representation
+    assert rep.reconstruct_edges() == graph.edge_set()

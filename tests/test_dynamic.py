@@ -1,0 +1,217 @@
+"""Tests for dynamic graph summarization (corrections overlay)."""
+
+import random
+
+import pytest
+
+from repro.algorithms.mags_dm import MagsDMSummarizer
+from repro.core.verify import verify_lossless
+from repro.dynamic import DynamicGraphSummary
+from repro.graph.generators import planted_partition
+from repro.graph.graph import Graph
+
+
+def _dynamic(graph, rebuild_factor=None):
+    return DynamicGraphSummary(
+        graph,
+        summarizer_factory=lambda: MagsDMSummarizer(iterations=8, seed=1),
+        rebuild_factor=rebuild_factor,
+    )
+
+
+class TestConstruction:
+    def test_initial_state_matches_graph(self, paper_like_graph):
+        dyn = _dynamic(paper_like_graph)
+        assert dyn.n == paper_like_graph.n
+        assert dyn.m == paper_like_graph.m
+        assert dyn.to_graph() == paper_like_graph
+
+    def test_invalid_rebuild_factor(self, triangle):
+        with pytest.raises(ValueError):
+            DynamicGraphSummary(triangle, rebuild_factor=0.5)
+
+    def test_relative_size_sane(self, community_graph):
+        dyn = _dynamic(community_graph)
+        assert 0 < dyn.relative_size <= 1.0
+
+
+class TestEdgeUpdates:
+    def test_insert_then_query(self, paper_like_graph):
+        dyn = _dynamic(paper_like_graph)
+        assert not dyn.has_edge(0, 7)
+        dyn.insert_edge(0, 7)
+        assert dyn.has_edge(0, 7)
+        assert 7 in dyn.neighbors(0)
+        assert dyn.m == paper_like_graph.m + 1
+
+    def test_delete_then_query(self, paper_like_graph):
+        dyn = _dynamic(paper_like_graph)
+        dyn.delete_edge(0, 2)
+        assert not dyn.has_edge(0, 2)
+        assert 2 not in dyn.neighbors(0)
+        assert dyn.m == paper_like_graph.m - 1
+
+    def test_delete_edge_covered_by_superedge(self, clique_graph):
+        dyn = _dynamic(clique_graph)
+        dyn.delete_edge(0, 1)
+        assert not dyn.has_edge(0, 1)
+        rep = dyn.to_representation()
+        assert rep.reconstruct_edges() == clique_graph.edge_set() - {(0, 1)}
+
+    def test_insert_cancels_removal_correction(self, clique_graph):
+        dyn = _dynamic(clique_graph)
+        cost_before = dyn.cost
+        dyn.delete_edge(0, 1)
+        dyn.insert_edge(0, 1)
+        assert dyn.cost == cost_before
+        assert dyn.to_graph() == clique_graph
+
+    def test_delete_cancels_addition_correction(self, path_graph):
+        dyn = _dynamic(path_graph)
+        dyn.insert_edge(0, 5)
+        dyn.delete_edge(0, 5)
+        assert dyn.to_graph() == path_graph
+
+    def test_duplicate_insert_rejected(self, triangle):
+        dyn = _dynamic(triangle)
+        with pytest.raises(ValueError, match="already exists"):
+            dyn.insert_edge(0, 1)
+
+    def test_missing_delete_rejected(self, path_graph):
+        dyn = _dynamic(path_graph)
+        with pytest.raises(ValueError, match="does not exist"):
+            dyn.delete_edge(0, 5)
+
+    def test_self_loop_rejected(self, triangle):
+        dyn = _dynamic(triangle)
+        with pytest.raises(ValueError, match="self-loop"):
+            dyn.insert_edge(1, 1)
+
+    def test_out_of_range_rejected(self, triangle):
+        dyn = _dynamic(triangle)
+        with pytest.raises(IndexError):
+            dyn.insert_edge(0, 99)
+
+
+class TestAddNode:
+    def test_new_node_is_isolated(self, triangle):
+        dyn = _dynamic(triangle)
+        node = dyn.add_node()
+        assert node == 3
+        assert dyn.neighbors(node) == set()
+
+    def test_new_node_can_gain_edges(self, triangle):
+        dyn = _dynamic(triangle)
+        node = dyn.add_node()
+        dyn.insert_edge(node, 0)
+        assert dyn.neighbors(node) == {0}
+        verify_lossless(dyn.to_graph(), dyn.to_representation())
+
+
+class TestExactness:
+    def test_random_update_sequence_stays_exact(self, community_graph):
+        """The core contract: after any update sequence, the overlay
+        reconstructs the evolved graph exactly."""
+        dyn = _dynamic(community_graph)
+        edges = set(community_graph.edge_set())
+        rng = random.Random(7)
+        universe = [
+            (u, v)
+            for u in range(community_graph.n)
+            for v in range(u + 1, community_graph.n)
+        ]
+        for __ in range(300):
+            u, v = universe[rng.randrange(len(universe))]
+            if (u, v) in edges:
+                dyn.delete_edge(u, v)
+                edges.discard((u, v))
+            else:
+                dyn.insert_edge(u, v)
+                edges.add((u, v))
+        assert dyn.to_graph().edge_set() == edges
+        for q in range(0, community_graph.n, 13):
+            expected = {b if a == q else a for a, b in edges if q in (a, b)}
+            assert dyn.neighbors(q) == expected
+
+    def test_snapshot_is_verifiable(self, community_graph):
+        dyn = _dynamic(community_graph)
+        dyn.delete_edge(*next(iter(community_graph.edges())))
+        verify_lossless(dyn.to_graph(), dyn.to_representation())
+
+
+class TestRebuilds:
+    def test_automatic_rebuild_fires(self):
+        graph = planted_partition(100, 5, 0.8, 0.02, seed=3)
+        dyn = _dynamic(graph, rebuild_factor=1.05)
+        rng = random.Random(1)
+        inserted = set()
+        while dyn.num_rebuilds == 0 and len(inserted) < 2_000:
+            u, v = rng.randrange(graph.n), rng.randrange(graph.n)
+            if u != v and not dyn.has_edge(u, v):
+                dyn.insert_edge(u, v)
+                inserted.add((u, v))
+        assert dyn.num_rebuilds >= 1
+
+    def test_rebuild_preserves_graph(self, community_graph):
+        dyn = _dynamic(community_graph)
+        dyn.delete_edge(*next(iter(community_graph.edges())))
+        before = dyn.to_graph()
+        dyn.resummarize()
+        assert dyn.to_graph() == before
+        assert dyn.num_rebuilds == 1
+
+    def test_rebuild_restores_compactness(self):
+        """Structured drift inflates the correction set; a rebuild
+        re-compacts.  Completing every community into a clique makes
+        the evolved graph *more* compressible, but the frozen overlay
+        can only express the new edges as corrections."""
+        graph = planted_partition(120, 6, 0.6, 0.0, seed=5)
+        dyn = _dynamic(graph, rebuild_factor=None)
+        for u in range(graph.n):
+            for v in range(u + 1, graph.n):
+                if u % 6 == v % 6 and not dyn.has_edge(u, v):
+                    dyn.insert_edge(u, v)
+        drifted = dyn.cost
+        dyn.resummarize()
+        assert dyn.cost < drifted
+
+    def test_no_auto_rebuild_when_disabled(self, community_graph):
+        dyn = _dynamic(community_graph, rebuild_factor=None)
+        for u, v in list(community_graph.edges())[:50]:
+            dyn.delete_edge(u, v)
+        assert dyn.num_rebuilds == 0
+
+
+class TestLocalResummarize:
+    def test_noop_when_clean(self, community_graph):
+        dyn = _dynamic(community_graph)
+        # Fresh summaries may carry corrections from the summarizer
+        # itself; a clean state means no corrections at all.
+        if dyn.to_representation().num_corrections == 0:
+            assert dyn.resummarize_local() == 0
+
+    def test_preserves_graph(self, community_graph):
+        dyn = _dynamic(community_graph)
+        dyn.delete_edge(*next(iter(community_graph.edges())))
+        before = dyn.to_graph()
+        processed = dyn.resummarize_local()
+        assert processed >= 1
+        assert dyn.to_graph() == before
+        verify_lossless(dyn.to_graph(), dyn.to_representation())
+
+    def test_recompacts_structured_drift(self):
+        graph = planted_partition(120, 6, 0.6, 0.0, seed=5)
+        dyn = _dynamic(graph, rebuild_factor=None)
+        for u in range(graph.n):
+            for v in range(u + 1, graph.n):
+                if u % 6 == v % 6 and not dyn.has_edge(u, v):
+                    dyn.insert_edge(u, v)
+        drifted = dyn.cost
+        dyn.resummarize_local()
+        assert dyn.cost < drifted
+
+    def test_counts_as_rebuild(self, community_graph):
+        dyn = _dynamic(community_graph)
+        dyn.delete_edge(*next(iter(community_graph.edges())))
+        dyn.resummarize_local()
+        assert dyn.num_rebuilds == 1

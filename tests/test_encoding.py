@@ -1,0 +1,145 @@
+"""Tests for the optimal output encoding (Algorithm 4)."""
+
+import pytest
+
+from repro.core.encoding import encode
+from repro.core.supernodes import SuperNodePartition
+from repro.graph.graph import Graph
+
+
+def _encode_with_merges(graph, merge_groups):
+    partition = SuperNodePartition(graph)
+    for group in merge_groups:
+        root = partition.find(group[0])
+        for v in group[1:]:
+            root = partition.merge(root, partition.find(v))
+    return partition, encode(partition)
+
+
+class TestSingletonEncoding:
+    def test_every_edge_is_a_plus_correction(self, paper_like_graph):
+        __, rep = _encode_with_merges(paper_like_graph, [])
+        assert rep.summary_edges == set()
+        assert rep.additions == paper_like_graph.edge_set()
+        assert rep.removals == set()
+        assert rep.cost == paper_like_graph.m
+
+    def test_relative_size_is_one(self, paper_like_graph):
+        __, rep = _encode_with_merges(paper_like_graph, [])
+        assert rep.relative_size == pytest.approx(1.0)
+
+
+class TestPaperExample:
+    def test_figure1_style_encoding(self, paper_like_graph):
+        """Merging {a,b}, {d,e}, {f,g,h} reproduces the Figure 2
+        representation: super-edges plus corrections -(e,f), +(c,g)."""
+        partition, rep = _encode_with_merges(
+            paper_like_graph, [[0, 1], [3, 4], [5, 6, 7]]
+        )
+        ab, de, fgh = (
+            partition.find(0), partition.find(3), partition.find(5)
+        )
+        expected_edges = {
+            tuple(sorted(p)) for p in [(ab, 2), (ab, de), (de, fgh)]
+        }
+        assert rep.summary_edges == expected_edges
+        assert rep.removals == {(4, 5)}
+        assert rep.additions == {(2, 6)}
+        assert rep.cost == 5
+
+    def test_reconstruction_is_exact(self, paper_like_graph):
+        __, rep = _encode_with_merges(
+            paper_like_graph, [[0, 1], [3, 4], [5, 6, 7]]
+        )
+        assert rep.reconstruct_edges() == paper_like_graph.edge_set()
+        assert rep.reconstruct() == paper_like_graph
+
+
+class TestSelfEdges:
+    def test_clique_gets_self_superedge(self, clique_graph):
+        partition, rep = _encode_with_merges(clique_graph, [list(range(6))])
+        root = partition.find(0)
+        assert rep.summary_edges == {(root, root)}
+        assert rep.cost == 1
+        assert rep.reconstruct_edges() == clique_graph.edge_set()
+
+    def test_near_clique_self_edge_with_removal(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3)])  # K4 - (2,3)
+        partition, rep = _encode_with_merges(g, [[0, 1, 2, 3]])
+        root = partition.find(0)
+        assert rep.summary_edges == {(root, root)}
+        assert rep.removals == {(2, 3)}
+        assert rep.reconstruct_edges() == g.edge_set()
+
+    def test_sparse_interior_stays_plus_corrections(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        partition, rep = _encode_with_merges(g, [[0, 1, 2, 3]])
+        assert rep.summary_edges == set()
+        assert rep.additions == {(0, 1), (2, 3)}
+
+
+class TestCrossEdges:
+    def test_dense_cross_pair_gets_superedge(self):
+        # Complete bipartite K_{2,3}.
+        g = Graph(5, [(u, v) for u in range(2) for v in range(2, 5)])
+        partition, rep = _encode_with_merges(g, [[0, 1], [2, 3, 4]])
+        left, right = partition.find(0), partition.find(2)
+        assert rep.summary_edges == {tuple(sorted((left, right)))}
+        assert rep.cost == 1
+
+    def test_missing_cross_edges_become_removals(self):
+        g = Graph(5, [(0, 2), (0, 3), (0, 4), (1, 2), (1, 3)])
+        __, rep = _encode_with_merges(g, [[0, 1], [2, 3, 4]])
+        assert rep.removals == {(1, 4)}
+        assert rep.reconstruct_edges() == g.edge_set()
+
+    def test_sparse_cross_edges_become_additions(self):
+        g = Graph(6, [(0, 3)])
+        __, rep = _encode_with_merges(g, [[0, 1, 2], [3, 4, 5]])
+        assert rep.summary_edges == set()
+        assert rep.additions == {(0, 3)}
+
+
+class TestRepresentationProperties:
+    def test_cost_equation(self, paper_like_graph):
+        __, rep = _encode_with_merges(paper_like_graph, [[0, 1], [3, 4]])
+        assert rep.cost == len(rep.summary_edges) + rep.num_corrections
+
+    def test_cost_never_exceeds_m(self, community_graph):
+        partition, rep = _encode_with_merges(
+            community_graph, [[i, i + 10] for i in range(10)]
+        )
+        assert rep.cost <= community_graph.m
+
+    def test_supernode_of(self, paper_like_graph):
+        partition, rep = _encode_with_merges(paper_like_graph, [[0, 1]])
+        assert rep.supernode_of(0) == rep.supernode_of(1)
+        assert rep.supernode_of(0) != rep.supernode_of(2)
+
+    def test_num_supernodes(self, paper_like_graph):
+        __, rep = _encode_with_merges(
+            paper_like_graph, [[0, 1], [3, 4], [5, 6, 7]]
+        )
+        assert rep.num_supernodes == 4
+
+    def test_empty_graph(self):
+        g = Graph(0, [])
+        rep = encode(SuperNodePartition(g))
+        assert rep.cost == 0
+        assert rep.relative_size == 0.0
+        assert rep.reconstruct_edges() == set()
+
+    def test_edgeless_graph(self):
+        g = Graph(5, [])
+        rep = encode(SuperNodePartition(g))
+        assert rep.cost == 0
+        assert rep.num_supernodes == 5
+
+
+class TestRepr:
+    def test_repr_is_compact(self, paper_like_graph):
+        rep = _encode_with_merges(paper_like_graph, [[0, 1], [3, 4]])[1]
+        text = repr(rep)
+        assert text.startswith("Representation(")
+        assert "relative_size=" in text
+        assert len(text) < 200

@@ -1,0 +1,37 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example is executed in-process with its module-level ``main()``
+so assertion failures inside the examples (they all self-verify)
+surface as test failures.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_has_enough_examples():
+    assert len(EXAMPLES) >= 4
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [f"{name}.py"])
+    module = _load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip()  # every example narrates what it did

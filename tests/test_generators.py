@@ -1,0 +1,235 @@
+"""Tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.graph import Graph
+
+
+def _is_simple(graph: Graph) -> bool:
+    seen = set()
+    for u, v in graph.edges():
+        if u == v or (u, v) in seen:
+            return False
+        seen.add((u, v))
+    return True
+
+
+class TestErdosRenyi:
+    def test_size_and_simplicity(self):
+        g = generators.erdos_renyi(100, 0.05, seed=1)
+        assert g.n == 100
+        assert _is_simple(g)
+
+    def test_p_zero_gives_no_edges(self):
+        assert generators.erdos_renyi(50, 0.0, seed=1).m == 0
+
+    def test_p_one_gives_complete_graph(self):
+        g = generators.erdos_renyi(10, 1.0, seed=1)
+        assert g.m == 45
+
+    def test_determinism(self):
+        a = generators.erdos_renyi(60, 0.1, seed=7)
+        b = generators.erdos_renyi(60, 0.1, seed=7)
+        assert a == b
+
+    def test_seed_changes_output(self):
+        a = generators.erdos_renyi(60, 0.1, seed=7)
+        b = generators.erdos_renyi(60, 0.1, seed=8)
+        assert a != b
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError):
+            generators.erdos_renyi(10, 1.5)
+
+    def test_expected_density(self):
+        g = generators.erdos_renyi(200, 0.1, seed=3)
+        expected = 0.1 * 200 * 199 / 2
+        assert expected * 0.8 < g.m < expected * 1.2
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        g = generators.barabasi_albert(100, 3, seed=2)
+        # m_attach star edges + (n - m_attach - 1) * m_attach new ones,
+        # minus possible duplicates (none by construction).
+        assert g.m == 3 + (100 - 4) * 3
+
+    def test_heavy_tail(self):
+        g = generators.barabasi_albert(300, 2, seed=2)
+        degrees = sorted(g.degrees(), reverse=True)
+        assert degrees[0] > 4 * g.avg_degree
+
+    def test_determinism(self):
+        assert generators.barabasi_albert(80, 3, seed=5) == \
+            generators.barabasi_albert(80, 3, seed=5)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            generators.barabasi_albert(10, 0)
+        with pytest.raises(ValueError):
+            generators.barabasi_albert(3, 3)
+
+
+class TestWattsStrogatz:
+    def test_degree_preserved_at_beta_zero(self):
+        g = generators.watts_strogatz(40, 4, 0.0, seed=1)
+        assert g.m == 40 * 2
+        assert all(g.degree(u) == 4 for u in g.nodes())
+
+    def test_rewiring_keeps_edge_count_close(self):
+        g = generators.watts_strogatz(60, 4, 0.3, seed=1)
+        assert g.m >= 60 * 2 * 0.9
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            generators.watts_strogatz(20, 3, 0.1)
+
+    def test_determinism(self):
+        assert generators.watts_strogatz(30, 4, 0.2, seed=9) == \
+            generators.watts_strogatz(30, 4, 0.2, seed=9)
+
+
+class TestPlantedPartition:
+    def test_intra_density_exceeds_inter(self):
+        g = generators.planted_partition(120, 6, 0.8, 0.02, seed=4)
+        same = cross = same_possible = cross_possible = 0
+        for u in range(g.n):
+            for v in range(u + 1, g.n):
+                if u % 6 == v % 6:
+                    same_possible += 1
+                    same += g.has_edge(u, v)
+                else:
+                    cross_possible += 1
+                    cross += g.has_edge(u, v)
+        assert same / same_possible > 5 * (cross / max(cross_possible, 1))
+
+    def test_single_community_is_gnp(self):
+        g = generators.planted_partition(30, 1, 0.5, 0.0, seed=4)
+        assert g.m > 0
+
+    def test_invalid_communities(self):
+        with pytest.raises(ValueError):
+            generators.planted_partition(10, 0, 0.5, 0.1)
+
+
+class TestCaveman:
+    def test_structure(self):
+        g = generators.caveman(4, 5, seed=0)
+        assert g.n == 20
+        # 4 cliques of C(5,2)=10 edges plus 4 ring links.
+        assert g.m == 44
+
+    def test_single_clique(self):
+        g = generators.caveman(1, 4)
+        assert g.m == 6
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            generators.caveman(0, 5)
+        with pytest.raises(ValueError):
+            generators.caveman(3, 1)
+
+
+class TestRmat:
+    def test_size(self):
+        g = generators.rmat(8, 4, seed=6)
+        assert g.n <= 256
+        assert g.m > 0
+        assert _is_simple(g)
+
+    def test_skewed_degrees(self):
+        g = generators.rmat(9, 8, seed=6)
+        degrees = sorted(g.degrees(), reverse=True)
+        assert degrees[0] > 3 * g.avg_degree
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            generators.rmat(5, 2, a=0.5, b=0.4, c=0.4)
+
+    def test_determinism(self):
+        assert generators.rmat(7, 3, seed=11) == generators.rmat(7, 3, seed=11)
+
+
+class TestConfigurationPowerLaw:
+    def test_simple_and_sized(self):
+        g = generators.configuration_power_law(200, 2.3, seed=3)
+        assert g.n <= 200
+        assert _is_simple(g)
+
+    def test_min_degree_respected_in_distribution(self):
+        g = generators.configuration_power_law(300, 2.5, d_min=3, seed=3)
+        # Matching drops some stubs, but the bulk keeps degree >= 2.
+        degrees = g.degrees()
+        assert (degrees >= 2).mean() > 0.8
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            generators.configuration_power_law(100, 0.9)
+
+
+class TestCliquesAndStars:
+    def test_counts(self):
+        g = generators.cliques_and_stars(3, 4, 2, 5, seed=1)
+        # 3 cliques of 6 edges, 2 stars of 5 edges, 4 backbone links.
+        assert g.m == 3 * 6 + 2 * 5 + 4
+
+    def test_noise_adds_edges(self):
+        base = generators.cliques_and_stars(3, 4, 2, 5, seed=1)
+        noisy = generators.cliques_and_stars(
+            3, 4, 2, 5, noise_edges=30, seed=1
+        )
+        assert noisy.m > base.m
+
+
+class TestCopyingModel:
+    def test_simple(self):
+        g = generators.copying_model(150, 5, 0.1, seed=2)
+        assert _is_simple(g)
+        assert g.m > 0
+
+    def test_low_mutation_duplicates_neighborhoods(self):
+        g = generators.copying_model(200, 6, 0.0, seed=2)
+        signatures = {}
+        for u in g.nodes():
+            signatures.setdefault(frozenset(g.neighbors(u)), []).append(u)
+        # At zero mutation some nodes share identical neighborhoods.
+        assert any(len(group) > 1 for group in signatures.values())
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            generators.copying_model(100, 0)
+        with pytest.raises(ValueError):
+            generators.copying_model(100, 5, mutation=2.0)
+        with pytest.raises(ValueError):
+            generators.copying_model(4, 5)
+
+
+class TestTemplatedWeb:
+    def test_compressible_structure(self):
+        g = generators.templated_web(200, 6, 30, 5, 0.0, seed=2)
+        signatures = {}
+        for u in range(30, g.n):
+            signatures.setdefault(frozenset(g.neighbors(u)), []).append(u)
+        biggest = max(len(group) for group in signatures.values())
+        assert biggest > 10  # whole template classes share neighborhoods
+
+    def test_mutation_reduces_duplication(self):
+        exact = generators.templated_web(200, 6, 30, 5, 0.0, seed=2)
+        noisy = generators.templated_web(200, 6, 30, 5, 0.5, seed=2)
+
+        def duplication(graph):
+            groups = {}
+            for u in graph.nodes():
+                groups.setdefault(frozenset(graph.neighbors(u)), []).append(u)
+            return max(len(g) for g in groups.values())
+
+        assert duplication(noisy) < duplication(exact)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            generators.templated_web(100, 0, 10, 5)
+        with pytest.raises(ValueError):
+            generators.templated_web(100, 5, 10, 11)
+        with pytest.raises(ValueError):
+            generators.templated_web(10, 5, 10, 5)

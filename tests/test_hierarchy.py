@@ -1,0 +1,152 @@
+"""Tests for the materialised hierarchical representation (Slugger)."""
+
+import pytest
+
+from repro.algorithms.hierarchy import (
+    HierarchicalRepresentation,
+    HierarchyBuilder,
+)
+from repro.algorithms.slugger import SluggerSummarizer
+from repro.graph.generators import (
+    caveman,
+    cliques_and_stars,
+    planted_partition,
+    templated_web,
+)
+from repro.graph.graph import Graph
+
+
+class TestRepresentationSemantics:
+    def test_positive_pair_expands_cartesian(self):
+        rep = HierarchicalRepresentation(n=5, m=6)
+        rep.leaves_of[5] = [0, 1]
+        rep.leaves_of[6] = [2, 3, 4]
+        rep.positive_edges.add((5, 6))
+        assert rep.reconstruct_edges() == {
+            (0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)
+        }
+
+    def test_self_pair_expands_clique(self):
+        rep = HierarchicalRepresentation(n=3, m=3)
+        rep.leaves_of[3] = [0, 1, 2]
+        rep.positive_edges.add((3, 3))
+        assert rep.reconstruct_edges() == {(0, 1), (0, 2), (1, 2)}
+
+    def test_negative_subtracts_after_positive(self):
+        rep = HierarchicalRepresentation(n=4, m=3)
+        rep.leaves_of[4] = [0, 1, 2, 3]
+        rep.positive_edges.add((4, 4))
+        rep.negative_edges.add((0, 1))
+        edges = rep.reconstruct_edges()
+        assert (0, 1) not in edges
+        assert len(edges) == 5
+
+    def test_leaf_level_pairs(self):
+        rep = HierarchicalRepresentation(n=3, m=2)
+        rep.positive_edges.add((0, 1))
+        rep.positive_edges.add((1, 2))
+        assert rep.reconstruct_edges() == {(0, 1), (1, 2)}
+
+    def test_nested_negative_node_pair(self):
+        rep = HierarchicalRepresentation(n=4, m=2)
+        rep.leaves_of[4] = [0, 1]
+        rep.leaves_of[5] = [2, 3]
+        rep.positive_edges.add((4, 5))
+        rep.negative_edges.add((4, 5))
+        assert rep.reconstruct_edges() == set()
+
+
+class TestHierarchyLinks:
+    def test_unused_hierarchy_costs_nothing(self):
+        rep = HierarchicalRepresentation(n=4, m=1)
+        rep.leaves_of[4] = [0, 1]
+        rep.positive_edges.add((2, 3))  # leaf-level only
+        assert rep.hierarchy_links() == 0
+
+    def test_used_node_pays_per_leaf(self):
+        rep = HierarchicalRepresentation(n=4, m=6)
+        rep.leaves_of[4] = [0, 1, 2, 3]
+        rep.positive_edges.add((4, 4))
+        assert rep.hierarchy_links() == 4
+
+    def test_nested_used_nodes_charged_once(self):
+        rep = HierarchicalRepresentation(n=4, m=6)
+        rep.leaves_of[4] = [0, 1]
+        rep.leaves_of[5] = [0, 1, 2, 3]
+        rep.positive_edges.add((4, 4))
+        rep.positive_edges.add((5, 5))
+        # node 5 links: child node 4 + leaves 2, 3 = 3; node 4: 2 leaves.
+        assert rep.hierarchy_links() == 5
+
+    def test_cost_combines_all_three(self):
+        rep = HierarchicalRepresentation(n=3, m=3)
+        rep.leaves_of[3] = [0, 1, 2]
+        rep.positive_edges.add((3, 3))
+        rep.negative_edges.add((0, 1))
+        assert rep.cost == 1 + 1 + 3
+
+    def test_relative_size(self):
+        rep = HierarchicalRepresentation(n=3, m=10)
+        rep.positive_edges.add((0, 1))
+        assert rep.relative_size == pytest.approx(0.1)
+
+    def test_empty(self):
+        rep = HierarchicalRepresentation(n=0, m=0)
+        assert rep.cost == 0
+        assert rep.relative_size == 0.0
+
+
+class TestHierarchyBuilder:
+    def test_node_reuse_by_leafset(self, triangle):
+        builder = HierarchyBuilder(triangle)
+        a = builder.node_for([0, 1])
+        b = builder.node_for([1, 0])
+        assert a == b
+
+    def test_singleton_maps_to_leaf(self, triangle):
+        builder = HierarchyBuilder(triangle)
+        assert builder.node_for([2]) == 2
+
+    def test_ids_start_after_leaves(self, triangle):
+        builder = HierarchyBuilder(triangle)
+        assert builder.node_for([0, 1]) == 3
+        assert builder.node_for([1, 2]) == 4
+
+
+class TestSluggerHierarchicalOutput:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            caveman(4, 6, seed=1),
+            planted_partition(120, 8, 0.7, 0.03, seed=5),
+            templated_web(200, 10, 30, 5, 0.1, seed=5),
+            cliques_and_stars(4, 8, 3, 6, seed=2),
+            Graph(5, []),
+        ],
+        ids=["caveman", "community", "web", "cliques", "edgeless"],
+    )
+    def test_hierarchical_reconstruction_exact(self, graph):
+        summarizer = SluggerSummarizer(iterations=8, seed=3)
+        summarizer.summarize(graph)
+        hierarchical = summarizer.last_hierarchical
+        assert hierarchical.reconstruct_edges() == graph.edge_set()
+
+    def test_metrics_match_structure(self, community_graph):
+        summarizer = SluggerSummarizer(iterations=8, seed=3)
+        result = summarizer.summarize(community_graph)
+        hierarchical = summarizer.last_hierarchical
+        assert result.extra_metrics["hierarchical_cost"] == hierarchical.cost
+        assert result.extra_metrics[
+            "hierarchical_relative_size"
+        ] == pytest.approx(hierarchical.relative_size)
+
+    def test_hierarchy_reused_across_edges(self):
+        """Cliques joined densely: the same hierarchy nodes should be
+        endpoints of several positive edges (the reuse that makes the
+        hierarchical model pay for itself)."""
+        graph = cliques_and_stars(5, 8, 0, 1, seed=4)
+        summarizer = SluggerSummarizer(iterations=10, seed=4)
+        summarizer.summarize(graph)
+        hierarchical = summarizer.last_hierarchical
+        assert hierarchical.used_internal_nodes
+        assert hierarchical.reconstruct_edges() == graph.edge_set()

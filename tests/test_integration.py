@@ -1,0 +1,126 @@
+"""End-to-end integration tests across the whole pipeline.
+
+These tests exercise the package the way the benchmark harness and a
+downstream user would: generate a workload, summarize it with the
+paper's algorithms, verify losslessness, answer queries on the
+summary, and check the headline comparative claims hold in shape.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    GreedySummarizer,
+    LDMESummarizer,
+    MagsDMSummarizer,
+    MagsSummarizer,
+    SluggerSummarizer,
+    SWeGSummarizer,
+    verify_lossless,
+)
+from repro.graph import generators, load_dataset
+from repro.queries import (
+    SummaryNeighborIndex,
+    pagerank_input_graph,
+    pagerank_summary,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """A structured medium workload shared by the module's tests."""
+    return generators.templated_web(500, 25, 60, 8, 0.08, seed=13)
+
+
+@pytest.fixture(scope="module")
+def results(workload):
+    T = 12
+    return {
+        "Mags": MagsSummarizer(iterations=T, seed=0).summarize(workload),
+        "Mags-DM": MagsDMSummarizer(iterations=T, seed=0).summarize(workload),
+        "SWeG": SWeGSummarizer(iterations=T, seed=0).summarize(workload),
+        "LDME": LDMESummarizer(
+            iterations=T, signature_length=2, seed=0
+        ).summarize(workload),
+        "Slugger": SluggerSummarizer(iterations=T, seed=0).summarize(
+            workload
+        ),
+        "Greedy": GreedySummarizer().summarize(workload),
+    }
+
+
+class TestEndToEnd:
+    def test_all_lossless(self, workload, results):
+        for result in results.values():
+            verify_lossless(workload, result.representation)
+
+    def test_compactness_ordering(self, results):
+        """The paper's Figure 4 shape: Greedy and Mags lead; the
+        divide-and-merge family follows; everything beats trivial."""
+        rel = {name: r.relative_size for name, r in results.items()}
+        assert rel["Mags"] <= rel["SWeG"] + 0.02
+        assert rel["Mags-DM"] <= rel["SWeG"] + 0.02
+        assert rel["Greedy"] <= rel["LDME"]
+        assert all(v < 1.0 for v in rel.values())
+
+    def test_mags_close_to_greedy(self, results):
+        """Headline claim: Mags within a whisker of Greedy."""
+        assert results["Mags"].cost <= results["Greedy"].cost * 1.06
+
+    def test_mags_dm_close_to_mags(self, results):
+        """Headline claim: Mags-DM within ~2-3% of Mags."""
+        assert results["Mags-DM"].cost <= results["Mags"].cost * 1.08
+
+    def test_greedy_is_slowest(self, results):
+        assert results["Greedy"].runtime_seconds >= max(
+            results["Mags"].runtime_seconds,
+            results["Mags-DM"].runtime_seconds,
+        )
+
+    def test_mags_dm_faster_than_mags(self, results):
+        assert (
+            results["Mags-DM"].runtime_seconds
+            < results["Mags"].runtime_seconds
+        )
+
+    def test_queries_on_every_summary(self, workload, results):
+        expected_pr = pagerank_input_graph(workload, 0.85, 8)
+        for result in results.values():
+            index = SummaryNeighborIndex(result.representation)
+            for q in range(0, workload.n, 61):
+                assert index.neighbors(q) == set(workload.neighbors(q))
+            got = pagerank_summary(result.representation, 0.85, 8)
+            np.testing.assert_allclose(got, expected_pr, rtol=1e-8)
+
+
+class TestDatasetPipeline:
+    @pytest.mark.parametrize("code", ["CA", "EN", "DB"])
+    def test_small_dataset_roundtrip(self, code):
+        graph = load_dataset(code)
+        result = MagsDMSummarizer(iterations=8, seed=1).summarize(graph)
+        verify_lossless(graph, result.representation)
+        assert result.relative_size < 1.0
+
+    def test_web_analog_compresses_hard(self):
+        graph = load_dataset("CN")
+        result = MagsDMSummarizer(iterations=15, seed=1).summarize(graph)
+        # The paper's CNR-2000 lands at ~0.13 relative size.
+        assert result.relative_size < 0.3
+
+    def test_social_analog_compresses_mildly(self):
+        graph = load_dataset("YT")
+        result = MagsDMSummarizer(iterations=10, seed=1).summarize(graph)
+        assert 0.4 < result.relative_size < 0.95
+
+
+class TestSerializationRoundtrip:
+    def test_summarize_save_reload_requery(self, tmp_path, workload):
+        """Full lifecycle: summarize, persist the reconstruction, load
+        it back, and confirm it is the same graph."""
+        from repro.graph.io import load_graph, save_graph
+
+        result = MagsSummarizer(iterations=8, seed=2).summarize(workload)
+        reconstructed = result.representation.reconstruct()
+        path = tmp_path / "roundtrip.txt"
+        save_graph(path, reconstructed)
+        assert load_graph(path) == workload

@@ -1,0 +1,108 @@
+"""Tests for edge-list I/O and cleaning (Section 6.1 normalisation)."""
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    clean_edges,
+    load_graph,
+    read_edge_list,
+    save_graph,
+    write_edge_list,
+)
+
+
+class TestCleanEdges:
+    def test_removes_self_loops(self):
+        n, edges = clean_edges([(1, 1), (1, 2)])
+        assert n == 2
+        assert edges == [(0, 1)]
+
+    def test_collapses_directions(self):
+        n, edges = clean_edges([(3, 7), (7, 3)])
+        assert n == 2
+        assert edges == [(0, 1)]
+
+    def test_removes_duplicates(self):
+        n, edges = clean_edges([(0, 1), (0, 1), (1, 0)])
+        assert edges == [(0, 1)]
+
+    def test_relabels_to_dense_range(self):
+        n, edges = clean_edges([(100, 200), (200, 300)])
+        assert n == 3
+        assert edges == [(0, 1), (1, 2)]
+
+    def test_relabel_by_sorted_original_id(self):
+        n, edges = clean_edges([(9, 5), (5, 2)])
+        # 2 -> 0, 5 -> 1, 9 -> 2
+        assert edges == [(1, 2), (0, 1)]
+
+    def test_dense_labeling_is_preserved(self):
+        n, edges = clean_edges([(0, 2), (1, 2)])
+        assert (n, edges) == (3, [(0, 2), (1, 2)])
+
+    def test_empty_input(self):
+        assert clean_edges([]) == (0, [])
+
+    def test_only_self_loops(self):
+        assert clean_edges([(4, 4), (4, 4)]) == (0, [])
+
+    def test_edges_are_min_max_ordered(self):
+        __, edges = clean_edges([(5, 1), (2, 8), (8, 3)])
+        assert all(u < v for u, v in edges)
+
+
+class TestFileRoundtrip:
+    def test_write_read_roundtrip(self, tmp_path, paper_like_graph):
+        path = tmp_path / "graph.txt"
+        save_graph(path, paper_like_graph)
+        loaded = load_graph(path)
+        assert loaded == paper_like_graph
+
+    def test_gzip_roundtrip(self, tmp_path, community_graph):
+        path = tmp_path / "graph.txt.gz"
+        save_graph(path, community_graph)
+        assert load_graph(path) == community_graph
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text(
+            "# SNAP comment\n% rep comment\n\n0 1\n1 2 999\n"
+        )
+        assert list(read_edge_list(path)) == [(0, 1), (1, 2)]
+
+    def test_extra_columns_ignored(self, tmp_path):
+        path = tmp_path / "weighted.txt"
+        path.write_text("0 1 0.5\n1 2 0.25\n")
+        assert list(read_edge_list(path)) == [(0, 1), (1, 2)]
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("42\n")
+        with pytest.raises(ValueError, match="malformed"):
+            list(read_edge_list(path))
+
+    def test_load_graph_cleans(self, tmp_path):
+        path = tmp_path / "dirty.txt"
+        path.write_text("5 5\n5 6\n6 5\n")
+        g = load_graph(path)
+        assert g.n == 2
+        assert g.m == 1
+
+    def test_write_edge_list_format(self, tmp_path):
+        path = tmp_path / "out.txt"
+        write_edge_list(path, [(0, 1), (2, 3)])
+        assert path.read_text() == "0 1\n2 3\n"
+
+    def test_save_graph_is_deterministic(self, tmp_path, community_graph):
+        p1, p2 = tmp_path / "a.txt", tmp_path / "b.txt"
+        save_graph(p1, community_graph)
+        save_graph(p2, community_graph)
+        assert p1.read_text() == p2.read_text()
+
+    def test_isolated_nodes_are_dropped_on_roundtrip(self, tmp_path):
+        # Edge-list files cannot represent isolated nodes; document it.
+        g = Graph(4, [(0, 1)])
+        path = tmp_path / "iso.txt"
+        save_graph(path, g)
+        assert load_graph(path).n == 2

@@ -1,0 +1,94 @@
+"""Tests for bounded-error lossy summarization (paper's future work)."""
+
+import pytest
+
+from repro.algorithms.mags import MagsSummarizer
+from repro.algorithms.mags_dm import MagsDMSummarizer
+from repro.core.lossy import make_lossy, neighborhood_errors
+from repro.graph.generators import planted_partition, templated_web
+
+
+@pytest.fixture(scope="module")
+def summarized():
+    graph = planted_partition(200, 10, 0.6, 0.03, seed=17)
+    rep = MagsDMSummarizer(iterations=12, seed=1).summarize(graph).representation
+    return graph, rep
+
+
+class TestMakeLossy:
+    def test_epsilon_zero_is_lossless(self, summarized):
+        graph, rep = summarized
+        lossy = make_lossy(rep, 0.0)
+        assert lossy.corrections_dropped == 0
+        assert lossy.representation.reconstruct_edges() == graph.edge_set()
+
+    def test_invalid_epsilon(self, summarized):
+        __, rep = summarized
+        with pytest.raises(ValueError):
+            make_lossy(rep, -0.1)
+        with pytest.raises(ValueError):
+            make_lossy(rep, 1.5)
+
+    @pytest.mark.parametrize("epsilon", [0.05, 0.1, 0.3, 1.0])
+    def test_error_bound_respected(self, summarized, epsilon):
+        """The defining contract: every node's symmetric-difference
+        error stays within epsilon * degree."""
+        graph, rep = summarized
+        lossy = make_lossy(rep, epsilon)
+        errors = neighborhood_errors(graph, lossy.representation)
+        for v in graph.nodes():
+            assert errors[v] <= epsilon * graph.degree(v) + 1e-9
+
+    def test_cost_monotone_in_epsilon(self, summarized):
+        __, rep = summarized
+        costs = [make_lossy(rep, eps).cost for eps in (0.0, 0.1, 0.3, 1.0)]
+        assert all(a >= b for a, b in zip(costs, costs[1:]))
+
+    def test_larger_epsilon_drops_more(self, summarized):
+        __, rep = summarized
+        small = make_lossy(rep, 0.1)
+        large = make_lossy(rep, 0.5)
+        assert large.corrections_dropped >= small.corrections_dropped
+
+    def test_input_not_mutated(self, summarized):
+        __, rep = summarized
+        before = (set(rep.additions), set(rep.removals))
+        make_lossy(rep, 0.5)
+        assert (rep.additions, rep.removals) == before
+
+    def test_deterministic(self, summarized):
+        __, rep = summarized
+        a = make_lossy(rep, 0.2)
+        b = make_lossy(rep, 0.2)
+        assert a.dropped_additions == b.dropped_additions
+        assert a.dropped_removals == b.dropped_removals
+
+    def test_dropped_sets_disjoint_from_kept(self, summarized):
+        __, rep = summarized
+        lossy = make_lossy(rep, 0.3)
+        assert not lossy.dropped_additions & lossy.representation.additions
+        assert not lossy.dropped_removals & lossy.representation.removals
+
+    def test_pipeline_with_mags(self):
+        """The paper's suggested pipeline: Mags then bounded-error."""
+        graph = templated_web(300, 15, 40, 6, 0.1, seed=5)
+        rep = MagsSummarizer(iterations=10, seed=1).summarize(
+            graph
+        ).representation
+        lossy = make_lossy(rep, 0.2)
+        assert lossy.cost <= rep.cost
+        errors = neighborhood_errors(graph, lossy.representation)
+        for v in graph.nodes():
+            assert errors[v] <= 0.2 * graph.degree(v) + 1e-9
+
+
+class TestNeighborhoodErrors:
+    def test_lossless_has_zero_errors(self, summarized):
+        graph, rep = summarized
+        assert neighborhood_errors(graph, rep) == [0] * graph.n
+
+    def test_error_counts_both_endpoints(self, summarized):
+        graph, rep = summarized
+        lossy = make_lossy(rep, 0.3)
+        errors = neighborhood_errors(graph, lossy.representation)
+        assert sum(errors) == 2 * lossy.corrections_dropped

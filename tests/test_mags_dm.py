@@ -1,0 +1,181 @@
+"""Tests for Mags-DM (Section 4) and its strategy ablations."""
+
+import random
+
+import pytest
+
+from repro.algorithms._dm_common import divide_recursive, shuffled_rows
+from repro.algorithms.mags_dm import MagsDMSummarizer
+from repro.algorithms.sweg import SWeGSummarizer
+from repro.core.minhash import MinHashSignatures
+from repro.core.verify import verify_lossless
+from repro.graph.generators import planted_partition, templated_web
+from repro.graph.graph import Graph
+
+
+class TestDividingStrategy:
+    def test_groups_respect_size_cap(self):
+        g = templated_web(300, 4, 30, 5, 0.0, seed=1)
+        signatures = MinHashSignatures(g, 12, seed=1)
+        rng = random.Random(0)
+        groups = divide_recursive(
+            list(g.nodes()), signatures, shuffled_rows(12, rng), 20
+        )
+        # Groups may exceed the cap only when the hash pool cannot
+        # split them (identical signatures).
+        for group in groups:
+            if len(group) > 20:
+                col0 = signatures.sig[:, group[0]]
+                assert all(
+                    (signatures.sig[:, v] == col0).all() for v in group
+                )
+
+    def test_no_singleton_groups(self, community_graph):
+        signatures = MinHashSignatures(community_graph, 8, seed=2)
+        groups = divide_recursive(
+            list(community_graph.nodes()), signatures,
+            shuffled_rows(8, random.Random(1)), 50,
+        )
+        assert all(len(group) >= 2 for group in groups)
+
+    def test_twins_end_up_together(self, twin_graph):
+        signatures = MinHashSignatures(twin_graph, 8, seed=3)
+        groups = divide_recursive(
+            list(twin_graph.nodes()), signatures,
+            shuffled_rows(8, random.Random(1)), 4,
+        )
+        twin_together = 0
+        for group in groups:
+            for i in range(4):
+                if 2 * i in group and 2 * i + 1 in group:
+                    twin_together += 1
+        assert twin_together >= 2
+
+
+class TestParameters:
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            MagsDMSummarizer(iterations=0)
+        with pytest.raises(ValueError):
+            MagsDMSummarizer(b=0)
+        with pytest.raises(ValueError):
+            MagsDMSummarizer(h=0)
+        with pytest.raises(ValueError):
+            MagsDMSummarizer(max_group_size=1)
+        with pytest.raises(ValueError):
+            MagsDMSummarizer(node_selection="best")
+        with pytest.raises(ValueError):
+            MagsDMSummarizer(similarity="cosine")
+        with pytest.raises(ValueError):
+            MagsDMSummarizer(threshold="fixed")
+        with pytest.raises(ValueError):
+            MagsDMSummarizer(workers=0)
+
+    def test_params_recorded(self, twin_graph):
+        result = MagsDMSummarizer(iterations=3, b=4, h=16).summarize(
+            twin_graph
+        )
+        assert result.params["b"] == 4
+        assert result.params["h"] == 16
+        assert result.params["T"] == 3
+
+
+class TestMagsDM:
+    def test_clique_collapses(self, clique_graph):
+        result = MagsDMSummarizer(iterations=6).summarize(clique_graph)
+        assert result.representation.num_supernodes == 1
+
+    def test_twins_merged(self, twin_graph):
+        result = MagsDMSummarizer(iterations=6).summarize(twin_graph)
+        rep = result.representation
+        merged = sum(
+            rep.supernode_of(2 * i) == rep.supernode_of(2 * i + 1)
+            for i in range(4)
+        )
+        assert merged >= 3
+
+    def test_group_stats_collected(self, community_graph):
+        dm = MagsDMSummarizer(iterations=5)
+        dm.summarize(community_graph)
+        assert len(dm.last_group_sizes) == 5
+
+    def test_close_to_mags_compactness(self):
+        """Paper: Mags-DM within ~2.1% of Greedy on small graphs."""
+        from repro.algorithms.mags import MagsSummarizer
+
+        g = planted_partition(150, 10, 0.7, 0.02, seed=8)
+        mags = MagsSummarizer(iterations=20).summarize(g)
+        dm = MagsDMSummarizer(iterations=20).summarize(g)
+        assert dm.cost <= mags.cost * 1.15
+
+    def test_parallel_workers_lossless(self, community_graph):
+        result = MagsDMSummarizer(iterations=6, workers=4).summarize(
+            community_graph
+        )
+        verify_lossless(community_graph, result.representation)
+
+
+class TestAblations:
+    @pytest.fixture(scope="class")
+    def web_graph(self):
+        return templated_web(400, 20, 50, 6, 0.1, seed=11)
+
+    def test_no_dividing_strategy_runs(self, web_graph):
+        result = MagsDMSummarizer(
+            iterations=6, dividing_strategy=False
+        ).summarize(web_graph)
+        verify_lossless(web_graph, result.representation)
+
+    def test_super_jaccard_variant_runs(self, web_graph):
+        result = MagsDMSummarizer(
+            iterations=6, similarity="super_jaccard"
+        ).summarize(web_graph)
+        verify_lossless(web_graph, result.representation)
+
+    def test_theta_threshold_variant_runs(self, web_graph):
+        result = MagsDMSummarizer(
+            iterations=6, threshold="theta"
+        ).summarize(web_graph)
+        verify_lossless(web_graph, result.representation)
+
+    def test_top1_selection_variant_runs(self, web_graph):
+        result = MagsDMSummarizer(
+            iterations=6, node_selection="top_1"
+        ).summarize(web_graph)
+        verify_lossless(web_graph, result.representation)
+
+    def test_full_strategies_not_worse_than_none(self, web_graph):
+        """Figures 9/10: the merging+dividing strategies should not
+        lose to the SWeG-equivalent configuration."""
+        full = MagsDMSummarizer(iterations=8, seed=4).summarize(web_graph)
+        stripped = MagsDMSummarizer(
+            iterations=8,
+            seed=4,
+            dividing_strategy=False,
+            node_selection="top_1",
+            similarity="super_jaccard",
+            threshold="theta",
+        ).summarize(web_graph)
+        assert full.cost <= stripped.cost * 1.05
+
+    def test_against_real_sweg(self, web_graph):
+        """Mags-DM must be at least as compact as SWeG at equal T."""
+        dm = MagsDMSummarizer(iterations=8, seed=4).summarize(web_graph)
+        sweg = SWeGSummarizer(iterations=8, seed=4).summarize(web_graph)
+        assert dm.cost <= sweg.cost * 1.05
+
+
+class TestEdgeCases:
+    def test_empty_graph(self):
+        result = MagsDMSummarizer(iterations=3).summarize(Graph(0, []))
+        assert result.cost == 0
+
+    def test_edgeless_graph(self):
+        result = MagsDMSummarizer(iterations=3).summarize(Graph(5, []))
+        assert result.cost == 0
+        assert result.representation.num_supernodes == 5
+
+    def test_single_edge(self):
+        g = Graph(2, [(0, 1)])
+        result = MagsDMSummarizer(iterations=3).summarize(g)
+        verify_lossless(g, result.representation)

@@ -1,0 +1,230 @@
+"""Tests for MinHash signatures, mh(.), and Super-Jaccard."""
+
+import numpy as np
+import pytest
+
+from repro.core.minhash import (
+    EMPTY_SENTINEL,
+    MERSENNE_PRIME,
+    MinHashSignatures,
+    exact_jaccard,
+    node_hash_values,
+    node_signatures,
+    super_jaccard,
+)
+from repro.core.supernodes import SuperNodePartition
+from repro.graph.generators import barabasi_albert
+from repro.graph.graph import Graph
+
+
+class TestHashValues:
+    def test_shape_and_range(self):
+        values = node_hash_values(50, 8, seed=1)
+        assert values.shape == (8, 50)
+        assert values.max() < MERSENNE_PRIME
+
+    def test_deterministic_per_seed(self):
+        assert np.array_equal(
+            node_hash_values(30, 4, seed=5), node_hash_values(30, 4, seed=5)
+        )
+        assert not np.array_equal(
+            node_hash_values(30, 4, seed=5), node_hash_values(30, 4, seed=6)
+        )
+
+    def test_rows_are_distinct_functions(self):
+        values = node_hash_values(100, 4, seed=2)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not np.array_equal(values[i], values[j])
+
+    def test_no_overflow_wraparound(self):
+        # With naive uint64 arithmetic, a*x would overflow and collide
+        # structurally; the split multiplication must keep values
+        # uniform (no duplicate-heavy rows).
+        values = node_hash_values(10_000, 2, seed=3)
+        assert len(np.unique(values[0])) > 9_900
+
+
+class TestNodeSignatures:
+    def test_twins_share_signatures(self, twin_graph):
+        sig = node_signatures(twin_graph, 16, seed=1)
+        # Nodes 0 and 1 have identical neighbor sets.
+        assert np.array_equal(sig[:, 0], sig[:, 1])
+
+    def test_empty_neighborhood_gets_sentinel(self):
+        g = Graph(3, [(0, 1)])
+        sig = node_signatures(g, 4, seed=1)
+        assert (sig[:, 2] == EMPTY_SENTINEL).all()
+
+    def test_signature_is_min_over_neighbors(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        values = node_hash_values(4, 3, seed=7)
+        sig = node_signatures(g, 3, seed=7)
+        for i in range(3):
+            assert sig[i, 0] == min(values[i, 1], values[i, 2], values[i, 3])
+
+    def test_needs_at_least_one_function(self, triangle):
+        with pytest.raises(ValueError):
+            node_signatures(triangle, 0, seed=1)
+
+    def test_edgeless_graph(self):
+        g = Graph(4, [])
+        sig = node_signatures(g, 2, seed=1)
+        assert (sig == EMPTY_SENTINEL).all()
+
+
+class TestMinHashSimilarity:
+    def test_identical_neighborhoods_similarity_one(self, twin_graph):
+        sig = MinHashSignatures(twin_graph, 24, seed=1)
+        assert sig.similarity(0, 1) == pytest.approx(1.0)
+
+    def test_disjoint_neighborhoods_similarity_zero(self):
+        g = Graph(6, [(0, 1), (2, 3), (4, 5)])
+        sig = MinHashSignatures(g, 24, seed=1)
+        assert sig.similarity(0, 2) == pytest.approx(0.0)
+
+    def test_estimator_tracks_exact_jaccard(self):
+        g = barabasi_albert(150, 4, seed=3)
+        sig = MinHashSignatures(g, 200, seed=4)
+        errors = []
+        for u, v in [(0, 1), (2, 5), (10, 20), (3, 4), (7, 9)]:
+            errors.append(abs(sig.similarity(u, v) - exact_jaccard(g, u, v)))
+        assert max(errors) < 0.18  # h=200 -> stderr ~ 0.035
+
+    def test_merge_takes_elementwise_min(self, twin_graph):
+        sig = MinHashSignatures(twin_graph, 8, seed=1)
+        before_u = sig.column(0).copy()
+        before_v = sig.column(2).copy()
+        sig.merge(0, 2)
+        assert np.array_equal(sig.column(0), np.minimum(before_u, before_v))
+
+    def test_merged_signature_matches_union_neighborhood(self, twin_graph):
+        # f_min(w) = min over the union of neighbor sets: merging the
+        # signatures must equal hashing the union directly.
+        h = 12
+        sig = MinHashSignatures(twin_graph, h, seed=5)
+        union = set(twin_graph.neighbors(0)) | set(twin_graph.neighbors(4))
+        values = node_hash_values(twin_graph.n, h, seed=5)
+        expected = values[:, sorted(union)].min(axis=1)
+        sig.merge(0, 4)
+        assert np.array_equal(sig.column(0), expected)
+
+    def test_value_accessor(self, triangle):
+        sig = MinHashSignatures(triangle, 3, seed=1)
+        assert sig.value(0, 0) == int(sig.sig[0, 0])
+
+
+class TestSuperJaccard:
+    def test_singletons_reduce_to_plain_jaccard(self, twin_graph):
+        p = SuperNodePartition(twin_graph)
+        assert super_jaccard(p, 0, 1) == pytest.approx(
+            exact_jaccard(twin_graph, 0, 1)
+        )
+
+    def test_paper_example2_bias(self):
+        """Figure 3: Super-Jaccard prefers the big super-node {f,g,h}
+        over the perfect match {a}, while plain Jaccard prefers {a}."""
+        # a=0, b=1, c=2, f=5, g=6, h=7 and three target nodes 8, 9, 10.
+        # {b,c} and {a} see all three targets (weights 2 and 1);
+        # {f,g,h} covers only targets 8 and 9 but with weight 2 each:
+        # SJ({b,c},{a}) = 3/6, SJ({b,c},{f,g,h}) = 4/6 — the paper's
+        # exact numbers — while J prefers {a} (1 vs 2/3).
+        edges = []
+        for node in (0, 1, 2):          # a, b, c -> all three targets
+            for t in (8, 9, 10):
+                edges.append((node, t))
+        edges += [(5, 8), (6, 8), (6, 9), (7, 9)]
+        g = Graph(11, edges)
+        p = SuperNodePartition(g)
+        bc = p.merge(1, 2)
+        fgh = p.merge(p.merge(5, 6), p.find(7))
+        sj_a = super_jaccard(p, bc, 0)
+        sj_fgh = super_jaccard(p, bc, fgh)
+        assert sj_a == pytest.approx(3 / 6)
+        assert sj_fgh == pytest.approx(4 / 6)
+        assert sj_fgh > sj_a  # the bias the paper criticises
+        assert exact_jaccard(g, 1, 0) == 1.0  # plain Jaccard prefers {a}
+
+    def test_empty_sides(self):
+        g = Graph(4, [(0, 1)])
+        p = SuperNodePartition(g)
+        assert super_jaccard(p, 2, 3) == 0.0
+
+    def test_symmetry(self, community_graph):
+        p = SuperNodePartition(community_graph)
+        p.merge(0, 10)
+        u, v = p.find(0), p.find(1)
+        assert super_jaccard(p, u, v) == pytest.approx(
+            super_jaccard(p, v, u)
+        )
+
+
+class TestExactJaccard:
+    def test_identical(self, twin_graph):
+        assert exact_jaccard(twin_graph, 0, 1) == 1.0
+
+    def test_disjoint(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert exact_jaccard(g, 0, 2) == 0.0
+
+    def test_both_empty(self):
+        g = Graph(3, [(0, 1)])
+        assert exact_jaccard(g, 2, 2) == 0.0
+
+
+class TestWeightedMinHash:
+    def test_signature_length_and_determinism(self, twin_graph):
+        from repro.core.minhash import weighted_minhash_signature
+
+        p = SuperNodePartition(twin_graph)
+        sig = weighted_minhash_signature(p, 0, 4, seed=9)
+        assert len(sig) == 4
+        assert sig == weighted_minhash_signature(p, 0, 4, seed=9)
+        assert sig != weighted_minhash_signature(p, 0, 4, seed=10)
+
+    def test_identical_weight_vectors_collide(self, twin_graph):
+        from repro.core.minhash import weighted_minhash_signature
+
+        p = SuperNodePartition(twin_graph)
+        # Twins 0 and 1 have identical neighborhoods, hence identical
+        # weight vectors: their signatures must match exactly.
+        assert weighted_minhash_signature(
+            p, 0, 6, seed=3
+        ) == weighted_minhash_signature(p, 1, 6, seed=3)
+
+    def test_disjoint_weight_vectors_rarely_collide(self):
+        from repro.core.minhash import weighted_minhash_signature
+
+        g = Graph(6, [(0, 1), (2, 3), (4, 5)])
+        p = SuperNodePartition(g)
+        a = weighted_minhash_signature(p, 0, 8, seed=3)
+        b = weighted_minhash_signature(p, 2, 8, seed=3)
+        matches = sum(x == y for x, y in zip(a, b))
+        assert matches <= 1
+
+    def test_empty_neighborhood_sentinel(self):
+        from repro.core.minhash import weighted_minhash_signature
+
+        g = Graph(3, [(0, 1)])
+        p = SuperNodePartition(g)
+        assert weighted_minhash_signature(p, 2, 3, seed=1) == (-1, -1, -1)
+
+    def test_collision_rate_tracks_weighted_jaccard(self, twin_graph):
+        from repro.core.minhash import weighted_minhash_signature
+
+        p = SuperNodePartition(twin_graph)
+        w = p.merge(0, 1)  # weight vector {8: 2, 9: 2}
+        other = 2          # weight vector {9: 1, 10: 1}
+        k = 200
+        a = weighted_minhash_signature(p, w, k, seed=5)
+        b = weighted_minhash_signature(p, other, k, seed=5)
+        rate = sum(x == y for x, y in zip(a, b)) / k
+        # weighted Jaccard = sum(min)/sum(max) = 1/5 = 0.2.
+        assert abs(rate - 0.2) < 0.1
+
+    def test_invalid_k(self, twin_graph):
+        from repro.core.minhash import weighted_minhash_signature
+
+        p = SuperNodePartition(twin_graph)
+        with pytest.raises(ValueError):
+            weighted_minhash_signature(p, 0, 0, seed=1)

@@ -1,0 +1,126 @@
+"""Tests for the parallel execution paths and the speedup model."""
+
+import random
+
+import pytest
+
+from repro.algorithms.parallel import (
+    lpt_partition,
+    map_chunks,
+    merge_groups_parallel,
+    partition_speedup,
+)
+
+
+class TestMapChunks:
+    def test_covers_all_items(self):
+        seen = []
+        map_chunks(list(range(10)), 3, lambda chunk, off: seen.extend(chunk))
+        assert sorted(seen) == list(range(10))
+
+    def test_offsets_are_chunk_starts(self):
+        offsets = []
+        map_chunks(list(range(10)), 3, lambda chunk, off: offsets.append(off))
+        assert offsets == [0, 4, 8]
+
+    def test_single_worker_is_serial(self):
+        results = map_chunks([1, 2, 3], 1, lambda chunk, off: sum(chunk))
+        assert results == [6]
+
+    def test_empty_items(self):
+        assert map_chunks([], 4, lambda c, o: c) == []
+
+    def test_more_workers_than_items(self):
+        results = map_chunks([5], 8, lambda chunk, off: chunk[0])
+        assert results == [5]
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            map_chunks([1], 0, lambda c, o: c)
+
+    def test_results_in_chunk_order(self):
+        results = map_chunks(
+            list(range(9)), 3, lambda chunk, off: (off, list(chunk))
+        )
+        assert [r[0] for r in results] == [0, 3, 6]
+
+
+class TestLptPartition:
+    def test_makespan_within_lpt_bound(self):
+        works = [5, 4, 3, 3, 3]
+        assignment = lpt_partition(works, 2)
+        loads = [sum(works[i] for i in bucket) for bucket in assignment]
+        # Optimal makespan is 9 ({5,4} vs {3,3,3}); LPT guarantees
+        # at most 4/3 of it.
+        assert 9 <= max(loads) <= 12
+
+    def test_every_item_assigned_once(self):
+        assignment = lpt_partition([1.0] * 7, 3)
+        flat = sorted(i for bucket in assignment for i in bucket)
+        assert flat == list(range(7))
+
+    def test_single_worker(self):
+        assignment = lpt_partition([2, 1], 1)
+        assert sorted(assignment[0]) == [0, 1]
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            lpt_partition([1], 0)
+
+    def test_empty_work(self):
+        assert lpt_partition([], 3) == [[], [], []]
+
+
+class TestPartitionSpeedup:
+    def test_single_worker_is_one(self):
+        assert partition_speedup([3, 2, 1], 1) == 1.0
+
+    def test_perfectly_parallel_work(self):
+        speedup = partition_speedup([1.0] * 100, 10)
+        assert speedup == pytest.approx(10.0, rel=0.01)
+
+    def test_one_giant_item_limits_speedup(self):
+        # One item holds 50% of the work: speedup can't pass 2.
+        speedup = partition_speedup([50.0] + [1.0] * 50, 100)
+        assert speedup < 2.01
+
+    def test_sync_overhead_reduces_speedup(self):
+        free = partition_speedup([1.0] * 100, 10)
+        taxed = partition_speedup([1.0] * 100, 10, sync_overhead=10.0)
+        assert taxed < free
+
+    def test_serial_fraction_caps_speedup(self):
+        # Amdahl: 20% serial caps speedup below 5 regardless of p.
+        speedup = partition_speedup(
+            [1.0] * 1000, 1000, serial_fraction=0.2
+        )
+        assert speedup < 5.1
+
+    def test_zero_work(self):
+        assert partition_speedup([], 4) == 1.0
+
+    def test_monotone_in_workers(self):
+        works = [float(w) for w in range(1, 40)]
+        speedups = [partition_speedup(works, p) for p in (1, 2, 4, 8)]
+        assert all(a <= b + 1e-9 for a, b in zip(speedups, speedups[1:]))
+
+
+class TestMergeGroupsParallel:
+    def test_matches_group_semantics(self, community_graph):
+        """Parallel group merging must produce a valid (lossless)
+        result and perform a comparable number of merges."""
+        from repro.algorithms.mags_dm import MagsDMSummarizer
+        from repro.core.minhash import MinHashSignatures
+        from repro.core.supernodes import SuperNodePartition
+
+        dm = MagsDMSummarizer(iterations=1, seed=0)
+        partition = SuperNodePartition(community_graph)
+        signatures = MinHashSignatures(community_graph, dm.h, seed=0)
+        groups = [
+            list(range(i, i + 10)) for i in range(0, 60, 10)
+        ]
+        merges = merge_groups_parallel(
+            dm, partition, signatures, groups, 0.1, random.Random(0), 4
+        )
+        partition.check_invariants()
+        assert merges == partition.num_merges

@@ -1,0 +1,104 @@
+"""Tests for the summary-side analytics queries."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.mags_dm import MagsDMSummarizer
+from repro.core.encoding import encode
+from repro.core.minhash import exact_jaccard
+from repro.core.supernodes import SuperNodePartition
+from repro.queries.analytics import (
+    common_neighbors,
+    degree_distribution,
+    degree_vector,
+    jaccard_similarity,
+    top_degree_nodes,
+)
+from repro.queries.neighbors import SummaryNeighborIndex
+
+
+@pytest.fixture(scope="module")
+def summarized_pair():
+    from repro.graph.generators import templated_web
+
+    graph = templated_web(250, 12, 40, 6, 0.1, seed=21)
+    rep = MagsDMSummarizer(iterations=10, seed=1).summarize(graph).representation
+    return graph, rep
+
+
+class TestDegreeVector:
+    def test_matches_graph_degrees(self, summarized_pair):
+        graph, rep = summarized_pair
+        np.testing.assert_array_equal(degree_vector(rep), graph.degrees())
+
+    def test_singleton_encoding(self, paper_like_graph):
+        rep = encode(SuperNodePartition(paper_like_graph))
+        np.testing.assert_array_equal(
+            degree_vector(rep), paper_like_graph.degrees()
+        )
+
+    def test_clique_with_self_edge(self, clique_graph):
+        p = SuperNodePartition(clique_graph)
+        root = 0
+        for v in range(1, 6):
+            root = p.merge(root, p.find(v))
+        rep = encode(p)
+        assert (degree_vector(rep) == 5).all()
+
+
+class TestDegreeDistribution:
+    def test_matches_histogram(self, summarized_pair):
+        graph, rep = summarized_pair
+        from repro.graph.stats import degree_histogram
+
+        assert degree_distribution(rep) == degree_histogram(graph)
+
+    def test_counts_sum_to_n(self, summarized_pair):
+        graph, rep = summarized_pair
+        assert sum(degree_distribution(rep).values()) == graph.n
+
+
+class TestPairQueries:
+    def test_common_neighbors_exact(self, summarized_pair):
+        graph, rep = summarized_pair
+        index = SummaryNeighborIndex(rep)
+        for u, v in [(0, 1), (5, 10), (40, 41), (100, 200)]:
+            expected = set(graph.neighbors(u)) & set(graph.neighbors(v))
+            assert common_neighbors(index, u, v) == expected
+
+    def test_jaccard_matches_exact(self, summarized_pair):
+        graph, rep = summarized_pair
+        index = SummaryNeighborIndex(rep)
+        for u, v in [(0, 1), (5, 10), (40, 41)]:
+            assert jaccard_similarity(index, u, v) == pytest.approx(
+                exact_jaccard(graph, u, v)
+            )
+
+    def test_jaccard_of_isolated_pair(self):
+        from repro.graph.graph import Graph
+
+        g = Graph(4, [(0, 1)])
+        rep = encode(SuperNodePartition(g))
+        index = SummaryNeighborIndex(rep)
+        assert jaccard_similarity(index, 2, 3) == 0.0
+
+
+class TestTopDegree:
+    def test_star_hub_first(self, star_graph):
+        rep = encode(SuperNodePartition(star_graph))
+        top = top_degree_nodes(rep, 3)
+        assert top[0] == (0, 9)
+        assert all(degree == 1 for __, degree in top[1:])
+
+    def test_count_zero(self, star_graph):
+        rep = encode(SuperNodePartition(star_graph))
+        assert top_degree_nodes(rep, 0) == []
+
+    def test_negative_count_rejected(self, star_graph):
+        rep = encode(SuperNodePartition(star_graph))
+        with pytest.raises(ValueError):
+            top_degree_nodes(rep, -1)
+
+    def test_deterministic_tie_breaking(self, triangle):
+        rep = encode(SuperNodePartition(triangle))
+        assert top_degree_nodes(rep, 3) == [(0, 2), (1, 2), (2, 2)]

@@ -1,0 +1,94 @@
+"""Tests for neighbor queries on the summary (Algorithm 6)."""
+
+import pytest
+
+from repro.algorithms.mags import MagsSummarizer
+from repro.algorithms.mags_dm import MagsDMSummarizer
+from repro.core.encoding import encode
+from repro.core.supernodes import SuperNodePartition
+from repro.queries.neighbors import SummaryNeighborIndex, neighbor_query
+
+
+def _representation(graph, merges=()):
+    partition = SuperNodePartition(graph)
+    for u, v in merges:
+        partition.merge(partition.find(u), partition.find(v))
+    return encode(partition)
+
+
+class TestNeighborQuery:
+    def test_exact_on_singleton_encoding(self, paper_like_graph):
+        rep = _representation(paper_like_graph)
+        for q in paper_like_graph.nodes():
+            assert neighbor_query(rep, q) == set(paper_like_graph.neighbors(q))
+
+    def test_exact_after_merges(self, paper_like_graph):
+        rep = _representation(
+            paper_like_graph, [(0, 1), (3, 4), (5, 6), (5, 7)]
+        )
+        for q in paper_like_graph.nodes():
+            assert neighbor_query(rep, q) == set(paper_like_graph.neighbors(q))
+
+    def test_self_superedge_excludes_self(self, clique_graph):
+        rep = _representation(
+            clique_graph, [(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]
+        )
+        assert neighbor_query(rep, 0) == {1, 2, 3, 4, 5}
+
+    def test_out_of_range(self, triangle):
+        rep = _representation(triangle)
+        with pytest.raises(IndexError):
+            neighbor_query(rep, 99)
+
+
+class TestSummaryNeighborIndex:
+    @pytest.fixture
+    def summarized(self, community_graph):
+        result = MagsDMSummarizer(iterations=8, seed=1).summarize(
+            community_graph
+        )
+        return community_graph, SummaryNeighborIndex(result.representation)
+
+    def test_exact_for_every_node(self, summarized):
+        graph, index = summarized
+        for q in graph.nodes():
+            assert index.neighbors(q) == set(graph.neighbors(q))
+
+    def test_matches_one_shot_query(self, summarized):
+        graph, index = summarized
+        for q in range(0, graph.n, 17):
+            assert index.neighbors(q) == neighbor_query(
+                index.representation, q
+            )
+
+    def test_degree(self, summarized):
+        graph, index = summarized
+        assert all(
+            index.degree(q) == graph.degree(q)
+            for q in range(0, graph.n, 13)
+        )
+
+    def test_out_of_range(self, summarized):
+        __, index = summarized
+        with pytest.raises(IndexError):
+            index.neighbors(-1)
+
+    def test_work_units_bound(self, community_graph):
+        """Section 6.6: expected work is a small multiple of d_avg."""
+        result = MagsSummarizer(iterations=10, seed=2).summarize(
+            community_graph
+        )
+        index = SummaryNeighborIndex(result.representation)
+        avg_work = sum(
+            index.work_units(q) for q in community_graph.nodes()
+        ) / community_graph.n
+        assert avg_work <= 1.6 * community_graph.avg_degree
+
+    def test_work_counts_removals_twice(self, clique_graph):
+        from repro.graph.graph import Graph
+
+        g = Graph(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3)])
+        rep = _representation(g, [(0, 1), (0, 2), (0, 3)])
+        index = SummaryNeighborIndex(rep)
+        # Self super-edge expands 3 others; (2,3) is a removal.
+        assert index.work_units(2) == 3 + 2

@@ -1,0 +1,187 @@
+"""Tests for BFS / shortest paths / components on the summary."""
+
+import random
+from collections import deque
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.mags import MagsSummarizer
+from repro.algorithms.mags_dm import MagsDMSummarizer
+from repro.core.encoding import encode
+from repro.core.supernodes import SuperNodePartition
+from repro.graph.generators import caveman, planted_partition
+from repro.graph.graph import Graph
+from repro.queries.neighbors import SummaryNeighborIndex
+from repro.queries.traversal import (
+    bfs_distances,
+    connected_components,
+    num_connected_components,
+    shortest_path,
+)
+
+
+def _reference_bfs(graph: Graph, source: int) -> dict[int, int]:
+    distances = {source: 0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if v not in distances:
+                distances[v] = distances[u] + 1
+                queue.append(v)
+    return distances
+
+
+def _reference_components(graph: Graph) -> list[int]:
+    label = [-1] * graph.n
+    for start in graph.nodes():
+        if label[start] >= 0:
+            continue
+        queue = deque([start])
+        label[start] = start
+        while queue:
+            u = queue.popleft()
+            for v in graph.neighbors(u):
+                if label[v] < 0:
+                    label[v] = start
+                    queue.append(v)
+    return label
+
+
+def _summarize(graph, algo=MagsDMSummarizer):
+    return algo(iterations=10, seed=1).summarize(graph).representation
+
+
+class TestBfs:
+    def test_matches_reference_on_summary(self, community_graph):
+        rep = _summarize(community_graph)
+        index = SummaryNeighborIndex(rep)
+        for source in (0, 7, 42):
+            assert bfs_distances(index, source) == _reference_bfs(
+                community_graph, source
+            )
+
+    def test_unreachable_nodes_absent(self, disconnected_graph):
+        rep = _summarize(disconnected_graph)
+        index = SummaryNeighborIndex(rep)
+        distances = bfs_distances(index, 0)
+        assert set(distances) == {0, 1, 2}
+
+    def test_out_of_range(self, triangle):
+        index = SummaryNeighborIndex(_summarize(triangle))
+        with pytest.raises(IndexError):
+            bfs_distances(index, 9)
+
+
+class TestShortestPath:
+    def test_path_is_valid_and_minimal(self, community_graph):
+        rep = _summarize(community_graph)
+        index = SummaryNeighborIndex(rep)
+        reference = _reference_bfs(community_graph, 3)
+        rng = random.Random(0)
+        targets = rng.sample(sorted(reference), 5)
+        for target in targets:
+            path = shortest_path(index, 3, target)
+            assert path is not None
+            assert path[0] == 3 and path[-1] == target
+            assert len(path) - 1 == reference[target]
+            for a, b in zip(path, path[1:]):
+                assert community_graph.has_edge(a, b)
+
+    def test_same_node(self, triangle):
+        index = SummaryNeighborIndex(_summarize(triangle))
+        assert shortest_path(index, 1, 1) == [1]
+
+    def test_disconnected_returns_none(self, disconnected_graph):
+        index = SummaryNeighborIndex(_summarize(disconnected_graph))
+        assert shortest_path(index, 0, 4) is None
+
+    def test_out_of_range(self, triangle):
+        index = SummaryNeighborIndex(_summarize(triangle))
+        with pytest.raises(IndexError):
+            shortest_path(index, 0, 42)
+
+
+class TestConnectedComponents:
+    def _assert_matches(self, graph, rep=None):
+        rep = rep or _summarize(graph)
+        got = connected_components(rep)
+        expected = _reference_components(graph)
+        # Same partition (labels may differ): compare label classes.
+        mapping: dict[int, int] = {}
+        for g_label, e_label in zip(got, expected):
+            assert mapping.setdefault(g_label, e_label) == e_label
+        assert len(set(got)) == len(set(expected))
+
+    def test_two_triangles_and_isolates(self, disconnected_graph):
+        self._assert_matches(disconnected_graph)
+        assert num_connected_components(
+            _summarize(disconnected_graph)
+        ) == 4
+
+    def test_connected_community_graph(self, community_graph):
+        self._assert_matches(community_graph)
+
+    def test_caveman_ring(self):
+        graph = caveman(5, 6, seed=1)
+        self._assert_matches(graph)
+
+    def test_singleton_encoding(self, paper_like_graph):
+        rep = encode(SuperNodePartition(paper_like_graph))
+        self._assert_matches(paper_like_graph, rep)
+
+    def test_removal_isolating_a_member(self):
+        """A super-edge whose removals cut one member loose entirely:
+        that member must not inherit the super-edge's connectivity."""
+        # K_{2,3} minus all edges of node 1: node 1 is isolated.
+        g = Graph(5, [(0, 2), (0, 3), (0, 4)])
+        partition = SuperNodePartition(g)
+        partition.merge(0, 1)
+        partition.merge(partition.find(2), partition.find(3))
+        partition.merge(partition.find(2), partition.find(4))
+        rep = encode(partition)
+        self._assert_matches(g, rep)
+
+    def test_split_biclique_components(self):
+        """Removals that split a super-edge's survivors into two
+        disjoint pairs (the case a naive single-anchor union gets
+        wrong)."""
+        g = Graph(4, [(0, 2), (1, 3)])
+        partition = SuperNodePartition(g)
+        partition.merge(0, 1)
+        partition.merge(partition.find(2), partition.find(3))
+        rep = encode(partition)
+        self._assert_matches(g, rep)
+
+    def test_dense_superedge_with_crossing_removals(self):
+        """Survivors stay connected through third pairs even when
+        every node is touched by some removal."""
+        edges = [(0, 2), (0, 3), (1, 2)]  # K_{2,2} minus (1,3)
+        g = Graph(4, edges)
+        partition = SuperNodePartition(g)
+        partition.merge(0, 1)
+        partition.merge(partition.find(2), partition.find(3))
+        rep = encode(partition)
+        self._assert_matches(g, rep)
+
+    def test_on_mags_output(self):
+        graph = planted_partition(150, 10, 0.6, 0.01, seed=3)
+        rep = _summarize(graph, MagsSummarizer)
+        self._assert_matches(graph, rep)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000))
+def test_components_match_reference_on_random_graphs(seed):
+    from repro.graph.generators import erdos_renyi
+
+    graph = erdos_renyi(24, 0.09, seed=seed % 200)
+    rep = MagsDMSummarizer(iterations=5, seed=1).summarize(graph).representation
+    got = connected_components(rep)
+    expected = _reference_components(graph)
+    mapping: dict[int, int] = {}
+    for g_label, e_label in zip(got, expected):
+        assert mapping.setdefault(g_label, e_label) == e_label
+    assert len(set(got)) == len(set(expected))

@@ -1,0 +1,161 @@
+"""Tests for the on-disk summary format."""
+
+import pytest
+
+from repro.algorithms.mags import MagsSummarizer
+from repro.algorithms.mags_dm import MagsDMSummarizer
+from repro.core.encoding import encode
+from repro.core.serialization import (
+    FormatError,
+    load_representation,
+    save_representation,
+)
+from repro.core.supernodes import SuperNodePartition
+from repro.core.verify import verify_lossless
+
+
+def _summarize(graph, T=8):
+    return MagsDMSummarizer(iterations=T, seed=1).summarize(graph).representation
+
+
+class TestRoundtrip:
+    def test_exact_roundtrip(self, tmp_path, paper_like_graph):
+        rep = _summarize(paper_like_graph)
+        path = tmp_path / "summary.txt"
+        save_representation(path, rep)
+        loaded = load_representation(path)
+        assert loaded.n == rep.n
+        assert loaded.m == rep.m
+        assert loaded.supernodes.keys() == rep.supernodes.keys()
+        assert loaded.summary_edges == rep.summary_edges
+        assert loaded.additions == rep.additions
+        assert loaded.removals == rep.removals
+
+    def test_loaded_representation_reconstructs(self, tmp_path, community_graph):
+        rep = _summarize(community_graph)
+        path = tmp_path / "summary.txt"
+        save_representation(path, rep)
+        loaded = load_representation(path)
+        verify_lossless(community_graph, loaded)
+
+    def test_gzip_roundtrip(self, tmp_path, twin_graph):
+        rep = _summarize(twin_graph)
+        path = tmp_path / "summary.txt.gz"
+        save_representation(path, rep)
+        verify_lossless(twin_graph, load_representation(path))
+
+    def test_singleton_encoding_roundtrip(self, tmp_path, triangle):
+        rep = encode(SuperNodePartition(triangle))
+        path = tmp_path / "summary.txt"
+        save_representation(path, rep)
+        verify_lossless(triangle, load_representation(path))
+
+    def test_deterministic_output(self, tmp_path, community_graph):
+        rep = _summarize(community_graph)
+        p1, p2 = tmp_path / "a.txt", tmp_path / "b.txt"
+        save_representation(p1, rep)
+        save_representation(p2, rep)
+        assert p1.read_text() == p2.read_text()
+
+    def test_mags_output_roundtrip(self, tmp_path, community_graph):
+        rep = MagsSummarizer(iterations=8, seed=2).summarize(
+            community_graph
+        ).representation
+        path = tmp_path / "mags.txt"
+        save_representation(path, rep)
+        verify_lossless(community_graph, load_representation(path))
+
+
+class TestFormatErrors:
+    def _write(self, tmp_path, text):
+        path = tmp_path / "bad.txt"
+        path.write_text(text)
+        return path
+
+    def test_bad_header(self, tmp_path):
+        path = self._write(tmp_path, "not a summary\n")
+        with pytest.raises(FormatError, match="header"):
+            load_representation(path)
+
+    def test_missing_g_record(self, tmp_path):
+        path = self._write(tmp_path, "# repro summary v1\nS 0 0\n")
+        with pytest.raises(FormatError, match="missing G"):
+            load_representation(path)
+
+    def test_unknown_record(self, tmp_path):
+        path = self._write(
+            tmp_path, "# repro summary v1\nG 1 0\nX nonsense\n"
+        )
+        with pytest.raises(FormatError, match="unknown record"):
+            load_representation(path)
+
+    def test_malformed_numbers(self, tmp_path):
+        path = self._write(
+            tmp_path, "# repro summary v1\nG 1 0\nS zero one\n"
+        )
+        with pytest.raises(FormatError, match="malformed"):
+            load_representation(path)
+
+    def test_duplicate_supernode(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            "# repro summary v1\nG 2 0\nS 0 0\nS 0 1\n",
+        )
+        with pytest.raises(FormatError, match="duplicate"):
+            load_representation(path)
+
+    def test_partition_gap_detected(self, tmp_path):
+        path = self._write(
+            tmp_path, "# repro summary v1\nG 3 0\nS 0 0\nS 1 1\n"
+        )
+        with pytest.raises(FormatError, match="partition"):
+            load_representation(path)
+
+    def test_dangling_superedge(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            "# repro summary v1\nG 2 1\nS 0 0\nS 1 1\nE 0 7\n",
+        )
+        with pytest.raises(FormatError, match="unknown id"):
+            load_representation(path)
+
+    def test_empty_supernode(self, tmp_path):
+        path = self._write(
+            tmp_path, "# repro summary v1\nG 1 0\nS 0\n"
+        )
+        with pytest.raises(FormatError, match="empty super-node"):
+            load_representation(path)
+
+
+class TestCrossFormatConsistency:
+    def test_text_and_binary_agree(self, tmp_path, community_graph):
+        """The text format and the binary codec must describe the same
+        representation (same reconstruction, same cost)."""
+        from repro.compression.codec import SummaryCodec
+
+        rep = _summarize(community_graph)
+        path = tmp_path / "summary.txt"
+        save_representation(path, rep)
+        from_text = load_representation(path)
+        from_blob = SummaryCodec.decode(SummaryCodec.encode(rep))
+        assert (
+            from_text.reconstruct_edges()
+            == from_blob.reconstruct_edges()
+            == community_graph.edge_set()
+        )
+        assert from_text.cost == from_blob.cost == rep.cost
+
+    def test_binary_blob_is_smaller_than_text(self, community_graph):
+        from repro.compression.codec import SummaryCodec
+
+        rep = _summarize(community_graph)
+        # Approximate the text size without touching disk.
+        text_size = sum(
+            len(line)
+            for line in (
+                f"S {sid} {' '.join(map(str, m))}\n"
+                for sid, m in rep.supernodes.items()
+            )
+        ) + 7 * (len(rep.additions) + len(rep.removals) + len(rep.summary_edges))
+        blob = SummaryCodec.encode(rep)
+        assert len(blob) < text_size

@@ -1,0 +1,111 @@
+"""Tests for the Slugger hierarchical baseline."""
+
+import pytest
+
+from repro.algorithms.slugger import (
+    Dendrogram,
+    SluggerSummarizer,
+    hierarchical_intra_cost,
+)
+from repro.core.verify import verify_lossless
+from repro.graph.generators import caveman, cliques_and_stars
+from repro.graph.graph import Graph
+
+
+class TestDendrogram:
+    def test_leaves(self):
+        d = Dendrogram(3)
+        assert d.tree(0).is_leaf
+        assert d.tree(0).members == [0]
+
+    def test_record_builds_tree(self):
+        d = Dendrogram(4)
+        d.record(0, 1)
+        d.record(0, 2)
+        tree = d.tree(0)
+        assert sorted(tree.members) == [0, 1, 2]
+        assert not tree.is_leaf
+        assert sorted(tree.left.members) == [0, 1]
+        assert tree.right.members == [2]
+
+    def test_absorbed_root_is_gone(self):
+        d = Dendrogram(3)
+        d.record(0, 1)
+        with pytest.raises(KeyError):
+            d.tree(1)
+
+
+class TestHierarchicalIntraCost:
+    def test_leaf_costs_nothing(self, triangle):
+        d = Dendrogram(3)
+        assert hierarchical_intra_cost(triangle, d.tree(0)) == 0
+
+    def test_clique_prefers_self_superedge(self, clique_graph):
+        d = Dendrogram(6)
+        for v in range(1, 6):
+            d.record(0, v)
+        cost = hierarchical_intra_cost(clique_graph, d.tree(0))
+        # One self super-edge + 2 hierarchy charge beats 15 plus-edges.
+        assert cost == 3
+
+    def test_sparse_interior_prefers_plus_edges(self, path_graph):
+        d = Dendrogram(6)
+        for v in range(1, 6):
+            d.record(0, v)
+        cost = hierarchical_intra_cost(path_graph, d.tree(0))
+        assert cost == path_graph.m  # 5 plus-corrections, no hierarchy
+
+    def test_nested_cliques_use_split(self):
+        """Two cliques joined by one edge: the split option (encode
+        each clique at its own subtree) must beat the flat options."""
+        edges = [(i, j) for i in range(4) for j in range(i + 1, 4)]
+        edges += [(i, j) for i in range(4, 8) for j in range(i + 1, 8)]
+        edges.append((0, 4))
+        g = Graph(8, edges)
+        d = Dendrogram(8)
+        for v in range(1, 4):
+            d.record(0, v)
+        for v in range(5, 8):
+            d.record(4, v)
+        d.record(0, 4)
+        cost = hierarchical_intra_cost(g, d.tree(0))
+        # Each clique: superedge 1 + charge 2; cross: one plus-edge.
+        assert cost == 3 + 3 + 1
+        # And it beats flat plus-encoding (13 edges).
+        assert cost < g.m
+
+
+class TestSlugger:
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            SluggerSummarizer(iterations=0)
+
+    def test_flat_representation_is_lossless(self, community_graph):
+        result = SluggerSummarizer(iterations=6).summarize(community_graph)
+        verify_lossless(community_graph, result.representation)
+
+    def test_reports_hierarchical_metrics(self, community_graph):
+        result = SluggerSummarizer(iterations=6).summarize(community_graph)
+        assert "hierarchical_cost" in result.extra_metrics
+        assert "hierarchical_relative_size" in result.extra_metrics
+        assert result.extra_metrics["hierarchical_cost"] > 0
+
+    def test_strong_compression_on_clique_composites(self):
+        """The HO phenomenon (Section 6.2): clique-and-hierarchy
+        structure is where the hierarchical model shines — its own
+        measure compresses the composite by an order of magnitude."""
+        g = cliques_and_stars(6, 10, 4, 8, seed=7)
+        result = SluggerSummarizer(iterations=10, seed=7).summarize(g)
+        # The exact |H| accounting links every member into its used
+        # hierarchy node, so ~n containment links is the floor; the
+        # composite still compresses several-fold under the measure.
+        assert result.extra_metrics["hierarchical_relative_size"] < 0.5
+
+    def test_caveman_compresses_well(self):
+        g = caveman(5, 8, seed=3)
+        result = SluggerSummarizer(iterations=10, seed=3).summarize(g)
+        assert result.extra_metrics["hierarchical_relative_size"] < 0.5
+
+    def test_phase_timings(self, community_graph):
+        result = SluggerSummarizer(iterations=3).summarize(community_graph)
+        assert {"divide", "merge", "encode"} <= set(result.phase_seconds)

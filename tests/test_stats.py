@@ -1,0 +1,81 @@
+"""Tests for graph statistics helpers."""
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.stats import degree_histogram, graph_stats
+
+
+class TestGraphStats:
+    def test_star(self, star_graph):
+        stats = graph_stats(star_graph)
+        assert stats.n == 10
+        assert stats.m == 9
+        assert stats.max_degree == 9
+        assert stats.min_degree == 1
+        assert stats.median_degree == 1.0
+        assert stats.isolated_nodes == 0
+
+    def test_empty_graph(self):
+        stats = graph_stats(Graph(0, []))
+        assert stats.n == 0
+        assert stats.avg_degree == 0.0
+
+    def test_isolated_nodes_counted(self):
+        stats = graph_stats(Graph(5, [(0, 1)]))
+        assert stats.isolated_nodes == 3
+        assert stats.min_degree == 0
+
+    def test_avg_degree(self, triangle):
+        assert graph_stats(triangle).avg_degree == pytest.approx(2.0)
+
+    def test_as_row_keys(self, triangle):
+        row = graph_stats(triangle).as_row()
+        assert {"n", "m", "d_avg", "d_max", "d_min"} <= set(row)
+        assert row["n"] == 3
+
+
+class TestDegreeHistogram:
+    def test_star(self, star_graph):
+        histogram = degree_histogram(star_graph)
+        assert histogram == {9: 1, 1: 9}
+
+    def test_regular_graph(self, triangle):
+        assert degree_histogram(triangle) == {2: 3}
+
+    def test_total_counts(self, community_graph):
+        histogram = degree_histogram(community_graph)
+        assert sum(histogram.values()) == community_graph.n
+        total_degree = sum(d * c for d, c in histogram.items())
+        assert total_degree == 2 * community_graph.m
+
+
+class TestDuplicationProfile:
+    def test_twin_graph_profile(self, twin_graph):
+        from repro.graph.stats import duplication_profile
+
+        profile = duplication_profile(twin_graph)
+        # Eight leaf nodes form four twin pairs.
+        assert profile["twin_fraction"] >= 8 / 12 - 1e-9
+        assert profile["largest_class"] >= 2
+
+    def test_path_has_some_twins(self, path_graph):
+        from repro.graph.stats import duplication_profile
+
+        # In P6, nodes 0 and 2 share {1}; ends pair with inner nodes.
+        profile = duplication_profile(path_graph)
+        assert 0.0 <= profile["twin_fraction"] <= 1.0
+
+    def test_web_analog_duplication_exceeds_social(self):
+        from repro.graph.datasets import load_dataset
+        from repro.graph.stats import duplication_profile
+
+        web = duplication_profile(load_dataset("CN"))
+        social = duplication_profile(load_dataset("SL"))
+        assert web["twin_fraction"] > social["twin_fraction"]
+
+    def test_empty_graph(self):
+        from repro.graph.stats import duplication_profile
+
+        profile = duplication_profile(Graph(0, []))
+        assert profile["twin_fraction"] == 0.0

@@ -1,0 +1,217 @@
+"""Tests for the super-node partition and its cost bookkeeping."""
+
+import pytest
+
+from repro.core.supernodes import SuperNodePartition
+from repro.graph.graph import Graph
+
+
+class TestInitialState:
+    def test_singletons(self, triangle):
+        p = SuperNodePartition(triangle)
+        assert p.num_supernodes() == 3
+        assert all(p.size(u) == 1 for u in p.roots())
+        assert all(p.intra(u) == 0 for u in p.roots())
+
+    def test_weights_mirror_adjacency(self, paper_like_graph):
+        p = SuperNodePartition(paper_like_graph)
+        for u in paper_like_graph.nodes():
+            assert set(p.weights(u)) == set(paper_like_graph.neighbors(u))
+            assert all(w == 1 for w in p.weights(u).values())
+
+    def test_initial_total_cost_is_m(self, paper_like_graph):
+        # Singleton partition: every edge is one plus-correction.
+        p = SuperNodePartition(paper_like_graph)
+        assert p.total_cost() == paper_like_graph.m
+
+    def test_invariants_hold(self, paper_like_graph):
+        SuperNodePartition(paper_like_graph).check_invariants()
+
+
+class TestMerging:
+    def test_merge_returns_live_root(self, triangle):
+        p = SuperNodePartition(triangle)
+        w = p.merge(0, 1)
+        assert w in (0, 1)
+        assert p.find(0) == p.find(1) == w
+        assert p.num_supernodes() == 2
+
+    def test_merge_tracks_members(self, triangle):
+        p = SuperNodePartition(triangle)
+        w = p.merge(0, 1)
+        assert sorted(p.members(w)) == [0, 1]
+
+    def test_merge_accumulates_intra_edges(self, triangle):
+        p = SuperNodePartition(triangle)
+        w = p.merge(0, 1)
+        assert p.intra(w) == 1  # the (0,1) edge became internal
+
+    def test_merge_combines_weights(self, paper_like_graph):
+        p = SuperNodePartition(paper_like_graph)
+        w = p.merge(0, 1)  # {a,b}: both adjacent to c=2, d=3, e=4
+        assert p.weights(w) == {2: 2, 3: 2, 4: 2}
+
+    def test_third_party_tables_rekeyed(self, paper_like_graph):
+        p = SuperNodePartition(paper_like_graph)
+        w = p.merge(3, 4)
+        # Node 0 was adjacent to both 3 and 4.
+        assert p.weights(0) == {2: 1, w: 2}
+
+    def test_merge_into_self_rejected(self, triangle):
+        p = SuperNodePartition(triangle)
+        with pytest.raises(ValueError):
+            p.merge(1, 1)
+
+    def test_merge_dead_root_rejected(self, triangle):
+        p = SuperNodePartition(triangle)
+        w = p.merge(0, 1)
+        dead = 1 if w == 0 else 0
+        with pytest.raises(ValueError):
+            p.merge(dead, 2)
+
+    def test_chained_merges_keep_invariants(self, community_graph):
+        p = SuperNodePartition(community_graph)
+        roots = sorted(p.roots())
+        for u, v in zip(roots[0:20:2], roots[1:20:2]):
+            p.merge(p.find(u), p.find(v))
+            p.check_invariants()
+
+    def test_merge_counter(self, clique_graph):
+        p = SuperNodePartition(clique_graph)
+        p.merge(0, 1)
+        p.merge(2, 3)
+        assert p.num_merges == 2
+
+    def test_clique_collapses_to_self_edge(self, clique_graph):
+        p = SuperNodePartition(clique_graph)
+        root = 0
+        for v in range(1, 6):
+            root = p.merge(root, p.find(v))
+        assert p.num_supernodes() == 1
+        assert p.intra(root) == 15
+        assert p.total_cost() == 1  # one self super-edge
+
+    def test_find_path_compression(self, clique_graph):
+        p = SuperNodePartition(clique_graph)
+        root = 0
+        for v in range(1, 6):
+            root = p.merge(root, p.find(v))
+        assert all(p.find(u) == root for u in range(6))
+
+
+class TestCosts:
+    def test_pair_cost_counts_edges(self, paper_like_graph):
+        p = SuperNodePartition(paper_like_graph)
+        assert p.pair_cost(0, 2) == 1
+        assert p.pair_cost(0, 5) == 0  # non-adjacent
+
+    def test_pair_cost_after_merge(self, paper_like_graph):
+        p = SuperNodePartition(paper_like_graph)
+        ab = p.merge(0, 1)
+        de = p.merge(3, 4)
+        # {a,b} x {d,e}: all 4 edges exist -> super-edge, cost 1.
+        assert p.pair_cost(ab, de) == 1
+
+    def test_node_cost_of_singleton_is_degree(self, paper_like_graph):
+        p = SuperNodePartition(paper_like_graph)
+        for u in paper_like_graph.nodes():
+            assert p.node_cost(u) == paper_like_graph.degree(u)
+
+    def test_node_cost_cache_invalidation(self, paper_like_graph):
+        p = SuperNodePartition(paper_like_graph)
+        before = p.node_cost(2)  # edges to 0, 1, 6 as plus-corrections
+        assert before == 3
+        p.merge(0, 1)  # node 2 is adjacent to both
+        after = p.node_cost(p.find(2))
+        # Both edges to {a,b} are now one super-edge (pi=2, edges=2):
+        # the cached value must have been invalidated and recomputed.
+        assert after == 2
+
+    def test_merged_cost_matches_actual_merge(self, community_graph):
+        p = SuperNodePartition(community_graph)
+        pairs = [(0, 10), (1, 21), (2, 32)]
+        for u, v in pairs:
+            ru, rv = p.find(u), p.find(v)
+            if ru == rv:
+                continue
+            predicted = p.merged_cost(ru, rv)
+            w = p.merge(ru, rv)
+            assert p.node_cost(w) == predicted
+
+    def test_total_cost_equals_sum_over_pairs(self, community_graph):
+        p = SuperNodePartition(community_graph)
+        for u, v in [(0, 10), (20, 30), (1, 11)]:
+            p.merge(p.find(u), p.find(v))
+        total = 0
+        for r in p.roots():
+            total += p.self_cost(r)
+            for x in p.weights(r):
+                if x > r:
+                    total += p.pair_cost(r, x)
+        assert total == p.total_cost()
+
+
+class TestSaving:
+    def test_identical_neighborhood_twins_save_half(self, twin_graph):
+        p = SuperNodePartition(twin_graph)
+        # Nodes 0 and 1 are non-adjacent twins with degree 2.
+        assert p.saving(0, 1) == pytest.approx(0.5)
+
+    def test_saving_is_symmetric(self, paper_like_graph):
+        p = SuperNodePartition(paper_like_graph)
+        assert p.saving(3, 4) == pytest.approx(p.saving(4, 3))
+
+    def test_saving_never_exceeds_half(self, community_graph):
+        p = SuperNodePartition(community_graph)
+        for u in range(0, 60, 7):
+            for v in range(1, 60, 11):
+                if u != v:
+                    assert p.saving(u, v) <= 0.5 + 1e-12
+
+    def test_saving_of_self_rejected(self, triangle):
+        p = SuperNodePartition(triangle)
+        with pytest.raises(ValueError):
+            p.saving(0, 0)
+
+    def test_isolated_pair_saves_nothing(self):
+        g = Graph(4, [(0, 1)])
+        p = SuperNodePartition(g)
+        assert p.saving(2, 3) == 0.0
+
+    def test_unrelated_singleton_pair_saves_nothing(self):
+        # Two degree-1 nodes with no common neighbor: no gain, no loss.
+        g = Graph(6, [(0, 1), (2, 3), (4, 5)])
+        p = SuperNodePartition(g)
+        assert p.saving(0, 2) == pytest.approx(0.0)
+
+    def test_merging_clique_with_outsider_has_negative_saving(
+        self, disconnected_graph
+    ):
+        # Collapse one triangle to a super-node (cost 1: self super-edge),
+        # then evaluate merging it with a node of the other triangle:
+        # the self pair degrades and cross corrections appear.
+        p = SuperNodePartition(disconnected_graph)
+        w = p.merge(p.merge(0, 1), p.find(2))
+        assert p.saving(w, 3) < 0
+
+    def test_positive_saving_predicts_cost_reduction(self, community_graph):
+        """The corrected saving (DESIGN.md decision 5) is exact: a
+        positive saving must strictly reduce total cost."""
+        p = SuperNodePartition(community_graph)
+        tested = 0
+        for u in range(0, 40):
+            for v in range(u + 1, 40):
+                ru, rv = p.find(u), p.find(v)
+                if ru == rv:
+                    continue
+                s = p.saving(ru, rv)
+                if s <= 0:
+                    continue
+                before = p.total_cost()
+                w = p.merge(ru, rv)
+                after = p.total_cost()
+                assert after < before
+                tested += 1
+                if tested >= 5:
+                    return
+        assert tested > 0

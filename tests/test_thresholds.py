@@ -1,0 +1,77 @@
+"""Tests for the merge-threshold schedules (Equation 6 and theta)."""
+
+import pytest
+
+from repro.core.thresholds import omega, omega_schedule, theta, theta_schedule
+
+
+class TestOmega:
+    def test_endpoints(self):
+        assert omega(1, 50) == pytest.approx(0.5)
+        assert omega(50, 50) == pytest.approx(0.005)
+
+    def test_paper_sequence_for_t50(self):
+        # The paper quotes 0.5, 0.455, 0.414, ..., 0.005 (r ~ 0.912).
+        assert omega(2, 50) == pytest.approx(0.455, abs=0.002)
+        assert omega(3, 50) == pytest.approx(0.414, abs=0.002)
+
+    def test_geometric_ratio(self):
+        ratio = omega(2, 50) / omega(1, 50)
+        assert ratio == pytest.approx(0.01 ** (1 / 49))
+
+    def test_strictly_decreasing(self):
+        schedule = omega_schedule(50)
+        assert all(a > b for a, b in zip(schedule, schedule[1:]))
+
+    def test_single_iteration_goes_straight_to_floor(self):
+        assert omega(1, 1) == pytest.approx(0.005)
+
+    def test_out_of_range_t(self):
+        with pytest.raises(ValueError):
+            omega(0, 10)
+        with pytest.raises(ValueError):
+            omega(11, 10)
+        with pytest.raises(ValueError):
+            omega(1, 0)
+
+    def test_schedule_length(self):
+        assert len(omega_schedule(20)) == 20
+
+    def test_paper_example_window(self):
+        """Section 4.1's example: with s(u,v)=0.46 the pair is mergeable
+        for 2 <= t <= 5 only (omega(2)=0.455, omega(6)=0.313)."""
+        assert omega(2, 50) < 0.46
+        assert omega(5, 50) < 0.46
+        # and the example pair (u,w) with saving 0.34 is not mergeable
+        # before t=6 (omega(6) ~ 0.313 < 0.34 < omega(5)).
+        assert omega(6, 50) < 0.34 < omega(5, 50)
+
+
+class TestTheta:
+    def test_values(self):
+        assert theta(1) == pytest.approx(0.5)
+        assert theta(2) == pytest.approx(1 / 3)
+        assert theta(49) == pytest.approx(0.02)
+
+    def test_invalid_t(self):
+        with pytest.raises(ValueError):
+            theta(0)
+
+    def test_schedule(self):
+        schedule = theta_schedule(5)
+        assert schedule == pytest.approx([1 / 2, 1 / 3, 1 / 4, 1 / 5, 1 / 6])
+
+
+class TestComparison:
+    def test_omega_decreases_more_slowly_early(self):
+        """The design argument of Merging Strategy 3: omega stays above
+        theta in the early-middle iterations, deferring low-quality
+        merges."""
+        T = 50
+        assert omega(1, T) == pytest.approx(theta(1))
+        for t in range(2, 20):
+            assert omega(t, T) > theta(t)
+
+    def test_omega_ends_below_theta(self):
+        # ... but its floor (0.005) digs deeper than theta(50) ~ 0.0196.
+        assert omega(50, 50) < theta(50)

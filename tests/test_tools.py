@@ -1,0 +1,65 @@
+"""Tests for the bench-results summary tool."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
+sys.path.insert(0, str(TOOLS))
+
+import summarize_bench_results as tool  # noqa: E402
+
+
+@pytest.fixture
+def fake_results(tmp_path):
+    (tmp_path / "fig4_compactness_small.txt").write_text(
+        "Figures 4/6: small graphs (T=20)\n"
+        "================================\n"
+        "dataset  algorithm  relative_size\n"
+        "---------------------------------\n"
+        "CA       Mags       0.7000\n"
+        "CA       Greedy     0.6900\n"
+        "CA       LDME       0.8000\n"
+    )
+    return tmp_path
+
+
+class TestRowParser:
+    def test_parses_data_rows_only(self, fake_results):
+        rows = tool.rows(
+            "fig4_compactness_small",
+            ["dataset", "algorithm", "rel"],
+            results=fake_results,
+        )
+        assert len(rows) == 3
+        assert rows[0] == {"dataset": "CA", "algorithm": "Mags", "rel": 0.7}
+
+    def test_skips_chart_sections(self, tmp_path):
+        (tmp_path / "x.txt").write_text(
+            "dataset  algorithm  v\n"
+            "A        a          1.0\n"
+            "dataset=A\n"
+            "  a  ##### 1.0\n"
+        )
+        rows = tool.rows("x", ["dataset", "algorithm", "v"], results=tmp_path)
+        assert len(rows) == 1
+
+    def test_none_for_missing_values(self, tmp_path):
+        (tmp_path / "y.txt").write_text("UK  Slugger  -\n")
+        rows = tool.rows("y", ["dataset", "algorithm", "v"], results=tmp_path)
+        assert rows[0]["v"] is None
+
+
+class TestAggregates:
+    def test_gmean(self):
+        assert tool.gmean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_cell_index(self, fake_results):
+        rows = tool.rows(
+            "fig4_compactness_small",
+            ["dataset", "algorithm", "rel"],
+            results=fake_results,
+        )
+        table = tool.cell(rows, "rel")
+        assert table[("CA", "Greedy")] == pytest.approx(0.69)

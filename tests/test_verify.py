@@ -1,0 +1,75 @@
+"""Tests for the losslessness verifier."""
+
+import pytest
+
+from repro.core.encoding import Representation, encode
+from repro.core.supernodes import SuperNodePartition
+from repro.core.verify import LosslessnessError, verify_lossless
+
+
+def _valid_representation(graph):
+    return encode(SuperNodePartition(graph))
+
+
+class TestAccepts:
+    def test_singleton_encoding(self, paper_like_graph):
+        verify_lossless(paper_like_graph, _valid_representation(paper_like_graph))
+
+    def test_merged_encoding(self, paper_like_graph):
+        p = SuperNodePartition(paper_like_graph)
+        p.merge(0, 1)
+        p.merge(3, 4)
+        verify_lossless(paper_like_graph, encode(p))
+
+    def test_empty_graph(self):
+        from repro.graph.graph import Graph
+
+        g = Graph(0, [])
+        verify_lossless(g, _valid_representation(g))
+
+
+class TestRejects:
+    def test_missing_node_in_partition(self, triangle):
+        rep = _valid_representation(triangle)
+        rep.supernodes.pop(2)
+        with pytest.raises(LosslessnessError, match="partition"):
+            verify_lossless(triangle, rep)
+
+    def test_overlapping_supernodes(self, triangle):
+        rep = _valid_representation(triangle)
+        rep.supernodes[0] = [0, 1]
+        with pytest.raises(LosslessnessError, match="partition"):
+            verify_lossless(triangle, rep)
+
+    def test_conflicting_corrections(self, triangle):
+        rep = _valid_representation(triangle)
+        rep.additions.add((0, 1))
+        rep.removals.add((0, 1))
+        with pytest.raises(LosslessnessError, match="both signs"):
+            verify_lossless(triangle, rep)
+
+    def test_missing_edge(self, triangle):
+        rep = _valid_representation(triangle)
+        rep.additions.discard((0, 1))
+        with pytest.raises(LosslessnessError, match="missing"):
+            verify_lossless(triangle, rep)
+
+    def test_spurious_edge(self, paper_like_graph):
+        rep = _valid_representation(paper_like_graph)
+        rep.additions.add((5, 6))
+        with pytest.raises(LosslessnessError, match="spurious"):
+            verify_lossless(paper_like_graph, rep)
+
+    def test_wrong_graph(self, triangle, star_graph):
+        rep = _valid_representation(triangle)
+        with pytest.raises(LosslessnessError):
+            verify_lossless(star_graph, rep)
+
+
+class TestErrorMessages:
+    def test_reports_counts_and_examples(self, paper_like_graph):
+        rep = _valid_representation(paper_like_graph)
+        rep.additions.discard((0, 2))
+        rep.additions.discard((0, 3))
+        with pytest.raises(LosslessnessError, match="2 edges missing"):
+            verify_lossless(paper_like_graph, rep)
