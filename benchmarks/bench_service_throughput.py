@@ -1,0 +1,38 @@
+"""Load test of the summary-serving query engine.
+
+Closed-loop multi-threaded clients against a live
+:class:`repro.service.server.SummaryQueryServer`:
+
+* ``cold``       — first pass, every neighborhood expansion an LRU miss;
+* ``warm``       — same nodes again, served from cache;
+* ``warm-batch`` — warm cache, 64 queries per request (amortised
+  framing + server-side dedup).
+
+Expected shape: warm throughput strictly above cold (that is the
+cache paying for itself), batch above single-request warm.
+"""
+
+from _util import run_and_report
+
+from repro.bench import experiments
+
+
+def test_service_throughput(benchmark):
+    rows = run_and_report(
+        benchmark,
+        experiments.service_throughput,
+        "service_throughput",
+        columns=[
+            "phase", "threads", "queries", "qps",
+            "p50_ms", "p95_ms", "p99_ms", "hit_rate",
+        ],
+    )
+    by_phase = {r["phase"]: r for r in rows}
+    assert set(by_phase) == {"cold", "warm", "warm-batch"}
+    # The acceptance bar: a warm cache must serve strictly more
+    # queries per second than a cold one.
+    assert by_phase["warm"]["qps"] > by_phase["cold"]["qps"]
+    assert by_phase["cold"]["hit_rate"] == 0.0
+    assert by_phase["warm"]["hit_rate"] == 1.0
+    for row in rows:
+        assert row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]

@@ -56,6 +56,7 @@ __all__ = [
     "fig16_k_sweep",
     "table3_pagerank",
     "neighbor_query_cost",
+    "service_throughput",
     "small_codes",
     "large_codes",
     "medium_codes",
@@ -497,3 +498,131 @@ def neighbor_query_cost() -> tuple[str, list[dict]]:
             }
         )
     return "Section 6.6: neighbor query cost vs d_avg (bound: 1.12)", rows
+
+
+def service_throughput(
+    threads: int = 8, rounds: int = 2
+) -> tuple[str, list[dict]]:
+    """Closed-loop load test of the summary query service.
+
+    Summarizes a community graph, serves it with
+    :class:`repro.service.server.SummaryQueryServer`, and drives it
+    with ``threads`` closed-loop clients (each thread waits for its
+    response before sending the next request — the classic
+    closed-loop load model, so throughput = concurrency / latency).
+
+    Three phases over the same node set: ``cold`` (empty LRU, every
+    expansion a miss), ``warm`` (same nodes again, served from
+    cache), and ``warm-batch`` (warm cache, 64 queries per request).
+    Expected shape: warm throughput strictly above cold, batch qps
+    above single-request warm.
+    """
+    import threading as _threading
+    import time as _time
+
+    from repro.graph import generators
+    from repro.service import (
+        QueryEngine,
+        SummaryQueryServer,
+        SummaryServiceClient,
+    )
+
+    n = 400 if quick_mode() else 1200
+    graph = generators.planted_partition(
+        n, n // 30, p_in=0.4, p_out=0.004, seed=11
+    )
+    T = bench_iterations()
+    rep = MagsDMSummarizer(iterations=T, seed=0).summarize(
+        graph
+    ).representation
+
+    engine = QueryEngine(rep, cache_size=n)
+    server = SummaryQueryServer(engine, workers=threads).start()
+    host, port = server.address
+    rows: list[dict] = []
+    try:
+        shards = [list(range(t, n, threads)) for t in range(threads)]
+
+        def run_phase(send_shard, phase_rounds: int) -> dict:
+            latencies: list[list[float]] = [[] for _ in range(threads)]
+            barrier = _threading.Barrier(threads + 1)
+
+            def worker(tid: int) -> None:
+                with SummaryServiceClient(host, port) as client:
+                    barrier.wait()
+                    for _ in range(phase_rounds):
+                        send_shard(client, shards[tid], latencies[tid])
+                client_done[tid] = True
+
+            client_done = [False] * threads
+            pool = [
+                _threading.Thread(target=worker, args=(t,))
+                for t in range(threads)
+            ]
+            for thread in pool:
+                thread.start()
+            barrier.wait()
+            started = _time.perf_counter()
+            for thread in pool:
+                thread.join()
+            elapsed = _time.perf_counter() - started
+            if not all(client_done):
+                raise RuntimeError("load-generator thread died")
+            flat = sorted(x for shard in latencies for x in shard)
+            queries = len(flat)
+
+            def pct(p: float) -> float:
+                rank = max(1, -(-queries * int(p * 100) // 10000))
+                return round(1000.0 * flat[rank - 1], 3)
+
+            return {
+                "threads": threads,
+                "queries": queries,
+                "qps": round(queries / elapsed, 1),
+                "p50_ms": pct(50),
+                "p95_ms": pct(95),
+                "p99_ms": pct(99),
+            }
+
+        def send_single(client, shard, out) -> None:
+            for node in shard:
+                t0 = _time.perf_counter()
+                client.neighbors(node)
+                out.append(_time.perf_counter() - t0)
+
+        def send_batch(client, shard, out) -> None:
+            for start in range(0, len(shard), 64):
+                chunk = shard[start:start + 64]
+                requests = [
+                    {"id": i, "op": "neighbors", "node": node}
+                    for i, node in enumerate(chunk)
+                ]
+                t0 = _time.perf_counter()
+                responses = client.batch(requests)
+                per_query = (_time.perf_counter() - t0) / len(chunk)
+                if any(not r["ok"] for r in responses):
+                    raise RuntimeError("batch returned an error response")
+                out.extend(per_query for _ in chunk)
+
+        # The cold phase runs exactly one pass so every expansion is a
+        # genuine miss; warm phases repeat to accumulate samples.
+        for phase, sender, phase_rounds in (
+            ("cold", send_single, 1),
+            ("warm", send_single, rounds),
+            ("warm-batch", send_batch, rounds),
+        ):
+            stats = engine.metrics.snapshot()
+            row = {"phase": phase, **run_phase(sender, phase_rounds)}
+            after = engine.metrics.snapshot()
+            hits = after["cache"]["hits"] - stats["cache"]["hits"]
+            misses = after["cache"]["misses"] - stats["cache"]["misses"]
+            lookups = hits + misses
+            row["hit_rate"] = round(hits / lookups, 3) if lookups else 0.0
+            rows.append(row)
+    finally:
+        server.close()
+    return (
+        f"Service throughput: {threads} closed-loop clients, "
+        f"n={n} (cold vs warm LRU)",
+        rows,
+    )

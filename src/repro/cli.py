@@ -7,6 +7,7 @@ Exposes the library's pipeline as a tool::
     python -m repro stats graph.txt
     python -m repro compare graph.txt -a mags,mags-dm,ldme
     python -m repro dataset CN -o cn_analog.txt
+    python -m repro serve summary.txt --port 7077
 
 Edge lists are whitespace-separated ``u v`` lines (SNAP style, ``#``
 comments allowed); summaries use the v1 text format of
@@ -114,6 +115,33 @@ def build_parser() -> argparse.ArgumentParser:
     dataset.add_argument("code", help=f"one of: {', '.join(dataset_codes())}")
     dataset.add_argument("-o", "--output", required=True)
 
+    serve = sub.add_parser(
+        "serve",
+        help="serve summary queries over TCP (line-delimited JSON)",
+    )
+    serve.add_argument("input", help="summary file (v1 text format)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 = ephemeral; the bound port is printed)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=8,
+        help="worker threads == max concurrent connections (default 8)",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=4096,
+        help="LRU neighborhood cache capacity in nodes (default 4096)",
+    )
+    serve.add_argument(
+        "--request-timeout", type=float, default=10.0,
+        help="per-request deadline in seconds (default 10)",
+    )
+    serve.add_argument(
+        "--log-interval", type=float, default=30.0,
+        help="seconds between periodic stats log lines (0 disables)",
+    )
+
     bench = sub.add_parser(
         "bench", help="run one of the paper's experiments and print it"
     )
@@ -196,6 +224,40 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import logging
+
+    from repro.service import QueryEngine, SummaryQueryServer
+
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    engine = QueryEngine.from_file(
+        args.input, cache_size=args.cache_size
+    )
+    rep = engine.representation
+    print(
+        f"loaded summary: n={rep.n}, supernodes={rep.num_supernodes}, "
+        f"superedges={len(rep.summary_edges)}, "
+        f"corrections={rep.num_corrections}"
+    )
+    server = SummaryQueryServer(
+        engine,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        request_timeout=args.request_timeout,
+        log_interval=args.log_interval or None,
+    )
+    server.start()
+    host, port = server.address
+    print(f"serving on {host}:{port}", flush=True)
+    server.serve_forever()
+    print("shutdown complete")
+    return 0
+
+
 #: CLI experiment name -> repro.bench.experiments function name.
 _EXPERIMENTS = {
     "table2": "table2_dataset_statistics",
@@ -214,6 +276,7 @@ _EXPERIMENTS = {
     "fig16": "fig16_k_sweep",
     "table3": "table3_pagerank",
     "neighbor": "neighbor_query_cost",
+    "service": "service_throughput",
 }
 
 
@@ -243,6 +306,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "compare": _cmd_compare,
     "dataset": _cmd_dataset,
+    "serve": _cmd_serve,
     "bench": _cmd_bench,
 }
 

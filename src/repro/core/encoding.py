@@ -54,6 +54,9 @@ class Representation:
     summary_edges: set[tuple[int, int]]
     additions: set[tuple[int, int]]
     removals: set[tuple[int, int]]
+    _superedge_adjacency: dict[int, list[int]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # -- size accounting (Equation 1) ----------------------------------
     @property
@@ -108,6 +111,28 @@ class Representation:
     def supernode_of(self, node: int) -> int:
         """The super-node containing ``node``."""
         return self.node_to_supernode[node]
+
+    def superedge_adjacency(self) -> dict[int, list[int]]:
+        """Per-super-node adjacency over the summary edges.
+
+        Maps every super-node id to the super-nodes it shares a
+        super-edge with, self-edges excluded (test
+        ``(u, u) in summary_edges`` for those).  Built lazily on first
+        use and cached, so answering a neighbor query costs time
+        proportional to the answer instead of ``O(|E|)`` per call;
+        the cache assumes ``summary_edges`` is not mutated in place
+        (nothing in the package does — updaters copy first).
+        """
+        if self._superedge_adjacency is None:
+            adjacency: dict[int, list[int]] = {
+                sid: [] for sid in self.supernodes
+            }
+            for su, sv in self.summary_edges:
+                if su != sv:
+                    adjacency[su].append(sv)
+                    adjacency[sv].append(su)
+            self._superedge_adjacency = adjacency
+        return self._superedge_adjacency
 
     def __repr__(self) -> str:
         return (

@@ -21,13 +21,23 @@ path ends in ``.gz``.
 from __future__ import annotations
 
 import gzip
+import re
 from pathlib import Path
 
 from repro.core.encoding import Representation
 
-__all__ = ["save_representation", "load_representation", "FormatError"]
+__all__ = [
+    "save_representation",
+    "load_representation",
+    "FormatError",
+    "FORMAT_VERSION",
+]
 
-_HEADER = "# repro summary v1"
+#: The (single) format version this module reads and writes.
+FORMAT_VERSION = 1
+
+_HEADER = f"# repro summary v{FORMAT_VERSION}"
+_HEADER_RE = re.compile(r"# repro summary v(\d+)\s*$")
 
 
 class FormatError(ValueError):
@@ -60,61 +70,41 @@ def save_representation(path: str | Path, rep: Representation) -> None:
 def load_representation(path: str | Path) -> Representation:
     """Read a representation written by :func:`save_representation`.
 
-    Raises :class:`FormatError` on malformed input; structural
-    soundness (partition coverage, id validity) is validated so a
-    corrupted file fails loudly instead of mis-reconstructing.
+    Raises :class:`FormatError` on malformed input with a message that
+    names the file and the offending line; files written by a *newer*
+    format version fail with an explicit version mismatch instead of a
+    cascade of parse errors, and gzip corruption / binary junk is
+    reported as a round-trip error rather than a bare low-level
+    exception.  Structural soundness (partition coverage, id validity)
+    is validated so a corrupted file fails loudly instead of
+    mis-reconstructing.
     """
     path = Path(path)
-    n = m = None
-    supernodes: dict[int, list[int]] = {}
-    summary_edges: set[tuple[int, int]] = set()
-    additions: set[tuple[int, int]] = set()
-    removals: set[tuple[int, int]] = set()
-
-    with _open_text(path, "r") as handle:
-        first = handle.readline().rstrip("\n")
-        if first != _HEADER:
-            raise FormatError(f"bad header: {first!r}")
-        for line_number, line in enumerate(handle, start=2):
-            parts = line.split()
-            if not parts:
-                continue
-            tag = parts[0]
-            try:
-                if tag == "G":
-                    n, m = int(parts[1]), int(parts[2])
-                elif tag == "S":
-                    sid = int(parts[1])
-                    if sid in supernodes:
-                        raise FormatError(f"duplicate super-node {sid}")
-                    supernodes[sid] = [int(x) for x in parts[2:]]
-                    if not supernodes[sid]:
-                        raise FormatError(f"empty super-node {sid}")
-                elif tag == "E":
-                    summary_edges.add((int(parts[1]), int(parts[2])))
-                elif tag == "+":
-                    additions.add(_ordered(int(parts[1]), int(parts[2])))
-                elif tag == "-":
-                    removals.add(_ordered(int(parts[1]), int(parts[2])))
-                else:
-                    raise FormatError(
-                        f"unknown record {tag!r} at line {line_number}"
-                    )
-            except (IndexError, ValueError) as exc:
-                if isinstance(exc, FormatError):
-                    raise
-                raise FormatError(
-                    f"malformed line {line_number}: {line!r}"
-                ) from exc
+    try:
+        with _open_text(path, "r") as handle:
+            parsed = _parse_stream(handle, path)
+    except (OSError, EOFError, UnicodeDecodeError) as exc:
+        # gzip truncation/corruption and binary junk otherwise surface
+        # as bare low-level exceptions; turn them into the same
+        # round-trip error the caller already handles.
+        raise FormatError(
+            f"{path}: not a readable repro summary "
+            f"({type(exc).__name__}: {exc}); expected the text format "
+            f"written by save_representation (v{FORMAT_VERSION}, "
+            f"gzipped when the name ends in .gz)"
+        ) from exc
+    n, m, supernodes, summary_edges, additions, removals = parsed
 
     if n is None or m is None:
-        raise FormatError("missing G header record")
+        raise FormatError(f"{path}: missing G header record")
     covered = sorted(x for members in supernodes.values() for x in members)
     if covered != list(range(n)):
-        raise FormatError("super-nodes do not partition 0..n-1")
+        raise FormatError(f"{path}: super-nodes do not partition 0..n-1")
     for su, sv in summary_edges:
         if su not in supernodes or sv not in supernodes:
-            raise FormatError(f"super-edge ({su}, {sv}) references unknown id")
+            raise FormatError(
+                f"{path}: super-edge ({su}, {sv}) references unknown id"
+            )
     node_to_supernode = {
         node: sid for sid, members in supernodes.items() for node in members
     }
@@ -127,6 +117,71 @@ def load_representation(path: str | Path) -> Representation:
         additions=additions,
         removals=removals,
     )
+
+
+def _check_header(first: str, path: Path) -> None:
+    """Validate the header line, distinguishing wrong-version files
+    (written by a newer repro) from files that are not summaries at
+    all."""
+    match = _HEADER_RE.match(first)
+    if match is None:
+        raise FormatError(
+            f"{path}: bad header {first!r}; expected {_HEADER!r} — "
+            "not a repro summary file?"
+        )
+    version = int(match.group(1))
+    if version != FORMAT_VERSION:
+        raise FormatError(
+            f"{path}: summary format v{version} is not supported by "
+            f"this reader (supports v{FORMAT_VERSION}); the file was "
+            "written by a newer version of repro"
+        )
+
+
+def _parse_stream(handle, path: Path):
+    """Parse the record lines of an already-opened summary file."""
+    first = handle.readline().rstrip("\n")
+    _check_header(first, path)
+    n = m = None
+    supernodes: dict[int, list[int]] = {}
+    summary_edges: set[tuple[int, int]] = set()
+    additions: set[tuple[int, int]] = set()
+    removals: set[tuple[int, int]] = set()
+    for line_number, line in enumerate(handle, start=2):
+        parts = line.split()
+        if not parts:
+            continue
+        tag = parts[0]
+        try:
+            if tag == "G":
+                n, m = int(parts[1]), int(parts[2])
+            elif tag == "S":
+                sid = int(parts[1])
+                if sid in supernodes:
+                    raise FormatError(
+                        f"{path}: duplicate super-node {sid}"
+                    )
+                supernodes[sid] = [int(x) for x in parts[2:]]
+                if not supernodes[sid]:
+                    raise FormatError(f"{path}: empty super-node {sid}")
+            elif tag == "E":
+                summary_edges.add((int(parts[1]), int(parts[2])))
+            elif tag == "+":
+                additions.add(_ordered(int(parts[1]), int(parts[2])))
+            elif tag == "-":
+                removals.add(_ordered(int(parts[1]), int(parts[2])))
+            else:
+                raise FormatError(
+                    f"{path}: unknown record {tag!r} "
+                    f"at line {line_number}"
+                )
+        except (IndexError, ValueError) as exc:
+            if isinstance(exc, FormatError):
+                raise
+            raise FormatError(
+                f"{path}: malformed line {line_number}: {line!r}"
+            ) from exc
+    return n, m, supernodes, summary_edges, additions, removals
 
 
 def _ordered(u: int, v: int) -> tuple[int, int]:

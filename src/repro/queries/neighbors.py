@@ -23,20 +23,22 @@ __all__ = ["neighbor_query", "SummaryNeighborIndex"]
 def neighbor_query(representation: Representation, q: int) -> set[int]:
     """Answer one neighbor query by scanning the correction sets.
 
-    This is the literal Algorithm 6; for repeated queries use
-    :class:`SummaryNeighborIndex`, which amortises the correction scan.
+    This is the literal Algorithm 6, except that the super-edge
+    expansion goes through the representation's cached
+    :meth:`~repro.core.encoding.Representation.superedge_adjacency`
+    instead of scanning every summary edge, so the expansion costs
+    time proportional to the answer.  The correction scan is still
+    ``O(|C|)`` per call; for repeated queries use
+    :class:`SummaryNeighborIndex`, which buckets the corrections too.
     """
     if not 0 <= q < representation.n:
         raise IndexError(f"node {q} out of range")
     supernode = representation.node_to_supernode[q]
     neighbors: set[int] = set()
-    for su, sv in representation.summary_edges:
-        if su == supernode:
-            neighbors.update(representation.supernodes[sv])
-        elif sv == supernode:
-            neighbors.update(representation.supernodes[su])
+    for sv in representation.superedge_adjacency().get(supernode, ()):
+        neighbors.update(representation.supernodes[sv])
     if (supernode, supernode) in representation.summary_edges:
-        neighbors.discard(q)
+        neighbors.update(representation.supernodes[supernode])
     additions = {
         y if x == q else x
         for x, y in representation.additions
@@ -61,14 +63,13 @@ class SummaryNeighborIndex:
 
     def __init__(self, representation: Representation):
         self._representation = representation
-        self._super_adj: dict[int, list[int]] = defaultdict(list)
-        self._self_edge: set[int] = set()
-        for su, sv in representation.summary_edges:
-            if su == sv:
-                self._self_edge.add(su)
-            else:
-                self._super_adj[su].append(sv)
-                self._super_adj[sv].append(su)
+        # Super-edge buckets are shared with (and cached on) the
+        # representation so the one-shot query and every index/engine
+        # built on the same summary expand through one structure.
+        self._super_adj = representation.superedge_adjacency()
+        self._self_edge: set[int] = {
+            su for su, sv in representation.summary_edges if su == sv
+        }
         self._add: dict[int, list[int]] = defaultdict(list)
         for x, y in representation.additions:
             self._add[x].append(y)

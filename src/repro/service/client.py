@@ -1,0 +1,107 @@
+"""Blocking client for the summary query service.
+
+Small by design: one socket, sequential request/response, used by the
+test-suite, the smoke harness and the load generator.  Each client
+instance is *not* thread-safe — give every load-generator thread its
+own client, which also matches the server's connection-per-worker
+model.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.service.protocol import LineReader, decode_line, encode_message
+
+__all__ = ["SummaryServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """An ``ok: false`` response; carries the structured error."""
+
+    def __init__(self, error: dict):
+        super().__init__(
+            f"{error.get('type', 'unknown')}: {error.get('message', '')}"
+        )
+        self.type = error.get("type", "unknown")
+        self.message = error.get("message", "")
+
+
+class SummaryServiceClient:
+    """Connect to a :class:`~repro.service.server.SummaryQueryServer`.
+
+    Usable as a context manager::
+
+        with SummaryServiceClient(host, port) as client:
+            client.neighbors(42)
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = LineReader(self._sock)
+        self._next_id = 0
+
+    # -- transport -------------------------------------------------------
+    def request_raw(self, request: dict) -> dict:
+        """Send one request dict, return the raw response dict."""
+        self._sock.sendall(encode_message(request))
+        line = self._reader.readline()
+        if line is None:
+            raise ConnectionError("server closed the connection")
+        return decode_line(line)
+
+    def request(self, op: str, **params):
+        """Send one ``op`` request; return its ``result`` or raise
+        :class:`ServiceError`.  Verifies the response id matches."""
+        self._next_id += 1
+        request_id = self._next_id
+        response = self.request_raw({"id": request_id, "op": op, **params})
+        if response.get("id") != request_id:
+            raise ConnectionError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request_id}"
+            )
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", {}))
+        return response.get("result")
+
+    # -- ops -------------------------------------------------------------
+    def ping(self) -> str:
+        return self.request("ping")
+
+    def neighbors(self, node: int) -> list[int]:
+        return self.request("neighbors", node=node)
+
+    def degree(self, node: int) -> int:
+        return self.request("degree", node=node)
+
+    def khop(self, node: int, k: int) -> dict[int, int]:
+        raw = self.request("khop", node=node, k=k)
+        return {int(v): d for v, d in raw.items()}
+
+    def pagerank_score(self, node: int) -> float:
+        return self.request("pagerank", node=node)
+
+    def stats(self) -> dict:
+        return self.request("stats")
+
+    def batch(self, requests: list[dict]) -> list[dict]:
+        """Send a batch; returns the per-request response dicts in
+        request order (errors inline, not raised)."""
+        return self.request("batch", requests=requests)
+
+    def shutdown_server(self) -> str:
+        """Ask the server to stop gracefully."""
+        return self.request("shutdown")
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "SummaryServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

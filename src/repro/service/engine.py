@@ -1,0 +1,361 @@
+"""Thread-safe query engine over one loaded summary.
+
+The serving substrate of Section 6.6 taken to its conclusion: load
+``R = (S, C)`` once, pre-build the super-edge and correction indexes
+(:class:`~repro.queries.neighbors.SummaryNeighborIndex`), and answer
+many concurrent neighbor / degree / k-hop / PageRank-score requests
+without ever touching the original graph.
+
+Two serving-specific layers sit on top of the index:
+
+* an LRU cache of expanded neighborhoods — summary expansion writes
+  the same member lists over and over for hot nodes, so repeated
+  queries are a dict hit;
+* a batch API (:meth:`QueryEngine.query_many`) that deduplicates the
+  nodes mentioned in a batch and expands each exactly once per batch,
+  which is how a frontend fanning out one timeline request into many
+  adjacency lookups would call it.
+
+All public methods are safe to call from any number of threads: the
+cache has its own lock, the underlying index is immutable after
+construction, and the PageRank vector is built at most once behind a
+dedicated lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.core.encoding import Representation
+from repro.core.serialization import load_representation
+from repro.queries.neighbors import SummaryNeighborIndex, neighbor_query
+from repro.queries.pagerank import SummaryPageRank
+from repro.service.metrics import ServiceMetrics
+
+__all__ = ["QueryEngine", "QueryError", "QueryTimeout", "OPS"]
+
+#: Request types the engine understands (the protocol's ``op`` field).
+OPS = ("neighbors", "degree", "khop", "pagerank", "stats", "ping")
+
+
+class QueryError(ValueError):
+    """A request the engine rejects; ``kind`` becomes the structured
+    error type on the wire."""
+
+    def __init__(self, kind: str, message: str):
+        super().__init__(message)
+        self.kind = kind
+
+
+class QueryTimeout(QueryError):
+    """Raised at an engine checkpoint once a request's deadline has
+    passed."""
+
+    def __init__(self, message: str = "request deadline exceeded"):
+        super().__init__("timeout", message)
+
+
+class _LRUCache:
+    """Minimal thread-safe LRU keyed by node id.
+
+    ``functools.lru_cache`` is not used because the hit/miss stream
+    must feed :class:`ServiceMetrics` and the capacity must be a
+    runtime knob.
+    """
+
+    def __init__(self, capacity: int):
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._data: OrderedDict[int, frozenset[int]] = OrderedDict()
+
+    def get(self, key: int) -> frozenset[int] | None:
+        with self._lock:
+            value = self._data.get(key)
+            if value is not None:
+                self._data.move_to_end(key)
+            return value
+
+    def put(self, key: int, value: frozenset[int]) -> None:
+        if self._capacity <= 0:
+            return
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self._capacity:
+                self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+
+class QueryEngine:
+    """Serve adjacency and analytics queries from one representation.
+
+    Parameters
+    ----------
+    representation:
+        The loaded summary.  Its indexes are built eagerly here so the
+        first request does not pay the construction cost.
+    cache_size:
+        LRU capacity in nodes (0 disables caching).
+    metrics:
+        Shared :class:`ServiceMetrics`; a private one is created when
+        not given.
+    damping / pagerank_iterations:
+        Parameters for the lazily-built PageRank vector (Algorithm 7).
+    """
+
+    def __init__(
+        self,
+        representation: Representation,
+        *,
+        cache_size: int = 4096,
+        metrics: ServiceMetrics | None = None,
+        damping: float = 0.85,
+        pagerank_iterations: int = 20,
+    ):
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self._index = SummaryNeighborIndex(representation)
+        self._cache = _LRUCache(cache_size)
+        self._damping = damping
+        self._pagerank_iterations = pagerank_iterations
+        self._pagerank_lock = threading.Lock()
+        self._pagerank_scores = None
+
+    @classmethod
+    def from_file(cls, path: str | Path, **kwargs) -> "QueryEngine":
+        """Load a summary file (via :mod:`repro.core.serialization`)
+        and build an engine over it."""
+        return cls(load_representation(path), **kwargs)
+
+    @property
+    def representation(self) -> Representation:
+        return self._index.representation
+
+    @property
+    def cache_len(self) -> int:
+        return len(self._cache)
+
+    # -- primitive queries ----------------------------------------------
+    def neighbors(self, node: int) -> frozenset[int]:
+        """Exact neighbor set of ``node``, cached.
+
+        The result is a ``frozenset`` so concurrent consumers (and the
+        cache) can share one object safely.
+        """
+        self._check_node(node)
+        cached = self._cache.get(node)
+        if cached is not None:
+            self.metrics.cache_hit()
+            return cached
+        self.metrics.cache_miss()
+        result = frozenset(self._index.neighbors(node))
+        self._cache.put(node, result)
+        return result
+
+    def degree(self, node: int) -> int:
+        """Degree of ``node`` (cardinality of the cached expansion)."""
+        return len(self.neighbors(node))
+
+    def khop(
+        self, node: int, k: int, deadline: float | None = None
+    ) -> dict[int, int]:
+        """Hop distance for every node within ``k`` hops of ``node``.
+
+        BFS over the cached neighbor expansions (so a k-hop query
+        warms the cache for the adjacency queries that typically
+        follow it).  The deadline is checked once per BFS level.
+        """
+        self._check_node(node)
+        if k < 0:
+            raise QueryError("bad_request", f"k must be >= 0, got {k}")
+        distances = {node: 0}
+        frontier = [node]
+        for depth in range(1, k + 1):
+            _check_deadline(deadline)
+            next_frontier: list[int] = []
+            for u in frontier:
+                for v in self.neighbors(u):
+                    if v not in distances:
+                        distances[v] = depth
+                        next_frontier.append(v)
+            if not next_frontier:
+                break
+            frontier = next_frontier
+        return distances
+
+    def pagerank_score(self, node: int) -> float:
+        """PageRank score of ``node`` from the Algorithm 7 vector.
+
+        The full vector is computed on the summary once (first
+        request) and then served as array lookups.
+        """
+        self._check_node(node)
+        scores = self._pagerank_scores
+        if scores is None:
+            with self._pagerank_lock:
+                if self._pagerank_scores is None:
+                    engine = SummaryPageRank(self.representation)
+                    self._pagerank_scores = engine.run(
+                        self._damping, self._pagerank_iterations
+                    )
+                scores = self._pagerank_scores
+        return float(scores[node])
+
+    # -- request-dict interface (what the server speaks) -----------------
+    def query(self, request: dict, deadline: float | None = None) -> dict:
+        """Answer one protocol request dict.
+
+        Returns a response dict ``{"id", "ok", "op", "result"}``; engine
+        rejections raise :class:`QueryError` (the server turns them into
+        structured error responses).  Latency and outcome are recorded
+        per op.
+        """
+        if not isinstance(request, dict):
+            raise QueryError("bad_request", "request must be a JSON object")
+        op = request.get("op")
+        if op not in OPS:
+            raise QueryError(
+                "bad_request",
+                f"unknown op {op!r}; supported: {', '.join(OPS)}",
+            )
+        _check_deadline(deadline)
+        started = time.perf_counter()
+        try:
+            result = self._dispatch(op, request, deadline)
+        except QueryError:
+            self.metrics.observe(op, time.perf_counter() - started, ok=False)
+            raise
+        self.metrics.observe(op, time.perf_counter() - started)
+        return {
+            "id": request.get("id"),
+            "ok": True,
+            "op": op,
+            "result": result,
+        }
+
+    def query_many(
+        self, requests: list[dict], deadline: float | None = None
+    ) -> list[dict]:
+        """Answer a batch, deduplicating shared work.
+
+        The nodes mentioned by the batch's ``neighbors``/``degree``
+        requests are collected first and each distinct node is
+        expanded exactly once (one index pass over the unique nodes);
+        every response is then assembled from that shared expansion.
+        Responses come back in request order, errors inline as
+        structured error dicts — one bad request does not fail its
+        batch.
+        """
+        unique_nodes: dict[int, None] = {}
+        for request in requests:
+            if (
+                isinstance(request, dict)
+                and request.get("op") in ("neighbors", "degree")
+                and isinstance(request.get("node"), int)
+            ):
+                unique_nodes.setdefault(request["node"])
+        expanded: dict[int, frozenset[int]] = {}
+        for node in unique_nodes:
+            _check_deadline(deadline)
+            try:
+                expanded[node] = self.neighbors(node)
+            except QueryError:
+                pass  # reported per-request below
+        self.metrics.batch(len(requests), len(unique_nodes))
+
+        responses = []
+        for request in requests:
+            try:
+                node = request.get("node") if isinstance(request, dict) else None
+                if node in expanded and request.get("op") == "neighbors":
+                    self.metrics.observe("neighbors", 0.0)
+                    responses.append({
+                        "id": request.get("id"),
+                        "ok": True,
+                        "op": "neighbors",
+                        "result": sorted(expanded[node]),
+                    })
+                elif node in expanded and request.get("op") == "degree":
+                    self.metrics.observe("degree", 0.0)
+                    responses.append({
+                        "id": request.get("id"),
+                        "ok": True,
+                        "op": "degree",
+                        "result": len(expanded[node]),
+                    })
+                else:
+                    responses.append(self.query(request, deadline))
+            except QueryError as exc:
+                responses.append(error_response(request, exc))
+        return responses
+
+    # -- internals -------------------------------------------------------
+    def _dispatch(self, op: str, request: dict, deadline: float | None):
+        if op == "ping":
+            return "pong"
+        if op == "stats":
+            snapshot = self.metrics.snapshot()
+            snapshot["cache"]["size"] = len(self._cache)
+            snapshot["cache"]["capacity"] = self._cache.capacity
+            return snapshot
+        node = request.get("node")
+        if not isinstance(node, int) or isinstance(node, bool):
+            raise QueryError(
+                "bad_request", f"op {op!r} needs an integer 'node' field"
+            )
+        if op == "neighbors":
+            return sorted(self.neighbors(node))
+        if op == "degree":
+            return self.degree(node)
+        if op == "khop":
+            k = request.get("k", 1)
+            if not isinstance(k, int) or isinstance(k, bool):
+                raise QueryError("bad_request", "'k' must be an integer")
+            distances = self.khop(node, k, deadline)
+            return {str(v): d for v, d in sorted(distances.items())}
+        if op == "pagerank":
+            return self.pagerank_score(node)
+        raise QueryError("bad_request", f"unhandled op {op!r}")
+
+    def _check_node(self, node: int) -> None:
+        if not isinstance(node, int) or isinstance(node, bool):
+            raise QueryError("bad_request", "'node' must be an integer")
+        if not 0 <= node < self.representation.n:
+            raise QueryError(
+                "bad_request",
+                f"node {node} out of range [0, {self.representation.n})",
+            )
+
+    def verify_against(self, node: int) -> bool:
+        """Cross-check the engine answer against the one-shot
+        Algorithm 6 (:func:`repro.queries.neighbors.neighbor_query`);
+        used by tests and the smoke harness."""
+        return set(self.neighbors(node)) == neighbor_query(
+            self.representation, node
+        )
+
+
+def error_response(request, exc: QueryError) -> dict:
+    """The structured error body for a rejected request."""
+    request_id = request.get("id") if isinstance(request, dict) else None
+    op = request.get("op") if isinstance(request, dict) else None
+    return {
+        "id": request_id,
+        "ok": False,
+        "op": op,
+        "error": {"type": exc.kind, "message": str(exc)},
+    }
+
+
+def _check_deadline(deadline: float | None) -> None:
+    if deadline is not None and time.monotonic() >= deadline:
+        raise QueryTimeout()

@@ -1,0 +1,200 @@
+"""Observability for the summary-serving engine.
+
+A serving process is only operable if it can answer "how is it
+doing" without a debugger: this module provides thread-safe counters
+(requests per op, errors, cache hits/misses), bounded-reservoir
+latency histograms with p50/p95/p99, and a periodic one-line log
+emitted by :class:`MetricsLogger`.  A snapshot of everything is what
+the server returns for a ``stats`` request.
+
+Latencies are kept in a bounded deque per op (most recent
+``reservoir`` samples) so memory is constant regardless of uptime;
+percentiles are computed on demand with the nearest-rank rule, which
+is exact over the retained window.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from collections import Counter, deque
+
+__all__ = ["LatencyRecorder", "ServiceMetrics", "MetricsLogger"]
+
+logger = logging.getLogger("repro.service")
+
+#: Default number of latency samples retained per op.
+DEFAULT_RESERVOIR = 8192
+
+_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def _nearest_rank(sorted_values: list[float], percentile: float) -> float:
+    """Nearest-rank percentile of an already-sorted non-empty list."""
+    rank = max(1, -(-len(sorted_values) * int(percentile * 100) // 10000))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+class LatencyRecorder:
+    """Bounded window of per-op latencies with percentile snapshots."""
+
+    def __init__(self, reservoir: int = DEFAULT_RESERVOIR):
+        self._samples: deque[float] = deque(maxlen=reservoir)
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
+
+    def record(self, seconds: float) -> None:
+        self._samples.append(seconds)
+        self._count += 1
+        self._total += seconds
+        if seconds > self._max:
+            self._max = seconds
+
+    def snapshot(self) -> dict:
+        """Count, mean, max and p50/p95/p99 in milliseconds."""
+        window = sorted(self._samples)
+        if not window:
+            return {"count": 0}
+        stats = {
+            "count": self._count,
+            "mean_ms": round(1000.0 * self._total / self._count, 3),
+            "max_ms": round(1000.0 * self._max, 3),
+        }
+        for percentile in _PERCENTILES:
+            key = f"p{percentile:g}_ms"
+            stats[key] = round(1000.0 * _nearest_rank(window, percentile), 3)
+        return stats
+
+
+class ServiceMetrics:
+    """Thread-safe counters + latency histograms for one engine/server.
+
+    One instance is shared by the :class:`~repro.service.engine.QueryEngine`
+    (cache accounting) and the server (request accounting); everything
+    is guarded by a single lock because every update is a few
+    arithmetic ops — contention is negligible next to query work.
+    """
+
+    def __init__(self, reservoir: int = DEFAULT_RESERVOIR):
+        self._lock = threading.Lock()
+        self._reservoir = reservoir
+        self._started = time.monotonic()
+        self._requests: Counter[str] = Counter()
+        self._errors: Counter[str] = Counter()
+        self._latency: dict[str, LatencyRecorder] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._batches = 0
+        self._batch_queries = 0
+        self._batch_unique_queries = 0
+        self._connections_opened = 0
+        self._connections_closed = 0
+
+    # -- engine-side accounting -----------------------------------------
+    def cache_hit(self) -> None:
+        with self._lock:
+            self._cache_hits += 1
+
+    def cache_miss(self) -> None:
+        with self._lock:
+            self._cache_misses += 1
+
+    def batch(self, size: int, unique: int) -> None:
+        """Record one ``query_many`` call and its deduplication."""
+        with self._lock:
+            self._batches += 1
+            self._batch_queries += size
+            self._batch_unique_queries += unique
+
+    # -- server-side accounting -----------------------------------------
+    def observe(self, op: str, seconds: float, ok: bool = True) -> None:
+        """Record one completed request of type ``op``."""
+        with self._lock:
+            self._requests[op] += 1
+            if not ok:
+                self._errors[op] += 1
+            recorder = self._latency.get(op)
+            if recorder is None:
+                recorder = self._latency[op] = LatencyRecorder(
+                    self._reservoir
+                )
+            recorder.record(seconds)
+
+    def connection_opened(self) -> None:
+        with self._lock:
+            self._connections_opened += 1
+
+    def connection_closed(self) -> None:
+        with self._lock:
+            self._connections_closed += 1
+
+    # -- reporting -------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Everything, as one JSON-serialisable dict (the ``stats``
+        response body)."""
+        with self._lock:
+            lookups = self._cache_hits + self._cache_misses
+            return {
+                "uptime_s": round(time.monotonic() - self._started, 3),
+                "requests_total": sum(self._requests.values()),
+                "errors_total": sum(self._errors.values()),
+                "requests_by_op": dict(self._requests),
+                "errors_by_op": dict(self._errors),
+                "cache": {
+                    "hits": self._cache_hits,
+                    "misses": self._cache_misses,
+                    "hit_rate": (
+                        round(self._cache_hits / lookups, 4) if lookups else 0.0
+                    ),
+                },
+                "batch": {
+                    "batches": self._batches,
+                    "queries": self._batch_queries,
+                    "unique_queries": self._batch_unique_queries,
+                },
+                "connections": {
+                    "opened": self._connections_opened,
+                    "closed": self._connections_closed,
+                    "active": (
+                        self._connections_opened - self._connections_closed
+                    ),
+                },
+                "latency_ms": {
+                    op: recorder.snapshot()
+                    for op, recorder in self._latency.items()
+                },
+            }
+
+    def log_line(self) -> str:
+        """Compact ``key=value`` summary for the periodic log."""
+        snap = self.snapshot()
+        neighbors = snap["latency_ms"].get("neighbors", {})
+        return (
+            f"uptime={snap['uptime_s']:.0f}s "
+            f"requests={snap['requests_total']} "
+            f"errors={snap['errors_total']} "
+            f"cache_hit_rate={snap['cache']['hit_rate']:.2f} "
+            f"active_conns={snap['connections']['active']} "
+            f"neighbors_p50={neighbors.get('p50_ms', 0)}ms "
+            f"neighbors_p99={neighbors.get('p99_ms', 0)}ms"
+        )
+
+
+class MetricsLogger(threading.Thread):
+    """Daemon thread that logs :meth:`ServiceMetrics.log_line`
+    periodically until :meth:`stop` is called."""
+
+    def __init__(self, metrics: ServiceMetrics, interval: float = 30.0):
+        super().__init__(name="repro-metrics-logger", daemon=True)
+        self._metrics = metrics
+        self._interval = interval
+        self._stop_event = threading.Event()
+
+    def run(self) -> None:
+        while not self._stop_event.wait(self._interval):
+            logger.info("stats %s", self._metrics.log_line())
+
+    def stop(self) -> None:
+        self._stop_event.set()

@@ -1,0 +1,112 @@
+"""Wire protocol: one JSON object per ``\\n``-terminated line.
+
+Requests
+--------
+``{"id": <any>, "op": <str>, ...params}`` — ``id`` is echoed back
+verbatim so clients can pipeline.  Ops and their params:
+
+========== =========================== ==========================================
+op         params                      result
+========== =========================== ==========================================
+neighbors  ``node``                    sorted neighbor list
+degree     ``node``                    integer degree
+khop       ``node``, ``k``             ``{node: hop_distance}`` (string keys)
+pagerank   ``node``                    PageRank score (float)
+batch      ``requests`` (list of ops)  list of per-request responses
+stats      —                           metrics snapshot
+ping       —                           ``"pong"``
+shutdown   —                           ``"shutting down"`` (server then stops)
+========== =========================== ==========================================
+
+Responses
+---------
+``{"id", "ok": true, "op", "result"}`` on success;
+``{"id", "ok": false, "op", "error": {"type", "message"}}`` on
+failure.  Error types: ``bad_request``, ``timeout``, ``overloaded``,
+``internal``.
+
+Framing is newline-delimited UTF-8 JSON, so the protocol is usable
+from ``nc`` for debugging.  Lines longer than :data:`MAX_LINE_BYTES`
+are rejected with ``bad_request`` to bound per-connection memory.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "encode_message",
+    "decode_line",
+    "LineReader",
+    "ProtocolError",
+]
+
+#: Upper bound on one request/response line (1 MiB).
+MAX_LINE_BYTES = 1 << 20
+
+
+class ProtocolError(ValueError):
+    """A line that cannot be decoded (bad JSON, oversized, not an
+    object)."""
+
+
+def encode_message(message: dict) -> bytes:
+    """Serialise one message to its wire form (compact JSON + LF)."""
+    return (
+        json.dumps(message, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one wire line into a message dict."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"line of {len(line)} bytes exceeds {MAX_LINE_BYTES}"
+        )
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"invalid JSON line: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("message must be a JSON object")
+    return message
+
+
+class LineReader:
+    """Incremental ``\\n``-splitter over a socket.
+
+    ``readline`` returns the next complete line (without the
+    terminator), ``None`` on EOF, and re-raises ``socket.timeout`` so
+    callers can poll a shutdown flag between reads.
+    """
+
+    def __init__(self, sock: socket.socket, chunk_size: int = 65536):
+        self._sock = sock
+        self._chunk_size = chunk_size
+        self._buffer = bytearray()
+        self._eof = False
+
+    def readline(self) -> bytes | None:
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line = bytes(self._buffer[:newline])
+                del self._buffer[: newline + 1]
+                return line
+            if self._eof:
+                return None
+            if len(self._buffer) > MAX_LINE_BYTES:
+                raise ProtocolError(
+                    f"unterminated line exceeds {MAX_LINE_BYTES} bytes"
+                )
+            chunk = self._sock.recv(self._chunk_size)
+            if not chunk:
+                self._eof = True
+                if self._buffer:
+                    line = bytes(self._buffer)
+                    self._buffer.clear()
+                    return line
+                return None
+            self._buffer.extend(chunk)

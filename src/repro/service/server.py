@@ -1,0 +1,337 @@
+"""TCP front-end for :class:`~repro.service.engine.QueryEngine`.
+
+Plain stdlib networking: one listening socket, an acceptor thread,
+and a fixed pool of worker threads each serving one connection at a
+time from a shared queue (the pool size therefore bounds concurrent
+connections — queued connections wait, they are not dropped).  The
+protocol is newline-delimited JSON (:mod:`repro.service.protocol`).
+
+Operational behaviour:
+
+* **per-request deadline** — each request gets
+  ``now + request_timeout``; the engine checks it at its iteration
+  checkpoints and the request fails with a structured ``timeout``
+  error instead of wedging a worker;
+* **structured errors** — malformed JSON, unknown ops, bad arguments
+  and internal faults all produce ``{"ok": false, "error": ...}``
+  responses; a connection is only closed on EOF, idle timeout, or
+  transport failure;
+* **graceful shutdown** — SIGINT (or a ``shutdown`` request, or
+  :meth:`SummaryQueryServer.shutdown`) stops accepting, lets every
+  worker finish its in-flight request, flushes responses, closes
+  connections, and logs a final stats line.
+"""
+
+from __future__ import annotations
+
+import logging
+import queue
+import signal
+import socket
+import threading
+import time
+
+from repro.service.engine import (
+    QueryEngine,
+    QueryError,
+    error_response,
+)
+from repro.service.metrics import MetricsLogger
+from repro.service.protocol import (
+    LineReader,
+    ProtocolError,
+    decode_line,
+    encode_message,
+)
+
+__all__ = ["SummaryQueryServer"]
+
+logger = logging.getLogger("repro.service")
+
+#: How often (seconds) a blocked worker wakes to poll the stop flag.
+_POLL_INTERVAL = 0.2
+
+
+class SummaryQueryServer:
+    """Serve one :class:`QueryEngine` over TCP.
+
+    Parameters
+    ----------
+    engine:
+        The engine to serve; its metrics object also receives the
+        server-side counters.
+    host / port:
+        Bind address.  ``port=0`` picks an ephemeral port — read it
+        back from :attr:`address` after :meth:`start`.
+    workers:
+        Worker-thread pool size == maximum concurrent connections.
+    request_timeout:
+        Per-request deadline in seconds.
+    idle_timeout:
+        Close a connection after this long without a request.
+    log_interval:
+        When set, a daemon thread logs a stats line this often.
+    """
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        workers: int = 8,
+        request_timeout: float = 10.0,
+        idle_timeout: float = 300.0,
+        log_interval: float | None = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.engine = engine
+        self.metrics = engine.metrics
+        self._host = host
+        self._port = port
+        self._workers = workers
+        self._request_timeout = request_timeout
+        self._idle_timeout = idle_timeout
+        self._log_interval = log_interval
+        self._socket: socket.socket | None = None
+        self._threads: list[threading.Thread] = []
+        self._connections: queue.Queue = queue.Queue()
+        self._stop_event = threading.Event()
+        self._started = False
+        self._metrics_logger: MetricsLogger | None = None
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (valid after :meth:`start`)."""
+        if self._socket is None:
+            raise RuntimeError("server is not started")
+        return self._socket.getsockname()[:2]
+
+    def start(self) -> "SummaryQueryServer":
+        """Bind, listen, and spin up the acceptor + worker pool."""
+        if self._started:
+            return self
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._port))
+        listener.listen(128)
+        listener.settimeout(_POLL_INTERVAL)
+        self._socket = listener
+        self._started = True
+        acceptor = threading.Thread(
+            target=self._accept_loop, name="repro-acceptor", daemon=True
+        )
+        acceptor.start()
+        self._threads.append(acceptor)
+        for i in range(self._workers):
+            worker = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-worker-{i}",
+                daemon=True,
+            )
+            worker.start()
+            self._threads.append(worker)
+        if self._log_interval:
+            self._metrics_logger = MetricsLogger(
+                self.metrics, self._log_interval
+            )
+            self._metrics_logger.start()
+        host, port = self.address
+        logger.info(
+            "serving summary (n=%d, |P|=%d) on %s:%d with %d workers",
+            self.engine.representation.n,
+            self.engine.representation.num_supernodes,
+            host, port, self._workers,
+        )
+        return self
+
+    def serve_forever(self, install_signal_handlers: bool = True) -> None:
+        """Block until shutdown; optionally wire SIGINT/SIGTERM to a
+        graceful stop (only possible from the main thread)."""
+        self.start()
+        previous: dict[int, object] = {}
+        in_main = threading.current_thread() is threading.main_thread()
+        if install_signal_handlers and in_main:
+            def _handle(signum, frame):
+                logger.info(
+                    "signal %s received, shutting down gracefully",
+                    signal.Signals(signum).name,
+                )
+                self.shutdown()
+
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                previous[signum] = signal.signal(signum, _handle)
+        try:
+            self._stop_event.wait()
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+            self.close()
+
+    def shutdown(self) -> None:
+        """Signal a graceful stop (idempotent, callable from any
+        thread, including a worker serving the ``shutdown`` op)."""
+        self._stop_event.set()
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Wait for workers to drain in-flight requests and release
+        everything; implies :meth:`shutdown`."""
+        self.shutdown()
+        if self._metrics_logger is not None:
+            self._metrics_logger.stop()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads.clear()
+        # Connections still queued (accepted, never served) are closed
+        # now that no worker will pick them up.
+        while True:
+            try:
+                pending = self._connections.get_nowait()
+            except queue.Empty:
+                break
+            if pending is not None:
+                self._close_connection(pending[0])
+        if self._socket is not None:
+            self._socket.close()
+        if self._started:
+            logger.info("final %s", self.metrics.log_line())
+            self._started = False
+
+    def __enter__(self) -> "SummaryQueryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- acceptor ---------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stop_event.is_set():
+            try:
+                conn, peer = self._socket.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listener closed under us during shutdown
+            self.metrics.connection_opened()
+            self._connections.put((conn, peer))
+
+    # -- workers ----------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while not self._stop_event.is_set():
+            try:
+                item = self._connections.get(timeout=_POLL_INTERVAL)
+            except queue.Empty:
+                continue
+            conn, peer = item
+            try:
+                self._serve_connection(conn, peer)
+            except Exception:
+                logger.exception("connection handler crashed for %s", peer)
+            finally:
+                self._close_connection(conn)
+
+    def _serve_connection(self, conn: socket.socket, peer) -> None:
+        conn.settimeout(_POLL_INTERVAL)
+        reader = LineReader(conn)
+        last_activity = time.monotonic()
+        while not self._stop_event.is_set():
+            try:
+                line = reader.readline()
+            except socket.timeout:
+                if time.monotonic() - last_activity > self._idle_timeout:
+                    logger.info("closing idle connection from %s", peer)
+                    return
+                continue
+            except ProtocolError as exc:
+                # Unterminated oversized line: the stream is beyond
+                # recovery; report once and drop the connection.
+                self._send(conn, _protocol_error(exc))
+                return
+            except OSError:
+                return
+            if line is None:
+                return  # client closed
+            if not line.strip():
+                continue
+            last_activity = time.monotonic()
+            response, stop_after = self._handle_line(line)
+            if not self._send(conn, response):
+                return
+            if stop_after:
+                self.shutdown()
+                return
+
+    def _handle_line(self, line: bytes) -> tuple[dict, bool]:
+        """One request line -> (response dict, stop-server flag)."""
+        try:
+            request = decode_line(line)
+        except ProtocolError as exc:
+            return _protocol_error(exc), False
+        deadline = time.monotonic() + self._request_timeout
+        op = request.get("op")
+        try:
+            if op == "shutdown":
+                self.metrics.observe("shutdown", 0.0)
+                return {
+                    "id": request.get("id"),
+                    "ok": True,
+                    "op": "shutdown",
+                    "result": "shutting down",
+                }, True
+            if op == "batch":
+                return self._handle_batch(request, deadline), False
+            return self.engine.query(request, deadline), False
+        except QueryError as exc:
+            return error_response(request, exc), False
+        except Exception as exc:  # noqa: BLE001 - protocol boundary
+            logger.exception("internal error answering %r", op)
+            return {
+                "id": request.get("id"),
+                "ok": False,
+                "op": op,
+                "error": {
+                    "type": "internal",
+                    "message": f"{type(exc).__name__}: {exc}",
+                },
+            }, False
+
+    def _handle_batch(self, request: dict, deadline: float) -> dict:
+        started = time.perf_counter()
+        sub_requests = request.get("requests")
+        if not isinstance(sub_requests, list):
+            raise QueryError(
+                "bad_request", "'batch' needs a 'requests' list"
+            )
+        responses = self.engine.query_many(sub_requests, deadline)
+        self.metrics.observe("batch", time.perf_counter() - started)
+        return {
+            "id": request.get("id"),
+            "ok": True,
+            "op": "batch",
+            "result": responses,
+        }
+
+    # -- plumbing ----------------------------------------------------------
+    def _send(self, conn: socket.socket, message: dict) -> bool:
+        try:
+            conn.sendall(encode_message(message))
+            return True
+        except OSError:
+            return False
+
+    def _close_connection(self, conn: socket.socket) -> None:
+        try:
+            conn.close()
+        finally:
+            self.metrics.connection_closed()
+
+
+def _protocol_error(exc: ProtocolError) -> dict:
+    return {
+        "id": None,
+        "ok": False,
+        "op": None,
+        "error": {"type": "bad_request", "message": str(exc)},
+    }

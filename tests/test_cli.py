@@ -26,6 +26,15 @@ class TestParser:
         assert args.iterations == 50
         assert args.epsilon == 0.0
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "summary.txt"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 0
+        assert args.workers == 8
+        assert args.cache_size == 4096
+        assert args.request_timeout == 10.0
+        assert args.log_interval == 30.0
+
     def test_all_algorithms_registered(self):
         assert set(ALGORITHMS) == {
             "mags", "mags-dm", "greedy", "randomized",

@@ -136,6 +136,37 @@ class TestRepresentationProperties:
         assert rep.num_supernodes == 5
 
 
+class TestSuperedgeAdjacency:
+    def test_matches_summary_edges(self, paper_like_graph):
+        __, rep = _encode_with_merges(
+            paper_like_graph, [[0, 1], [3, 4], [5, 6, 7]]
+        )
+        adjacency = rep.superedge_adjacency()
+        assert set(adjacency) == set(rep.supernodes)
+        rebuilt = {
+            (min(su, sv), max(su, sv))
+            for su, neighbors in adjacency.items()
+            for sv in neighbors
+        }
+        assert rebuilt == {
+            (min(su, sv), max(su, sv))
+            for su, sv in rep.summary_edges
+            if su != sv
+        }
+
+    def test_self_edges_excluded(self, clique_graph):
+        merged_rep = _encode_with_merges(
+            clique_graph, [[0, 1, 2, 3, 4, 5]]
+        )[1]
+        root = merged_rep.supernode_of(0)
+        assert (root, root) in merged_rep.summary_edges
+        assert merged_rep.superedge_adjacency()[root] == []
+
+    def test_cached_instance_is_reused(self, paper_like_graph):
+        __, rep = _encode_with_merges(paper_like_graph, [[0, 1]])
+        assert rep.superedge_adjacency() is rep.superedge_adjacency()
+
+
 class TestRepr:
     def test_repr_is_compact(self, paper_like_graph):
         rep = _encode_with_merges(paper_like_graph, [[0, 1], [3, 4]])[1]

@@ -89,6 +89,51 @@ class TestFormatErrors:
         with pytest.raises(FormatError, match="unknown record"):
             load_representation(path)
 
+    def test_future_version_rejected_with_version_message(self, tmp_path):
+        path = self._write(
+            tmp_path, "# repro summary v2\nG 1 0\nS 0 0\n"
+        )
+        with pytest.raises(FormatError, match="v2 is not supported"):
+            load_representation(path)
+        with pytest.raises(FormatError, match="newer version"):
+            load_representation(path)
+
+    def test_binary_junk_rejected_with_roundtrip_message(self, tmp_path):
+        path = tmp_path / "junk.txt"
+        path.write_bytes(b"\x00\xff\xfe not a summary at all")
+        with pytest.raises(FormatError, match="not a readable"):
+            load_representation(path)
+
+    def test_gz_garbage_rejected_with_roundtrip_message(self, tmp_path):
+        path = tmp_path / "bad.txt.gz"
+        path.write_bytes(b"this is not gzip data")
+        with pytest.raises(FormatError, match="not a readable"):
+            load_representation(path)
+
+    def test_gz_truncation_rejected(self, tmp_path, twin_graph):
+        rep = _summarize(twin_graph)
+        path = tmp_path / "summary.txt.gz"
+        save_representation(path, rep)
+        truncated = tmp_path / "truncated.txt.gz"
+        truncated.write_bytes(path.read_bytes()[:-8])
+        with pytest.raises(FormatError, match="not a readable"):
+            load_representation(truncated)
+
+    def test_gz_exact_field_roundtrip(self, tmp_path, paper_like_graph):
+        rep = _summarize(paper_like_graph)
+        path = tmp_path / "summary.txt.gz"
+        save_representation(path, rep)
+        loaded = load_representation(path)
+        assert loaded.n == rep.n
+        assert loaded.m == rep.m
+        assert {
+            s: sorted(v) for s, v in loaded.supernodes.items()
+        } == {s: sorted(v) for s, v in rep.supernodes.items()}
+        assert loaded.node_to_supernode == rep.node_to_supernode
+        assert loaded.summary_edges == rep.summary_edges
+        assert loaded.additions == rep.additions
+        assert loaded.removals == rep.removals
+
     def test_malformed_numbers(self, tmp_path):
         path = self._write(
             tmp_path, "# repro summary v1\nG 1 0\nS zero one\n"

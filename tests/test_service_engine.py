@@ -1,0 +1,225 @@
+"""Tests for the thread-safe summary query engine."""
+
+import threading
+import time
+
+import pytest
+
+from repro.algorithms.mags_dm import MagsDMSummarizer
+from repro.core.serialization import save_representation
+from repro.queries.neighbors import neighbor_query
+from repro.queries.pagerank import pagerank_summary
+from repro.queries.traversal import bfs_distances
+from repro.queries.neighbors import SummaryNeighborIndex
+from repro.service.engine import (
+    OPS,
+    QueryEngine,
+    QueryError,
+    QueryTimeout,
+)
+
+
+@pytest.fixture
+def rep(community_graph):
+    return (
+        MagsDMSummarizer(iterations=8, seed=1)
+        .summarize(community_graph)
+        .representation
+    )
+
+
+@pytest.fixture
+def engine(rep):
+    return QueryEngine(rep, cache_size=64)
+
+
+class TestNeighbors:
+    def test_matches_one_shot_query(self, engine, rep):
+        for q in range(rep.n):
+            assert set(engine.neighbors(q)) == neighbor_query(rep, q)
+
+    def test_warm_cache_answers_match_cold(self, engine, rep):
+        cold = {q: engine.neighbors(q) for q in range(60)}
+        warm = {q: engine.neighbors(q) for q in range(60)}
+        assert cold == warm
+
+    def test_cache_hit_miss_accounting(self, engine):
+        engine.neighbors(3)
+        engine.neighbors(3)
+        engine.neighbors(4)
+        cache = engine.metrics.snapshot()["cache"]
+        assert cache["misses"] == 2
+        assert cache["hits"] == 1
+
+    def test_cache_eviction_respects_capacity(self, rep):
+        small = QueryEngine(rep, cache_size=8)
+        for q in range(30):
+            small.neighbors(q)
+        assert small.cache_len == 8
+        # Evicted entries recompute correctly.
+        assert set(small.neighbors(0)) == neighbor_query(rep, 0)
+
+    def test_zero_cache_disables_caching(self, rep):
+        uncached = QueryEngine(rep, cache_size=0)
+        uncached.neighbors(1)
+        uncached.neighbors(1)
+        assert uncached.cache_len == 0
+        assert uncached.metrics.snapshot()["cache"]["hits"] == 0
+
+    def test_degree(self, engine, rep):
+        for q in range(0, rep.n, 7):
+            assert engine.degree(q) == len(neighbor_query(rep, q))
+
+    def test_out_of_range_rejected(self, engine, rep):
+        with pytest.raises(QueryError, match="out of range"):
+            engine.neighbors(rep.n)
+        with pytest.raises(QueryError):
+            engine.neighbors(-1)
+        with pytest.raises(QueryError, match="integer"):
+            engine.neighbors(True)
+
+    def test_verify_against_helper(self, engine, rep):
+        assert all(engine.verify_against(q) for q in range(0, rep.n, 11))
+
+
+class TestKhop:
+    def test_matches_bfs_distances(self, engine, rep):
+        index = SummaryNeighborIndex(rep)
+        full = bfs_distances(index, 0)
+        for k in (0, 1, 2, 3):
+            got = engine.khop(0, k)
+            want = {v: d for v, d in full.items() if d <= k}
+            assert got == want
+
+    def test_negative_k_rejected(self, engine):
+        with pytest.raises(QueryError, match="k must be"):
+            engine.khop(0, -1)
+
+    def test_deadline_enforced(self, engine):
+        with pytest.raises(QueryTimeout):
+            engine.khop(0, 5, deadline=time.monotonic() - 1.0)
+
+
+class TestPageRank:
+    def test_scores_match_algorithm7(self, engine, rep):
+        expected = pagerank_summary(rep)
+        for q in (0, 5, rep.n - 1):
+            assert engine.pagerank_score(q) == pytest.approx(expected[q])
+
+    def test_vector_built_once(self, engine):
+        engine.pagerank_score(0)
+        first = engine._pagerank_scores
+        engine.pagerank_score(1)
+        assert engine._pagerank_scores is first
+
+
+class TestQueryDict:
+    def test_all_ops_listed(self):
+        assert set(OPS) == {
+            "neighbors", "degree", "khop", "pagerank", "stats", "ping"
+        }
+
+    def test_query_response_shape(self, engine, rep):
+        response = engine.query({"id": 9, "op": "neighbors", "node": 2})
+        assert response["id"] == 9
+        assert response["ok"] is True
+        assert response["result"] == sorted(neighbor_query(rep, 2))
+
+    def test_unknown_op_rejected(self, engine):
+        with pytest.raises(QueryError, match="unknown op"):
+            engine.query({"op": "frobnicate"})
+
+    def test_missing_node_rejected(self, engine):
+        with pytest.raises(QueryError, match="integer 'node'"):
+            engine.query({"op": "degree"})
+
+    def test_stats_includes_cache_occupancy(self, engine):
+        engine.neighbors(1)
+        result = engine.query({"op": "stats"})["result"]
+        assert result["cache"]["size"] == 1
+        assert result["cache"]["capacity"] == 64
+
+
+class TestQueryMany:
+    def test_batch_matches_individual(self, engine, rep):
+        requests = [
+            {"id": i, "op": "neighbors", "node": i % 20} for i in range(60)
+        ]
+        responses = engine.query_many(requests)
+        assert len(responses) == 60
+        for request, response in zip(requests, responses):
+            assert response["id"] == request["id"]
+            assert response["ok"]
+            assert response["result"] == sorted(
+                neighbor_query(rep, request["node"])
+            )
+
+    def test_batch_deduplicates_expansions(self, rep):
+        engine = QueryEngine(rep, cache_size=64)
+        requests = [
+            {"id": i, "op": "neighbors", "node": i % 5} for i in range(50)
+        ]
+        engine.query_many(requests)
+        cache = engine.metrics.snapshot()["cache"]
+        # 5 unique nodes -> exactly 5 expansions despite 50 queries.
+        assert cache["misses"] == 5
+        batch = engine.metrics.snapshot()["batch"]
+        assert batch == {"batches": 1, "queries": 50, "unique_queries": 5}
+
+    def test_batch_mixes_ops(self, engine, rep):
+        requests = [
+            {"id": 0, "op": "neighbors", "node": 1},
+            {"id": 1, "op": "degree", "node": 1},
+            {"id": 2, "op": "pagerank", "node": 1},
+            {"id": 3, "op": "ping"},
+        ]
+        responses = engine.query_many(requests)
+        assert [r["ok"] for r in responses] == [True] * 4
+        assert responses[1]["result"] == len(neighbor_query(rep, 1))
+
+    def test_batch_errors_inline(self, engine, rep):
+        requests = [
+            {"id": 0, "op": "neighbors", "node": 0},
+            {"id": 1, "op": "neighbors", "node": rep.n + 5},
+            {"id": 2, "op": "nope"},
+            {"id": 3, "op": "degree", "node": 1},
+        ]
+        responses = engine.query_many(requests)
+        assert responses[0]["ok"] and responses[3]["ok"]
+        assert not responses[1]["ok"]
+        assert responses[1]["error"]["type"] == "bad_request"
+        assert not responses[2]["ok"]
+        assert responses[2]["id"] == 2
+
+
+class TestConcurrency:
+    def test_parallel_readers_agree_with_oracle(self, engine, rep):
+        failures = []
+
+        def hammer(offset):
+            try:
+                for q in range(offset, rep.n, 4):
+                    for _ in range(3):
+                        got = set(engine.neighbors(q))
+                        if got != neighbor_query(rep, q):
+                            failures.append(q)
+            except Exception as exc:  # pragma: no cover
+                failures.append(repr(exc))
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert failures == []
+
+
+class TestFromFile:
+    def test_engine_from_saved_summary(self, tmp_path, rep):
+        path = tmp_path / "s.txt.gz"
+        save_representation(path, rep)
+        engine = QueryEngine.from_file(path, cache_size=16)
+        assert engine.representation.n == rep.n
+        assert set(engine.neighbors(0)) == neighbor_query(rep, 0)

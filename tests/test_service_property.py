@@ -1,0 +1,94 @@
+"""Property-based tests: the serving engine is exactly Algorithm 6.
+
+For arbitrary random graphs summarized by Mags and Mags-DM, every way
+of asking the :class:`~repro.service.engine.QueryEngine` for a
+neighborhood — cold cache, warm cache, and batched — must agree with
+the one-shot :func:`~repro.queries.neighbors.neighbor_query` oracle
+on every node.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.mags import MagsSummarizer
+from repro.algorithms.mags_dm import MagsDMSummarizer
+from repro.graph.graph import Graph
+from repro.queries.neighbors import neighbor_query
+from repro.service.engine import QueryEngine
+
+_SETTINGS = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graphs(draw, max_nodes: int = 20, max_edges: int = 40) -> Graph:
+    """Arbitrary simple undirected graphs (possibly disconnected)."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    count = draw(st.integers(0, min(len(possible), max_edges)))
+    indices = draw(
+        st.lists(
+            st.integers(0, len(possible) - 1),
+            min_size=count,
+            max_size=count,
+            unique=True,
+        )
+    )
+    return Graph(n, [possible[i] for i in indices])
+
+
+def _engines(graph: Graph, cache_size: int):
+    for summarizer in (
+        MagsSummarizer(iterations=5, seed=0),
+        MagsDMSummarizer(iterations=5, seed=0),
+    ):
+        rep = summarizer.summarize(graph).representation
+        yield rep, QueryEngine(rep, cache_size=cache_size)
+
+
+@given(graphs())
+@settings(**_SETTINGS)
+def test_cold_and_warm_cache_match_neighbor_query(graph: Graph):
+    for rep, engine in _engines(graph, cache_size=4):
+        for q in range(graph.n):
+            oracle = neighbor_query(rep, q)
+            assert set(engine.neighbors(q)) == oracle  # cold (or evicted)
+            assert set(engine.neighbors(q)) == oracle  # warm
+        # Second full sweep: mixture of cache hits and evictions.
+        for q in range(graph.n):
+            assert set(engine.neighbors(q)) == neighbor_query(rep, q)
+
+
+@given(graphs(), st.integers(min_value=0, max_value=8))
+@settings(**_SETTINGS)
+def test_batched_answers_match_neighbor_query(graph: Graph, stride: int):
+    for rep, engine in _engines(graph, cache_size=64):
+        requests = [
+            {"id": i, "op": "neighbors", "node": (i + stride) % graph.n}
+            for i in range(2 * graph.n)
+        ]
+        responses = engine.query_many(requests)
+        assert len(responses) == len(requests)
+        for request, response in zip(requests, responses):
+            assert response["ok"], response
+            assert response["id"] == request["id"]
+            assert response["result"] == sorted(
+                neighbor_query(rep, request["node"])
+            )
+
+
+@given(graphs())
+@settings(**_SETTINGS)
+def test_degree_and_batch_degree_match(graph: Graph):
+    for rep, engine in _engines(graph, cache_size=8):
+        degrees = [len(neighbor_query(rep, q)) for q in range(graph.n)]
+        assert [engine.degree(q) for q in range(graph.n)] == degrees
+        responses = engine.query_many(
+            [{"id": q, "op": "degree", "node": q} for q in range(graph.n)]
+        )
+        assert [r["result"] for r in responses] == degrees

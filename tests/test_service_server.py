@@ -1,0 +1,264 @@
+"""Tests for the TCP server, client, protocol framing and metrics."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.algorithms.mags_dm import MagsDMSummarizer
+from repro.queries.neighbors import neighbor_query
+from repro.service import (
+    QueryEngine,
+    ServiceError,
+    ServiceMetrics,
+    SummaryQueryServer,
+    SummaryServiceClient,
+)
+from repro.service.metrics import LatencyRecorder
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_line,
+    encode_message,
+)
+
+
+@pytest.fixture(scope="module")
+def rep():
+    from repro.graph import generators
+
+    graph = generators.planted_partition(150, 10, 0.7, 0.02, seed=42)
+    return (
+        MagsDMSummarizer(iterations=8, seed=1)
+        .summarize(graph)
+        .representation
+    )
+
+
+@pytest.fixture
+def server(rep):
+    engine = QueryEngine(rep, cache_size=256)
+    with SummaryQueryServer(engine, workers=8, request_timeout=5.0) as srv:
+        yield srv
+
+
+@pytest.fixture
+def client(server):
+    host, port = server.address
+    with SummaryServiceClient(host, port) as cli:
+        yield cli
+
+
+class TestProtocol:
+    def test_roundtrip(self):
+        message = {"id": 1, "op": "neighbors", "node": 5}
+        assert decode_line(encode_message(message).rstrip(b"\n")) == message
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_line(b"[1, 2]")
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ProtocolError, match="invalid JSON"):
+            decode_line(b"{nope")
+
+    def test_oversized_line_rejected(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_line(b" " * (MAX_LINE_BYTES + 1))
+
+
+class TestBasicOps:
+    def test_ping(self, client):
+        assert client.ping() == "pong"
+
+    def test_neighbors_and_degree(self, client, rep):
+        for q in (0, 7, 149):
+            want = neighbor_query(rep, q)
+            assert set(client.neighbors(q)) == want
+            assert client.degree(q) == len(want)
+
+    def test_khop(self, client):
+        distances = client.khop(0, 2)
+        assert distances[0] == 0
+        assert all(d <= 2 for d in distances.values())
+
+    def test_pagerank(self, client):
+        assert isinstance(client.pagerank_score(3), float)
+
+    def test_batch(self, client, rep):
+        requests = [
+            {"id": i, "op": "neighbors", "node": i % 10} for i in range(40)
+        ]
+        responses = client.batch(requests)
+        assert len(responses) == 40
+        assert all(r["ok"] for r in responses)
+        assert responses[11]["result"] == sorted(neighbor_query(rep, 1))
+
+    def test_stats(self, client):
+        client.neighbors(0)
+        stats = client.stats()
+        assert stats["requests_total"] >= 1
+        assert "latency_ms" in stats
+        assert stats["connections"]["active"] >= 1
+
+
+class TestErrors:
+    def test_out_of_range_is_structured(self, client):
+        with pytest.raises(ServiceError, match="out of range") as info:
+            client.neighbors(10**6)
+        assert info.value.type == "bad_request"
+
+    def test_unknown_op(self, client):
+        with pytest.raises(ServiceError) as info:
+            client.request("frobnicate")
+        assert info.value.type == "bad_request"
+
+    def test_malformed_json_keeps_connection_alive(self, client):
+        client._sock.sendall(b"this is not json\n")
+        response = decode_line(client._reader.readline())
+        assert response["ok"] is False
+        assert response["error"]["type"] == "bad_request"
+        # The same connection still answers real requests.
+        assert client.ping() == "pong"
+
+    def test_batch_without_list_rejected(self, client):
+        with pytest.raises(ServiceError, match="requests"):
+            client.request("batch", requests="nope")
+
+    def test_timeout_is_structured(self, rep):
+        engine = QueryEngine(rep, cache_size=0)
+        with SummaryQueryServer(
+            engine, workers=2, request_timeout=0.0
+        ) as srv:
+            host, port = srv.address
+            with SummaryServiceClient(host, port) as cli:
+                with pytest.raises(ServiceError) as info:
+                    cli.khop(0, 4)
+                assert info.value.type == "timeout"
+
+
+class TestConcurrency:
+    def test_eight_threads_zero_mismatches(self, server, rep):
+        host, port = server.address
+        mismatches = []
+        crashes = []
+
+        def worker(tid):
+            try:
+                with SummaryServiceClient(host, port) as cli:
+                    for q in range(tid, rep.n, 8):
+                        if set(cli.neighbors(q)) != neighbor_query(rep, q):
+                            mismatches.append(q)
+                        if not isinstance(cli.pagerank_score(q), float):
+                            mismatches.append(("pr", q))
+                    responses = cli.batch([
+                        {"id": i, "op": "degree", "node": (tid + i) % rep.n}
+                        for i in range(25)
+                    ])
+                    if not all(r["ok"] for r in responses):
+                        mismatches.append(("batch", tid))
+                    cli.stats()
+            except Exception as exc:  # pragma: no cover
+                crashes.append((tid, repr(exc)))
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert crashes == []
+        assert mismatches == []
+
+    def test_sequential_connections_reuse_workers(self, server, rep):
+        host, port = server.address
+        for _ in range(12):
+            with SummaryServiceClient(host, port) as cli:
+                assert cli.ping() == "pong"
+
+
+class TestShutdown:
+    def test_shutdown_op_stops_server(self, rep):
+        engine = QueryEngine(rep)
+        server = SummaryQueryServer(engine, workers=2).start()
+        host, port = server.address
+        done = threading.Event()
+        thread = threading.Thread(
+            target=lambda: (
+                server.serve_forever(install_signal_handlers=False),
+                done.set(),
+            )
+        )
+        thread.start()
+        with SummaryServiceClient(host, port) as cli:
+            assert cli.shutdown_server() == "shutting down"
+        thread.join(timeout=10)
+        assert done.is_set()
+        # The listener is gone: new connections are refused.
+        with pytest.raises(OSError):
+            socket.create_connection((host, port), timeout=0.5)
+
+    def test_close_is_idempotent(self, rep):
+        server = SummaryQueryServer(QueryEngine(rep), workers=2).start()
+        server.close()
+        server.close()
+
+    def test_inflight_request_completes_during_shutdown(self, rep):
+        engine = QueryEngine(rep)
+        server = SummaryQueryServer(engine, workers=2).start()
+        host, port = server.address
+        with SummaryServiceClient(host, port) as cli:
+            assert cli.ping() == "pong"
+            server.shutdown()
+            server.close()
+        # Connection count balanced after close.
+        active = engine.metrics.snapshot()["connections"]["active"]
+        assert active == 0
+
+
+class TestMetrics:
+    def test_latency_percentiles_nearest_rank(self):
+        recorder = LatencyRecorder()
+        for ms in range(1, 101):  # 1..100 ms
+            recorder.record(ms / 1000.0)
+        snap = recorder.snapshot()
+        assert snap["count"] == 100
+        assert snap["p50_ms"] == 50.0
+        assert snap["p95_ms"] == 95.0
+        assert snap["p99_ms"] == 99.0
+        assert snap["max_ms"] == 100.0
+
+    def test_reservoir_bounds_memory(self):
+        recorder = LatencyRecorder(reservoir=10)
+        for _ in range(1000):
+            recorder.record(0.001)
+        snap = recorder.snapshot()
+        assert snap["count"] == 1000  # total count survives
+        assert len(recorder._samples) == 10  # window bounded
+
+    def test_snapshot_shape(self):
+        metrics = ServiceMetrics()
+        metrics.observe("neighbors", 0.002)
+        metrics.observe("neighbors", 0.004, ok=False)
+        metrics.cache_hit()
+        metrics.cache_miss()
+        snap = metrics.snapshot()
+        assert snap["requests_total"] == 2
+        assert snap["errors_total"] == 1
+        assert snap["cache"]["hit_rate"] == 0.5
+        assert snap["latency_ms"]["neighbors"]["count"] == 2
+
+    def test_log_line_mentions_key_numbers(self):
+        metrics = ServiceMetrics()
+        metrics.observe("neighbors", 0.001)
+        line = metrics.log_line()
+        assert "requests=1" in line
+        assert "cache_hit_rate=" in line
+
+    def test_uptime_advances(self):
+        metrics = ServiceMetrics()
+        first = metrics.snapshot()["uptime_s"]
+        time.sleep(0.01)
+        assert metrics.snapshot()["uptime_s"] >= first

@@ -1,0 +1,150 @@
+"""End-to-end smoke test of ``python -m repro serve``.
+
+What CI runs after the unit suite: summarize a graph, start the real
+server process on an ephemeral port, fire a concurrent batch of
+queries from 8 client threads (verifying every neighbor answer
+against Algorithm 6), then send SIGINT and assert a clean, graceful
+exit.  The whole run is bounded by a watchdog so a wedged server
+fails the job instead of hanging it.
+
+Run:  PYTHONPATH=src python tools/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.algorithms.mags_dm import MagsDMSummarizer  # noqa: E402
+from repro.core.serialization import save_representation  # noqa: E402
+from repro.graph import generators  # noqa: E402
+from repro.queries.neighbors import neighbor_query  # noqa: E402
+from repro.service import SummaryServiceClient  # noqa: E402
+
+CLIENT_THREADS = 8
+STARTUP_TIMEOUT_S = 30
+SHUTDOWN_TIMEOUT_S = 15
+
+
+def main() -> int:
+    graph = generators.planted_partition(300, 15, 0.6, 0.02, seed=5)
+    rep = MagsDMSummarizer(iterations=8, seed=0).summarize(
+        graph
+    ).representation
+
+    with tempfile.TemporaryDirectory() as tmp:
+        summary_path = Path(tmp) / "summary.txt.gz"
+        save_representation(summary_path, rep)
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(REPO / "src"), env.get("PYTHONPATH", "")]
+        ).rstrip(os.pathsep)
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                str(summary_path), "--port", "0", "--log-interval", "0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+            cwd=REPO,
+        )
+        try:
+            port = _wait_for_port(proc)
+            print(f"server up on port {port}")
+            _hammer(rep, port)
+            print("concurrent queries verified, sending SIGINT")
+            proc.send_signal(signal.SIGINT)
+            output, _ = proc.communicate(timeout=SHUTDOWN_TIMEOUT_S)
+        except BaseException:
+            proc.kill()
+            output, _ = proc.communicate()
+            print(output)
+            raise
+    if proc.returncode != 0:
+        print(output)
+        raise SystemExit(
+            f"server exited with code {proc.returncode} after SIGINT"
+        )
+    if "shutdown complete" not in output:
+        print(output)
+        raise SystemExit("server did not report a graceful shutdown")
+    print("graceful shutdown confirmed")
+    print("service smoke test PASSED")
+    return 0
+
+
+def _wait_for_port(proc: subprocess.Popen) -> int:
+    deadline = time.monotonic() + STARTUP_TIMEOUT_S
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise SystemExit("server exited before binding a port")
+        match = re.match(r"serving on \S+:(\d+)", line)
+        if match:
+            return int(match.group(1))
+    raise SystemExit("server did not report its port in time")
+
+
+def _hammer(rep, port: int) -> None:
+    failures: list[object] = []
+
+    def worker(tid: int) -> None:
+        try:
+            with SummaryServiceClient("127.0.0.1", port) as client:
+                assert client.ping() == "pong"
+                for q in range(tid, rep.n, CLIENT_THREADS):
+                    got = set(client.neighbors(q))
+                    want = neighbor_query(rep, q)
+                    if got != want:
+                        failures.append(("mismatch", q))
+                score = client.pagerank_score(tid)
+                if not isinstance(score, float):
+                    failures.append(("pagerank", tid))
+                responses = client.batch([
+                    {"id": i, "op": "degree", "node": (tid * 7 + i) % rep.n}
+                    for i in range(32)
+                ])
+                if not all(r["ok"] for r in responses):
+                    failures.append(("batch", tid))
+        except Exception as exc:
+            failures.append((tid, repr(exc)))
+
+    threads = [
+        threading.Thread(target=worker, args=(t,))
+        for t in range(CLIENT_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if failures:
+        raise SystemExit(f"query failures: {failures[:5]}")
+
+    with SummaryServiceClient("127.0.0.1", port) as client:
+        stats = client.stats()
+        expected = rep.n + 2 * CLIENT_THREADS  # neighbors + ping/pagerank
+        if stats["requests_total"] < expected:
+            raise SystemExit(
+                f"stats undercount: {stats['requests_total']} < {expected}"
+            )
+        print(
+            f"stats: {stats['requests_total']} requests, "
+            f"hit rate {stats['cache']['hit_rate']:.0%}"
+        )
+
+
+if __name__ == "__main__":
+    sys.exit(main())
