@@ -6,10 +6,20 @@ call :meth:`Summarizer.summarize` on a graph, get a
 :class:`SummaryResult` back.  The result carries the representation,
 wall-clock phase timings (the quantities plotted in Figures 6-8, 10,
 12) and merge statistics.
+
+Observability: when :mod:`repro.obs` is imported *and* a tracer is
+installed, :meth:`Summarizer.summarize` wraps the run in a
+``summarize:<name>`` span, :class:`PhaseTimer` mirrors every phase as
+a child ``phase:<name>`` span, and algorithms report iteration-level
+progress through :meth:`PhaseTimer.progress`.  The hook is resolved
+through ``sys.modules`` (:func:`active_tracer`), so a process that
+never imports ``repro.obs`` runs exactly the uninstrumented code —
+the tracing-disabled overhead is one dict lookup per phase boundary.
 """
 
 from __future__ import annotations
 
+import sys
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
@@ -18,7 +28,28 @@ from typing import Any
 from repro.core.encoding import Representation
 from repro.graph.graph import Graph
 
-__all__ = ["SummaryResult", "Summarizer", "TimeLimitExceeded", "PhaseTimer"]
+__all__ = [
+    "SummaryResult",
+    "Summarizer",
+    "TimeLimitExceeded",
+    "PhaseTimer",
+    "active_tracer",
+]
+
+
+def active_tracer():
+    """The enabled global tracer, or ``None``.
+
+    Resolved through ``sys.modules`` instead of an import so that a
+    process which never imports :mod:`repro.obs` pays nothing at all,
+    and one with tracing disabled pays a dict lookup plus an attribute
+    check.
+    """
+    obs = sys.modules.get("repro.obs.tracer")
+    if obs is None:
+        return None
+    tracer = obs.get_tracer()
+    return tracer if tracer.enabled else None
 
 
 class TimeLimitExceeded(RuntimeError):
@@ -59,20 +90,31 @@ class SummaryResult:
 
 
 class PhaseTimer:
-    """Accumulates named phase durations and enforces a time budget."""
+    """Accumulates named phase durations and enforces a time budget.
 
-    def __init__(self, time_limit: float | None = None):
+    With a tracer attached, every :meth:`start`/:meth:`stop` pair is
+    mirrored as a ``phase:<name>`` span (one span per phase
+    *occurrence*, so iterative algorithms emit one divide and one
+    merge span per round), and :meth:`progress` forwards
+    iteration-level events onto the open phase span.
+    """
+
+    def __init__(self, time_limit: float | None = None, tracer=None):
         self.phases: dict[str, float] = {}
         self._start = time.perf_counter()
         self._time_limit = time_limit
         self._phase_start: float | None = None
         self._phase_name: str | None = None
+        self._tracer = tracer
+        self._span = None
 
     def start(self, name: str) -> None:
         """Begin timing phase ``name`` (ends any running phase)."""
         self.stop()
         self._phase_name = name
         self._phase_start = time.perf_counter()
+        if self._tracer is not None:
+            self._span = self._tracer.start_span(f"phase:{name}", phase=name)
 
     def stop(self) -> None:
         """End the current phase, if any."""
@@ -83,6 +125,18 @@ class PhaseTimer:
             )
         self._phase_name = None
         self._phase_start = None
+        if self._span is not None:
+            self._tracer.end_span(self._span)
+            self._span = None
+
+    def progress(self, name: str, **attrs) -> None:
+        """Report an iteration-level progress event (candidate pairs
+        considered, merges accepted, saving accrued, ...).
+
+        No-op without a tracer, so algorithms call it unconditionally.
+        """
+        if self._span is not None:
+            self._span.event(name, **attrs)
 
     @property
     def total(self) -> float:
@@ -133,8 +187,35 @@ class Summarizer(ABC):
         return {"seed": self.seed}
 
     def summarize(self, graph: Graph) -> SummaryResult:
-        """Run the algorithm on ``graph`` and time it."""
-        timer = PhaseTimer(self.time_limit)
+        """Run the algorithm on ``graph`` and time it.
+
+        When a tracer is active the whole run becomes a
+        ``summarize:<name>`` root span whose children are the phase
+        spans, and the run's totals land in the global metrics
+        registry.
+        """
+        tracer = active_tracer()
+        if tracer is None:
+            return self._summarize(graph, None)
+        with tracer.span(
+            f"summarize:{self.name}",
+            algorithm=self.name,
+            n=graph.n,
+            m=graph.m,
+            params=self.params(),
+        ) as span:
+            result = self._summarize(graph, tracer)
+            span.set(
+                relative_size=result.relative_size,
+                cost=result.cost,
+                supernodes=result.representation.num_supernodes,
+            )
+            span.inc("merges", result.num_merges)
+        self._record_run_metrics(result)
+        return result
+
+    def _summarize(self, graph: Graph, tracer) -> SummaryResult:
+        timer = PhaseTimer(self.time_limit, tracer=tracer)
         self._extra_metrics = {}
         start = time.perf_counter()
         representation, num_merges = self._run(graph, timer)
@@ -148,3 +229,26 @@ class Summarizer(ABC):
             params=self.params(),
             extra_metrics=dict(self._extra_metrics),
         )
+
+    def _record_run_metrics(self, result: SummaryResult) -> None:
+        """Mirror one run's totals into the global metrics registry.
+
+        Only reached when tracing is active, so importing the registry
+        here cannot be the first ``repro.obs`` import of the process.
+        """
+        from repro.obs.metrics import get_registry
+
+        registry = get_registry()
+        registry.counter(
+            "repro_summarize_runs_total", algorithm=self.name
+        ).inc()
+        registry.counter(
+            "repro_merges_total", algorithm=self.name
+        ).inc(result.num_merges)
+        registry.histogram(
+            "repro_summarize_seconds", algorithm=self.name
+        ).observe(result.runtime_seconds)
+        for phase, seconds in result.phase_seconds.items():
+            registry.histogram(
+                "repro_phase_seconds", algorithm=self.name, phase=phase
+            ).observe(seconds)

@@ -79,10 +79,12 @@ class GreedySummarizer(Summarizer):
                     heapq.heappush(heap, (-s, u, v))
             if u % 256 == 0:
                 timer.check_budget()
+        timer.progress("candidates_generated", pairs=len(savings))
 
         # -- Step 2: greedy merge loop --
         timer.start("merge")
         num_merges = 0
+        saving_accrued = 0.0
         while heap:
             neg_s, u, v = heapq.heappop(heap)
             key = (u, v)
@@ -92,9 +94,22 @@ class GreedySummarizer(Summarizer):
             del savings[key]
             w = partition.merge(u, v)
             num_merges += 1
+            saving_accrued += -neg_s
             self._drop_dead_pairs(savings, u if w != u else v)
             self._update_affected(partition, savings, heap, w)
+            if num_merges % 1024 == 0:
+                timer.progress(
+                    "progress",
+                    merges=num_merges,
+                    saving_accrued=round(saving_accrued, 6),
+                    live_pairs=len(savings),
+                )
             timer.check_budget()
+        timer.progress(
+            "merge_done",
+            merges=num_merges,
+            saving_accrued=round(saving_accrued, 6),
+        )
 
         # -- Step 3: output --
         timer.start("output")

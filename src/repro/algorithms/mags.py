@@ -234,6 +234,11 @@ class MagsSummarizer(Summarizer):
         for u, v in pair_lists:
             if candidates.saving(u, v) is None:
                 candidates.add(u, v, partition.saving(u, v))
+        timer.progress(
+            "candidates_generated",
+            pairs=len(candidates),
+            method=self.candidate_method,
+        )
         timer.check_budget()
         return candidates
 
@@ -358,9 +363,17 @@ class MagsSummarizer(Summarizer):
                 self._refresh_affected(
                     partition, candidates, heap, merged_roots
                 )
+                timer.progress(
+                    "iteration",
+                    t=t,
+                    threshold=round(threshold, 6),
+                    merges=len(iteration_merges),
+                    total_merges=num_merges,
+                )
                 timer.check_budget()
                 continue
 
+            saving_accrued = 0.0
             # -- First part: merge pairs in decreasing stored saving --
             while heap:
                 neg_s, u, v = heap[0]
@@ -384,6 +397,7 @@ class MagsSummarizer(Summarizer):
                     merged_roots.discard(dead)
                     iteration_merges.append((u, v))
                     num_merges += 1
+                    saving_accrued += fresh
                 elif fresh > _EPS:
                     # Stale optimistic saving: record the renewed value;
                     # the pair stays for later (lower-threshold) rounds.
@@ -395,6 +409,14 @@ class MagsSummarizer(Summarizer):
 
             # -- Second part: refresh savings around the merges --
             self._refresh_affected(partition, candidates, heap, merged_roots)
+            timer.progress(
+                "iteration",
+                t=t,
+                threshold=round(threshold, 6),
+                merges=len(iteration_merges),
+                total_merges=num_merges,
+                saving_accrued=round(saving_accrued, 6),
+            )
             timer.check_budget()
         return num_merges
 

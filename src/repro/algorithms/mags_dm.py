@@ -163,9 +163,11 @@ class MagsDMSummarizer(Summarizer):
                 groups = divide_by_single_hash(
                     roots, signatures, (t - 1) % self.h
                 )
-            self.last_group_sizes.append([len(g) for g in groups])
+            sizes = [len(g) for g in groups]
+            self.last_group_sizes.append(sizes)
             timer.start("merge")
             threshold = self._threshold(t)
+            merges_before = num_merges
             if self.workers > 1:
                 from repro.algorithms.parallel import merge_groups_parallel
 
@@ -179,6 +181,16 @@ class MagsDMSummarizer(Summarizer):
                         partition, signatures, group, threshold, rng
                     )
                     timer.check_budget()
+            timer.progress(
+                "iteration",
+                t=t,
+                threshold=round(threshold, 6),
+                groups=len(groups),
+                largest_group=max(sizes, default=0),
+                candidates=sum(sizes),
+                merges=num_merges - merges_before,
+                total_merges=num_merges,
+            )
 
         timer.start("output")
         return encode(partition), num_merges

@@ -28,6 +28,8 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence, TypeVar
 
+from repro.algorithms.base import active_tracer
+
 __all__ = [
     "map_chunks",
     "merge_groups_parallel",
@@ -60,6 +62,23 @@ def map_chunks(
         (items[start:start + chunk_size], start)
         for start in range(0, len(items), chunk_size)
     ]
+    tracer = active_tracer()
+    if tracer is not None:
+        # Worker threads have their own span stacks, so the chunk
+        # spans attach to the caller's span explicitly.
+        parent = tracer.current()
+        inner = fn
+
+        def fn(chunk, offset, _inner=inner):
+            span = tracer.start_span(
+                "parallel:chunk", parent=parent,
+                offset=offset, items=len(chunk),
+            )
+            try:
+                return _inner(chunk, offset)
+            finally:
+                tracer.end_span(span)
+
     if workers == 1:
         return [fn(chunk, offset) for chunk, offset in chunks]
     with ThreadPoolExecutor(max_workers=workers) as pool:
@@ -101,8 +120,21 @@ def merge_groups_parallel(
                 partition, signatures, groups[index], threshold, group_rng
             )
 
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        list(pool.map(run_group, range(len(groups))))
+    tracer = active_tracer()
+    span = (
+        tracer.start_span(
+            "parallel:merge_groups", groups=len(groups), workers=workers
+        )
+        if tracer is not None
+        else None
+    )
+    try:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            list(pool.map(run_group, range(len(groups))))
+    finally:
+        if span is not None:
+            span.inc("merges", sum(counts))
+            tracer.end_span(span)
     return sum(counts)
 
 

@@ -38,6 +38,7 @@ class RandomizedSummarizer(Summarizer):
         timer.start("merge")
         unfinished = set(graph.nodes())
         num_merges = 0
+        picks = 0
         while unfinished:
             u = rng.choice(tuple(unfinished))
             candidates = two_hop_pairs(partition, u)
@@ -55,7 +56,16 @@ class RandomizedSummarizer(Summarizer):
                 dead = best_v if w == u else u
                 unfinished.discard(dead)
                 unfinished.add(w)
+            picks += 1
+            if picks % 512 == 0:
+                timer.progress(
+                    "progress",
+                    picks=picks,
+                    merges=num_merges,
+                    unfinished=len(unfinished),
+                )
             timer.check_budget()
+        timer.progress("merge_done", picks=picks, merges=num_merges)
 
         timer.start("output")
         return encode(partition), num_merges

@@ -276,6 +276,7 @@ class SluggerSummarizer(Summarizer):
             )
             timer.start("merge")
             threshold = theta(t)
+            merges_before = num_merges
             for group in groups:
                 num_merges += merge_group_superjaccard(
                     partition,
@@ -286,6 +287,14 @@ class SluggerSummarizer(Summarizer):
                     on_merge=dendrogram.record,
                 )
                 timer.check_budget()
+            timer.progress(
+                "iteration",
+                t=t,
+                threshold=round(threshold, 6),
+                groups=len(groups),
+                merges=num_merges - merges_before,
+                total_merges=num_merges,
+            )
 
         timer.start("encode")
         representation = encode(partition)

@@ -73,11 +73,20 @@ class SWeGSummarizer(Summarizer):
             )
             timer.start("merge")
             threshold = theta(t)
+            merges_before = num_merges
             for group in groups:
                 num_merges += merge_group_superjaccard(
                     partition, signatures, group, threshold, rng
                 )
                 timer.check_budget()
+            timer.progress(
+                "iteration",
+                t=t,
+                threshold=round(threshold, 6),
+                groups=len(groups),
+                merges=num_merges - merges_before,
+                total_merges=num_merges,
+            )
 
         timer.start("output")
         return encode(partition), num_merges

@@ -9,12 +9,19 @@ graphs are deterministic, hence rows are reproducible.
 from __future__ import annotations
 
 import os
+import sys
+import time
 from typing import Callable, Iterable
 
-from repro.algorithms.base import SummaryResult, Summarizer
+from repro.algorithms.base import SummaryResult, Summarizer, active_tracer
 from repro.core.verify import verify_lossless
 from repro.graph.datasets import DATASETS
 from repro.graph.graph import Graph
+
+try:
+    import resource
+except ImportError:  # non-POSIX platform
+    resource = None
 
 __all__ = [
     "bench_iterations",
@@ -22,11 +29,16 @@ __all__ = [
     "get_graph",
     "run_on_dataset",
     "run_grid",
+    "trial_stats",
+    "rss_peak_mb",
     "clear_caches",
 ]
 
 _GRAPH_CACHE: dict[str, Graph] = {}
 _RESULT_CACHE: dict[tuple, SummaryResult] = {}
+#: Wall/CPU split and memory high-water per trial, keyed by the result
+#: object (results stay alive in ``_RESULT_CACHE``, so ids are stable).
+_TRIAL_STATS: dict[int, dict] = {}
 
 #: Paper setting is T=50; the interpreter-scale default is 20, which
 #: Figures 11-12 show is already within ~2% of converged compactness.
@@ -50,6 +62,24 @@ def get_graph(code: str) -> Graph:
     return _GRAPH_CACHE[code]
 
 
+def rss_peak_mb() -> float | None:
+    """Process RSS high-water mark in MB (``None`` off POSIX).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS.
+    """
+    if resource is None:
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    divisor = 1024 * 1024 if sys.platform == "darwin" else 1024
+    return peak / divisor
+
+
+def trial_stats(result: SummaryResult) -> dict:
+    """The wall/CPU/RSS record captured when ``result`` was produced
+    (empty for results not produced through :func:`run_on_dataset`)."""
+    return dict(_TRIAL_STATS.get(id(result), {}))
+
+
 def run_on_dataset(
     code: str,
     factory: Callable[[], Summarizer],
@@ -70,10 +100,31 @@ def run_on_dataset(
     if key in _RESULT_CACHE:
         return _RESULT_CACHE[key]
     graph = get_graph(code)
-    result = summarizer.summarize(graph)
+    tracer = active_tracer()
+    span = (
+        tracer.start_span(
+            f"trial:{summarizer.name}/{code}",
+            dataset=code, algorithm=summarizer.name,
+        )
+        if tracer is not None
+        else None
+    )
+    wall_started = time.perf_counter()
+    cpu_started = time.process_time()
+    try:
+        result = summarizer.summarize(graph)
+    finally:
+        if span is not None:
+            tracer.end_span(span)
+    stats = {
+        "wall_s": time.perf_counter() - wall_started,
+        "cpu_s": time.process_time() - cpu_started,
+        "rss_peak_mb": rss_peak_mb(),
+    }
     if verify:
         verify_lossless(graph, result.representation)
     _RESULT_CACHE[key] = result
+    _TRIAL_STATS[id(result)] = stats
     return result
 
 
@@ -105,11 +156,20 @@ def run_grid(
                 )
                 continue
             result = run_on_dataset(code, factory, verify=verify)
+            stats = trial_stats(result)
             row = {
                 "dataset": code,
                 "algorithm": label,
                 "relative_size": result.relative_size,
                 "time_s": result.runtime_seconds,
+                "cpu_s": (
+                    round(stats["cpu_s"], 4) if "cpu_s" in stats else None
+                ),
+                "rss_peak_mb": (
+                    round(stats["rss_peak_mb"], 1)
+                    if stats.get("rss_peak_mb") is not None
+                    else None
+                ),
             }
             row.update(result.extra_metrics)
             rows.append(row)
@@ -120,3 +180,4 @@ def clear_caches() -> None:
     """Drop memoised graphs and results (tests use this)."""
     _GRAPH_CACHE.clear()
     _RESULT_CACHE.clear()
+    _TRIAL_STATS.clear()

@@ -8,6 +8,8 @@ Exposes the library's pipeline as a tool::
     python -m repro compare graph.txt -a mags,mags-dm,ldme
     python -m repro dataset CN -o cn_analog.txt
     python -m repro serve summary.txt --port 7077
+    python -m repro profile -a mags-dm -d CA --trace-out trace.jsonl
+    python -m repro trace trace.jsonl --validate --phases
 
 Edge lists are whitespace-separated ``u v`` lines (SNAP style, ``#``
 comments allowed); summaries use the v1 text format of
@@ -152,6 +154,48 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--list", action="store_true", dest="list_experiments",
         help="list available experiment names and exit",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="run one algorithm under the tracer; print its phase profile",
+    )
+    profile.add_argument(
+        "-a", "--algorithm", choices=sorted(ALGORITHMS), default="mags-dm"
+    )
+    profile.add_argument(
+        "-d", "--dataset",
+        help=f"Table 2 analog code ({', '.join(dataset_codes())})",
+    )
+    profile.add_argument(
+        "-i", "--input", help="edge-list file (alternative to --dataset)"
+    )
+    profile.add_argument("-T", "--iterations", type=int, default=20)
+    profile.add_argument("-s", "--seed", type=int, default=0)
+    profile.add_argument(
+        "--trace-out",
+        help="write the span records as JSONL here (.gz supported)",
+    )
+    profile.add_argument(
+        "--prom-out",
+        help="write the metrics registry in Prometheus text format here",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="inspect a trace JSONL file written by 'profile'"
+    )
+    trace.add_argument("input", help="trace JSONL file (.gz supported)")
+    trace.add_argument(
+        "--validate", action="store_true",
+        help="check the file against the span schema; nonzero exit on error",
+    )
+    trace.add_argument(
+        "--phases", action="store_true",
+        help="print total wall seconds per phase",
+    )
+    trace.add_argument(
+        "--diff", metavar="OTHER",
+        help="compare phase totals against another trace file",
     )
 
     return parser
@@ -300,6 +344,99 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    if bool(args.dataset) == bool(args.input):
+        print(
+            "profile needs exactly one of --dataset or --input",
+            file=sys.stderr,
+        )
+        return 2
+    if args.dataset:
+        graph = load_dataset(args.dataset)
+        source = f"dataset {args.dataset}"
+    else:
+        graph = load_graph(args.input)
+        source = args.input
+    print(f"profiling {args.algorithm} on {source}: {graph}")
+
+    summarizer = ALGORITHMS[args.algorithm](args.iterations, args.seed)
+    tracer = obs.Tracer()
+    with obs.use_tracer(tracer):
+        result = summarizer.summarize(graph)
+    records = tracer.records()
+    print(result.summary_line())
+
+    print("\nphase totals (wall seconds):")
+    for phase, seconds in sorted(
+        obs.phase_totals(records).items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {phase:24s} {seconds:10.4f}")
+    print("\ntrace:")
+    print(obs.render_trace_tree(records))
+
+    if args.trace_out:
+        obs.write_trace_jsonl(records, args.trace_out)
+        print(f"\ntrace written to {args.trace_out} ({len(records)} spans)")
+    if args.prom_out:
+        from pathlib import Path
+
+        Path(args.prom_out).write_text(
+            obs.registry_to_prometheus(obs.get_registry())
+        )
+        print(f"metrics written to {args.prom_out}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    try:
+        records = obs.read_trace_jsonl(args.input)
+    except (OSError, ValueError) as exc:
+        print(f"unreadable trace file {args.input}: {exc}", file=sys.stderr)
+        return 1
+    status = 0
+    acted = False
+    if args.validate:
+        acted = True
+        errors = obs.validate_trace(records)
+        if errors:
+            for error in errors:
+                print(error, file=sys.stderr)
+            status = 1
+        else:
+            print(f"{args.input}: {len(records)} spans, schema OK")
+    if args.phases:
+        acted = True
+        for phase, seconds in sorted(
+            obs.phase_totals(records).items(), key=lambda kv: -kv[1]
+        ):
+            print(f"{phase:24s} {seconds:10.4f}")
+    if args.diff:
+        acted = True
+        other = obs.read_trace_jsonl(args.diff)
+        header = (
+            f"{'phase':<24} {'a_s':>10} {'b_s':>10} "
+            f"{'delta_s':>10} {'ratio':>8}"
+        )
+        print(header)
+        for row in obs.diff_phase_totals(records, other):
+            def fmt(value, spec):
+                return "-" if value is None else format(value, spec)
+
+            print(
+                f"{row['phase']:<24} {fmt(row['a_s'], '.4f'):>10} "
+                f"{fmt(row['b_s'], '.4f'):>10} "
+                f"{fmt(row['delta_s'], '+.4f'):>10} "
+                f"{fmt(row['ratio'], '.3f'):>8}"
+            )
+    if not acted:
+        print(obs.render_trace_tree(records))
+    return status
+
+
 _COMMANDS = {
     "summarize": _cmd_summarize,
     "reconstruct": _cmd_reconstruct,
@@ -308,6 +445,8 @@ _COMMANDS = {
     "dataset": _cmd_dataset,
     "serve": _cmd_serve,
     "bench": _cmd_bench,
+    "profile": _cmd_profile,
+    "trace": _cmd_trace,
 }
 
 

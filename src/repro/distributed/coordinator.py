@@ -24,12 +24,13 @@ numbers a deployment would size its shuffle by.
 
 from __future__ import annotations
 
+import contextlib
 import random
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.algorithms._dm_common import divide_recursive, shuffled_rows
-from repro.algorithms.base import Summarizer
+from repro.algorithms.base import Summarizer, active_tracer
 from repro.algorithms.mags_dm import MagsDMSummarizer
 from repro.compression.varint import varint_size
 from repro.core.encoding import Representation, encode
@@ -111,48 +112,71 @@ class DistributedSummarizer:
     # ------------------------------------------------------------------
     def summarize(self, graph: Graph) -> DistributedResult:
         """Run the three-phase pipeline on ``graph``."""
-        assignment = self.partitioner(graph, self.workers)
-        if len(assignment) != graph.n:
-            raise ValueError("partitioner returned wrong-length assignment")
+        tracer = active_tracer()
 
-        # ---- local phase -------------------------------------------
-        owned: list[list[int]] = [[] for _ in range(self.workers)]
-        for node, part in enumerate(assignment):
-            owned[part].append(node)
-        groupings: list[list[list[int]]] = []
-        upload_bytes: list[int] = []
-        local_merges = 0
-        for worker in range(self.workers):
-            local_nodes = owned[worker]
-            subgraph = graph.subgraph(local_nodes)
-            result = self.summarizer_factory().summarize(subgraph)
-            local_merges += result.num_merges
-            groups = [
-                sorted(local_nodes[i] for i in members)
-                for members in result.representation.supernodes.values()
-            ]
-            groupings.append(groups)
-            upload_bytes.append(_grouping_bytes(groups))
+        def _span(name: str, **attrs):
+            if tracer is None:
+                return contextlib.nullcontext()
+            return tracer.span(name, **attrs)
 
-        # ---- global phase ------------------------------------------
-        partition = SuperNodePartition(graph)
-        for groups in groupings:
-            for members in groups:
-                root = partition.find(members[0])
-                for node in members[1:]:
-                    root = partition.merge(root, partition.find(node))
+        with _span(
+            "distributed:summarize",
+            workers=self.workers, n=graph.n, m=graph.m,
+        ):
+            assignment = self.partitioner(graph, self.workers)
+            if len(assignment) != graph.n:
+                raise ValueError(
+                    "partitioner returned wrong-length assignment"
+                )
 
-        cut = cut_edges(graph, assignment)
-        cut_payload = sum(
-            varint_size(u) + varint_size(v) for u, v in cut
-        )
-        refinement_merges = 0
-        if self.refinement_rounds and cut:
-            refinement_merges = self._refine_boundary(
-                graph, partition, cut
-            )
+            # ---- local phase -------------------------------------------
+            owned: list[list[int]] = [[] for _ in range(self.workers)]
+            for node, part in enumerate(assignment):
+                owned[part].append(node)
+            groupings: list[list[list[int]]] = []
+            upload_bytes: list[int] = []
+            local_merges = 0
+            for worker in range(self.workers):
+                local_nodes = owned[worker]
+                with _span(
+                    "distributed:local",
+                    worker=worker, nodes=len(local_nodes),
+                ):
+                    subgraph = graph.subgraph(local_nodes)
+                    result = self.summarizer_factory().summarize(subgraph)
+                local_merges += result.num_merges
+                groups = [
+                    sorted(local_nodes[i] for i in members)
+                    for members in result.representation.supernodes.values()
+                ]
+                groupings.append(groups)
+                upload_bytes.append(_grouping_bytes(groups))
 
-        representation = encode(partition)
+            # ---- global phase ------------------------------------------
+            with _span("distributed:global"):
+                partition = SuperNodePartition(graph)
+                for groups in groupings:
+                    for members in groups:
+                        root = partition.find(members[0])
+                        for node in members[1:]:
+                            root = partition.merge(root, partition.find(node))
+
+                cut = cut_edges(graph, assignment)
+                cut_payload = sum(
+                    varint_size(u) + varint_size(v) for u, v in cut
+                )
+            refinement_merges = 0
+            if self.refinement_rounds and cut:
+                with _span(
+                    "distributed:refinement", cut_edges=len(cut)
+                ) as span:
+                    refinement_merges = self._refine_boundary(
+                        graph, partition, cut
+                    )
+                    if tracer is not None:
+                        span.inc("merges", refinement_merges)
+
+            representation = encode(partition)
         return DistributedResult(
             representation=representation,
             workers=self.workers,

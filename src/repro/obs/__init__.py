@@ -1,0 +1,93 @@
+"""repro.obs — unified tracing, metrics and phase profiling.
+
+The observability layer the rest of the package reports into:
+
+* :mod:`repro.obs.tracer` — nested spans with wall/CPU time, counters
+  and events; a no-op :data:`NULL_TRACER` keeps the disabled cost to
+  one attribute check;
+* :mod:`repro.obs.metrics` — the process-global
+  :class:`MetricsRegistry` of counters, gauges and p50/p95/p99
+  histograms (the serving metrics are a façade over it);
+* :mod:`repro.obs.exporters` — JSONL traces, rendered text trees and
+  Prometheus text dumps;
+* :mod:`repro.obs.schema` — the documented span-record schema and its
+  validator (CI checks emitted traces against it);
+* :mod:`repro.obs.profiled` — span-per-call decorator for entry
+  points.
+
+Everything is stdlib-only.  Importing this package does **not** turn
+tracing on — install a tracer with :func:`start_tracing` /
+:func:`use_tracer` — and the instrumentation in
+:mod:`repro.algorithms.base` activates itself through ``sys.modules``,
+so processes that never import ``repro.obs`` run the pre-observability
+code paths untouched (the overhead guard test pins this).
+"""
+
+from repro.obs.exporters import (
+    diff_phase_totals,
+    phase_totals,
+    read_trace_jsonl,
+    registry_to_prometheus,
+    render_trace_tree,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    get_registry,
+)
+from repro.obs.profiled import profiled
+from repro.obs.schema import (
+    SCHEMA_VERSION,
+    validate_record,
+    validate_trace,
+    validate_trace_file,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    start_tracing,
+    stop_tracing,
+    use_tracer,
+)
+
+__all__ = [
+    # tracer
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "start_tracing",
+    "stop_tracing",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "get_registry",
+    # exporters
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "render_trace_tree",
+    "phase_totals",
+    "diff_phase_totals",
+    "registry_to_prometheus",
+    # schema
+    "SCHEMA_VERSION",
+    "validate_record",
+    "validate_trace",
+    "validate_trace_file",
+    # decorator
+    "profiled",
+]

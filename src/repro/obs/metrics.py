@@ -1,0 +1,259 @@
+"""Process-wide metrics: counters, gauges and reservoir histograms.
+
+The :class:`MetricsRegistry` is the single source of truth for
+operational numbers — the serving stack's request/error/cache counters
+(:mod:`repro.service.metrics` is a thin façade over one of these) and
+the summarizers' run/merge totals all land here, keyed by metric name
+plus a small label set, Prometheus-style.
+
+Histograms keep a bounded reservoir (most recent ``reservoir``
+samples in a deque) so memory stays constant regardless of uptime;
+percentiles use the **nearest-rank** rule over the retained window,
+which is exact for the window.  This is the one implementation of
+percentiles in the codebase — the previous copy in
+``repro.service.metrics`` was deleted in favour of it.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from typing import Any, Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "get_registry",
+]
+
+#: Default histogram reservoir size (samples retained).
+DEFAULT_RESERVOIR = 8192
+
+#: Percentiles reported by :meth:`Histogram.snapshot`.
+PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def nearest_rank(sorted_values: list[float], percentile: float) -> float:
+    """Nearest-rank percentile of an already-sorted non-empty list."""
+    rank = max(1, math.ceil(percentile / 100.0 * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+class Counter:
+    """Monotonically increasing counter."""
+
+    kind = "counter"
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, n: float = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (e.g. active connections)."""
+
+    kind = "gauge"
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, n: float = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    def dec(self, n: float = 1) -> None:
+        self.inc(-n)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Bounded-reservoir histogram with exact window percentiles.
+
+    Tracks lifetime ``count`` / ``sum`` / ``min`` / ``max`` and keeps
+    the most recent ``reservoir`` observations for percentile queries.
+    """
+
+    kind = "histogram"
+    __slots__ = ("_lock", "_samples", "_count", "_sum", "_min", "_max")
+
+    def __init__(self, reservoir: int = DEFAULT_RESERVOIR):
+        if reservoir < 1:
+            raise ValueError("reservoir must be >= 1")
+        self._lock = threading.Lock()
+        self._samples: deque[float] = deque(maxlen=reservoir)
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._samples.append(value)
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def samples(self) -> deque:
+        """The live reservoir (read-only use; the recorder shim in
+        ``repro.service.metrics`` exposes it for tests)."""
+        return self._samples
+
+    def percentile(self, percentile: float) -> float:
+        """Nearest-rank percentile over the retained window (0 when
+        empty)."""
+        with self._lock:
+            window = sorted(self._samples)
+        if not window:
+            return 0.0
+        return nearest_rank(window, percentile)
+
+    def snapshot(self) -> dict[str, float]:
+        """Lifetime stats plus window percentiles, in observed units."""
+        with self._lock:
+            window = sorted(self._samples)
+            count, total = self._count, self._sum
+            lo, hi = self._min, self._max
+        if not count:
+            return {"count": 0}
+        snap: dict[str, float] = {
+            "count": count,
+            "sum": total,
+            "mean": total / count,
+            "min": lo,
+            "max": hi,
+        }
+        for percentile in PERCENTILES:
+            snap[f"p{percentile:g}"] = nearest_rank(window, percentile)
+        return snap
+
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> _LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Get-or-create registry of labelled metrics.
+
+    ``registry.counter("requests_total", op="neighbors")`` returns the
+    same :class:`Counter` object on every call with the same name and
+    labels, so call sites can either cache the handle (hot paths) or
+    re-look it up (cold paths) — both hit the same number.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: dict[tuple[str, _LabelKey], Any] = {}
+
+    # -- get-or-create ----------------------------------------------------
+    def _get(self, cls, name: str, labels: dict[str, Any], **kwargs):
+        key = (name, _label_key(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = self._metrics[key] = cls(**kwargs)
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {cls.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, *, reservoir: int = DEFAULT_RESERVOIR, **labels: Any
+    ) -> Histogram:
+        return self._get(Histogram, name, labels, reservoir=reservoir)
+
+    # -- enumeration ------------------------------------------------------
+    def family(self, name: str) -> list[tuple[dict[str, str], Any]]:
+        """Every (labels, metric) registered under ``name``."""
+        with self._lock:
+            return [
+                (dict(key[1]), metric)
+                for key, metric in self._metrics.items()
+                if key[0] == name
+            ]
+
+    def collect(self) -> Iterable[tuple[str, dict[str, str], Any]]:
+        """All metrics as ``(name, labels, metric)``, sorted by name
+        then labels (a stable export order)."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        for (name, label_key), metric in items:
+            yield name, dict(label_key), metric
+
+    def snapshot(self) -> dict[str, list[dict[str, Any]]]:
+        """Everything, as one JSON-serialisable dict keyed by metric
+        name; each entry carries its labels, kind and value/stats."""
+        out: dict[str, list[dict[str, Any]]] = {}
+        for name, labels, metric in self.collect():
+            entry: dict[str, Any] = {"labels": labels, "kind": metric.kind}
+            if metric.kind == "histogram":
+                entry.update(metric.snapshot())
+            else:
+                entry["value"] = metric.value
+            out.setdefault(name, []).append(entry)
+        return out
+
+    def clear(self) -> None:
+        """Drop every registered metric (tests and fresh runs)."""
+        with self._lock:
+            self._metrics.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+
+#: The process-global registry — what `python -m repro profile` dumps
+#: and what the summarizer instrumentation records into.
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global :class:`MetricsRegistry`."""
+    return REGISTRY

@@ -1,0 +1,65 @@
+"""``@profiled`` — span-per-call instrumentation for hot entry points.
+
+The decorator resolves the *global* tracer at call time, so decorated
+functions are free when tracing is off (one attribute check, then a
+direct call) and automatically traced when a
+:class:`~repro.obs.tracer.Tracer` is installed::
+
+    from repro.obs import profiled
+
+    @profiled
+    def build_index(rep): ...
+
+    @profiled("encode", stage="output")
+    def encode(partition): ...
+
+The span name defaults to ``module.qualname`` of the wrapped function.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, TypeVar, overload
+
+from repro.obs.tracer import get_tracer
+
+__all__ = ["profiled"]
+
+F = TypeVar("F", bound=Callable)
+
+
+@overload
+def profiled(name: F) -> F: ...
+@overload
+def profiled(name: str | None = None, **static_attrs: Any) -> Callable[[F], F]: ...
+
+
+def profiled(name=None, **static_attrs):
+    """Wrap a callable in a span on the global tracer.
+
+    Usable bare (``@profiled``) or parameterised
+    (``@profiled("name", key=value)``); static attributes are attached
+    to every span the wrapper opens.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        label = span_name or (
+            f"{fn.__module__.rsplit('.', 1)[-1]}.{fn.__qualname__}"
+        )
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            tracer = get_tracer()
+            if not tracer.enabled:
+                return fn(*args, **kwargs)
+            with tracer.span(label, **static_attrs):
+                return fn(*args, **kwargs)
+
+        wrapper.__wrapped__ = fn
+        return wrapper
+
+    if callable(name):  # bare @profiled
+        span_name = None
+        return decorate(name)
+    span_name = name
+    return decorate

@@ -1,0 +1,367 @@
+"""Nested-span tracer: the backbone of :mod:`repro.obs`.
+
+A :class:`Tracer` produces **spans** — named intervals with wall and
+CPU time, arbitrary attributes, monotonically increasing counters and
+point-in-time events — nested through a per-thread stack so a span
+started while another is open becomes its child.  Finished spans are
+collected as plain JSON-serialisable dicts (the trace schema of
+:mod:`repro.obs.schema`) ready for the JSONL / text-tree exporters.
+
+Tracing is **opt-in and cheap when off**: the process-global tracer
+defaults to :data:`NULL_TRACER`, whose every operation is a no-op on
+shared singletons, and the instrumentation sites in
+:mod:`repro.algorithms.base` look the tracer up through ``sys.modules``
+so a process that never imports ``repro.obs`` pays literally nothing.
+
+Usage::
+
+    from repro import obs
+
+    tracer = obs.Tracer()
+    with obs.use_tracer(tracer):
+        with tracer.span("summarize", algorithm="Mags") as span:
+            span.inc("merges", 3)
+            span.event("iteration", t=1)
+    obs.write_trace_jsonl(tracer.records(), "trace.jsonl")
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+import time
+from typing import Any, Iterator
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "start_tracing",
+    "stop_tracing",
+]
+
+#: Version stamped into every exported span record ("v" field).
+SCHEMA_VERSION = 1
+
+#: Finished spans kept per tracer; beyond this, spans are dropped (and
+#: counted in :attr:`Tracer.dropped`) so a runaway loop cannot exhaust
+#: memory.
+DEFAULT_MAX_SPANS = 100_000
+
+
+def _new_id() -> str:
+    """16-hex-char random identifier (trace and span ids)."""
+    return os.urandom(8).hex()
+
+
+class Span:
+    """One named interval of work.
+
+    Created by :meth:`Tracer.span` / :meth:`Tracer.start_span`; not
+    instantiated directly.  Mutators (:meth:`set`, :meth:`inc`,
+    :meth:`event`) may be called until the span ends.
+    """
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "attrs",
+        "counters",
+        "events",
+        "start_unix",
+        "wall_s",
+        "cpu_s",
+        "_wall0",
+        "_cpu0",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        parent_id: str | None,
+        attrs: dict[str, Any],
+    ):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = _new_id()
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.counters: dict[str, float] = {}
+        self.events: list[dict[str, Any]] = []
+        self.start_unix = time.time()
+        self.wall_s: float | None = None
+        self.cpu_s: float | None = None
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+
+    # -- mutators ---------------------------------------------------------
+    def set(self, **attrs: Any) -> "Span":
+        """Attach or update attributes; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def inc(self, counter: str, n: float = 1) -> None:
+        """Add ``n`` to the span counter ``counter``."""
+        self.counters[counter] = self.counters.get(counter, 0) + n
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a point-in-time event at the current wall offset."""
+        self.events.append(
+            {
+                "name": name,
+                "at_s": round(time.perf_counter() - self._wall0, 6),
+                "attrs": attrs,
+            }
+        )
+
+    # -- lifecycle --------------------------------------------------------
+    def finish(self) -> None:
+        """Freeze wall/CPU durations (idempotent)."""
+        if self.wall_s is None:
+            self.wall_s = time.perf_counter() - self._wall0
+            self.cpu_s = time.process_time() - self._cpu0
+
+    def as_record(self) -> dict[str, Any]:
+        """The JSON-serialisable trace record (schema v1)."""
+        return {
+            "v": SCHEMA_VERSION,
+            "type": "span",
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start_unix": self.start_unix,
+            "wall_s": round(self.wall_s or 0.0, 9),
+            "cpu_s": round(self.cpu_s or 0.0, 9),
+            "attrs": self.attrs,
+            "counters": self.counters,
+            "events": self.events,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.wall_s is None else f"{self.wall_s:.6f}s"
+        return f"Span({self.name!r}, {state})"
+
+
+class Tracer:
+    """Collects nested spans into an in-memory trace.
+
+    Thread behaviour: each thread has its own span stack, so spans
+    opened in a worker thread nest among themselves; pass ``parent=``
+    to :meth:`start_span`/:meth:`span` to attach a worker-thread span
+    under a span of the spawning thread (the parallel merge paths do
+    this).  The finished-record list is guarded by a lock.
+    """
+
+    enabled = True
+
+    def __init__(self, max_spans: int = DEFAULT_MAX_SPANS):
+        self.trace_id = _new_id()
+        self.dropped = 0
+        self._max_spans = max_spans
+        self._records: list[dict[str, Any]] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- span lifecycle ---------------------------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current(self) -> Span | None:
+        """The innermost open span of the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def start_span(
+        self, name: str, parent: Span | None = None, **attrs: Any
+    ) -> Span:
+        """Open a span (explicit form; prefer :meth:`span`).
+
+        The parent defaults to the calling thread's innermost open
+        span; pass ``parent=`` to override (cross-thread nesting).
+        """
+        if parent is None:
+            parent = self.current()
+        span = Span(
+            name,
+            self.trace_id,
+            parent.span_id if parent is not None else None,
+            attrs,
+        )
+        self._stack().append(span)
+        return span
+
+    def end_span(self, span: Span) -> None:
+        """Close ``span`` and collect its record."""
+        span.finish()
+        stack = self._stack()
+        if span in stack:
+            # Usually the top; tolerate out-of-order ends from misuse.
+            stack.remove(span)
+        with self._lock:
+            if len(self._records) < self._max_spans:
+                self._records.append(span.as_record())
+            else:
+                self.dropped += 1
+
+    @contextlib.contextmanager
+    def span(
+        self, name: str, parent: Span | None = None, **attrs: Any
+    ) -> Iterator[Span]:
+        """Context manager around one span::
+
+            with tracer.span("phase:merge", t=3) as span:
+                span.inc("merges")
+        """
+        opened = self.start_span(name, parent=parent, **attrs)
+        try:
+            yield opened
+        except BaseException as exc:
+            opened.set(error=type(exc).__name__)
+            raise
+        finally:
+            self.end_span(opened)
+
+    # -- current-span conveniences ---------------------------------------
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record an event on the calling thread's current span
+        (dropped when no span is open)."""
+        span = self.current()
+        if span is not None:
+            span.event(name, **attrs)
+
+    def inc(self, counter: str, n: float = 1) -> None:
+        """Bump a counter on the calling thread's current span."""
+        span = self.current()
+        if span is not None:
+            span.inc(counter, n)
+
+    # -- output -----------------------------------------------------------
+    def records(self) -> list[dict[str, Any]]:
+        """Finished span records, in end order (children before
+        parents)."""
+        with self._lock:
+            return list(self._records)
+
+    def clear(self) -> None:
+        """Drop collected records (open spans are unaffected)."""
+        with self._lock:
+            self._records.clear()
+            self.dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+class _NullSpan:
+    """Inert span: accepts the whole :class:`Span` mutator API, keeps
+    nothing, and doubles as its own context manager."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def inc(self, counter: str, n: float = 1) -> None:
+        pass
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+    def finish(self) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op returning shared
+    singletons, so the enabled check plus a call costs nanoseconds."""
+
+    enabled = False
+
+    def span(self, name: str, parent=None, **attrs: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def start_span(self, name: str, parent=None, **attrs: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def end_span(self, span) -> None:
+        pass
+
+    def current(self) -> None:
+        return None
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+    def inc(self, counter: str, n: float = 1) -> None:
+        pass
+
+    def records(self) -> list:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+NULL_TRACER = NullTracer()
+
+_global_tracer: Tracer | NullTracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The process-global tracer (default: :data:`NULL_TRACER`)."""
+    return _global_tracer
+
+
+def set_tracer(tracer: Tracer | NullTracer) -> Tracer | NullTracer:
+    """Install ``tracer`` globally; returns the previous one."""
+    global _global_tracer
+    previous = _global_tracer
+    _global_tracer = tracer
+    return previous
+
+
+@contextlib.contextmanager
+def use_tracer(tracer: Tracer | NullTracer) -> Iterator[Tracer | NullTracer]:
+    """Install ``tracer`` for the duration of a ``with`` block."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+def start_tracing(max_spans: int = DEFAULT_MAX_SPANS) -> Tracer:
+    """Create a fresh :class:`Tracer`, install it globally, return it."""
+    tracer = Tracer(max_spans=max_spans)
+    set_tracer(tracer)
+    return tracer
+
+
+def stop_tracing() -> Tracer | NullTracer:
+    """Restore the null tracer; returns the tracer that was active."""
+    return set_tracer(NULL_TRACER)

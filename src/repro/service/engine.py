@@ -303,9 +303,12 @@ class QueryEngine:
         if op == "ping":
             return "pong"
         if op == "stats":
+            if request.get("format") == "prometheus":
+                return self.metrics.to_prometheus()
             snapshot = self.metrics.snapshot()
             snapshot["cache"]["size"] = len(self._cache)
             snapshot["cache"]["capacity"] = self._cache.capacity
+            snapshot["registry"] = self.metrics.registry.snapshot()
             return snapshot
         node = request.get("node")
         if not isinstance(node, int) or isinstance(node, bool):

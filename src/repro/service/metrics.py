@@ -7,10 +7,14 @@ latency histograms with p50/p95/p99, and a periodic one-line log
 emitted by :class:`MetricsLogger`.  A snapshot of everything is what
 the server returns for a ``stats`` request.
 
-Latencies are kept in a bounded deque per op (most recent
-``reservoir`` samples) so memory is constant regardless of uptime;
-percentiles are computed on demand with the nearest-rank rule, which
-is exact over the retained window.
+Since the introduction of :mod:`repro.obs`, this module is a façade
+over a :class:`repro.obs.metrics.MetricsRegistry`: every counter and
+latency histogram lives in ``ServiceMetrics.registry`` under
+Prometheus-style names (``service_requests_total{op=...}``,
+``service_request_seconds{op=...}``, ...), and the legacy
+``snapshot()`` shape is assembled from it.  The registry itself is
+exported verbatim in the ``stats`` response and by
+:meth:`ServiceMetrics.to_prometheus`.
 """
 
 from __future__ import annotations
@@ -18,53 +22,58 @@ from __future__ import annotations
 import logging
 import threading
 import time
-from collections import Counter, deque
+
+from repro.obs.metrics import (
+    DEFAULT_RESERVOIR,
+    PERCENTILES,
+    Histogram,
+    MetricsRegistry,
+)
 
 __all__ = ["LatencyRecorder", "ServiceMetrics", "MetricsLogger"]
 
 logger = logging.getLogger("repro.service")
 
-#: Default number of latency samples retained per op.
-DEFAULT_RESERVOIR = 8192
-
-_PERCENTILES = (50.0, 95.0, 99.0)
-
-
-def _nearest_rank(sorted_values: list[float], percentile: float) -> float:
-    """Nearest-rank percentile of an already-sorted non-empty list."""
-    rank = max(1, -(-len(sorted_values) * int(percentile * 100) // 10000))
-    return sorted_values[min(rank, len(sorted_values)) - 1]
-
 
 class LatencyRecorder:
-    """Bounded window of per-op latencies with percentile snapshots."""
+    """Bounded window of per-op latencies with percentile snapshots.
 
-    def __init__(self, reservoir: int = DEFAULT_RESERVOIR):
-        self._samples: deque[float] = deque(maxlen=reservoir)
-        self._count = 0
-        self._total = 0.0
-        self._max = 0.0
+    A thin shim over :class:`repro.obs.metrics.Histogram` (seconds in,
+    milliseconds out) kept for API stability; the histogram itself may
+    be shared with a :class:`~repro.obs.metrics.MetricsRegistry`.
+    """
+
+    def __init__(
+        self,
+        reservoir: int = DEFAULT_RESERVOIR,
+        histogram: Histogram | None = None,
+    ):
+        self._histogram = (
+            histogram if histogram is not None else Histogram(reservoir)
+        )
+
+    @property
+    def _samples(self):
+        """The live reservoir (second units), for tests/inspection."""
+        return self._histogram.samples
 
     def record(self, seconds: float) -> None:
-        self._samples.append(seconds)
-        self._count += 1
-        self._total += seconds
-        if seconds > self._max:
-            self._max = seconds
+        self._histogram.observe(seconds)
 
     def snapshot(self) -> dict:
         """Count, mean, max and p50/p95/p99 in milliseconds."""
-        window = sorted(self._samples)
-        if not window:
+        snap = self._histogram.snapshot()
+        if not snap["count"]:
             return {"count": 0}
         stats = {
-            "count": self._count,
-            "mean_ms": round(1000.0 * self._total / self._count, 3),
-            "max_ms": round(1000.0 * self._max, 3),
+            "count": snap["count"],
+            "mean_ms": round(1000.0 * snap["mean"], 3),
+            "max_ms": round(1000.0 * snap["max"], 3),
         }
-        for percentile in _PERCENTILES:
-            key = f"p{percentile:g}_ms"
-            stats[key] = round(1000.0 * _nearest_rank(window, percentile), 3)
+        for percentile in PERCENTILES:
+            stats[f"p{percentile:g}_ms"] = round(
+                1000.0 * snap[f"p{percentile:g}"], 3
+            )
         return stats
 
 
@@ -72,100 +81,128 @@ class ServiceMetrics:
     """Thread-safe counters + latency histograms for one engine/server.
 
     One instance is shared by the :class:`~repro.service.engine.QueryEngine`
-    (cache accounting) and the server (request accounting); everything
-    is guarded by a single lock because every update is a few
-    arithmetic ops — contention is negligible next to query work.
+    (cache accounting) and the server (request accounting).  All state
+    lives in :attr:`registry`; the handles below are cached because
+    they sit on hot paths.
     """
 
     def __init__(self, reservoir: int = DEFAULT_RESERVOIR):
         self._lock = threading.Lock()
         self._reservoir = reservoir
-        self._started = time.monotonic()
-        self._requests: Counter[str] = Counter()
-        self._errors: Counter[str] = Counter()
+        self._started = time.perf_counter()
+        #: Backing store for every counter/histogram; exported by the
+        #: ``stats`` op and by :meth:`to_prometheus`.
+        self.registry = MetricsRegistry()
         self._latency: dict[str, LatencyRecorder] = {}
-        self._cache_hits = 0
-        self._cache_misses = 0
-        self._batches = 0
-        self._batch_queries = 0
-        self._batch_unique_queries = 0
-        self._connections_opened = 0
-        self._connections_closed = 0
+        self._cache_hits = self.registry.counter("service_cache_hits_total")
+        self._cache_misses = self.registry.counter(
+            "service_cache_misses_total"
+        )
+        self._batches = self.registry.counter("service_batches_total")
+        self._batch_queries = self.registry.counter(
+            "service_batch_queries_total"
+        )
+        self._batch_unique = self.registry.counter(
+            "service_batch_unique_queries_total"
+        )
+        self._conns_opened = self.registry.counter(
+            "service_connections_opened_total"
+        )
+        self._conns_closed = self.registry.counter(
+            "service_connections_closed_total"
+        )
+        self._conns_active = self.registry.gauge(
+            "service_connections_active"
+        )
 
     # -- engine-side accounting -----------------------------------------
     def cache_hit(self) -> None:
-        with self._lock:
-            self._cache_hits += 1
+        self._cache_hits.inc()
 
     def cache_miss(self) -> None:
-        with self._lock:
-            self._cache_misses += 1
+        self._cache_misses.inc()
 
     def batch(self, size: int, unique: int) -> None:
         """Record one ``query_many`` call and its deduplication."""
-        with self._lock:
-            self._batches += 1
-            self._batch_queries += size
-            self._batch_unique_queries += unique
+        self._batches.inc()
+        self._batch_queries.inc(size)
+        self._batch_unique.inc(unique)
 
     # -- server-side accounting -----------------------------------------
     def observe(self, op: str, seconds: float, ok: bool = True) -> None:
         """Record one completed request of type ``op``."""
-        with self._lock:
-            self._requests[op] += 1
-            if not ok:
-                self._errors[op] += 1
-            recorder = self._latency.get(op)
-            if recorder is None:
-                recorder = self._latency[op] = LatencyRecorder(
-                    self._reservoir
-                )
-            recorder.record(seconds)
+        self.registry.counter("service_requests_total", op=op).inc()
+        if not ok:
+            self.registry.counter("service_errors_total", op=op).inc()
+        recorder = self._latency.get(op)
+        if recorder is None:
+            with self._lock:
+                recorder = self._latency.get(op)
+                if recorder is None:
+                    recorder = self._latency[op] = LatencyRecorder(
+                        histogram=self.registry.histogram(
+                            "service_request_seconds",
+                            reservoir=self._reservoir,
+                            op=op,
+                        )
+                    )
+        recorder.record(seconds)
 
     def connection_opened(self) -> None:
-        with self._lock:
-            self._connections_opened += 1
+        self._conns_opened.inc()
+        self._conns_active.inc()
 
     def connection_closed(self) -> None:
-        with self._lock:
-            self._connections_closed += 1
+        self._conns_closed.inc()
+        self._conns_active.dec()
 
     # -- reporting -------------------------------------------------------
+    def _by_op(self, name: str) -> dict[str, int]:
+        return {
+            labels["op"]: int(metric.value)
+            for labels, metric in self.registry.family(name)
+        }
+
     def snapshot(self) -> dict:
         """Everything, as one JSON-serialisable dict (the ``stats``
         response body)."""
-        with self._lock:
-            lookups = self._cache_hits + self._cache_misses
-            return {
-                "uptime_s": round(time.monotonic() - self._started, 3),
-                "requests_total": sum(self._requests.values()),
-                "errors_total": sum(self._errors.values()),
-                "requests_by_op": dict(self._requests),
-                "errors_by_op": dict(self._errors),
-                "cache": {
-                    "hits": self._cache_hits,
-                    "misses": self._cache_misses,
-                    "hit_rate": (
-                        round(self._cache_hits / lookups, 4) if lookups else 0.0
-                    ),
-                },
-                "batch": {
-                    "batches": self._batches,
-                    "queries": self._batch_queries,
-                    "unique_queries": self._batch_unique_queries,
-                },
-                "connections": {
-                    "opened": self._connections_opened,
-                    "closed": self._connections_closed,
-                    "active": (
-                        self._connections_opened - self._connections_closed
-                    ),
-                },
-                "latency_ms": {
-                    op: recorder.snapshot()
-                    for op, recorder in self._latency.items()
-                },
-            }
+        requests = self._by_op("service_requests_total")
+        errors = self._by_op("service_errors_total")
+        hits = int(self._cache_hits.value)
+        misses = int(self._cache_misses.value)
+        lookups = hits + misses
+        return {
+            "uptime_s": round(time.perf_counter() - self._started, 3),
+            "requests_total": sum(requests.values()),
+            "errors_total": sum(errors.values()),
+            "requests_by_op": requests,
+            "errors_by_op": errors,
+            "cache": {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+            },
+            "batch": {
+                "batches": int(self._batches.value),
+                "queries": int(self._batch_queries.value),
+                "unique_queries": int(self._batch_unique.value),
+            },
+            "connections": {
+                "opened": int(self._conns_opened.value),
+                "closed": int(self._conns_closed.value),
+                "active": int(self._conns_active.value),
+            },
+            "latency_ms": {
+                op: recorder.snapshot()
+                for op, recorder in sorted(self._latency.items())
+            },
+        }
+
+    def to_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        from repro.obs.exporters import registry_to_prometheus
+
+        return registry_to_prometheus(self.registry)
 
     def log_line(self) -> str:
         """Compact ``key=value`` summary for the periodic log."""

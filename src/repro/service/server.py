@@ -36,6 +36,7 @@ from repro.service.engine import (
     QueryError,
     error_response,
 )
+from repro.obs.tracer import get_tracer
 from repro.service.metrics import MetricsLogger
 from repro.service.protocol import (
     LineReader,
@@ -269,6 +270,17 @@ class SummaryQueryServer:
             request = decode_line(line)
         except ProtocolError as exc:
             return _protocol_error(exc), False
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._handle_request(request)
+        with tracer.span(
+            "service:request", op=request.get("op")
+        ) as span:
+            response, stop_after = self._handle_request(request)
+            span.set(ok=bool(response.get("ok")))
+            return response, stop_after
+
+    def _handle_request(self, request: dict) -> tuple[dict, bool]:
         deadline = time.monotonic() + self._request_timeout
         op = request.get("op")
         try:

@@ -1,0 +1,126 @@
+"""Tests for the `profile` and `trace` CLI subcommands."""
+
+import pytest
+
+from repro import obs
+from repro.cli import build_parser, main
+from repro.graph.generators import planted_partition
+from repro.graph.io import save_graph
+
+
+@pytest.fixture(autouse=True)
+def restore_global_tracer():
+    yield
+    obs.stop_tracing()
+
+
+@pytest.fixture
+def edge_file(tmp_path):
+    graph = planted_partition(80, 5, 0.7, 0.05, seed=2)
+    path = tmp_path / "graph.txt"
+    save_graph(path, graph)
+    return path
+
+
+class TestParser:
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile", "-d", "CA"])
+        assert args.algorithm == "mags-dm"
+        assert args.iterations == 20
+        assert args.trace_out is None
+        assert args.prom_out is None
+
+    def test_trace_flags(self):
+        args = build_parser().parse_args(
+            ["trace", "t.jsonl", "--validate", "--phases"]
+        )
+        assert args.validate and args.phases
+        assert args.diff is None
+
+
+class TestProfile:
+    def test_profile_dataset_writes_valid_trace(self, tmp_path, capsys):
+        trace_out = tmp_path / "trace.jsonl"
+        prom_out = tmp_path / "metrics.prom"
+        assert main([
+            "profile", "-a", "mags-dm", "-d", "CA", "-T", "3",
+            "--trace-out", str(trace_out), "--prom-out", str(prom_out),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "phase totals" in out
+        assert "summarize:Mags-DM" in out
+        records = obs.read_trace_jsonl(trace_out)
+        assert obs.validate_trace(records) == []
+        phases = set(obs.phase_totals(records))
+        assert phases == {"signatures", "divide", "merge", "output"}
+        prom = prom_out.read_text()
+        assert "# TYPE repro_phase_seconds summary" in prom
+        assert "repro_merges_total" in prom
+
+    def test_profile_edge_list_input(self, edge_file, tmp_path, capsys):
+        trace_out = tmp_path / "trace.jsonl"
+        assert main([
+            "profile", "-a", "mags", "-i", str(edge_file), "-T", "3",
+            "--trace-out", str(trace_out),
+        ]) == 0
+        records = obs.read_trace_jsonl(trace_out)
+        assert obs.validate_trace(records) == []
+        assert "candidate_generation" in obs.phase_totals(records)
+
+    def test_profile_requires_one_source(self, edge_file, capsys):
+        assert main(["profile"]) == 2
+        assert main(
+            ["profile", "-d", "CA", "-i", str(edge_file)]
+        ) == 2
+
+    def test_profile_leaves_global_tracer_disabled(self, capsys):
+        assert main(["profile", "-d", "CA", "-T", "2"]) == 0
+        assert not obs.get_tracer().enabled
+
+
+class TestTrace:
+    @pytest.fixture
+    def trace_file(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main([
+            "profile", "-d", "CA", "-T", "3", "--trace-out", str(path),
+        ]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_default_prints_tree(self, trace_file, capsys):
+        assert main(["trace", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("- summarize:Mags-DM")
+        assert "  - phase:merge" in out
+
+    def test_validate_and_phases(self, trace_file, capsys):
+        assert main(
+            ["trace", str(trace_file), "--validate", "--phases"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "schema OK" in out
+        assert "merge" in out
+
+    def test_validate_rejects_bad_schema(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"v": 1, "type": "span"}\n')
+        assert main(["trace", str(bad), "--validate"]) == 1
+        assert "missing field" in capsys.readouterr().err
+
+    def test_unreadable_file(self, tmp_path, capsys):
+        garbage = tmp_path / "garbage.jsonl"
+        garbage.write_text("not json\n")
+        assert main(["trace", str(garbage)]) == 1
+        assert "unreadable" in capsys.readouterr().err
+
+    def test_diff(self, trace_file, tmp_path, capsys):
+        other = tmp_path / "other.jsonl"
+        assert main([
+            "profile", "-d", "CA", "-T", "2", "--trace-out", str(other),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(trace_file), "--diff", str(other)]) == 0
+        out = capsys.readouterr().out
+        assert "delta_s" in out
+        assert "merge" in out

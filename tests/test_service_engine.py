@@ -139,6 +139,51 @@ class TestQueryDict:
         assert result["cache"]["size"] == 1
         assert result["cache"]["capacity"] == 64
 
+    def test_stats_includes_registry_snapshot(self, engine):
+        engine.query({"op": "neighbors", "node": 2})
+        engine.query({"op": "ping"})
+        result = engine.query({"op": "stats"})["result"]
+        registry = result["registry"]
+        requests = {
+            entry["labels"]["op"]: entry["value"]
+            for entry in registry["service_requests_total"]
+        }
+        assert requests["neighbors"] == 1
+        assert requests["ping"] == 1
+        (latency,) = [
+            entry
+            for entry in registry["service_request_seconds"]
+            if entry["labels"]["op"] == "neighbors"
+        ]
+        assert latency["kind"] == "histogram"
+        assert latency["count"] == 1
+        import json
+
+        json.dumps(result)  # the stats body must stay JSON-serialisable
+
+    def test_stats_prometheus_format(self, engine):
+        engine.query({"op": "neighbors", "node": 2})
+        text = engine.query({"op": "stats", "format": "prometheus"})[
+            "result"
+        ]
+        assert isinstance(text, str)
+        assert "# TYPE service_requests_total counter" in text
+        assert 'service_requests_total{op="neighbors"} 1' in text
+        assert "# TYPE service_request_seconds summary" in text
+
+    def test_metrics_registry_backs_legacy_snapshot(self, engine):
+        engine.query({"op": "neighbors", "node": 2})
+        with pytest.raises(QueryError):
+            engine.query({"op": "neighbors", "node": -1})
+        snap = engine.metrics.snapshot()
+        assert snap["requests_total"] == 2
+        assert snap["errors_total"] == 1
+        assert snap["errors_by_op"] == {"neighbors": 1}
+        registry = engine.metrics.registry
+        assert registry.counter(
+            "service_requests_total", op="neighbors"
+        ).value == 2
+
 
 class TestQueryMany:
     def test_batch_matches_individual(self, engine, rep):

@@ -6,6 +6,7 @@ import time
 
 import pytest
 
+from repro import obs
 from repro.algorithms.mags_dm import MagsDMSummarizer
 from repro.queries.neighbors import neighbor_query
 from repro.service import (
@@ -216,6 +217,32 @@ class TestShutdown:
         # Connection count balanced after close.
         active = engine.metrics.snapshot()["connections"]["active"]
         assert active == 0
+
+
+class TestTracing:
+    def test_requests_wrapped_in_service_spans(self, client):
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            client.neighbors(0)
+            client.ping()
+        spans = [
+            r for r in tracer.records() if r["name"] == "service:request"
+        ]
+        ops = [r["attrs"]["op"] for r in spans]
+        assert ops.count("neighbors") == 1
+        assert ops.count("ping") == 1
+        assert all(r["attrs"]["ok"] is True for r in spans)
+
+    def test_untraced_requests_record_nothing(self, client):
+        client.ping()
+        assert not obs.get_tracer().enabled
+
+    def test_stats_prometheus_over_the_wire(self, client):
+        client.neighbors(0)
+        text = client.request("stats", format="prometheus")
+        assert isinstance(text, str)
+        assert "# TYPE service_requests_total counter" in text
+        assert 'service_requests_total{op="neighbors"}' in text
 
 
 class TestMetrics:
