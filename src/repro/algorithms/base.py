@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.encoding import Representation
+from repro.core.supernodes import SuperNodePartition
 from repro.graph.graph import Graph
 
 __all__ = [
@@ -33,7 +34,9 @@ __all__ = [
     "Summarizer",
     "TimeLimitExceeded",
     "PhaseTimer",
+    "RecordingPartition",
     "active_tracer",
+    "active_fault_injector",
 ]
 
 
@@ -52,8 +55,46 @@ def active_tracer():
     return tracer if tracer.enabled else None
 
 
+def active_fault_injector():
+    """The configured global fault injector, or ``None``.
+
+    Same ``sys.modules`` gate as :func:`active_tracer`: the algorithm
+    layer never imports :mod:`repro.resilience`, so a process that
+    does not use fault injection runs the uninstrumented code paths —
+    and one with the module imported but no injector installed pays a
+    dict lookup per site.
+    """
+    faults = sys.modules.get("repro.resilience.faults")
+    if faults is None:
+        return None
+    return faults.active_injector()
+
+
 class TimeLimitExceeded(RuntimeError):
     """The per-run time budget was exhausted (the paper's 24h cutoff)."""
+
+
+class RecordingPartition(SuperNodePartition):
+    """A partition that logs every ``merge(u, v)`` call.
+
+    Checkpointing algorithms snapshot :attr:`merge_log` and restore by
+    *replaying* it: :meth:`SuperNodePartition.merge` picks its survivor
+    from the live weight tables, so only an argument-exact replay of
+    the original call sequence reproduces the same root identities —
+    rebuilding from member groups can silently re-root super-nodes and
+    diverge the remaining iterations.  Instantiated only when a
+    checkpoint store is configured, so the default path keeps the
+    plain partition.
+    """
+
+    def __init__(self, graph: Graph):
+        super().__init__(graph)
+        #: ``(u, v)`` as passed to each merge call, in call order.
+        self.merge_log: list[tuple[int, int]] = []
+
+    def merge(self, u: int, v: int) -> int:
+        self.merge_log.append((u, v))
+        return super().merge(u, v)
 
 
 @dataclass
@@ -175,12 +216,53 @@ class Summarizer(ABC):
         self.time_limit = time_limit
         #: Populated by _run implementations that report extra metrics.
         self._extra_metrics: dict[str, float] = {}
+        self._ckpt_store = None
+        self._ckpt_interval = 1
+        self._ckpt_resume = False
 
     @abstractmethod
     def _run(
         self, graph: Graph, timer: PhaseTimer
     ) -> tuple[Representation, int]:
         """Summarize ``graph``; return (representation, num_merges)."""
+
+    # -- checkpoint/resume ------------------------------------------------
+    def configure_checkpointing(
+        self, store, interval: int = 1, resume: bool = False
+    ) -> "Summarizer":
+        """Attach a checkpoint store for long runs.
+
+        ``store`` is duck-typed (``save(state, step)`` / ``latest()``,
+        the :class:`repro.resilience.checkpoint.CheckpointStore`
+        interface) so the algorithm layer never imports
+        :mod:`repro.resilience`.  With ``interval=k`` a snapshot is
+        written after every ``k``-th iteration; with ``resume=True``
+        the next :meth:`summarize` restores the newest valid snapshot
+        and continues from the following iteration.  Returns ``self``
+        for chaining.
+        """
+        if interval < 1:
+            raise ValueError("interval must be >= 1")
+        self._ckpt_store = store
+        self._ckpt_interval = interval
+        self._ckpt_resume = resume
+        return self
+
+    def _maybe_checkpoint(self, step: int, state_fn) -> None:
+        """Snapshot ``state_fn()`` when ``step`` hits the interval.
+
+        Iterative algorithms call this at the end of every iteration;
+        it is a no-op without a configured store.
+        """
+        if self._ckpt_store is None or step % self._ckpt_interval != 0:
+            return
+        self._ckpt_store.save(state_fn(), step)
+
+    def _resume_checkpoint(self):
+        """The newest valid checkpoint when resuming, else ``None``."""
+        if self._ckpt_store is None or not self._ckpt_resume:
+            return None
+        return self._ckpt_store.latest()
 
     def params(self) -> dict[str, Any]:
         """Parameter dict recorded in results (subclasses extend)."""

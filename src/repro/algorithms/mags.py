@@ -30,7 +30,12 @@ import heapq
 import random
 from typing import Literal
 
-from repro.algorithms.base import PhaseTimer, Summarizer
+from repro.algorithms.base import (
+    PhaseTimer,
+    RecordingPartition,
+    Summarizer,
+    active_fault_injector,
+)
 from repro.core.encoding import Representation, encode
 from repro.core.minhash import MinHashSignatures
 from repro.core.supernodes import SuperNodePartition
@@ -206,16 +211,78 @@ class MagsSummarizer(Summarizer):
     def _run(
         self, graph: Graph, timer: PhaseTimer
     ) -> tuple[Representation, int]:
-        partition = SuperNodePartition(graph)
+        partition = (
+            RecordingPartition(graph)
+            if self._ckpt_store is not None
+            else SuperNodePartition(graph)
+        )
 
-        timer.start("candidate_generation")
-        candidates = self._generate_candidates(graph, partition, timer)
+        checkpoint = self._resume_checkpoint()
+        if checkpoint is not None:
+            timer.start("restore")
+            candidates, start_t, base_merges = self._restore_state(
+                checkpoint.state, partition
+            )
+        else:
+            timer.start("candidate_generation")
+            candidates = self._generate_candidates(graph, partition, timer)
+            start_t, base_merges = 1, 0
 
         timer.start("greedy_merge")
-        num_merges = self._greedy_merge(partition, candidates, timer)
+        num_merges = base_merges + self._greedy_merge(
+            partition, candidates, timer,
+            start_t=start_t, base_merges=base_merges,
+        )
 
         timer.start("output")
         return encode(partition), num_merges
+
+    # ------------------------------------------------------------------
+    # Checkpoint/resume (see docs/resilience.md)
+    # ------------------------------------------------------------------
+    def _checkpoint_state(
+        self,
+        t: int,
+        partition: RecordingPartition,
+        candidates: CandidatePairs,
+        num_merges: int,
+    ) -> dict:
+        """JSON-serialisable snapshot after iteration ``t``."""
+        return {
+            "algorithm": self.name,
+            "iteration": t,
+            "merge_log": [list(pair) for pair in partition.merge_log],
+            "candidates": [
+                [u, v, candidates.saving(u, v)]
+                for u, v in sorted(candidates.pairs())
+            ],
+            "num_merges": num_merges,
+        }
+
+    def _restore_state(
+        self, state: dict, partition: RecordingPartition
+    ) -> tuple[CandidatePairs, int, int]:
+        """Rebuild partition and candidate set from a snapshot;
+        returns ``(candidates, next_iteration, num_merges)``.
+
+        The merge log is replayed argument-for-argument to reproduce
+        the exact root identities (see :class:`RecordingPartition`);
+        stored candidate pairs are then valid live roots again.  The
+        greedy merge re-verifies every popped pair's fresh saving, so
+        the restored heap never commits a stale merge.
+        """
+        if state.get("algorithm") != self.name:
+            raise ValueError(
+                f"checkpoint is for {state.get('algorithm')!r}, "
+                f"not {self.name!r}"
+            )
+        for u, v in state["merge_log"]:
+            partition.merge(u, v)
+        candidates = CandidatePairs()
+        for u, v, saving in state["candidates"]:
+            if candidates.saving(u, v) is None:
+                candidates.add(u, v, saving)
+        return candidates, state["iteration"] + 1, state["num_merges"]
 
     # ------------------------------------------------------------------
     # Phase 1: candidate generation (Algorithm 2)
@@ -341,6 +408,8 @@ class MagsSummarizer(Summarizer):
         partition: SuperNodePartition,
         candidates: CandidatePairs,
         timer: PhaseTimer,
+        start_t: int = 1,
+        base_merges: int = 0,
     ) -> int:
         heap: list[tuple[float, int, int]] = [
             (-candidates.saving(u, v), u, v) for u, v in candidates.pairs()
@@ -348,8 +417,11 @@ class MagsSummarizer(Summarizer):
         heapq.heapify(heap)
         num_merges = 0
         self.last_iteration_merges = []
+        injector = active_fault_injector()
 
-        for t in range(1, self.iterations + 1):
+        for t in range(start_t, self.iterations + 1):
+            if injector is not None:
+                injector.before("summarize:iteration")
             threshold = omega(t, self.iterations)
             merged_roots: set[int] = set()
             iteration_merges: list[tuple[int, int]] = []
@@ -371,6 +443,12 @@ class MagsSummarizer(Summarizer):
                     total_merges=num_merges,
                 )
                 timer.check_budget()
+                self._maybe_checkpoint(
+                    t,
+                    lambda: self._checkpoint_state(
+                        t, partition, candidates, base_merges + num_merges
+                    ),
+                )
                 continue
 
             saving_accrued = 0.0
@@ -418,6 +496,12 @@ class MagsSummarizer(Summarizer):
                 saving_accrued=round(saving_accrued, 6),
             )
             timer.check_budget()
+            self._maybe_checkpoint(
+                t,
+                lambda: self._checkpoint_state(
+                    t, partition, candidates, base_merges + num_merges
+                ),
+            )
         return num_merges
 
     @staticmethod

@@ -32,7 +32,12 @@ from repro.algorithms._dm_common import (
     divide_recursive,
     shuffled_rows,
 )
-from repro.algorithms.base import PhaseTimer, Summarizer
+from repro.algorithms.base import (
+    PhaseTimer,
+    RecordingPartition,
+    Summarizer,
+    active_fault_injector,
+)
 from repro.core.encoding import Representation, encode
 from repro.core.minhash import MinHashSignatures, super_jaccard
 from repro.core.supernodes import SuperNodePartition
@@ -145,13 +150,26 @@ class MagsDMSummarizer(Summarizer):
         self, graph: Graph, timer: PhaseTimer
     ) -> tuple[Representation, int]:
         rng = random.Random(self.seed)
-        partition = SuperNodePartition(graph)
+        partition = (
+            RecordingPartition(graph)
+            if self._ckpt_store is not None
+            else SuperNodePartition(graph)
+        )
         timer.start("signatures")
         signatures = MinHashSignatures(graph, self.h, self.seed)
 
         num_merges = 0
+        start_t = 1
         self.last_group_sizes = []
-        for t in range(1, self.iterations + 1):
+        checkpoint = self._resume_checkpoint()
+        if checkpoint is not None:
+            start_t, num_merges = self._restore_state(
+                checkpoint.state, partition, signatures, rng
+            )
+        injector = active_fault_injector()
+        for t in range(start_t, self.iterations + 1):
+            if injector is not None:
+                injector.before("summarize:iteration")
             timer.start("divide")
             roots = sorted(partition.roots())
             if self.dividing_strategy:
@@ -191,9 +209,62 @@ class MagsDMSummarizer(Summarizer):
                 merges=num_merges - merges_before,
                 total_merges=num_merges,
             )
+            self._maybe_checkpoint(
+                t,
+                lambda: self._checkpoint_state(
+                    t, partition, rng, num_merges
+                ),
+            )
 
         timer.start("output")
         return encode(partition), num_merges
+
+    # ------------------------------------------------------------------
+    # Checkpoint/resume (see docs/resilience.md)
+    # ------------------------------------------------------------------
+    def _checkpoint_state(
+        self,
+        t: int,
+        partition: RecordingPartition,
+        rng: random.Random,
+        num_merges: int,
+    ) -> dict:
+        """JSON-serialisable snapshot after iteration ``t``."""
+        state = rng.getstate()
+        return {
+            "algorithm": self.name,
+            "iteration": t,
+            "merge_log": [list(pair) for pair in partition.merge_log],
+            "rng_state": [state[0], list(state[1]), state[2]],
+            "num_merges": num_merges,
+        }
+
+    def _restore_state(
+        self,
+        state: dict,
+        partition: RecordingPartition,
+        signatures: MinHashSignatures,
+        rng: random.Random,
+    ) -> tuple[int, int]:
+        """Rebuild run state from a snapshot; returns
+        ``(next_iteration, num_merges)``.
+
+        The merge log is replayed argument-for-argument, which
+        reproduces the original run's root identities and weight
+        tables exactly (see :class:`RecordingPartition`); each merge
+        folds the absorbed signature column just as the live run did.
+        """
+        if state.get("algorithm") != self.name:
+            raise ValueError(
+                f"checkpoint is for {state.get('algorithm')!r}, "
+                f"not {self.name!r}"
+            )
+        for u, v in state["merge_log"]:
+            w = partition.merge(u, v)
+            signatures.merge(w, v if w == u else u)
+        version, internal, gauss = state["rng_state"]
+        rng.setstate((version, tuple(internal), gauss))
+        return state["iteration"] + 1, state["num_merges"]
 
     # ------------------------------------------------------------------
     # Merging phase on one group (Algorithm 5, lines 7-13)

@@ -89,6 +89,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-verify", action="store_true",
         help="skip the lossless reconstruction check",
     )
+    summarize.add_argument(
+        "--checkpoint-dir",
+        help=(
+            "snapshot iteration state to this directory "
+            "(mags/mags-dm only; see docs/resilience.md)"
+        ),
+    )
+    summarize.add_argument(
+        "--checkpoint-interval", type=int, default=5,
+        help="iterations between snapshots (default 5)",
+    )
+    summarize.add_argument(
+        "--resume", action="store_true",
+        help="resume from the newest valid checkpoint in --checkpoint-dir",
+    )
 
     reconstruct = sub.add_parser(
         "reconstruct", help="restore the edge list from a summary"
@@ -142,6 +157,27 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--log-interval", type=float, default=30.0,
         help="seconds between periodic stats log lines (0 disables)",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=None,
+        help=(
+            "bound on queued connections before new ones are shed "
+            "with an 'overloaded' error (default: unbounded)"
+        ),
+    )
+    serve.add_argument(
+        "--degraded", action="store_true",
+        help=(
+            "answer khop/pagerank past their deadline with flagged "
+            "partial/approximate results instead of timeout errors"
+        ),
+    )
+    serve.add_argument(
+        "--breaker-threshold", type=int, default=0,
+        help=(
+            "consecutive internal errors before the circuit breaker "
+            "opens (0 disables the breaker)"
+        ),
     )
 
     bench = sub.add_parser(
@@ -205,6 +241,24 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
     graph = load_graph(args.input)
     print(f"loaded {graph}")
     summarizer = ALGORITHMS[args.algorithm](args.iterations, args.seed)
+    if args.resume and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.checkpoint_dir:
+        from repro.resilience import CheckpointStore
+
+        store = CheckpointStore(args.checkpoint_dir)
+        summarizer.configure_checkpointing(
+            store,
+            interval=args.checkpoint_interval,
+            resume=args.resume,
+        )
+        if args.resume:
+            latest = store.latest()
+            if latest is None:
+                print("no valid checkpoint found; starting fresh")
+            else:
+                print(f"resuming from checkpoint step {latest.step}")
     result = summarizer.summarize(graph)
     if not args.no_verify:
         verify_lossless(graph, result.representation)
@@ -278,7 +332,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         format="%(asctime)s %(name)s %(levelname)s %(message)s",
     )
     engine = QueryEngine.from_file(
-        args.input, cache_size=args.cache_size
+        args.input,
+        cache_size=args.cache_size,
+        degraded=args.degraded,
     )
     rep = engine.representation
     print(
@@ -286,6 +342,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"superedges={len(rep.summary_edges)}, "
         f"corrections={rep.num_corrections}"
     )
+    breaker = None
+    if args.breaker_threshold > 0:
+        from repro.resilience import CircuitBreaker
+
+        breaker = CircuitBreaker(failure_threshold=args.breaker_threshold)
     server = SummaryQueryServer(
         engine,
         host=args.host,
@@ -293,6 +354,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         request_timeout=args.request_timeout,
         log_interval=args.log_interval or None,
+        max_pending=args.max_pending,
+        breaker=breaker,
     )
     server.start()
     host, port = server.address

@@ -20,12 +20,23 @@ Communication accounting uses the byte codecs of
 :mod:`repro.compression`: each worker ships its grouping (varint
 member lists) up, and the coordinator counts cut-edge payloads — the
 numbers a deployment would size its shuffle by.
+
+Resilience: each worker run is a fault-injection site
+(``worker:<index>``, see :mod:`repro.resilience.faults`) and is
+retried under the coordinator's :class:`~repro.resilience.retry.RetryPolicy`
+when it crashes or straggles past its deadline.  A worker that
+exhausts its retries is *reassigned* to the trivial singleton
+partition (every owned node its own group) — a valid, lossless
+fallback whose larger grouping message is counted in
+``upload_bytes`` like any other upload, so the communication cost of
+the failure is visible in the result.
 """
 
 from __future__ import annotations
 
 import contextlib
 import random
+import sys
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -39,6 +50,14 @@ from repro.core.supernodes import SuperNodePartition
 from repro.core.thresholds import omega
 from repro.distributed.partitioning import cut_edges, hash_partition
 from repro.graph.graph import Graph
+from repro.resilience.faults import active_injector
+from repro.resilience.retry import (
+    Deadline,
+    DeadlineExceeded,
+    RetriesExhausted,
+    RetryPolicy,
+    call_with_retry,
+)
 
 __all__ = ["DistributedResult", "DistributedSummarizer"]
 
@@ -57,6 +76,12 @@ class DistributedResult:
     refinement_merges: int
     local_merges: int
     params: dict = field(default_factory=dict)
+    #: Worker attempts that failed and were retried.
+    worker_retries: int = 0
+    #: Workers that exhausted their retry budget.
+    worker_failures: int = 0
+    #: Indices of workers replaced by the singleton-partition fallback.
+    fallback_workers: list[int] = field(default_factory=list)
 
     @property
     def relative_size(self) -> float:
@@ -85,6 +110,13 @@ class DistributedSummarizer:
     refinement_rounds:
         Divide-and-merge rounds the coordinator runs over the
         boundary super-nodes (0 disables the global phase).
+    retry_policy:
+        Backoff schedule for failed/straggling workers; ``None``
+        selects a small default (3 attempts, 10 ms base delay).
+    worker_deadline:
+        Optional per-worker wall-clock budget in seconds.  A worker
+        (including its retries) that cannot finish inside the budget
+        is treated as failed and falls back to singleton groups.
     """
 
     def __init__(
@@ -94,6 +126,8 @@ class DistributedSummarizer:
         summarizer_factory: Callable[[], Summarizer] | None = None,
         refinement_rounds: int = 10,
         seed: int = 0,
+        retry_policy: RetryPolicy | None = None,
+        worker_deadline: float | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -108,6 +142,10 @@ class DistributedSummarizer:
         )
         self.refinement_rounds = refinement_rounds
         self.seed = seed
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=3, base_delay=0.01, max_delay=0.1
+        )
+        self.worker_deadline = worker_deadline
 
     # ------------------------------------------------------------------
     def summarize(self, graph: Graph) -> DistributedResult:
@@ -136,19 +174,30 @@ class DistributedSummarizer:
             groupings: list[list[list[int]]] = []
             upload_bytes: list[int] = []
             local_merges = 0
+            worker_retries = 0
+            fallback_workers: list[int] = []
+            retry_rng = random.Random(self.seed)
             for worker in range(self.workers):
                 local_nodes = owned[worker]
                 with _span(
                     "distributed:local",
                     worker=worker, nodes=len(local_nodes),
                 ):
-                    subgraph = graph.subgraph(local_nodes)
-                    result = self.summarizer_factory().summarize(subgraph)
-                local_merges += result.num_merges
-                groups = [
-                    sorted(local_nodes[i] for i in members)
-                    for members in result.representation.supernodes.values()
-                ]
+                    groups, merges, retries = self._run_worker(
+                        graph, worker, local_nodes, retry_rng
+                    )
+                worker_retries += retries
+                if groups is None:
+                    # Retries exhausted: reassign to the singleton
+                    # partition — every owned node its own group.  The
+                    # grouping is still valid and lossless, just
+                    # uncompacted; its (larger) upload is accounted
+                    # below like any other.
+                    fallback_workers.append(worker)
+                    groups = [[node] for node in local_nodes]
+                    merges = 0
+                    self._record_worker_event("fallback")
+                local_merges += merges
                 groupings.append(groups)
                 upload_bytes.append(_grouping_bytes(groups))
 
@@ -190,7 +239,76 @@ class DistributedSummarizer:
                 "refinement_rounds": self.refinement_rounds,
                 "seed": self.seed,
             },
+            worker_retries=worker_retries,
+            worker_failures=len(fallback_workers),
+            fallback_workers=fallback_workers,
         )
+
+    # ------------------------------------------------------------------
+    def _run_worker(
+        self,
+        graph: Graph,
+        worker: int,
+        local_nodes: list[int],
+        rng: random.Random,
+    ) -> tuple[list[list[int]] | None, int, int]:
+        """One worker's local summarization, with retries.
+
+        Returns ``(groups, merges, retries)``; ``groups`` is ``None``
+        when every attempt failed and the caller must fall back to the
+        singleton partition.
+        """
+        site = f"worker:{worker}"
+        retries = 0
+
+        def _on_retry(attempt: int, exc: BaseException) -> None:
+            nonlocal retries
+            retries += 1
+
+        def _attempt():
+            injector = active_injector()
+            if injector is not None:
+                injector.before(site)
+            subgraph = graph.subgraph(local_nodes)
+            result = self.summarizer_factory().summarize(subgraph)
+            if injector is not None:
+                injector.after(site)
+            return result
+
+        deadline = (
+            Deadline.after(self.worker_deadline)
+            if self.worker_deadline is not None
+            else Deadline.never()
+        )
+        try:
+            result = call_with_retry(
+                _attempt,
+                policy=self.retry_policy,
+                retry_on=(Exception,),
+                deadline=deadline,
+                rng=rng,
+                on_retry=_on_retry,
+                label="distributed_worker",
+            )
+        except (RetriesExhausted, DeadlineExceeded):
+            return None, 0, retries
+        groups = [
+            sorted(local_nodes[i] for i in members)
+            for members in result.representation.supernodes.values()
+        ]
+        return groups, result.num_merges, retries
+
+    @staticmethod
+    def _record_worker_event(event: str) -> None:
+        """Count a worker-level resilience event in the global
+        registry (gated so :mod:`repro.obs` stays optional)."""
+        if "repro.obs.metrics" not in sys.modules:
+            return
+        from repro.obs.metrics import get_registry
+
+        get_registry().counter(
+            "repro_resilience_worker_events_total", event=event
+        ).inc()
 
     # ------------------------------------------------------------------
     def _refine_boundary(

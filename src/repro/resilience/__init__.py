@@ -1,0 +1,79 @@
+"""repro.resilience — fault tolerance for summarization and serving.
+
+Four small, composable pieces:
+
+* :mod:`repro.resilience.faults` — deterministic, seeded fault
+  injection (crashes, stragglers, connection drops, payload
+  corruption) keyed by site labels; zero-cost when no injector is
+  configured;
+* :mod:`repro.resilience.retry` — :class:`RetryPolicy` (exponential
+  backoff + seeded jitter), :class:`Deadline` budgets and the shared
+  :func:`call_with_retry` loop;
+* :mod:`repro.resilience.checkpoint` — atomic, versioned,
+  checksum-verified :class:`CheckpointStore` for long summarization
+  runs (``python -m repro summarize --checkpoint-dir/--resume``);
+* :mod:`repro.resilience.breaker` — :class:`CircuitBreaker` guarding
+  the serving engine.
+
+Consumers: :class:`~repro.service.client.SummaryServiceClient`
+(auto-reconnect + idempotent retry),
+:class:`~repro.service.server.SummaryQueryServer` (load shedding,
+breaker, degraded mode),
+:class:`~repro.distributed.DistributedSummarizer` (worker retry and
+singleton-partition fallback) and the Mags/Mags-DM summarizers
+(checkpoint/resume).  Everything reports into :mod:`repro.obs`
+(``repro_resilience_*`` metrics, ``resilience:`` spans).  See
+``docs/resilience.md`` and ``tools/chaos_harness.py``.
+"""
+
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.checkpoint import (
+    Checkpoint,
+    CheckpointCorrupt,
+    CheckpointError,
+    CheckpointStore,
+)
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedConnectionDrop,
+    InjectedFault,
+    active_injector,
+    set_injector,
+    use_injector,
+)
+from repro.resilience.retry import (
+    Deadline,
+    DeadlineExceeded,
+    RetriesExhausted,
+    RetryPolicy,
+    call_with_retry,
+)
+
+__all__ = [
+    # faults
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "InjectedFault",
+    "InjectedConnectionDrop",
+    "active_injector",
+    "set_injector",
+    "use_injector",
+    # retry
+    "RetryPolicy",
+    "Deadline",
+    "DeadlineExceeded",
+    "RetriesExhausted",
+    "call_with_retry",
+    # checkpoint
+    "Checkpoint",
+    "CheckpointStore",
+    "CheckpointError",
+    "CheckpointCorrupt",
+    # breaker
+    "CircuitBreaker",
+]

@@ -1,0 +1,110 @@
+"""Circuit breaker: stop hammering a failing dependency.
+
+Classic three-state breaker (closed -> open -> half-open) guarding
+the query engine inside :class:`~repro.service.server.SummaryQueryServer`:
+after ``failure_threshold`` consecutive internal failures the breaker
+*opens* and requests are rejected immediately with a structured
+``overloaded`` error (cheap, bounded) instead of each one paying the
+failure latency; after ``reset_timeout`` seconds one probe request is
+let through (*half-open*) — success closes the breaker, failure
+re-opens it for another window.
+
+Only *internal* faults trip the breaker; client errors
+(``bad_request``) and per-request timeouts are the caller's problem,
+not evidence the engine is sick.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Thread-safe consecutive-failure circuit breaker.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that open the breaker.
+    reset_timeout:
+        Seconds the breaker stays open before allowing a probe.
+    clock:
+        Injectable monotonic clock (tests).
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        clock=time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout < 0:
+            raise ValueError("reset_timeout must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        #: Lifetime count of closed->open transitions.
+        self.times_opened = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = self.HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """May a request proceed right now?
+
+        In the half-open state only one caller wins the probe slot;
+        the rest stay rejected until the probe resolves.
+        """
+        with self._lock:
+            state = self._state_locked()
+            if state == self.CLOSED:
+                return True
+            if state == self.HALF_OPEN:
+                # Claim the probe: re-open pessimistically so only one
+                # in-flight probe exists; success will close us.
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = self.CLOSED
+            self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            if (
+                self._state != self.OPEN
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self.times_opened += 1
+            elif self._state == self.OPEN:
+                # A failed half-open probe re-arms the window.
+                self._opened_at = self._clock()

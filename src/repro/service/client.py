@@ -5,13 +5,31 @@ test-suite, the smoke harness and the load generator.  Each client
 instance is *not* thread-safe — give every load-generator thread its
 own client, which also matches the server's connection-per-worker
 model.
+
+Fault tolerance (:mod:`repro.resilience`): constructed with a
+:class:`~repro.resilience.retry.RetryPolicy`, the client transparently
+**reconnects and retries** idempotent requests (every op except
+``shutdown`` is a read) on connection failures, with exponential
+backoff + seeded jitter under an optional per-request deadline budget.
+A **desynchronized** stream — a response whose ``id`` does not match
+the request, or an undecodable line — can never be reused: the socket
+is closed immediately, and without a retry policy the client is marked
+unusable so subsequent calls fail fast instead of mis-pairing
+responses.
+
+Fault-injection sites (when a
+:class:`~repro.resilience.faults.FaultInjector` is active):
+``client:send`` and ``client:recv`` around the two transport halves.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 
-from repro.service.protocol import LineReader, decode_line, encode_message
+from repro.resilience.faults import active_injector
+from repro.resilience.retry import Deadline, RetriesExhausted, RetryPolicy, call_with_retry
+from repro.service.protocol import LineReader, ProtocolError, decode_line, encode_message
 
 __all__ = ["SummaryServiceClient", "ServiceError"]
 
@@ -34,36 +52,165 @@ class SummaryServiceClient:
 
         with SummaryServiceClient(host, port) as client:
             client.neighbors(42)
+
+    Parameters
+    ----------
+    host / port / timeout:
+        Connection target and per-socket-operation timeout.
+    retry_policy:
+        When given, idempotent requests that hit a transport failure
+        reconnect and retry under this policy; ``None`` (the default)
+        keeps the historical fail-fast behaviour.
+    retry_budget:
+        Optional wall-clock budget in seconds for one logical request
+        *including* all retries and backoff sleeps.
+    seed:
+        Seeds the backoff jitter so retry schedules replay exactly.
     """
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._reader = LineReader(self._sock)
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        *,
+        retry_policy: RetryPolicy | None = None,
+        retry_budget: float | None = None,
+        seed: int = 0,
+    ):
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._retry_policy = retry_policy
+        self._retry_budget = retry_budget
+        self._rng = random.Random(seed)
+        self._sock: socket.socket | None = None
+        self._reader: LineReader | None = None
         self._next_id = 0
+        self._broken = False
+        self._closed = False
+        self._connect()
+
+    # -- connection lifecycle --------------------------------------------
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
+        self._reader = LineReader(self._sock)
+
+    def _teardown(self) -> None:
+        """Drop the current socket (a later attempt reconnects)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        self._sock = None
+        self._reader = None
+
+    def _mark_unusable(self) -> None:
+        """The stream can no longer be trusted: close it and make
+        every subsequent call fail immediately."""
+        self._teardown()
+        self._broken = True
+
+    @property
+    def usable(self) -> bool:
+        """False once the client is closed or desynchronized."""
+        return not (self._closed or self._broken)
 
     # -- transport -------------------------------------------------------
     def request_raw(self, request: dict) -> dict:
-        """Send one request dict, return the raw response dict."""
-        self._sock.sendall(encode_message(request))
-        line = self._reader.readline()
+        """Send one request dict, return the raw response dict.
+
+        No id verification and no retries — the low-level escape
+        hatch.  Transport failures drop the connection so the next
+        high-level request can reconnect.
+        """
+        if self._sock is None:
+            self._connect()
+        injector = active_injector()
+        try:
+            if injector is not None:
+                injector.before("client:send")
+            self._sock.sendall(encode_message(request))
+            if injector is not None:
+                injector.before("client:recv")
+            line = self._reader.readline()
+        except ProtocolError:
+            # Oversized/unframeable response: beyond resynchronization.
+            self._mark_unusable()
+            raise
+        except OSError:
+            self._teardown()
+            raise
         if line is None:
+            self._teardown()
             raise ConnectionError("server closed the connection")
-        return decode_line(line)
+        try:
+            return decode_line(line)
+        except ProtocolError:
+            self._mark_unusable()
+            raise
 
     def request(self, op: str, **params):
         """Send one ``op`` request; return its ``result`` or raise
-        :class:`ServiceError`.  Verifies the response id matches."""
+        :class:`ServiceError`.
+
+        Verifies the response id matches the request id.  On a
+        mismatch the socket is closed immediately — with a retry
+        policy the request is replayed on a fresh connection,
+        otherwise the client is marked unusable and every subsequent
+        call raises :class:`ConnectionError` without touching the
+        network.
+        """
+        if self._closed:
+            raise ConnectionError("client is closed")
+        if self._broken:
+            raise ConnectionError(
+                "client is unusable after a desynchronized or "
+                "undecodable response; create a new client"
+            )
         self._next_id += 1
         request_id = self._next_id
-        response = self.request_raw({"id": request_id, "op": op, **params})
-        if response.get("id") != request_id:
-            raise ConnectionError(
-                f"response id {response.get('id')!r} does not match "
-                f"request id {request_id}"
+        request = {"id": request_id, "op": op, **params}
+
+        if self._retry_policy is None or op == "shutdown":
+            # shutdown is not idempotent; everything else simply keeps
+            # the historical single-attempt behaviour without a policy.
+            response = self._attempt(request)
+        else:
+            deadline = (
+                Deadline.after(self._retry_budget)
+                if self._retry_budget is not None
+                else Deadline.never()
             )
+            try:
+                response = call_with_retry(
+                    lambda: self._attempt(request),
+                    policy=self._retry_policy,
+                    retry_on=(OSError,),
+                    deadline=deadline,
+                    rng=self._rng,
+                    label="service_client",
+                )
+            except RetriesExhausted as exc:
+                raise ConnectionError(str(exc)) from exc.last
         if not response.get("ok"):
             raise ServiceError(response.get("error", {}))
         return response.get("result")
+
+    def _attempt(self, request: dict) -> dict:
+        response = self.request_raw(request)
+        if response.get("id") != request["id"]:
+            self._teardown()
+            if self._retry_policy is None:
+                self._broken = True
+            raise ConnectionError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request['id']!r}; connection closed"
+            )
+        return response
 
     # -- ops -------------------------------------------------------------
     def ping(self) -> str:
@@ -95,10 +242,8 @@ class SummaryServiceClient:
         return self.request("shutdown")
 
     def close(self) -> None:
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        self._closed = True
+        self._teardown()
 
     def __enter__(self) -> "SummaryServiceClient":
         return self

@@ -16,6 +16,17 @@ Two serving-specific layers sit on top of the index:
   which is how a frontend fanning out one timeline request into many
   adjacency lookups would call it.
 
+Graceful degradation (:mod:`repro.resilience`): constructed with
+``degraded=True``, the engine answers ``khop`` and ``pagerank``
+requests whose deadline budget is spent with a **cheaper approximate
+answer flagged** ``"degraded": true`` instead of a ``timeout`` error —
+a truncated BFS for ``khop``, a one-expansion degree-proportional
+estimate for ``pagerank`` while the exact vector is still unbuilt.
+SsAG-style approximate summaries (PAPERS.md) motivate exactly this
+trade: a bounded-quality answer on time beats an exact answer late.
+Degraded answers are counted under
+``service_degraded_total{op=...}``.
+
 All public methods are safe to call from any number of threads: the
 cache has its own lock, the underlying index is immutable after
 construction, and the PageRank vector is built at most once behind a
@@ -111,6 +122,10 @@ class QueryEngine:
         not given.
     damping / pagerank_iterations:
         Parameters for the lazily-built PageRank vector (Algorithm 7).
+    degraded:
+        Enable degraded-mode answers: ``khop``/``pagerank`` requests
+        whose deadline has expired return a flagged approximation
+        instead of raising :class:`QueryTimeout`.
     """
 
     def __init__(
@@ -121,6 +136,7 @@ class QueryEngine:
         metrics: ServiceMetrics | None = None,
         damping: float = 0.85,
         pagerank_iterations: int = 20,
+        degraded: bool = False,
     ):
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self._index = SummaryNeighborIndex(representation)
@@ -129,6 +145,7 @@ class QueryEngine:
         self._pagerank_iterations = pagerank_iterations
         self._pagerank_lock = threading.Lock()
         self._pagerank_scores = None
+        self.degraded_enabled = degraded
 
     @classmethod
     def from_file(cls, path: str | Path, **kwargs) -> "QueryEngine":
@@ -166,13 +183,21 @@ class QueryEngine:
         return len(self.neighbors(node))
 
     def khop(
-        self, node: int, k: int, deadline: float | None = None
+        self,
+        node: int,
+        k: int,
+        deadline: float | None = None,
+        degraded_sink: list | None = None,
     ) -> dict[int, int]:
         """Hop distance for every node within ``k`` hops of ``node``.
 
         BFS over the cached neighbor expansions (so a k-hop query
         warms the cache for the adjacency queries that typically
-        follow it).  The deadline is checked once per BFS level.
+        follow it).  The deadline is checked once per BFS level; with
+        a ``degraded_sink`` the BFS is *truncated* at the expired
+        level (the sink records the degradation) instead of raising
+        :class:`QueryTimeout`, so the caller gets every hop computed
+        inside the budget.
         """
         self._check_node(node)
         if k < 0:
@@ -180,7 +205,11 @@ class QueryEngine:
         distances = {node: 0}
         frontier = [node]
         for depth in range(1, k + 1):
-            _check_deadline(deadline)
+            if deadline is not None and time.monotonic() >= deadline:
+                if degraded_sink is None:
+                    raise QueryTimeout()
+                degraded_sink.append("khop")
+                break
             next_frontier: list[int] = []
             for u in frontier:
                 for v in self.neighbors(u):
@@ -192,15 +221,38 @@ class QueryEngine:
             frontier = next_frontier
         return distances
 
-    def pagerank_score(self, node: int) -> float:
+    def pagerank_score(
+        self,
+        node: int,
+        deadline: float | None = None,
+        degraded_sink: list | None = None,
+    ) -> float:
         """PageRank score of ``node`` from the Algorithm 7 vector.
 
         The full vector is computed on the summary once (first
-        request) and then served as array lookups.
+        request) and then served as array lookups.  With a
+        ``degraded_sink``, a request whose deadline is already spent
+        while the vector is *still unbuilt* gets the cheap
+        degree-proportional estimate
+        ``(1 - d)/n + d * deg(node) / 2m`` (one cached neighborhood
+        expansion) instead of blocking on the full build — the sink
+        records the degradation.  Once the vector exists every answer
+        is exact.
         """
         self._check_node(node)
         scores = self._pagerank_scores
         if scores is None:
+            if (
+                degraded_sink is not None
+                and deadline is not None
+                and time.monotonic() >= deadline
+            ):
+                degraded_sink.append("pagerank")
+                rep = self.representation
+                degree = len(self.neighbors(node))
+                return (1.0 - self._damping) / max(1, rep.n) + (
+                    self._damping * degree / max(1, 2 * rep.m)
+                )
             with self._pagerank_lock:
                 if self._pagerank_scores is None:
                     engine = SummaryPageRank(self.representation)
@@ -227,20 +279,29 @@ class QueryEngine:
                 "bad_request",
                 f"unknown op {op!r}; supported: {', '.join(OPS)}",
             )
-        _check_deadline(deadline)
+        degraded_sink: list | None = (
+            [] if self.degraded_enabled and op in ("khop", "pagerank")
+            else None
+        )
+        if degraded_sink is None:
+            _check_deadline(deadline)
         started = time.perf_counter()
         try:
-            result = self._dispatch(op, request, deadline)
+            result = self._dispatch(op, request, deadline, degraded_sink)
         except QueryError:
             self.metrics.observe(op, time.perf_counter() - started, ok=False)
             raise
         self.metrics.observe(op, time.perf_counter() - started)
-        return {
+        response = {
             "id": request.get("id"),
             "ok": True,
             "op": op,
             "result": result,
         }
+        if degraded_sink:
+            response["degraded"] = True
+            self.metrics.degraded(op)
+        return response
 
     def query_many(
         self, requests: list[dict], deadline: float | None = None
@@ -299,7 +360,13 @@ class QueryEngine:
         return responses
 
     # -- internals -------------------------------------------------------
-    def _dispatch(self, op: str, request: dict, deadline: float | None):
+    def _dispatch(
+        self,
+        op: str,
+        request: dict,
+        deadline: float | None,
+        degraded_sink: list | None = None,
+    ):
         if op == "ping":
             return "pong"
         if op == "stats":
@@ -323,10 +390,10 @@ class QueryEngine:
             k = request.get("k", 1)
             if not isinstance(k, int) or isinstance(k, bool):
                 raise QueryError("bad_request", "'k' must be an integer")
-            distances = self.khop(node, k, deadline)
+            distances = self.khop(node, k, deadline, degraded_sink)
             return {str(v): d for v, d in sorted(distances.items())}
         if op == "pagerank":
-            return self.pagerank_score(node)
+            return self.pagerank_score(node, deadline, degraded_sink)
         raise QueryError("bad_request", f"unhandled op {op!r}")
 
     def _check_node(self, node: int) -> None:

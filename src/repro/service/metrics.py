@@ -114,6 +114,13 @@ class ServiceMetrics:
         self._conns_active = self.registry.gauge(
             "service_connections_active"
         )
+        self._shed = self.registry.counter("service_shed_total")
+        self._breaker_opened = self.registry.counter(
+            "service_breaker_open_total"
+        )
+        self._breaker_rejected = self.registry.counter(
+            "service_breaker_rejected_total"
+        )
 
     # -- engine-side accounting -----------------------------------------
     def cache_hit(self) -> None:
@@ -156,6 +163,23 @@ class ServiceMetrics:
         self._conns_closed.inc()
         self._conns_active.dec()
 
+    # -- resilience accounting -------------------------------------------
+    def shed(self) -> None:
+        """One connection rejected by the bounded accept queue."""
+        self._shed.inc()
+
+    def degraded(self, op: str) -> None:
+        """One request answered in degraded mode."""
+        self.registry.counter("service_degraded_total", op=op).inc()
+
+    def breaker_opened(self) -> None:
+        """The circuit breaker transitioned closed -> open."""
+        self._breaker_opened.inc()
+
+    def breaker_rejected(self) -> None:
+        """One request rejected while the breaker was open."""
+        self._breaker_rejected.inc()
+
     # -- reporting -------------------------------------------------------
     def _by_op(self, name: str) -> dict[str, int]:
         return {
@@ -191,6 +215,12 @@ class ServiceMetrics:
                 "opened": int(self._conns_opened.value),
                 "closed": int(self._conns_closed.value),
                 "active": int(self._conns_active.value),
+            },
+            "resilience": {
+                "shed": int(self._shed.value),
+                "degraded_by_op": self._by_op("service_degraded_total"),
+                "breaker_opened": int(self._breaker_opened.value),
+                "breaker_rejected": int(self._breaker_rejected.value),
             },
             "latency_ms": {
                 op: recorder.snapshot()

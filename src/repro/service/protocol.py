@@ -23,7 +23,9 @@ Responses
 ``{"id", "ok": true, "op", "result"}`` on success;
 ``{"id", "ok": false, "op", "error": {"type", "message"}}`` on
 failure.  Error types: ``bad_request``, ``timeout``, ``overloaded``,
-``internal``.
+``internal``.  A degraded-mode success (truncated ``khop``,
+approximate ``pagerank`` — see :mod:`repro.service.engine`)
+additionally carries ``"degraded": true``.
 
 Framing is newline-delimited UTF-8 JSON, so the protocol is usable
 from ``nc`` for debugging.  Lines longer than :data:`MAX_LINE_BYTES`
@@ -80,6 +82,13 @@ class LineReader:
     ``readline`` returns the next complete line (without the
     terminator), ``None`` on EOF, and re-raises ``socket.timeout`` so
     callers can poll a shutdown flag between reads.
+
+    An oversized *unterminated* line poisons the reader: there is no
+    way to find the next message boundary in a stream whose current
+    frame never ends, so after the first :class:`ProtocolError` every
+    subsequent ``readline`` raises again rather than returning bytes
+    from an unknowable position.  Callers must send at most one error
+    response and close the connection.
     """
 
     def __init__(self, sock: socket.socket, chunk_size: int = 65536):
@@ -87,8 +96,14 @@ class LineReader:
         self._chunk_size = chunk_size
         self._buffer = bytearray()
         self._eof = False
+        self._poisoned = False
 
     def readline(self) -> bytes | None:
+        if self._poisoned:
+            raise ProtocolError(
+                "stream is beyond resynchronization after an "
+                "oversized unterminated line"
+            )
         while True:
             newline = self._buffer.find(b"\n")
             if newline >= 0:
@@ -98,6 +113,7 @@ class LineReader:
             if self._eof:
                 return None
             if len(self._buffer) > MAX_LINE_BYTES:
+                self._poisoned = True
                 raise ProtocolError(
                     f"unterminated line exceeds {MAX_LINE_BYTES} bytes"
                 )

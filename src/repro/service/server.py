@@ -19,7 +19,20 @@ Operational behaviour:
 * **graceful shutdown** — SIGINT (or a ``shutdown`` request, or
   :meth:`SummaryQueryServer.shutdown`) stops accepting, lets every
   worker finish its in-flight request, flushes responses, closes
-  connections, and logs a final stats line.
+  connections, and logs a final stats line;
+* **load shedding** — with ``max_pending`` set, a connection arriving
+  while that many accepted connections already wait unserved gets one
+  structured ``overloaded`` error and an immediate close instead of
+  an unbounded queue (counted in ``service_shed_total``);
+* **circuit breaker** — with a
+  :class:`~repro.resilience.breaker.CircuitBreaker` attached,
+  consecutive *internal* engine faults open the breaker and requests
+  are rejected cheaply with ``overloaded`` errors until the reset
+  window lets a probe through.
+
+Fault-injection site: ``server:accept`` (a scheduled ``drop`` fault
+closes the freshly-accepted connection, the client sees a peer
+reset).
 """
 
 from __future__ import annotations
@@ -37,6 +50,8 @@ from repro.service.engine import (
     error_response,
 )
 from repro.obs.tracer import get_tracer
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import active_injector
 from repro.service.metrics import MetricsLogger
 from repro.service.protocol import (
     LineReader,
@@ -72,6 +87,13 @@ class SummaryQueryServer:
         Close a connection after this long without a request.
     log_interval:
         When set, a daemon thread logs a stats line this often.
+    max_pending:
+        Bound on accepted-but-unserved connections; arrivals beyond it
+        are shed with an ``overloaded`` error.  ``None`` keeps the
+        historical unbounded queue.
+    breaker:
+        Optional circuit breaker around the engine; ``None`` disables
+        it.
     """
 
     def __init__(
@@ -84,9 +106,13 @@ class SummaryQueryServer:
         request_timeout: float = 10.0,
         idle_timeout: float = 300.0,
         log_interval: float | None = None,
+        max_pending: int | None = None,
+        breaker: CircuitBreaker | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be >= 1 (or None)")
         self.engine = engine
         self.metrics = engine.metrics
         self._host = host
@@ -95,6 +121,8 @@ class SummaryQueryServer:
         self._request_timeout = request_timeout
         self._idle_timeout = idle_timeout
         self._log_interval = log_interval
+        self._max_pending = max_pending
+        self._breaker = breaker
         self._socket: socket.socket | None = None
         self._threads: list[threading.Thread] = []
         self._connections: queue.Queue = queue.Queue()
@@ -150,21 +178,27 @@ class SummaryQueryServer:
 
     def serve_forever(self, install_signal_handlers: bool = True) -> None:
         """Block until shutdown; optionally wire SIGINT/SIGTERM to a
-        graceful stop (only possible from the main thread)."""
+        graceful stop (only possible from the main thread).
+
+        Handler installation happens *inside* the ``try`` whose
+        ``finally`` restores the previous handlers, so no exception —
+        during installation, serving, or shutdown — can leave the
+        process with the server's handlers still installed.
+        """
         self.start()
         previous: dict[int, object] = {}
         in_main = threading.current_thread() is threading.main_thread()
-        if install_signal_handlers and in_main:
-            def _handle(signum, frame):
-                logger.info(
-                    "signal %s received, shutting down gracefully",
-                    signal.Signals(signum).name,
-                )
-                self.shutdown()
-
-            for signum in (signal.SIGINT, signal.SIGTERM):
-                previous[signum] = signal.signal(signum, _handle)
         try:
+            if install_signal_handlers and in_main:
+                def _handle(signum, frame):
+                    logger.info(
+                        "signal %s received, shutting down gracefully",
+                        signal.Signals(signum).name,
+                    )
+                    self.shutdown()
+
+                for signum in (signal.SIGINT, signal.SIGTERM):
+                    previous[signum] = signal.signal(signum, _handle)
             self._stop_event.wait()
         finally:
             for signum, handler in previous.items():
@@ -215,8 +249,42 @@ class SummaryQueryServer:
                 continue
             except OSError:
                 break  # listener closed under us during shutdown
+            injector = active_injector()
+            if injector is not None:
+                try:
+                    injector.before("server:accept")
+                except ConnectionError:
+                    conn.close()  # injected drop: vanish like a peer reset
+                    continue
+            if (
+                self._max_pending is not None
+                and self._connections.qsize() >= self._max_pending
+            ):
+                self._shed_connection(conn, peer)
+                continue
             self.metrics.connection_opened()
             self._connections.put((conn, peer))
+
+    def _shed_connection(self, conn: socket.socket, peer) -> None:
+        """Load shedding: one structured error, then close."""
+        self.metrics.shed()
+        logger.warning(
+            "shedding connection from %s (%d pending >= max_pending=%d)",
+            peer, self._connections.qsize(), self._max_pending,
+        )
+        self._send(conn, {
+            "id": None,
+            "ok": False,
+            "op": None,
+            "error": {
+                "type": "overloaded",
+                "message": "server accept queue is full; retry later",
+            },
+        })
+        try:
+            conn.close()
+        except OSError:
+            pass
 
     # -- workers ----------------------------------------------------------
     def _worker_loop(self) -> None:
@@ -283,6 +351,18 @@ class SummaryQueryServer:
     def _handle_request(self, request: dict) -> tuple[dict, bool]:
         deadline = time.monotonic() + self._request_timeout
         op = request.get("op")
+        breaker = self._breaker
+        if breaker is not None and op != "shutdown" and not breaker.allow():
+            self.metrics.breaker_rejected()
+            return {
+                "id": request.get("id"),
+                "ok": False,
+                "op": op,
+                "error": {
+                    "type": "overloaded",
+                    "message": "circuit breaker open; retry later",
+                },
+            }, False
         try:
             if op == "shutdown":
                 self.metrics.observe("shutdown", 0.0)
@@ -293,11 +373,28 @@ class SummaryQueryServer:
                     "result": "shutting down",
                 }, True
             if op == "batch":
-                return self._handle_batch(request, deadline), False
-            return self.engine.query(request, deadline), False
+                response = self._handle_batch(request, deadline), False
+            else:
+                response = self.engine.query(request, deadline), False
+            if breaker is not None:
+                breaker.record_success()
+            return response
         except QueryError as exc:
+            # Client errors and per-request timeouts are not evidence
+            # the engine is sick; they do not trip the breaker.
+            if breaker is not None:
+                breaker.record_success()
             return error_response(request, exc), False
         except Exception as exc:  # noqa: BLE001 - protocol boundary
+            if breaker is not None:
+                opened_before = breaker.times_opened
+                breaker.record_failure()
+                if breaker.times_opened > opened_before:
+                    self.metrics.breaker_opened()
+                    logger.error(
+                        "circuit breaker opened after %d consecutive "
+                        "internal failures", breaker.failure_threshold,
+                    )
             logger.exception("internal error answering %r", op)
             return {
                 "id": request.get("id"),

@@ -117,3 +117,51 @@ class TestBenchCommand:
         out = capsys.readouterr().out
         assert "Table 2" in out
         assert "CA" in out
+
+
+class TestCheckpointCLI:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["summarize", "g.txt"])
+        assert args.checkpoint_dir is None
+        assert args.checkpoint_interval == 5
+        assert args.resume is False
+        serve = build_parser().parse_args(["serve", "summary.txt"])
+        assert serve.max_pending is None
+        assert serve.degraded is False
+        assert serve.breaker_threshold == 0
+
+    def test_resume_requires_checkpoint_dir(self, edge_file, capsys):
+        path, __ = edge_file
+        assert main(["summarize", str(path), "--resume"]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_checkpoint_then_resume(self, tmp_path, edge_file, capsys):
+        path, __ = edge_file
+        ckpt_dir = tmp_path / "ckpts"
+        assert main([
+            "summarize", str(path), "-a", "mags-dm", "-T", "6",
+            "--checkpoint-dir", str(ckpt_dir),
+            "--checkpoint-interval", "2",
+        ]) == 0
+        first = capsys.readouterr().out
+        assert list(ckpt_dir.glob("ckpt-*.json"))
+        assert main([
+            "summarize", str(path), "-a", "mags-dm", "-T", "6",
+            "--checkpoint-dir", str(ckpt_dir), "--resume",
+        ]) == 0
+        resumed = capsys.readouterr().out
+        assert "resuming from checkpoint step 6" in resumed
+        # The resumed run restores the finished state: same summary
+        # (compare up to the wall-clock field, which always differs).
+        line = [l for l in first.splitlines() if "relative_size" in l]
+        assert line and line[0].split(" time=")[0] in resumed
+
+    def test_resume_with_empty_dir_starts_fresh(
+        self, tmp_path, edge_file, capsys
+    ):
+        path, __ = edge_file
+        assert main([
+            "summarize", str(path), "-a", "mags-dm", "-T", "4",
+            "--checkpoint-dir", str(tmp_path / "none"), "--resume",
+        ]) == 0
+        assert "no valid checkpoint found" in capsys.readouterr().out

@@ -1,0 +1,149 @@
+"""Distributed coordinator under injected worker faults."""
+
+import pytest
+
+from repro.algorithms.mags_dm import MagsDMSummarizer
+from repro.core.verify import verify_lossless
+from repro.distributed.coordinator import DistributedSummarizer
+from repro.graph import generators
+from repro.resilience.faults import FaultInjector, FaultPlan, use_injector
+from repro.resilience.retry import RetryPolicy
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.planted_partition(200, 10, 0.6, 0.03, seed=9)
+
+
+def _summarizer(workers=4, **kwargs):
+    kwargs.setdefault(
+        "retry_policy",
+        RetryPolicy(max_attempts=3, base_delay=0.001, max_delay=0.01),
+    )
+    return DistributedSummarizer(
+        workers=workers,
+        summarizer_factory=lambda: MagsDMSummarizer(iterations=8, seed=2),
+        refinement_rounds=5,
+        seed=2,
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline(graph):
+    return _summarizer().summarize(graph)
+
+
+class TestWorkerRetry:
+    def test_transient_crash_is_retried_to_identical_result(
+        self, graph, baseline
+    ):
+        injector = FaultInjector(FaultPlan().crash("worker:1", times=1))
+        with use_injector(injector):
+            result = _summarizer().summarize(graph)
+        assert injector.fired_count("worker:1") == 1
+        assert result.worker_retries >= 1
+        assert result.worker_failures == 0
+        assert result.fallback_workers == []
+        verify_lossless(graph, result.representation)
+        # Retry reruns the same deterministic worker: nothing diverges.
+        assert result.relative_size == baseline.relative_size
+        assert result.upload_bytes == baseline.upload_bytes
+
+    def test_crash_after_output_is_also_retried(self, graph, baseline):
+        plan = FaultPlan().crash("worker:2", times=1, when="after")
+        injector = FaultInjector(plan)
+        with use_injector(injector):
+            result = _summarizer().summarize(graph)
+        assert injector.fired == [("worker:2", "crash_after")]
+        assert result.worker_failures == 0
+        assert result.relative_size == baseline.relative_size
+
+    def test_straggler_delay_does_not_change_the_result(
+        self, graph, baseline
+    ):
+        sleeps: list[float] = []
+        injector = FaultInjector(
+            FaultPlan().delay("worker:0", 0.5), sleep=sleeps.append
+        )
+        with use_injector(injector):
+            result = _summarizer().summarize(graph)
+        assert sleeps == [0.5]
+        assert result.worker_retries == 0
+        assert result.relative_size == baseline.relative_size
+
+
+class TestWorkerFallback:
+    def test_dead_worker_falls_back_to_singletons(self, graph, baseline):
+        # times=10 > max_attempts: the worker dies on every attempt.
+        injector = FaultInjector(FaultPlan().crash("worker:3", times=10))
+        with use_injector(injector):
+            result = _summarizer().summarize(graph)
+        assert result.worker_failures == 1
+        assert result.fallback_workers == [3]
+        assert result.worker_retries >= 2  # two retries, then exhausted
+        # Fallback is still a valid lossless partition...
+        verify_lossless(graph, result.representation)
+        # ...whose unmerged upload is accounted (singleton groups are
+        # never smaller on the wire than merged ones).
+        assert len(result.upload_bytes) == 4
+        assert result.upload_bytes[3] >= baseline.upload_bytes[3]
+        assert result.local_merges < baseline.local_merges
+
+    def test_all_workers_dead_still_lossless(self, graph):
+        plan = FaultPlan()
+        for worker in range(3):
+            plan.crash(f"worker:{worker}", times=10)
+        with use_injector(FaultInjector(plan)):
+            result = _summarizer(workers=3).summarize(graph)
+        assert result.worker_failures == 3
+        assert result.fallback_workers == [0, 1, 2]
+        assert result.local_merges == 0
+        verify_lossless(graph, result.representation)
+
+    def test_zero_worker_deadline_forces_immediate_fallback(self, graph):
+        # An already-expired deadline budget: no attempt is even made.
+        result = _summarizer(worker_deadline=-1.0).summarize(graph)
+        assert result.worker_failures == 4
+        assert result.fallback_workers == [0, 1, 2, 3]
+        verify_lossless(graph, result.representation)
+
+    def test_worker_events_counted_in_obs_registry(self, graph):
+        from repro.obs.metrics import get_registry
+
+        fallback_counter = get_registry().counter(
+            "repro_resilience_worker_events_total", event="fallback"
+        )
+        before = fallback_counter.value
+        injector = FaultInjector(FaultPlan().crash("worker:0", times=10))
+        with use_injector(injector):
+            _summarizer().summarize(graph)
+        assert fallback_counter.value == before + 1
+
+
+class TestDeterminism:
+    def test_same_plan_same_seed_reproduces_exactly(self, graph):
+        def run():
+            injector = FaultInjector(
+                FaultPlan()
+                .crash("worker:1", times=1)
+                .crash("worker:2", times=10),
+                seed=7,
+            )
+            with use_injector(injector):
+                result = _summarizer().summarize(graph)
+            return injector.fired, result
+
+        fired_a, result_a = run()
+        fired_b, result_b = run()
+        assert fired_a == fired_b
+        assert result_a.relative_size == result_b.relative_size
+        assert result_a.upload_bytes == result_b.upload_bytes
+        assert result_a.fallback_workers == result_b.fallback_workers
+
+    def test_fault_free_run_reports_no_resilience_events(
+        self, graph, baseline
+    ):
+        assert baseline.worker_retries == 0
+        assert baseline.worker_failures == 0
+        assert baseline.fallback_workers == []
