@@ -4,6 +4,12 @@ Unlike the figure benches (one timed end-to-end run each), these use
 pytest-benchmark's statistical looping: they are the regression guard
 for the inner loops every algorithm sits on — saving evaluation,
 merging, signature construction, encoding, and reconstruction.
+
+``tools/perf_gate.py`` runs this file with ``--benchmark-json`` and
+compares the results against the committed baseline in
+``bench_results/micro_core_baseline.json``; keep the workload builders
+below deterministic, because the gate's speedup ratios assume the
+batched and scalar benches score the *same* pair list.
 """
 
 import pytest
@@ -14,19 +20,51 @@ from repro.core.supernodes import SuperNodePartition
 from repro.graph.generators import planted_partition
 
 
-@pytest.fixture(scope="module")
-def graph():
+def build_graph():
+    """The shared micro-bench graph (fixed seed, ~400 nodes)."""
     return planted_partition(400, 20, 0.5, 0.01, seed=7)
 
 
-@pytest.fixture(scope="module")
-def partition(graph):
+def build_partition(graph):
+    """Deterministic partially-merged partition over ``graph``."""
     p = SuperNodePartition(graph)
     for u in range(0, 100, 2):
         ru, rv = p.find(u), p.find(u + 1)
         if ru != rv:
             p.merge(ru, rv)
     return p
+
+
+def candidate_pairs(partition, groups=24):
+    """Realistic saving workload: 2-hop candidates of ``groups`` roots.
+
+    Grouped by first endpoint — the shape every consumer hands to
+    ``savings_many`` — so the batched and scalar saving benches time
+    the same work the algorithms do.
+    """
+    pairs = []
+    for u in sorted(partition.roots())[:groups]:
+        two_hop = set()
+        for x in partition.weights(u):
+            two_hop.update(partition.weights(x))
+        two_hop.discard(u)
+        pairs.extend((u, v) for v in sorted(two_hop))
+    return pairs
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_graph()
+
+
+@pytest.fixture(scope="module")
+def partition(graph):
+    return build_partition(graph)
+
+
+@pytest.fixture(scope="module")
+def pairs(partition):
+    return candidate_pairs(partition)
 
 
 def test_micro_saving(benchmark, partition):
@@ -38,6 +76,24 @@ def test_micro_saving(benchmark, partition):
         for u, v in pairs:
             total += partition.saving(u, v)
         return total
+
+    benchmark(run)
+
+
+def test_micro_saving_pairs_batched(benchmark, partition, pairs):
+    """The batched kernel over a grouped candidate sweep."""
+    benchmark(lambda: partition.savings_many(pairs))
+
+
+def test_micro_saving_pairs_scalar(benchmark, partition, pairs):
+    """The same sweep through the scalar path, pair by pair.
+
+    ``tools/perf_gate.py`` divides this bench's mean by the batched
+    bench's mean to get the machine-independent kernel speedup.
+    """
+
+    def run():
+        return [partition.saving(u, v) for u, v in pairs]
 
     benchmark(run)
 

@@ -87,8 +87,13 @@ class CandidatePairs:
         """Re-key every pair touching ``dead`` onto ``survivor``.
 
         Implements "Replace u and v by w in CP" (Algorithm 3, line 8).
-        Returns the partners that were moved (their savings are stale
-        and will be refreshed in the update phase).
+        Returns the partners that were moved.  Moved pairs are seeded
+        with the dead pair's old saving purely as a placeholder — that
+        value describes a super-node that no longer exists, so callers
+        MUST overwrite it with the freshly computed saving before any
+        heap entry referencing it can be trusted (see
+        :meth:`MagsSummarizer._rekey_after_merge`, which batches the
+        recomputation through ``savings_many``).
         """
         table = self._partners.pop(dead, None)
         if table is None:
@@ -297,10 +302,18 @@ class MagsSummarizer(Summarizer):
             pair_lists = self._naive_candidates(graph, partition)
         else:
             pair_lists = self._minhash_candidates(graph)
+        # Deduplicate, then score every candidate pair in one batched
+        # kernel call (sorted so pairs sharing an endpoint group).
+        seen: set[tuple[int, int]] = set()
+        unique: list[tuple[int, int]] = []
+        for pair in pair_lists:
+            if pair not in seen:
+                seen.add(pair)
+                unique.append(pair)
+        unique.sort()
         candidates = CandidatePairs()
-        for u, v in pair_lists:
-            if candidates.saving(u, v) is None:
-                candidates.add(u, v, partition.saving(u, v))
+        for (u, v), s in zip(unique, partition.savings_many(unique)):
+            candidates.add(u, v, s)
         timer.progress(
             "candidates_generated",
             pairs=len(candidates),
@@ -390,10 +403,10 @@ class MagsSummarizer(Summarizer):
             for w in adjacency[u]:
                 two_hop |= adjacency[w]
             two_hop.discard(u)
-            scored = [
-                (partition.saving(u, v), v)
-                for v in two_hop
-            ]
+            vs = list(two_hop)
+            scored = list(
+                zip(partition.savings_many([(u, v) for v in vs]), vs)
+            )
             top = heapq.nlargest(k, scored, key=lambda sv: (sv[0], -sv[1]))
             for s, v in top:
                 if s > _EPS:
@@ -466,11 +479,7 @@ class MagsSummarizer(Summarizer):
                 if fresh >= threshold:
                     w = partition.merge(u, v)
                     dead = v if w == u else u
-                    moved = candidates.replace_node(dead, w)
-                    for partner in moved:
-                        stale = candidates.saving(w, partner)
-                        if stale is not None:
-                            heapq.heappush(heap, (-stale, w, partner))
+                    self._rekey_after_merge(partition, candidates, heap, w, dead)
                     merged_roots.add(w)
                     merged_roots.discard(dead)
                     iteration_merges.append((u, v))
@@ -505,23 +514,61 @@ class MagsSummarizer(Summarizer):
         return num_merges
 
     @staticmethod
+    def _rekey_after_merge(
+        partition: SuperNodePartition,
+        candidates: CandidatePairs,
+        heap: list[tuple[float, int, int]],
+        survivor: int,
+        dead: int,
+    ) -> list[int]:
+        """Re-key the dead root's candidate pairs and re-score them.
+
+        The savings stored under the dead root describe a super-node
+        that no longer exists, so seeding the moved pairs (or the heap)
+        with them would order the queue by phantom values — the bug
+        this method exists to prevent.  Every moved pair is re-scored
+        against the *current* partition in one ``savings_many`` batch,
+        so the heap entries pushed here match the authoritative
+        candidate table exactly.
+        """
+        moved = candidates.replace_node(dead, survivor)
+        if moved:
+            fresh_savings = partition.savings_many(
+                [(survivor, partner) for partner in moved]
+            )
+            for partner, fresh in zip(moved, fresh_savings):
+                candidates.add(survivor, partner, fresh)
+                heapq.heappush(heap, (-fresh, survivor, partner))
+        return moved
+
+    @staticmethod
     def _refresh_affected(
         partition: SuperNodePartition,
         candidates: CandidatePairs,
         heap: list[tuple[float, int, int]],
         merged_roots: set[int],
     ) -> None:
-        """Refresh savings of every candidate pair the merges touched."""
+        """Refresh savings of every candidate pair the merges touched.
+
+        All affected pairs are gathered first and re-scored in a
+        single ``savings_many`` batch (grouped by the shared endpoint),
+        then applied in the same order the scalar loop used.
+        """
         affected: set[int] = set()
         for w in merged_roots:
             affected.add(w)
             affected.update(partition.weights(w))
+        pair_list: list[tuple[int, int]] = []
         for x in affected:
-            for y in list(candidates.partners(x)):
-                fresh = partition.saving(x, y)
-                if candidates.saving(x, y) != fresh:
-                    candidates.add(x, y, fresh)
-                    heapq.heappush(heap, (-fresh, x, y))
+            pair_list.extend((x, y) for y in candidates.partners(x))
+        if not pair_list:
+            return
+        for (x, y), fresh in zip(
+            pair_list, partition.savings_many(pair_list)
+        ):
+            if candidates.saving(x, y) != fresh:
+                candidates.add(x, y, fresh)
+                heapq.heappush(heap, (-fresh, x, y))
 
     def _batch_merge_iteration(
         self,
@@ -590,13 +637,9 @@ class MagsSummarizer(Summarizer):
                     if fresh >= threshold:
                         w = partition.merge(u, v)
                         dead = v if w == u else u
-                        moved = candidates.replace_node(dead, w)
-                        for partner in moved:
-                            stale = candidates.saving(w, partner)
-                            if stale is not None:
-                                heapq.heappush(
-                                    heap, (-stale, w, partner)
-                                )
+                        self._rekey_after_merge(
+                            partition, candidates, heap, w, dead
+                        )
                         merged_roots.add(w)
                         merged_roots.discard(dead)
                         iteration_merges.append((u, v))

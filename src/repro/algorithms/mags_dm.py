@@ -44,7 +44,31 @@ from repro.core.supernodes import SuperNodePartition
 from repro.core.thresholds import omega, theta
 from repro.graph.graph import Graph
 
-__all__ = ["MagsDMSummarizer"]
+__all__ = ["MagsDMSummarizer", "agreement_matrix", "agreement_with"]
+
+
+def agreement_matrix(cols: np.ndarray) -> np.ndarray:
+    """Pairwise signature-agreement counts of a group (h, size) -> (size, size).
+
+    The dtype is promoted to ``int32`` when ``h`` exceeds the
+    ``int16`` range: counts go up to ``h``, and a user-supplied
+    ``h > 32767`` would otherwise silently overflow the agreement
+    counts (negative similarities demote perfectly similar pairs).
+    The diagonal is pinned to ``-1`` so a node never shortlists
+    itself.
+    """
+    h, size = cols.shape
+    dtype = np.int16 if h <= np.iinfo(np.int16).max else np.int32
+    matrix = np.zeros((size, size), dtype=dtype)
+    for row in cols:
+        matrix += row[:, None] == row[None, :]
+    np.fill_diagonal(matrix, -1)
+    return matrix
+
+
+def agreement_with(cols: np.ndarray, index: int, dtype) -> np.ndarray:
+    """One column's agreement counts against every group column."""
+    return (cols == cols[:, [index]]).sum(axis=0).astype(dtype)
 
 
 class MagsDMSummarizer(Summarizer):
@@ -305,10 +329,7 @@ class MagsDMSummarizer(Summarizer):
         roots = list(group)
         size = len(roots)
         cols = signatures.sig[:, roots].copy()  # (h, size)
-        matrix = np.zeros((size, size), dtype=np.int16)
-        for row in cols:
-            matrix += row[:, None] == row[None, :]
-        np.fill_diagonal(matrix, -1)  # never shortlist self
+        matrix = agreement_matrix(cols)
         alive = np.ones(size, dtype=bool)
         alive_count = size
         merges = 0
@@ -327,13 +348,17 @@ class MagsDMSummarizer(Summarizer):
             best_index = -1
             best_saving = -float("inf")
             u = roots[pick]
-            for i in shortlist:
-                i = int(i)
-                if not alive[i]:
-                    continue
-                s = partition.saving(u, roots[i])
-                if s > best_saving:
-                    best_saving, best_index = s, i
+            # Score the whole shortlist in one batched kernel call
+            # (every pair shares the pivot endpoint u); ties keep the
+            # earliest shortlist entry, same as the scalar loop did.
+            alive_shortlist = [int(i) for i in shortlist if alive[int(i)]]
+            if alive_shortlist:
+                batch = partition.savings_many(
+                    [(u, roots[i]) for i in alive_shortlist]
+                )
+                for i, s in zip(alive_shortlist, batch):
+                    if s > best_saving:
+                        best_saving, best_index = s, i
             if best_index < 0 or best_saving < threshold:
                 continue
             w = partition.merge(u, roots[best_index])
@@ -346,8 +371,7 @@ class MagsDMSummarizer(Summarizer):
             roots[best_index] = w
             np.minimum(cols[:, best_index], cols[:, pick],
                        out=cols[:, best_index])
-            agreement = (cols == cols[:, [best_index]]).sum(
-                axis=0).astype(np.int16)
+            agreement = agreement_with(cols, best_index, matrix.dtype)
             matrix[best_index, :] = agreement
             matrix[:, best_index] = agreement
             matrix[best_index, best_index] = -1

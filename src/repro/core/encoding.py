@@ -147,8 +147,21 @@ class Representation:
 def encode(partition: SuperNodePartition) -> Representation:
     """Algorithm 4: decide the optimal ``R`` from a partition.
 
-    Runs in ``O(m)``: the correction lists it writes are bounded by
-    twice the representation cost, which never exceeds ``m``.
+    For every super-node pair with at least one edge between them, the
+    cheaper of the two encodings (super-edge plus removals, or plain
+    additions) is chosen via :func:`repro.core.costs.use_superedge` —
+    exactly the per-pair minimum of Eq. 2, so the output attains the
+    partition's representation cost.
+
+    Cost bound: ``O(n + m + C)`` where ``C`` is the representation
+    cost of the partition.  Each branch below enumerates either the
+    actual edges of a pair (the addition branches, ``O(m)`` in total
+    across all pairs) or the pair's *missing* edges (the removal
+    branches) — and a removal branch is only entered when
+    ``use_superedge`` holds, i.e. when ``pi - e + 1 <= e``, so the
+    missing-edge work is bounded by the edges it replaces.  Since
+    ``C <= m`` by construction (the all-singleton encoding costs
+    exactly ``m``), the whole pass is ``O(n + m)``.
     """
     graph = partition.graph
     adjacency = graph.adjacency()
@@ -167,7 +180,6 @@ def encode(partition: SuperNodePartition) -> Representation:
             pi = costs.potential_self_edges(len(members_u))
             if costs.use_superedge(pi, intra):
                 summary_edges.add((u, u))
-                member_set = set(members_u)
                 for i, x in enumerate(members_u):
                     for y in members_u[i + 1:]:
                         if y not in adjacency[x]:

@@ -1,0 +1,115 @@
+"""Pure-Python reference implementations of the cost calculus.
+
+:class:`~repro.core.supernodes.SuperNodePartition` serves the cost
+calculus of Equations 2-4 through two code paths: cached scalar
+methods (``node_cost`` / ``merged_cost`` / ``saving``) and the batched
+NumPy kernel ``savings_many``.  Both are performance-tuned, which is
+exactly what makes them dangerous to trust on their own.
+
+This module is the *oracle* they are checked against: straightforward
+transcriptions of the paper's formulas that read only the partition's
+public accessors, keep no caches, and take no shortcuts.  They are
+deliberately slow and deliberately boring — every branch mirrors a
+line of Section 2.2/2.3 — so that ``tools/diff_fuzz.py`` and the
+kernel tests can assert *bit-identical* agreement between the fast
+paths and these functions after arbitrary merge sequences.
+
+Contract: for any partition state reachable through ``merge`` and any
+pair of live roots, each function here must return exactly the same
+value (``==``, not approximately) as its fast counterpart.  The
+results are ratios of Python integers, so bit-identity is achievable
+and enforced.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core import costs
+from repro.core.supernodes import SuperNodePartition
+
+__all__ = [
+    "node_cost",
+    "merged_cost",
+    "pair_cost",
+    "saving",
+    "savings_many",
+    "total_cost",
+]
+
+
+def pair_cost(partition: SuperNodePartition, u: int, v: int) -> int:
+    """``c_uv`` (Equation 2) for two distinct live roots."""
+    edges = partition.weights(u).get(v, 0)
+    pi = costs.potential_edges(partition.size(u), partition.size(v))
+    return costs.pair_cost(pi, edges)
+
+
+def node_cost(partition: SuperNodePartition, u: int) -> int:
+    """``c_u``: the self pair plus every incident pair cost (Eq. 2/3)."""
+    total = costs.self_cost(partition.size(u), partition.intra(u))
+    size_u = partition.size(u)
+    for x, edges in partition.weights(u).items():
+        pi = costs.potential_edges(size_u, partition.size(x))
+        total += costs.pair_cost(pi, edges)
+    return total
+
+
+def merged_cost(partition: SuperNodePartition, u: int, v: int) -> int:
+    """``c_w`` of the hypothetical merge of ``u`` and ``v``.
+
+    Builds the merged weight table as an explicit dict — the most
+    literal reading of Section 5.1's update rule — and sums Equation 2
+    over it.
+    """
+    w_u, w_v = partition.weights(u), partition.weights(v)
+    size_w = partition.size(u) + partition.size(v)
+    intra_w = partition.intra(u) + partition.intra(v) + w_u.get(v, 0)
+    combined: dict[int, int] = {}
+    for table in (w_u, w_v):
+        for x, edges in table.items():
+            if x == u or x == v:
+                continue
+            combined[x] = combined.get(x, 0) + edges
+    total = costs.pair_cost(costs.potential_self_edges(size_w), intra_w)
+    for x, edges in combined.items():
+        pi = costs.potential_edges(size_w, partition.size(x))
+        total += costs.pair_cost(pi, edges)
+    return total
+
+
+def saving(partition: SuperNodePartition, u: int, v: int) -> float:
+    """The normalized saving ``s(u, v)`` (Equation 4, exact-reduction
+    form — see :meth:`SuperNodePartition.saving` for the correction).
+    """
+    if u == v:
+        raise ValueError("saving of a super-node with itself is undefined")
+    cost_u = node_cost(partition, u)
+    cost_v = node_cost(partition, v)
+    denom = cost_u + cost_v
+    if denom == 0:
+        return 0.0
+    reduction = denom - pair_cost(partition, u, v) - merged_cost(partition, u, v)
+    return reduction / denom
+
+
+def savings_many(
+    partition: SuperNodePartition, pairs: Sequence[tuple[int, int]]
+) -> list[float]:
+    """Reference counterpart of the batched kernel: a plain loop."""
+    return [saving(partition, u, v) for u, v in pairs]
+
+
+def total_cost(partition: SuperNodePartition) -> int:
+    """Representation cost ``c(R)`` (Equation 3) from first principles."""
+    total = 0
+    seen: set[tuple[int, int]] = set()
+    for u in partition.roots():
+        total += costs.self_cost(partition.size(u), partition.intra(u))
+        for v in partition.weights(u):
+            key = (u, v) if u < v else (v, u)
+            if key in seen:
+                continue
+            seen.add(key)
+            total += pair_cost(partition, u, v)
+    return total

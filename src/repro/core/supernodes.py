@@ -16,16 +16,39 @@ Invariants maintained under :meth:`SuperNodePartition.merge`:
   stale);
 * ``intra(r)`` counts edges with both endpoints inside the super-node;
 * the total edge mass ``sum of W + 2 * sum of intra`` is constant.
+
+Two implementations of the cost calculus coexist (see
+``docs/performance.md``):
+
+* the scalar methods below (``node_cost`` / ``merged_cost`` /
+  ``saving``), which are the cached pure-Python path;
+* the batched kernel :meth:`savings_many`, which evaluates many
+  candidate savings in one pass over flat NumPy views of the weight
+  tables — the hot path of Mags, Mags-DM and Greedy.
+
+Both must agree bit-for-bit with :mod:`repro.core.reference`; all
+intermediate quantities are integers (sums of Equation 2 terms), so
+exact agreement is a hard contract enforced by ``tools/diff_fuzz.py``
+rather than a tolerance.  Setting the module flag ``FAST_KERNELS``
+to ``False`` routes ``savings_many`` through the scalar path, which
+the test suite uses to prove summaries are identical under the swap.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Sequence
+
+import numpy as np
 
 from repro.core import costs
 from repro.graph.graph import Graph
 
-__all__ = ["SuperNodePartition"]
+__all__ = ["SuperNodePartition", "FAST_KERNELS"]
+
+#: When False, :meth:`SuperNodePartition.savings_many` falls back to
+#: the scalar reference path.  Flipped by tests and ``diff_fuzz`` to
+#: demonstrate the fast and slow paths are interchangeable.
+FAST_KERNELS = True
 
 
 class SuperNodePartition:
@@ -49,6 +72,8 @@ class SuperNodePartition:
     __slots__ = (
         "graph", "_parent", "_size", "_intra", "_weights", "_roots",
         "_members", "num_merges", "_cost_cache",
+        "_size_arr", "_intra_arr", "_mark", "_pos", "_stamp",
+        "_flat_cache",
     )
 
     def __init__(self, graph: Graph):
@@ -66,6 +91,23 @@ class SuperNodePartition:
         # node_cost is the hot path of every saving computation; cache
         # it per live root and invalidate around merges.
         self._cost_cache: dict[int, int] = {}
+        # Flat int64 mirrors of _size/_intra for the batched kernel:
+        # NumPy gathers (sizes[neighbor_ids]) need array backing, while
+        # the scalar path keeps plain-list indexing (3x faster per
+        # element than NumPy scalar indexing).  merge() updates both;
+        # check_invariants() asserts they agree on live roots.
+        self._size_arr = np.ones(n, dtype=np.int64)
+        self._intra_arr = np.zeros(n, dtype=np.int64)
+        # Scratch for savings_many: a stamp-versioned membership mark
+        # and a position index over one weight table, allocated lazily.
+        self._mark: np.ndarray | None = None
+        self._pos: np.ndarray | None = None
+        self._stamp = 0
+        # Per-root flattened (keys, values) views of the weight tables
+        # for the batched kernel; invalidated only for tables whose
+        # *content* a merge changes (the absorbing root, the absorbed
+        # root, and the absorbed root's neighbors, which get re-keyed).
+        self._flat_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
     # ------------------------------------------------------------------
     # DSU primitives
@@ -215,6 +257,217 @@ class SuperNodePartition:
         return reduction / denom
 
     # ------------------------------------------------------------------
+    # Batched fast kernel
+    # ------------------------------------------------------------------
+    def savings_many(
+        self, pairs: Sequence[tuple[int, int]]
+    ) -> list[float]:
+        """Batched ``s(u, v)`` over many pairs of live roots.
+
+        The fast-path kernel behind the three hot consumers (Mags's
+        candidate generation and refresh, Mags-DM's shortlist scoring,
+        Greedy's pair scans).  Consecutive pairs sharing their first
+        endpoint are evaluated as one group: the shared endpoint's
+        weight table is flattened once, and all of the group's merged
+        costs (Equation 2 summed over the merged weight tables) are
+        computed with vectorised NumPy passes instead of per-pair
+        Python dict loops.  Callers therefore get the best throughput
+        by passing pairs grouped by first endpoint — exactly the shape
+        the consumers produce naturally.
+
+        Every intermediate is an exact int64 (no floating-point
+        accumulation), and the final ratio is divided in Python-int
+        arithmetic, so results are bit-identical to :meth:`saving`
+        and to :mod:`repro.core.reference` — the contract enforced by
+        ``tools/diff_fuzz.py``.  Results come back in input order;
+        duplicate and ``(v, u)``-ordered pairs are fine.
+
+        Raises :class:`ValueError` if any pair has ``u == v``, same as
+        :meth:`saving`.
+        """
+        if not FAST_KERNELS:
+            return [self.saving(u, v) for u, v in pairs]
+        count = len(pairs)
+        if count == 0:
+            return []
+        out: list[float] = [0.0] * count
+        start = 0
+        while start < count:
+            u = pairs[start][0]
+            end = start + 1
+            while end < count and pairs[end][0] == u:
+                end += 1
+            group = [pairs[j][1] for j in range(start, end)]
+            out[start:end] = self._savings_group(u, group)
+            start = end
+        return out
+
+    def _savings_group(self, u: int, vs: list[int]) -> list[float]:
+        """``[s(u, v) for v in vs]`` with the u-side work amortised."""
+        n = self.graph.n
+        if self._mark is None:
+            self._mark = np.zeros(n, dtype=np.int64)
+            self._pos = np.zeros(n, dtype=np.int64)
+        mark, pos = self._mark, self._pos
+        self._stamp += 1
+        stamp = self._stamp
+        sz = self._size_arr
+        intra_arr = self._intra_arr
+        cache = self._cost_cache
+        weights = self._weights
+        flat = self._flat_cache
+
+        def flatten(r: int) -> tuple[np.ndarray, np.ndarray]:
+            got = flat.get(r)
+            if got is None:
+                table = weights[r]
+                length = len(table)
+                got = flat[r] = (
+                    np.fromiter(table.keys(), dtype=np.int64, count=length),
+                    np.fromiter(table.values(), dtype=np.int64, count=length),
+                )
+            return got
+
+        w_u = self._weights[u]
+        du = len(w_u)
+        xs_u, es_u = flatten(u)
+        if du:
+            mark[xs_u] = stamp
+            pos[xs_u] = np.arange(du, dtype=np.int64)
+        su = self._size[u]
+        iu = self._intra[u]
+
+        cost_u = cache.get(u)
+        if cost_u is None:
+            if iu:
+                pi = su * (su - 1) // 2
+                cost_u = min(pi - iu + 1, iu)
+            else:
+                cost_u = 0
+            if du:
+                cost_u += int(
+                    np.minimum(su * sz[xs_u] - es_u + 1, es_u).sum()
+                )
+            cache[u] = cost_u
+
+        k = len(vs)
+        vs_arr = np.fromiter(vs, dtype=np.int64, count=k)
+        if (vs_arr == u).any():
+            raise ValueError(
+                "saving of a super-node with itself is undefined"
+            )
+        s_vs = sz[vs_arr]
+        i_vs = intra_arr[vs_arr]
+        # |E_uv| gathered from the flat u-side view: v is adjacent to u
+        # exactly when its mark carries the current stamp.
+        has_v = mark[vs_arr] == stamp if du else np.zeros(k, dtype=bool)
+        e_uv = np.zeros(k, dtype=np.int64)
+        if has_v.any():
+            e_uv[has_v] = es_u[pos[vs_arr[has_v]]]
+
+        # Flatten the v-side weight tables into one concatenated view
+        # (per-root arrays come from the persistent flat cache).
+        flats = [flatten(v) for v in vs]
+        lens = np.fromiter(
+            (arrs[0].size for arrs in flats), dtype=np.int64, count=k
+        )
+        total_len = int(lens.sum())
+        if total_len:
+            X = np.concatenate([arrs[0] for arrs in flats])
+            E = np.concatenate([arrs[1] for arrs in flats])
+        else:
+            X = np.empty(0, dtype=np.int64)
+            E = np.empty(0, dtype=np.int64)
+        starts = np.zeros(k + 1, dtype=np.int64)
+        np.cumsum(lens, out=starts[1:])
+        P = np.repeat(np.arange(k, dtype=np.int64), lens)
+
+        # Node costs of the v side (one segmented reduction); results
+        # are written through to the shared scalar cache.
+        seg = np.zeros(k, dtype=np.int64)
+        if total_len:
+            per_elem = np.minimum(s_vs[P] * sz[X] - E + 1, E)
+            nonempty = lens > 0
+            # reduceat over the starts of non-empty segments: empty
+            # segments occupy no elements, so consecutive non-empty
+            # starts delimit exactly one segment's slice.
+            seg[nonempty] = np.add.reduceat(
+                per_elem, starts[:-1][nonempty]
+            )
+        self_v = np.where(
+            i_vs > 0,
+            np.minimum(s_vs * (s_vs - 1) // 2 - i_vs + 1, i_vs),
+            0,
+        )
+        cost_vs_arr = seg + self_v
+        cost_vs = cost_vs_arr.tolist()
+        for j, v in enumerate(vs):
+            if v not in cache:
+                cache[v] = cost_vs[j]
+
+        # Merged costs c_w, vectorised over the group:
+        #   u-side: a (k, du) matrix of combined edge counts, where
+        #   v-neighbors also present in W_u scatter-add into their
+        #   column; the column of x == v is subtracted back out.
+        #   v-side tail: neighbors not in W_u (and != u), accumulated
+        #   per pair with an exact int64 scatter-add.
+        size_w = su + s_vs
+        if du:
+            comb = np.broadcast_to(es_u, (k, du)).copy()
+            dup = mark[X] == stamp
+            if dup.any():
+                comb[P[dup], pos[X[dup]]] += E[dup]
+            pi_m = size_w[:, None] * sz[xs_u][None, :]
+            cost_m = np.minimum(pi_m - comb + 1, comb)
+            merged = cost_m.sum(axis=1)
+            if has_v.any():
+                rows = np.flatnonzero(has_v)
+                merged[rows] -= cost_m[rows, pos[vs_arr[rows]]]
+        else:
+            merged = np.zeros(k, dtype=np.int64)
+            dup = np.zeros(total_len, dtype=bool)
+        if total_len:
+            tail = ~dup & (X != u)
+            if tail.any():
+                tail_cost = np.minimum(
+                    size_w[P[tail]] * sz[X[tail]] - E[tail] + 1, E[tail]
+                )
+                np.add.at(merged, P[tail], tail_cost)
+        intra_w = iu + i_vs + e_uv
+        merged += np.where(
+            intra_w > 0,
+            np.minimum(size_w * (size_w - 1) // 2 - intra_w + 1, intra_w),
+            0,
+        )
+        pc = np.where(
+            e_uv > 0, np.minimum(su * s_vs - e_uv + 1, e_uv), 0
+        )
+
+        # Final ratio.  int64 -> float64 conversion is exact below
+        # 2**53 and IEEE division is correctly rounded, so the
+        # vectorised division is bit-identical to Python-int division
+        # there; costs are bounded by ~2m, so the scalar fallback only
+        # ever triggers on astronomically dense inputs.
+        denom_arr = cost_u + cost_vs_arr
+        numer_arr = denom_arr - pc - merged
+        if int(denom_arr.max(initial=0)) < 2 ** 53 and (
+            int(np.abs(numer_arr).max(initial=0)) < 2 ** 53
+        ):
+            with np.errstate(divide="ignore", invalid="ignore"):
+                ratio = numer_arr / denom_arr
+            return np.where(denom_arr == 0, 0.0, ratio).tolist()
+        merged_l = merged.tolist()
+        pc_l = pc.tolist()
+        results: list[float] = []
+        for j in range(k):
+            denom = cost_u + cost_vs[j]
+            if denom == 0:
+                results.append(0.0)
+            else:
+                results.append((denom - pc_l[j] - merged_l[j]) / denom)
+        return results
+
+    # ------------------------------------------------------------------
     # Merging
     # ------------------------------------------------------------------
     def merge(self, u: int, v: int) -> int:
@@ -246,10 +499,21 @@ class SuperNodePartition:
             cache_pop(x, None)
         for x in w_v:
             cache_pop(x, None)
+        # The flat views only mirror table *content*, so a narrower
+        # invalidation suffices: u's table absorbs, v's is cleared, and
+        # v's neighbors get re-keyed.  Neighbors only of u keep their
+        # tables byte-identical (u stays their key) and stay cached.
+        flat_pop = self._flat_cache.pop
+        flat_pop(u, None)
+        flat_pop(v, None)
+        for x in w_v:
+            flat_pop(x, None)
         self._size[u] += self._size[v]
+        self._size_arr[u] = self._size[u]
         self._members[u].extend(self._members[v])
         self._members[v] = []
         self._intra[u] += self._intra[v] + w_u.pop(v, 0)
+        self._intra_arr[u] = self._intra[u]
         w_v.pop(u, None)
 
         for x, edges in w_v.items():
@@ -296,6 +560,11 @@ class SuperNodePartition:
         total_size = sum(self._size[r] for r in self._roots)
         if total_size != self.graph.n:
             raise AssertionError("sizes do not sum to n")
+        for r in self._roots:
+            if int(self._size_arr[r]) != self._size[r]:
+                raise AssertionError(f"size mirror out of sync at {r}")
+            if int(self._intra_arr[r]) != self._intra[r]:
+                raise AssertionError(f"intra mirror out of sync at {r}")
         for r in self._roots:
             for x, edges in self._weights[r].items():
                 if x not in self._roots:

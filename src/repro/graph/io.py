@@ -18,6 +18,7 @@ from repro.graph.graph import Graph
 __all__ = [
     "clean_edges",
     "read_edge_list",
+    "read_declared_node_count",
     "write_edge_list",
     "load_graph",
     "save_graph",
@@ -31,9 +32,12 @@ def clean_edges(
 
     Removes self-loops, collapses both edge directions and duplicate
     occurrences into a single undirected edge, and relabels nodes to a
-    dense ``0..n-1`` range in increasing original-id order — so a graph
-    that is already densely labeled keeps its labels (the roundtrip
-    through :func:`save_graph` / :func:`load_graph` is the identity).
+    dense ``0..n-1`` range in increasing original-id order.  Note that
+    ``n`` is inferred from the ids that appear in edges, so isolated
+    nodes are invisible here — the ``# n=<count>`` header written by
+    :func:`save_graph` exists precisely so the
+    :func:`save_graph` / :func:`load_graph` roundtrip stays the
+    identity for graphs with isolated nodes.
 
     Returns
     -------
@@ -73,8 +77,11 @@ def read_edge_list(path: str | Path) -> Iterator[tuple[int, int]]:
     """Yield raw integer edges from a whitespace-separated file.
 
     Lines starting with ``#`` or ``%`` (SNAP / NetworkRepository
-    comment styles) and blank lines are skipped.  Extra columns beyond
-    the first two (e.g. timestamps or weights) are ignored.
+    comment styles) and blank lines are skipped — including the
+    optional ``# n=<count>`` header written by :func:`write_edge_list`
+    (use :func:`read_declared_node_count` to recover it).  Extra
+    columns beyond the first two (e.g. timestamps or weights) are
+    ignored.
     """
     path = Path(path)
     with _open_text(path, "r") as handle:
@@ -88,20 +95,83 @@ def read_edge_list(path: str | Path) -> Iterator[tuple[int, int]]:
             yield int(parts[0]), int(parts[1])
 
 
-def write_edge_list(path: str | Path, edges: Iterable[tuple[int, int]]) -> None:
-    """Write edges as ``u v`` lines (gzip if the path ends in .gz)."""
+def read_declared_node_count(path: str | Path) -> int | None:
+    """The ``# n=<count>`` header value, or ``None`` if absent.
+
+    Only the leading run of comment/blank lines is scanned, so edge
+    data is never touched; a malformed count raises ``ValueError``.
+    """
+    path = Path(path)
+    with _open_text(path, "r") as handle:
+        for line in handle:
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if stripped[0] not in "#%":
+                return None
+            body = stripped.lstrip("#%").strip()
+            if body.startswith("n="):
+                count = int(body[2:].strip())
+                if count < 0:
+                    raise ValueError(f"negative node count header: {count}")
+                return count
+    return None
+
+
+def write_edge_list(
+    path: str | Path,
+    edges: Iterable[tuple[int, int]],
+    *,
+    n: int | None = None,
+) -> None:
+    """Write edges as ``u v`` lines (gzip if the path ends in .gz).
+
+    With ``n``, an optional ``# n=<count>`` header is written first so
+    readers can recover the exact node count — edge lines alone cannot
+    represent isolated nodes.  Plain SNAP-style consumers skip the
+    header as an ordinary comment.
+    """
     path = Path(path)
     with _open_text(path, "w") as handle:
+        if n is not None:
+            handle.write(f"# n={n}\n")
         for u, v in edges:
             handle.write(f"{u} {v}\n")
 
 
 def load_graph(path: str | Path) -> Graph:
-    """Read, clean, and build a :class:`Graph` from an edge-list file."""
-    n, edges = clean_edges(read_edge_list(path))
-    return Graph(n, edges)
+    """Read, clean, and build a :class:`Graph` from an edge-list file.
+
+    Files carrying the ``# n=<count>`` header (everything written by
+    :func:`save_graph`) are treated as already densely labeled: edges
+    are deduplicated and self-loops dropped, but ids are *not*
+    relabeled, and the declared count preserves isolated nodes — so
+    ``load_graph(save_graph(g)) == g`` exactly.  An edge id at or
+    beyond the declared count raises :class:`~repro.graph.graph.GraphError`.
+    Headerless files fall back to the paper's Section 6.1
+    normalisation via :func:`clean_edges`, as before.
+    """
+    declared = read_declared_node_count(path)
+    if declared is None:
+        n, edges = clean_edges(read_edge_list(path))
+        return Graph(n, edges)
+    seen: set[tuple[int, int]] = set()
+    edges = []
+    for a, b in read_edge_list(path):
+        if a == b:
+            continue
+        key = (a, b) if a < b else (b, a)
+        if key not in seen:
+            seen.add(key)
+            edges.append(key)
+    return Graph(declared, edges)
 
 
 def save_graph(path: str | Path, graph: Graph) -> None:
-    """Persist a graph as a sorted, deterministic edge list."""
-    write_edge_list(path, sorted(graph.edges()))
+    """Persist a graph as a sorted, deterministic edge list.
+
+    Writes the ``# n=<count>`` header so the roundtrip through
+    :func:`load_graph` is the identity even when the graph has
+    isolated nodes (which edge lines cannot express).
+    """
+    write_edge_list(path, sorted(graph.edges()), n=graph.n)

@@ -1,11 +1,14 @@
 """Tests for edge-list I/O and cleaning (Section 6.1 normalisation)."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.graph.graph import Graph
+from repro.graph.graph import Graph, GraphError
 from repro.graph.io import (
     clean_edges,
     load_graph,
+    read_declared_node_count,
     read_edge_list,
     save_graph,
     write_edge_list,
@@ -100,9 +103,103 @@ class TestFileRoundtrip:
         save_graph(p2, community_graph)
         assert p1.read_text() == p2.read_text()
 
-    def test_isolated_nodes_are_dropped_on_roundtrip(self, tmp_path):
-        # Edge-list files cannot represent isolated nodes; document it.
+    def test_isolated_nodes_survive_roundtrip(self, tmp_path):
+        # Edge lines alone cannot represent isolated nodes; the
+        # `# n=<count>` header save_graph writes fixes that.
         g = Graph(4, [(0, 1)])
         path = tmp_path / "iso.txt"
         save_graph(path, g)
-        assert load_graph(path).n == 2
+        assert load_graph(path) == g
+
+    def test_labels_stay_stable_with_header(self, tmp_path):
+        # Without the header, clean_edges would relabel 2 -> 0, 3 -> 1.
+        g = Graph(5, [(2, 3)])
+        path = tmp_path / "stable.txt"
+        save_graph(path, g)
+        loaded = load_graph(path)
+        assert loaded.n == 5
+        assert sorted(loaded.edges()) == [(2, 3)]
+
+
+class TestNodeCountHeader:
+    def test_header_written_and_read(self, tmp_path):
+        path = tmp_path / "hdr.txt"
+        write_edge_list(path, [(0, 1)], n=7)
+        assert path.read_text().startswith("# n=7\n")
+        assert read_declared_node_count(path) == 7
+
+    def test_header_absent(self, tmp_path):
+        path = tmp_path / "plain.txt"
+        write_edge_list(path, [(0, 1)])
+        assert read_declared_node_count(path) is None
+
+    def test_header_after_other_comments(self, tmp_path):
+        path = tmp_path / "mixed.txt"
+        path.write_text("# SNAP-ish preamble\n\n# n=3\n0 1\n")
+        assert read_declared_node_count(path) == 3
+
+    def test_header_not_read_past_edge_data(self, tmp_path):
+        path = tmp_path / "late.txt"
+        path.write_text("0 1\n# n=9\n")
+        assert read_declared_node_count(path) is None
+
+    def test_negative_count_rejected(self, tmp_path):
+        path = tmp_path / "neg.txt"
+        path.write_text("# n=-1\n0 1\n")
+        with pytest.raises(ValueError, match="negative"):
+            read_declared_node_count(path)
+
+    def test_header_skipped_by_read_edge_list(self, tmp_path):
+        path = tmp_path / "skip.txt"
+        write_edge_list(path, [(0, 1), (1, 2)], n=3)
+        assert list(read_edge_list(path)) == [(0, 1), (1, 2)]
+
+    def test_load_graph_dedupes_but_keeps_labels(self, tmp_path):
+        path = tmp_path / "dups.txt"
+        path.write_text("# n=6\n4 2\n2 4\n3 3\n")
+        g = load_graph(path)
+        assert g.n == 6
+        assert sorted(g.edges()) == [(2, 4)]
+
+    def test_out_of_range_edge_rejected(self, tmp_path):
+        path = tmp_path / "oob.txt"
+        path.write_text("# n=2\n0 5\n")
+        with pytest.raises(GraphError):
+            load_graph(path)
+
+    def test_fully_isolated_graph_roundtrip(self, tmp_path):
+        g = Graph(3, [])
+        path = tmp_path / "edgeless.txt"
+        save_graph(path, g)
+        assert load_graph(path) == g
+
+    def test_gzip_header_roundtrip(self, tmp_path):
+        g = Graph(6, [(0, 5)])
+        path = tmp_path / "iso.txt.gz"
+        save_graph(path, g)
+        assert load_graph(path) == g
+
+
+@st.composite
+def graphs(draw):
+    """Arbitrary small graphs, biased toward having isolated nodes."""
+    n = draw(st.integers(min_value=0, max_value=12))
+    if n < 2:
+        return Graph(n, [])
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), unique=True, max_size=20))
+    return Graph(n, edges)
+
+
+class TestRoundtripProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(graph=graphs(), gz=st.booleans())
+    def test_save_load_is_identity(self, graph, gz, tmp_path_factory):
+        path = tmp_path_factory.mktemp("rt") / (
+            "g.txt.gz" if gz else "g.txt"
+        )
+        save_graph(path, graph)
+        loaded = load_graph(path)
+        assert loaded == graph
+        assert loaded.n == graph.n
+        assert sorted(loaded.edges()) == sorted(graph.edges())

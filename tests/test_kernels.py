@@ -1,0 +1,188 @@
+"""Tests of the batched cost kernels and the differential harness.
+
+The contract under test (see ``docs/performance.md``): every fast
+path in :class:`SuperNodePartition` — the cached scalar methods and
+the batched NumPy kernel ``savings_many`` — returns values that are
+``==`` (bit-identical, not approximately equal) to the pure-Python
+oracle in :mod:`repro.core.reference`, for any reachable partition
+state; and swapping the kernel in or out via ``FAST_KERNELS`` never
+changes a summarizer's output.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.algorithms.greedy import GreedySummarizer
+from repro.algorithms.mags import MagsSummarizer
+from repro.algorithms.mags_dm import MagsDMSummarizer
+from repro.core import reference, supernodes
+from repro.core.supernodes import SuperNodePartition
+from repro.graph.generators import (
+    caveman,
+    erdos_renyi,
+    planted_partition,
+)
+
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
+sys.path.insert(0, str(TOOLS))
+import diff_fuzz  # noqa: E402
+
+
+@pytest.fixture
+def merged_partition():
+    graph = planted_partition(48, 6, 0.7, 0.05, seed=3)
+    partition = SuperNodePartition(graph)
+    for u in range(0, 16, 2):
+        partition.merge(partition.find(u), partition.find(u + 1))
+    return partition
+
+
+@pytest.fixture
+def scalar_only():
+    """Force the scalar fallback for the duration of a test."""
+    supernodes.FAST_KERNELS = False
+    try:
+        yield
+    finally:
+        supernodes.FAST_KERNELS = True
+
+
+def _candidate_pairs(partition):
+    """All 2-hop pairs, grouped by first endpoint."""
+    pairs = []
+    for u in sorted(partition.roots()):
+        two_hop = set()
+        for x in partition.weights(u):
+            two_hop.update(partition.weights(x))
+        two_hop.discard(u)
+        pairs.extend((u, v) for v in sorted(two_hop))
+    return pairs
+
+
+class TestSavingsMany:
+    def test_empty(self, merged_partition):
+        assert merged_partition.savings_many([]) == []
+
+    def test_order_preserved(self, merged_partition):
+        pairs = _candidate_pairs(merged_partition)[:20]
+        pairs = pairs[::-1]  # deliberately not grouped/sorted
+        batch = merged_partition.savings_many(pairs)
+        assert batch == [
+            merged_partition.saving(u, v) for u, v in pairs
+        ]
+
+    def test_matches_scalar_everywhere(self, merged_partition):
+        pairs = _candidate_pairs(merged_partition)
+        batch = merged_partition.savings_many(pairs)
+        scalar = [merged_partition.saving(u, v) for u, v in pairs]
+        assert batch == scalar
+
+    def test_matches_reference_bit_identical(self, merged_partition):
+        pairs = _candidate_pairs(merged_partition)
+        batch = merged_partition.savings_many(pairs)
+        oracle = reference.savings_many(merged_partition, pairs)
+        assert batch == oracle  # ==, never pytest.approx
+
+    def test_disconnected_pair(self, merged_partition):
+        roots = sorted(merged_partition.roots())
+        u = roots[0]
+        far = [v for v in roots if v not in merged_partition.weights(u)]
+        far = [
+            v
+            for v in far
+            if not any(
+                v in merged_partition.weights(x)
+                for x in merged_partition.weights(u)
+            )
+        ][:3]
+        if not far:
+            pytest.skip("graph too dense for a disconnected pair")
+        pairs = [(u, v) for v in far]
+        assert merged_partition.savings_many(pairs) == [
+            reference.saving(merged_partition, u, v) for v in far
+        ]
+
+    def test_self_pair_rejected(self, merged_partition):
+        u = next(iter(merged_partition.roots()))
+        with pytest.raises(ValueError):
+            merged_partition.savings_many([(u, u)])
+
+    def test_scalar_fallback_path(self, merged_partition, scalar_only):
+        pairs = _candidate_pairs(merged_partition)[:16]
+        assert merged_partition.savings_many(
+            pairs
+        ) == reference.savings_many(merged_partition, pairs)
+
+    def test_repeated_pairs_and_mixed_groups(self, merged_partition):
+        pairs = _candidate_pairs(merged_partition)[:6]
+        weird = pairs + pairs[::-1] + [pairs[0]] * 3
+        assert merged_partition.savings_many(
+            weird
+        ) == reference.savings_many(merged_partition, weird)
+
+
+class TestDifferentialAfterMerges:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            erdos_renyi(40, 0.12, seed=11),
+            caveman(5, 6, seed=1),
+            planted_partition(42, 7, 0.7, 0.03, seed=9),
+        ],
+        ids=["erdos_renyi", "caveman", "planted"],
+    )
+    def test_total_cost_and_savings_track_reference(self, graph):
+        partition = SuperNodePartition(graph)
+        for step in range(10):
+            pairs = _candidate_pairs(partition)
+            if not pairs:
+                break
+            assert partition.savings_many(
+                pairs
+            ) == reference.savings_many(partition, pairs)
+            u, v = pairs[step % len(pairs)]
+            partition.merge(u, v)
+            partition.check_invariants()
+            assert partition.total_cost() == reference.total_cost(
+                partition
+            )
+
+
+class TestKernelSwapBitIdentity:
+    """Summaries must be identical with the kernel on or off."""
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: MagsSummarizer(iterations=8),
+            lambda: MagsSummarizer(iterations=8, candidate_method="naive"),
+            lambda: GreedySummarizer(),
+            lambda: MagsDMSummarizer(iterations=8),
+        ],
+        ids=["mags_minhash", "mags_naive", "greedy", "mags_dm"],
+    )
+    def test_summary_identical_across_kernel_swap(self, make):
+        graph = planted_partition(60, 6, 0.65, 0.04, seed=13)
+        fast = make().summarize(graph).representation
+        supernodes.FAST_KERNELS = False
+        try:
+            slow = make().summarize(graph).representation
+        finally:
+            supernodes.FAST_KERNELS = True
+        assert fast.supernodes == slow.supernodes
+        assert fast.summary_edges == slow.summary_edges
+        assert fast.additions == slow.additions
+        assert fast.removals == slow.removals
+
+
+class TestDiffFuzzSmoke:
+    def test_a_few_seeds_pass(self):
+        comparisons = diff_fuzz.run(3)
+        assert comparisons > 0
+
+    def test_cli_reports_clean_run(self, capsys):
+        assert diff_fuzz.main(["--seeds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "0 mismatches" in out

@@ -4,6 +4,7 @@ import pytest
 
 from repro.algorithms.greedy import GreedySummarizer
 from repro.algorithms.mags import CandidatePairs, MagsSummarizer
+from repro.core.supernodes import SuperNodePartition
 from repro.core.verify import verify_lossless
 from repro.graph.generators import caveman, planted_partition
 from repro.graph.graph import Graph
@@ -202,3 +203,83 @@ class TestBatchParallelMerge:
             for i in range(4)
         )
         assert merged == 4
+
+
+class TestRekeyAfterMerge:
+    """Regression tests for the stale-saving re-key bug.
+
+    ``CandidatePairs.replace_node`` seeds moved pairs with the dead
+    root's old saving — a value describing a super-node that no longer
+    exists.  ``_rekey_after_merge`` must overwrite it (table *and*
+    heap) with the saving of the actual surviving super-node.
+    """
+
+    @staticmethod
+    def _partition_and_candidates():
+        # Two dense communities sharing a bridge: merging inside one
+        # community changes the savings of pairs that straddle it.
+        g = planted_partition(24, 3, 0.9, 0.1, seed=21)
+        partition = SuperNodePartition(g)
+        candidates = CandidatePairs()
+        for u in sorted(partition.roots()):
+            for v in sorted(partition.weights(u)):
+                if u < v:
+                    candidates.add(u, v, partition.saving(u, v))
+        return partition, candidates
+
+    def test_heap_entries_match_authoritative_savings(self):
+        partition, candidates = self._partition_and_candidates()
+        heap: list[tuple[float, int, int]] = []
+        u, v = next(
+            (u, v) for (u, v) in candidates.pairs()
+            if len(candidates.partners(u)) > 1
+            and len(candidates.partners(v)) > 1
+        )
+        survivor = partition.merge(u, v)
+        dead = v if survivor == u else u
+        moved = MagsSummarizer._rekey_after_merge(
+            partition, candidates, heap, survivor, dead
+        )
+        assert moved  # the merge must actually have re-keyed pairs
+        for neg_s, a, b in heap:
+            assert a == survivor
+            assert candidates.saving(a, b) == -neg_s
+            assert partition.saving(a, b) == -neg_s
+
+    def test_stale_placeholder_is_overwritten(self):
+        partition, candidates = self._partition_and_candidates()
+        heap: list[tuple[float, int, int]] = []
+        # Find a merge after which some moved pair's fresh saving
+        # differs from the placeholder replace_node would seed — the
+        # configuration in which the old code corrupted the heap order.
+        for u, v in candidates.pairs():
+            partners = set(candidates.partners(u)) | set(
+                candidates.partners(v)
+            )
+            partners -= {u, v}
+            if not partners:
+                continue
+            stale = {
+                p: candidates.saving(u, p)
+                if candidates.saving(u, p) is not None
+                else candidates.saving(v, p)
+                for p in partners
+            }
+            survivor = partition.merge(u, v)
+            dead = v if survivor == u else u
+            MagsSummarizer._rekey_after_merge(
+                partition, candidates, heap, survivor, dead
+            )
+            changed = [
+                p
+                for p in partners
+                if p in candidates.partners(survivor)
+                and candidates.saving(survivor, p) != stale[p]
+            ]
+            assert changed, "merge did not change any saving; bad fixture"
+            for p in changed:
+                assert candidates.saving(survivor, p) == partition.saving(
+                    survivor, p
+                )
+            return
+        pytest.fail("no mergeable pair with outside partners found")

@@ -4,8 +4,14 @@ import random
 
 import pytest
 
+import numpy as np
+
 from repro.algorithms._dm_common import divide_recursive, shuffled_rows
-from repro.algorithms.mags_dm import MagsDMSummarizer
+from repro.algorithms.mags_dm import (
+    MagsDMSummarizer,
+    agreement_matrix,
+    agreement_with,
+)
 from repro.algorithms.sweg import SWeGSummarizer
 from repro.core.minhash import MinHashSignatures
 from repro.core.verify import verify_lossless
@@ -178,4 +184,60 @@ class TestEdgeCases:
     def test_single_edge(self):
         g = Graph(2, [(0, 1)])
         result = MagsDMSummarizer(iterations=3).summarize(g)
+        verify_lossless(g, result.representation)
+
+
+class TestAgreementMatrixDtype:
+    """Boundary tests for the int16 -> int32 promotion at h > 32767.
+
+    Agreement counts go up to ``h``; with int16 accumulation an
+    ``h = 32768`` group of identical columns would wrap to -32768 and
+    demote perfectly similar pairs below every dissimilar one.
+    """
+
+    @staticmethod
+    def _identical_cols(h, size=3):
+        # All columns equal: every off-diagonal count must equal h.
+        return np.tile(np.arange(h, dtype=np.uint64)[:, None], (1, size))
+
+    def test_int16_at_boundary(self):
+        h = np.iinfo(np.int16).max  # 32767: largest safe h for int16
+        matrix = agreement_matrix(self._identical_cols(h))
+        assert matrix.dtype == np.int16
+        assert matrix[0, 1] == h
+        assert (np.diagonal(matrix) == -1).all()
+
+    def test_int32_above_boundary(self):
+        h = np.iinfo(np.int16).max + 1  # 32768 would wrap in int16
+        matrix = agreement_matrix(self._identical_cols(h))
+        assert matrix.dtype == np.int32
+        assert matrix[0, 1] == h  # not -32768
+        assert (np.diagonal(matrix) == -1).all()
+
+    def test_counts_correct_for_mixed_columns(self):
+        h = 6
+        cols = np.zeros((h, 3), dtype=np.uint64)
+        cols[:, 1] = np.arange(h)  # agrees with col 0 only in row 0
+        cols[:, 2] = 7  # agrees with nothing
+        matrix = agreement_matrix(cols)
+        assert matrix[0, 1] == matrix[1, 0] == 1
+        assert matrix[0, 2] == matrix[2, 0] == 0
+        assert matrix[1, 2] == matrix[2, 1] == 0
+
+    def test_agreement_with_matches_matrix_column(self):
+        rng = np.random.default_rng(5)
+        cols = rng.integers(0, 4, size=(9, 6)).astype(np.uint64)
+        matrix = agreement_matrix(cols)
+        for index in range(cols.shape[1]):
+            column = agreement_with(cols, index, matrix.dtype)
+            assert column.dtype == matrix.dtype
+            expected = matrix[:, index].copy()
+            expected[index] = cols.shape[0]  # matrix pins diagonal to -1
+            assert (column == expected).all()
+
+    def test_large_h_summarize_smoke(self):
+        # End to end with h just over the boundary on a tiny graph:
+        # slow-ish (32768-row signatures) but well under a second.
+        g = planted_partition(12, 3, 0.9, 0.05, seed=2)
+        result = MagsDMSummarizer(iterations=2, h=32768).summarize(g)
         verify_lossless(g, result.representation)

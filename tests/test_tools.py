@@ -63,3 +63,87 @@ class TestAggregates:
         )
         table = tool.cell(rows, "rel")
         assert table[("CA", "Greedy")] == pytest.approx(0.69)
+
+
+import perf_gate  # noqa: E402
+
+
+class TestPerfGateEvaluate:
+    """The gate's pure comparison logic, on synthetic measurements."""
+
+    @staticmethod
+    def _baseline(cal=0.1):
+        return {
+            "calibration_s": cal,
+            "benchmarks": {
+                "test_micro_encode": {"time_s": 0.010},
+                perf_gate.SCALAR_BENCH: {"time_s": 0.020},
+                perf_gate.BATCHED_BENCH: {"time_s": 0.008},
+            },
+        }
+
+    def _means(self, scale=1.0):
+        return {
+            "test_micro_encode": 0.010 * scale,
+            perf_gate.SCALAR_BENCH: 0.020 * scale,
+            perf_gate.BATCHED_BENCH: 0.008 * scale,
+        }
+
+    def test_identical_run_passes(self):
+        failures, _ = perf_gate.evaluate(
+            self._means(), 0.1, self._baseline()
+        )
+        assert failures == []
+
+    def test_regression_beyond_threshold_fails(self):
+        means = self._means()
+        means["test_micro_encode"] *= 1.4
+        failures, lines = perf_gate.evaluate(
+            means, 0.1, self._baseline(), threshold=0.25
+        )
+        assert any("test_micro_encode" in f for f in failures)
+        assert any("REGRESSION" in line for line in lines)
+
+    def test_calibration_normalizes_across_machines(self):
+        # Twice-slower machine: every mean doubles, but so does the
+        # calibration time -> no regression.
+        failures, _ = perf_gate.evaluate(
+            self._means(scale=2.0), 0.2, self._baseline(cal=0.1)
+        )
+        assert failures == []
+
+    def test_speedup_floor_enforced(self):
+        means = self._means()
+        means[perf_gate.BATCHED_BENCH] = means[perf_gate.SCALAR_BENCH]
+        failures, _ = perf_gate.evaluate(
+            means, 0.1, self._baseline(), min_speedup=1.5
+        )
+        assert any("speedup" in f for f in failures)
+
+    def test_new_and_missing_benches_do_not_fail(self):
+        means = self._means()
+        means["test_micro_brand_new"] = 0.5
+        del means["test_micro_encode"]
+        failures, lines = perf_gate.evaluate(
+            means, 0.1, self._baseline()
+        )
+        assert failures == []
+        assert any("(new bench)" in line for line in lines)
+        assert any("(baseline only)" in line for line in lines)
+
+    def test_missing_speedup_benches_fail(self):
+        failures, _ = perf_gate.evaluate(
+            {"test_micro_encode": 0.010}, 0.1, self._baseline()
+        )
+        assert any("speedup benches missing" in f for f in failures)
+
+    def test_committed_baseline_parses(self):
+        if not perf_gate.DEFAULT_BASELINE.exists():
+            pytest.skip("baseline not generated yet")
+        import json
+
+        with open(perf_gate.DEFAULT_BASELINE) as handle:
+            baseline = json.load(handle)
+        assert baseline["calibration_s"] > 0
+        assert perf_gate.BATCHED_BENCH in baseline["benchmarks"]
+        assert perf_gate.SCALAR_BENCH in baseline["benchmarks"]
