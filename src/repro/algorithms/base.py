@@ -110,6 +110,14 @@ class SummaryResult:
     #: Algorithm-specific metrics, e.g. Slugger's hierarchical cost
     #: (|P+| + |P-| + |H|) which uses its own compactness measure.
     extra_metrics: dict[str, float] = field(default_factory=dict)
+    #: ``True`` when a resource budget stopped (or trimmed) the run
+    #: early; the representation is still a valid lossless summary,
+    #: just less compact than an unconstrained run's.
+    truncated: bool = False
+    #: Why the run was truncated (``"time_budget"``,
+    #: ``"memory_budget"``, ``"merge_cap"``, ``"candidate_cap"``);
+    #: ``None`` when not truncated.
+    truncated_reason: str | None = None
 
     @property
     def relative_size(self) -> float:
@@ -123,11 +131,14 @@ class SummaryResult:
 
     def summary_line(self) -> str:
         """One-line human-readable summary for harness output."""
-        return (
+        line = (
             f"{self.algorithm}: relative_size={self.relative_size:.4f} "
             f"cost={self.cost} supernodes={self.representation.num_supernodes} "
             f"merges={self.num_merges} time={self.runtime_seconds:.3f}s"
         )
+        if self.truncated:
+            line += f" truncated={self.truncated_reason}"
+        return line
 
 
 class PhaseTimer:
@@ -140,7 +151,7 @@ class PhaseTimer:
     iteration-level events onto the open phase span.
     """
 
-    def __init__(self, time_limit: float | None = None, tracer=None):
+    def __init__(self, time_limit: float | None = None, tracer=None, budget=None):
         self.phases: dict[str, float] = {}
         self._start = time.perf_counter()
         self._time_limit = time_limit
@@ -148,6 +159,11 @@ class PhaseTimer:
         self._phase_name: str | None = None
         self._tracer = tracer
         self._span = None
+        self._budget = budget
+        #: Why the soft budget stopped the run (``None`` while inside
+        #: budget).  Algorithms poll :attr:`out_of_budget` at safe
+        #: boundaries and break cleanly instead of raising.
+        self.budget_stop: str | None = None
 
     def start(self, name: str) -> None:
         """Begin timing phase ``name`` (ends any running phase)."""
@@ -185,11 +201,67 @@ class PhaseTimer:
         return time.perf_counter() - self._start
 
     def check_budget(self) -> None:
-        """Raise :class:`TimeLimitExceeded` when over the time limit."""
+        """Raise :class:`TimeLimitExceeded` when over the time limit.
+
+        Also polls the soft :class:`~repro.resilience.guard`-style
+        resource budget, latching :attr:`budget_stop` when exhausted;
+        unlike the hard limit this never raises — the algorithm keeps
+        running until it reaches a boundary where stopping leaves a
+        valid partition, then checks :attr:`out_of_budget`.
+        """
         if self._time_limit is not None and self.total > self._time_limit:
             raise TimeLimitExceeded(
                 f"exceeded time limit of {self._time_limit:.1f}s"
             )
+        if self._budget is not None and self.budget_stop is None:
+            self.budget_stop = self._budget.exhausted()
+
+    @property
+    def out_of_budget(self) -> bool:
+        """``True`` once the soft resource budget is exhausted.
+
+        Re-polls the budget so phase-boundary checks catch exhaustion
+        even when no :meth:`check_budget` call happened in between.
+        """
+        if self.budget_stop is None and self._budget is not None:
+            self.budget_stop = self._budget.exhausted()
+        return self.budget_stop is not None
+
+    def note_merges(self, k: int = 1) -> None:
+        """Count ``k`` committed merges against the budget (no-op
+        without one)."""
+        if self._budget is not None:
+            self._budget.note_merges(k)
+
+    def clamp_candidates(self, pairs: list) -> list:
+        """Trim a candidate list to the budget's cap (identity without
+        one).  A trim is recorded as a ``candidate_cap`` trip on the
+        budget, flagging the result truncated without stopping the run.
+        """
+        if self._budget is None:
+            return pairs
+        return self._budget.clamp_candidates(pairs)
+
+    @property
+    def candidate_cap(self) -> int | None:
+        """The budget's candidate-pair cap, or ``None``.
+
+        Exposed so algorithms whose candidate structures are not plain
+        lists (e.g. Greedy's savings dict) can skip the trim work
+        entirely when no cap is in force.
+        """
+        if self._budget is None:
+            return None
+        return getattr(self._budget, "max_candidates", None)
+
+    @property
+    def truncated_reason(self) -> str | None:
+        """The first budget trip of the run (stop or trim), if any."""
+        if self.budget_stop is not None:
+            return self.budget_stop
+        if self._budget is not None and self._budget.trips:
+            return self._budget.trips[0]
+        return None
 
 
 class Summarizer(ABC):
@@ -219,6 +291,7 @@ class Summarizer(ABC):
         self._ckpt_store = None
         self._ckpt_interval = 1
         self._ckpt_resume = False
+        self._budget = None
 
     @abstractmethod
     def _run(
@@ -264,6 +337,23 @@ class Summarizer(ABC):
             return None
         return self._ckpt_store.latest()
 
+    # -- resource budget --------------------------------------------------
+    def configure_budget(self, budget) -> "Summarizer":
+        """Attach a resource budget, making the run *anytime*.
+
+        ``budget`` is duck-typed (``start()`` / ``stop()`` /
+        ``exhausted()`` / ``note_merges(k)`` / ``clamp_candidates(p)``
+        / ``trips``, the :class:`repro.resilience.guard.ResourceBudget`
+        interface) so the algorithm layer never imports
+        :mod:`repro.resilience` — same pattern as
+        :meth:`configure_checkpointing`.  On exhaustion the run stops
+        cleanly at the next safe boundary and the result is flagged
+        ``truncated=True``; the summary is still lossless.  Pass
+        ``None`` to detach.  Returns ``self`` for chaining.
+        """
+        self._budget = budget
+        return self
+
     def params(self) -> dict[str, Any]:
         """Parameter dict recorded in results (subclasses extend)."""
         return {"seed": self.seed}
@@ -297,11 +387,18 @@ class Summarizer(ABC):
         return result
 
     def _summarize(self, graph: Graph, tracer) -> SummaryResult:
-        timer = PhaseTimer(self.time_limit, tracer=tracer)
+        timer = PhaseTimer(self.time_limit, tracer=tracer, budget=self._budget)
         self._extra_metrics = {}
         start = time.perf_counter()
-        representation, num_merges = self._run(graph, timer)
+        if self._budget is not None:
+            self._budget.start()
+        try:
+            representation, num_merges = self._run(graph, timer)
+        finally:
+            if self._budget is not None:
+                self._budget.stop()
         timer.stop()
+        reason = timer.truncated_reason
         return SummaryResult(
             algorithm=self.name,
             representation=representation,
@@ -310,6 +407,8 @@ class Summarizer(ABC):
             num_merges=num_merges,
             params=self.params(),
             extra_metrics=dict(self._extra_metrics),
+            truncated=reason is not None,
+            truncated_reason=reason,
         )
 
     def _record_run_metrics(self, result: SummaryResult) -> None:

@@ -81,6 +81,15 @@ class GreedySummarizer(Summarizer):
                         heapq.heappush(heap, (-s, u, v))
             if u % 256 == 0:
                 timer.check_budget()
+        if timer.candidate_cap is not None and len(savings) > timer.candidate_cap:
+            # Candidate cap: keep only the top pairs by saving so the
+            # queue (the dominant memory term) respects the budget.
+            kept = timer.clamp_candidates(
+                sorted(savings.items(), key=lambda kv: (-kv[1], kv[0]))
+            )
+            savings = dict(kept)
+            heap = [(-s, u, v) for (u, v), s in savings.items()]
+            heapq.heapify(heap)
         timer.progress("candidates_generated", pairs=len(savings))
 
         # -- Step 2: greedy merge loop --
@@ -96,6 +105,7 @@ class GreedySummarizer(Summarizer):
             del savings[key]
             w = partition.merge(u, v)
             num_merges += 1
+            timer.note_merges(1)
             saving_accrued += -neg_s
             self._drop_dead_pairs(savings, u if w != u else v)
             self._update_affected(partition, savings, heap, w)
@@ -107,6 +117,8 @@ class GreedySummarizer(Summarizer):
                     live_pairs=len(savings),
                 )
             timer.check_budget()
+            if timer.out_of_budget:
+                break  # anytime stop: every committed merge is valid
         timer.progress(
             "merge_done",
             merges=num_merges,

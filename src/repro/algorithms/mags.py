@@ -311,6 +311,7 @@ class MagsSummarizer(Summarizer):
                 seen.add(pair)
                 unique.append(pair)
         unique.sort()
+        unique = timer.clamp_candidates(unique)
         candidates = CandidatePairs()
         for (u, v), s in zip(unique, partition.savings_many(unique)):
             candidates.add(u, v, s)
@@ -433,6 +434,8 @@ class MagsSummarizer(Summarizer):
         injector = active_fault_injector()
 
         for t in range(start_t, self.iterations + 1):
+            if timer.out_of_budget:
+                break  # anytime stop: the partition is valid as-is
             if injector is not None:
                 injector.before("summarize:iteration")
             threshold = omega(t, self.iterations)
@@ -441,10 +444,12 @@ class MagsSummarizer(Summarizer):
             self.last_iteration_merges.append(iteration_merges)
 
             if self.workers > 1:
-                num_merges += self._batch_merge_iteration(
+                batch_merges = self._batch_merge_iteration(
                     partition, candidates, heap, threshold,
                     merged_roots, iteration_merges,
                 )
+                num_merges += batch_merges
+                timer.note_merges(batch_merges)
                 self._refresh_affected(
                     partition, candidates, heap, merged_roots
                 )
@@ -484,6 +489,7 @@ class MagsSummarizer(Summarizer):
                     merged_roots.discard(dead)
                     iteration_merges.append((u, v))
                     num_merges += 1
+                    timer.note_merges(1)
                     saving_accrued += fresh
                 elif fresh > _EPS:
                     # Stale optimistic saving: record the renewed value;
@@ -493,6 +499,8 @@ class MagsSummarizer(Summarizer):
                 else:
                     candidates.discard(u, v)
                 timer.check_budget()
+                if timer.out_of_budget:
+                    break  # anytime stop mid-iteration; partition valid
 
             # -- Second part: refresh savings around the merges --
             self._refresh_affected(partition, candidates, heap, merged_roots)

@@ -192,6 +192,8 @@ class MagsDMSummarizer(Summarizer):
             )
         injector = active_fault_injector()
         for t in range(start_t, self.iterations + 1):
+            if timer.out_of_budget:
+                break  # anytime stop: the partition is valid as-is
             if injector is not None:
                 injector.before("summarize:iteration")
             timer.start("divide")
@@ -213,16 +215,22 @@ class MagsDMSummarizer(Summarizer):
             if self.workers > 1:
                 from repro.algorithms.parallel import merge_groups_parallel
 
-                num_merges += merge_groups_parallel(
+                parallel_merges = merge_groups_parallel(
                     self, partition, signatures, groups, threshold, rng,
                     self.workers,
                 )
+                num_merges += parallel_merges
+                timer.note_merges(parallel_merges)
             else:
                 for group in groups:
-                    num_merges += self._merge_group(
+                    group_merges = self._merge_group(
                         partition, signatures, group, threshold, rng
                     )
+                    num_merges += group_merges
+                    timer.note_merges(group_merges)
                     timer.check_budget()
+                    if timer.out_of_budget:
+                        break  # groups are disjoint; stopping is safe
             timer.progress(
                 "iteration",
                 t=t,

@@ -4,6 +4,7 @@ Exposes the library's pipeline as a tool::
 
     python -m repro summarize graph.txt -a mags -T 50 -o summary.txt
     python -m repro reconstruct summary.txt -o restored.txt
+    python -m repro verify summary.txt --graph graph.txt --deep
     python -m repro stats graph.txt
     python -m repro compare graph.txt -a mags,mags-dm,ldme
     python -m repro dataset CN -o cn_analog.txt
@@ -34,10 +35,15 @@ from repro.algorithms import (
     SWeGSummarizer,
 )
 from repro.core.lossy import make_lossy
-from repro.core.serialization import load_representation, save_representation
-from repro.core.verify import verify_lossless
+from repro.core.serialization import (
+    load_representation,
+    load_representation_checked,
+    save_representation,
+)
+from repro.core.verify import deep_audit, verify_lossless
 from repro.graph.datasets import dataset_codes, load_dataset
-from repro.graph.io import load_graph, save_graph
+from repro.graph.graph import GraphError
+from repro.graph.io import INGEST_POLICIES, load_graph_checked, save_graph
 from repro.graph.stats import graph_stats
 
 __all__ = ["main", "build_parser", "ALGORITHMS"]
@@ -54,6 +60,67 @@ ALGORITHMS: dict[str, Callable[[int, int], Summarizer]] = {
     ),
     "slugger": lambda T, seed: SluggerSummarizer(iterations=T, seed=seed),
 }
+
+
+def _add_ingest_options(subparser: argparse.ArgumentParser) -> None:
+    """Validated-ingestion flags shared by every graph-loading command."""
+    group = subparser.add_argument_group("ingestion hardening")
+    group.add_argument(
+        "--ingest-policy", choices=INGEST_POLICIES, default="strict",
+        help=(
+            "what to do with malformed lines: strict=fail (default), "
+            "skip=drop and count, quarantine=drop into a sidecar file"
+        ),
+    )
+    group.add_argument(
+        "--max-nodes", type=int, default=None,
+        help="reject inputs with more than this many nodes",
+    )
+    group.add_argument(
+        "--max-edges", type=int, default=None,
+        help="reject inputs with more than this many edge records",
+    )
+    group.add_argument(
+        "--quarantine-path", default=None,
+        help=(
+            "sidecar for rejected lines under --ingest-policy "
+            "quarantine (default: INPUT.quarantine)"
+        ),
+    )
+
+
+def _load_graph_from_args(args: argparse.Namespace, path: str):
+    """Load ``path`` honouring the ingestion flags; print rejections.
+
+    Rejected inputs (strict-policy violations, cap overruns, corrupt
+    files) exit with a one-line diagnostic instead of a traceback.
+    """
+    try:
+        graph, report = load_graph_checked(
+            path,
+            policy=getattr(args, "ingest_policy", "strict"),
+            max_nodes=getattr(args, "max_nodes", None),
+            max_edges=getattr(args, "max_edges", None),
+            quarantine_path=getattr(args, "quarantine_path", None),
+        )
+    except (GraphError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(1) from exc
+    if report.rejected:
+        by_reason = ", ".join(
+            f"{reason}={count}"
+            for reason, count in sorted(report.rejected_by_reason.items())
+        )
+        print(
+            f"ingestion rejected {report.rejected} line(s) ({by_reason})",
+            file=sys.stderr,
+        )
+        if report.quarantine_path is not None:
+            print(
+                f"quarantined lines written to {report.quarantine_path}",
+                file=sys.stderr,
+            )
+    return graph
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -104,6 +171,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="resume from the newest valid checkpoint in --checkpoint-dir",
     )
+    budgets = summarize.add_argument_group(
+        "resource budgets (anytime mode)",
+        description=(
+            "when a budget runs out the algorithm stops merging and "
+            "returns the best summary found so far — still lossless, "
+            "flagged truncated"
+        ),
+    )
+    budgets.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="soft wall-clock budget for the summarization run",
+    )
+    budgets.add_argument(
+        "--memory-budget", type=float, default=None, metavar="MB",
+        help="soft RSS watermark; a watchdog thread samples /proc",
+    )
+    budgets.add_argument(
+        "--max-candidates", type=int, default=None,
+        help="cap the candidate-pair pool per iteration",
+    )
+    budgets.add_argument(
+        "--max-merges", type=int, default=None,
+        help="stop after this many committed merges",
+    )
+    _add_ingest_options(summarize)
 
     reconstruct = sub.add_parser(
         "reconstruct", help="restore the edge list from a summary"
@@ -111,8 +203,29 @@ def build_parser() -> argparse.ArgumentParser:
     reconstruct.add_argument("input", help="summary file")
     reconstruct.add_argument("-o", "--output", required=True)
 
+    verify = sub.add_parser(
+        "verify",
+        help="check a summary artifact's integrity (checksum + invariants)",
+    )
+    verify.add_argument("input", help="summary file (v1 text format)")
+    verify.add_argument(
+        "--graph",
+        help=(
+            "original edge-list file; when given, exact lossless "
+            "reconstruction is also checked"
+        ),
+    )
+    verify.add_argument(
+        "--deep", action="store_true",
+        help=(
+            "full invariant audit: correction consistency and "
+            "re-encoding optimality (Algorithm 4), not just parseability"
+        ),
+    )
+
     stats = sub.add_parser("stats", help="print edge-list statistics")
     stats.add_argument("input")
+    _add_ingest_options(stats)
 
     compare = sub.add_parser(
         "compare", help="run several algorithms and print a comparison"
@@ -125,6 +238,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument("-T", "--iterations", type=int, default=25)
     compare.add_argument("-s", "--seed", type=int, default=0)
+    _add_ingest_options(compare)
 
     dataset = sub.add_parser(
         "dataset", help="export a Table 2 synthetic analog as an edge list"
@@ -238,12 +352,32 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_summarize(args: argparse.Namespace) -> int:
-    graph = load_graph(args.input)
+    graph = _load_graph_from_args(args, args.input)
     print(f"loaded {graph}")
     summarizer = ALGORITHMS[args.algorithm](args.iterations, args.seed)
     if args.resume and not args.checkpoint_dir:
         print("--resume requires --checkpoint-dir", file=sys.stderr)
         return 2
+    if any(
+        value is not None
+        for value in (
+            args.time_budget, args.memory_budget,
+            args.max_candidates, args.max_merges,
+        )
+    ):
+        from repro.resilience import ResourceBudget
+
+        try:
+            budget = ResourceBudget(
+                time_budget=args.time_budget,
+                memory_budget_mb=args.memory_budget,
+                max_merges=args.max_merges,
+                max_candidates=args.max_candidates,
+            )
+        except ValueError as exc:
+            print(f"invalid budget: {exc}", file=sys.stderr)
+            return 2
+        summarizer.configure_budget(budget)
     if args.checkpoint_dir:
         from repro.resilience import CheckpointStore
 
@@ -263,6 +397,11 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
     if not args.no_verify:
         verify_lossless(graph, result.representation)
     print(result.summary_line())
+    if result.truncated:
+        print(
+            f"budget exhausted ({result.truncated_reason}): the summary "
+            "is a valid lossless anytime result, not the full run"
+        )
 
     representation = result.representation
     if args.epsilon > 0.0:
@@ -287,15 +426,54 @@ def _cmd_reconstruct(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core.serialization import FormatError
+
+    try:
+        representation, checksum = load_representation_checked(args.input)
+    except FormatError as exc:
+        print(f"FAIL {exc}", file=sys.stderr)
+        return 1
+    print(f"checksum: {checksum}")
+    if checksum == "absent":
+        print(
+            "note: no sha256 footer (pre-checksum or hand-written file); "
+            "re-save to add one"
+        )
+
+    graph = None
+    if args.graph:
+        graph = _load_graph_from_args(args, args.graph)
+
+    findings: list[str] = []
+    if args.deep:
+        findings = deep_audit(representation, graph)
+    elif graph is not None:
+        try:
+            verify_lossless(graph, representation)
+        except Exception as exc:  # LosslessnessError carries the detail
+            findings = [str(exc)]
+
+    if findings:
+        for finding in findings:
+            print(f"FAIL {finding}", file=sys.stderr)
+        return 1
+    checked = "deep audit" if args.deep else (
+        "lossless reconstruction" if graph is not None else "parse + checksum"
+    )
+    print(f"OK {args.input} ({checked})")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
-    graph = load_graph(args.input)
+    graph = _load_graph_from_args(args, args.input)
     for key, value in graph_stats(graph).as_row().items():
         print(f"{key:10s} {value}")
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    graph = load_graph(args.input)
+    graph = _load_graph_from_args(args, args.input)
     print(f"loaded {graph}")
     names = [name.strip() for name in args.algorithms.split(",") if name.strip()]
     unknown = [name for name in names if name not in ALGORITHMS]
@@ -420,7 +598,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         graph = load_dataset(args.dataset)
         source = f"dataset {args.dataset}"
     else:
-        graph = load_graph(args.input)
+        graph = _load_graph_from_args(args, args.input)
         source = args.input
     print(f"profiling {args.algorithm} on {source}: {graph}")
 
@@ -503,6 +681,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "summarize": _cmd_summarize,
     "reconstruct": _cmd_reconstruct,
+    "verify": _cmd_verify,
     "stats": _cmd_stats,
     "compare": _cmd_compare,
     "dataset": _cmd_dataset,

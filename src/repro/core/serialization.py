@@ -11,16 +11,27 @@ S <supernode-id> <member> <member> ...
 E <supernode-id> <supernode-id>
 + <u> <v>
 - <u> <v>
+# sha256 <hex>
 ```
 
 Sections may interleave; ordering within the file is normalised on
 write so serialisation is deterministic.  Gzip is applied when the
 path ends in ``.gz``.
+
+Artifact integrity: the writer appends a ``# sha256 <hex>`` footer
+covering every preceding line (header included), and the reader
+verifies it — a flipped bit, a truncated copy, or a hand-edited record
+fails loudly as a :class:`FormatError` instead of silently serving a
+corrupted summary.  Files without the footer (written before it
+existed, or by hand) still load; ``repro verify`` reports them as
+unchecksummed.  Lines starting with ``#`` after the header are
+comments.
 """
 
 from __future__ import annotations
 
 import gzip
+import hashlib
 import re
 from pathlib import Path
 
@@ -29,6 +40,7 @@ from repro.core.encoding import Representation
 __all__ = [
     "save_representation",
     "load_representation",
+    "load_representation_checked",
     "FormatError",
     "FORMAT_VERSION",
 ]
@@ -51,33 +63,59 @@ def _open_text(path: Path, mode: str):
 
 
 def save_representation(path: str | Path, rep: Representation) -> None:
-    """Write ``rep`` to ``path`` in the v1 text format."""
+    """Write ``rep`` to ``path`` in the v1 text format.
+
+    A ``# sha256 <hex>`` footer over every preceding line is appended
+    so :func:`load_representation` can verify the artifact end-to-end.
+    """
     path = Path(path)
+    digest = hashlib.sha256()
     with _open_text(path, "w") as out:
-        out.write(_HEADER + "\n")
-        out.write(f"G {rep.n} {rep.m}\n")
+
+        def emit(line: str) -> None:
+            out.write(line)
+            digest.update(line.encode("utf-8"))
+
+        emit(_HEADER + "\n")
+        emit(f"G {rep.n} {rep.m}\n")
         for sid in sorted(rep.supernodes):
             members = " ".join(map(str, sorted(rep.supernodes[sid])))
-            out.write(f"S {sid} {members}\n")
+            emit(f"S {sid} {members}\n")
         for su, sv in sorted(rep.summary_edges):
-            out.write(f"E {su} {sv}\n")
+            emit(f"E {su} {sv}\n")
         for u, v in sorted(rep.additions):
-            out.write(f"+ {u} {v}\n")
+            emit(f"+ {u} {v}\n")
         for u, v in sorted(rep.removals):
-            out.write(f"- {u} {v}\n")
+            emit(f"- {u} {v}\n")
+        out.write(f"# sha256 {digest.hexdigest()}\n")
 
 
 def load_representation(path: str | Path) -> Representation:
     """Read a representation written by :func:`save_representation`.
 
-    Raises :class:`FormatError` on malformed input with a message that
-    names the file and the offending line; files written by a *newer*
-    format version fail with an explicit version mismatch instead of a
-    cascade of parse errors, and gzip corruption / binary junk is
-    reported as a round-trip error rather than a bare low-level
-    exception.  Structural soundness (partition coverage, id validity)
-    is validated so a corrupted file fails loudly instead of
-    mis-reconstructing.
+    Shorthand for :func:`load_representation_checked` that discards
+    the checksum status.
+    """
+    representation, _status = load_representation_checked(path)
+    return representation
+
+
+def load_representation_checked(
+    path: str | Path,
+) -> tuple[Representation, str]:
+    """Read a representation and report its integrity status.
+
+    Returns ``(representation, status)`` with ``status`` either
+    ``"verified"`` (the ``# sha256`` footer matched) or ``"absent"``
+    (no footer — a pre-checksum or hand-written file).  A footer that
+    does *not* match raises :class:`FormatError`, as does malformed
+    input: the message names the file and the offending line; files
+    written by a *newer* format version fail with an explicit version
+    mismatch instead of a cascade of parse errors, and gzip
+    corruption / binary junk is reported as a round-trip error rather
+    than a bare low-level exception.  Structural soundness (partition
+    coverage, id validity) is validated so a corrupted file fails
+    loudly instead of mis-reconstructing.
     """
     path = Path(path)
     try:
@@ -93,7 +131,7 @@ def load_representation(path: str | Path) -> Representation:
             f"written by save_representation (v{FORMAT_VERSION}, "
             f"gzipped when the name ends in .gz)"
         ) from exc
-    n, m, supernodes, summary_edges, additions, removals = parsed
+    n, m, supernodes, summary_edges, additions, removals, status = parsed
 
     if n is None or m is None:
         raise FormatError(f"{path}: missing G header record")
@@ -116,7 +154,7 @@ def load_representation(path: str | Path) -> Representation:
         summary_edges=summary_edges,
         additions=additions,
         removals=removals,
-    )
+    ), status
 
 
 def _check_header(first: str, path: Path) -> None:
@@ -139,9 +177,17 @@ def _check_header(first: str, path: Path) -> None:
 
 
 def _parse_stream(handle, path: Path):
-    """Parse the record lines of an already-opened summary file."""
-    first = handle.readline().rstrip("\n")
-    _check_header(first, path)
+    """Parse the record lines of an already-opened summary file.
+
+    Maintains a running SHA-256 of every line before the ``# sha256``
+    footer; a footer that disagrees with the recomputed digest, or any
+    record appearing *after* the footer (an append-tamper), raises
+    :class:`FormatError`.
+    """
+    first = handle.readline()
+    _check_header(first.rstrip("\n"), path)
+    digest = hashlib.sha256(first.encode("utf-8"))
+    declared_digest: str | None = None
     n = m = None
     supernodes: dict[int, list[int]] = {}
     summary_edges: set[tuple[int, int]] = set()
@@ -152,6 +198,25 @@ def _parse_stream(handle, path: Path):
         if not parts:
             continue
         tag = parts[0]
+        if tag.startswith("#"):
+            if len(parts) >= 3 and parts[1] == "sha256":
+                if declared_digest is not None:
+                    raise FormatError(
+                        f"{path}: duplicate sha256 footer "
+                        f"at line {line_number}"
+                    )
+                declared_digest = parts[2]
+            # Other comments are ignored — but only the digest of the
+            # content *before* the footer counts.
+            if declared_digest is None:
+                digest.update(line.encode("utf-8"))
+            continue
+        if declared_digest is not None:
+            raise FormatError(
+                f"{path}: record after the sha256 footer "
+                f"at line {line_number}: {line.rstrip()!r}"
+            )
+        digest.update(line.encode("utf-8"))
         try:
             if tag == "G":
                 n, m = int(parts[1]), int(parts[2])
@@ -181,7 +246,17 @@ def _parse_stream(handle, path: Path):
             raise FormatError(
                 f"{path}: malformed line {line_number}: {line!r}"
             ) from exc
-    return n, m, supernodes, summary_edges, additions, removals
+    status = "absent"
+    if declared_digest is not None:
+        if digest.hexdigest() != declared_digest:
+            raise FormatError(
+                f"{path}: checksum mismatch — the file declares sha256 "
+                f"{declared_digest[:16]}... but its content hashes to "
+                f"{digest.hexdigest()[:16]}...; the artifact is "
+                "corrupted or was modified after writing"
+            )
+        status = "verified"
+    return n, m, supernodes, summary_edges, additions, removals, status
 
 
 def _ordered(u: int, v: int) -> tuple[int, int]:

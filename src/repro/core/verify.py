@@ -1,17 +1,27 @@
-"""Lossless reconstruction checking.
+"""Lossless reconstruction checking and deep invariant audits.
 
 Definition 1 requires that the original graph be recreated from
 ``R = (S, C)`` *exactly*.  The test-suite runs every algorithm's
 output through :func:`verify_lossless`; the benchmark harness can do
 the same with ``--verify``.
+
+:func:`deep_audit` goes further for artifact integrity
+(``repro verify --deep``): beyond structural soundness it
+reconstructs the graph the representation claims to encode, re-runs
+the optimal output encoding (Algorithm 4) over the representation's
+own partition, and checks the stored ``(S, C)`` *is* that optimal
+encoding with an exact cost recount — a summary that merely
+reconstructs correctly but carries a suboptimal or inconsistent
+encoding (a corrupted artifact, a buggy writer) is caught here.
 """
 
 from __future__ import annotations
 
-from repro.core.encoding import Representation
+from repro.core.encoding import Representation, encode
+from repro.core.supernodes import SuperNodePartition
 from repro.graph.graph import Graph
 
-__all__ = ["verify_lossless", "LosslessnessError"]
+__all__ = ["verify_lossless", "deep_audit", "LosslessnessError"]
 
 
 class LosslessnessError(AssertionError):
@@ -58,3 +68,114 @@ def verify_lossless(graph: Graph, representation: Representation) -> None:
 
 def _peek(edge_set: set[tuple[int, int]]) -> tuple[int, int] | None:
     return next(iter(edge_set), None)
+
+
+def deep_audit(
+    representation: Representation, graph: Graph | None = None
+) -> list[str]:
+    """Full invariant audit of a representation; returns findings.
+
+    Checks, in order of increasing cost (an early structural failure
+    short-circuits the later checks, which would only cascade):
+
+    1. super-nodes partition exactly ``0..n-1`` and no correction
+       appears with both signs (the :func:`verify_lossless`
+       structural invariants);
+    2. corrections are consistent with the summary edges: every
+       minus-correction's endpoints lie in super-nodes joined by a
+       summary edge (removing a pair no super-edge implies is dead
+       weight), and no plus-correction duplicates a pair a summary
+       edge already implies;
+    3. with ``graph`` given, the reconstruction equals it exactly;
+    4. the stored ``(S, C)`` is *the* optimal encoding of its own
+       partition: the reconstructed graph is re-partitioned into the
+       representation's groups, re-encoded with Algorithm 4, and the
+       summary edges, both correction sets, and the total cost must
+       match the stored artifact exactly.
+
+    An empty list means the artifact is internally consistent,
+    losslessly decodable, and optimally encoded.
+    """
+    findings: list[str] = []
+    rep = representation
+
+    covered = sorted(
+        node for members in rep.supernodes.values() for node in members
+    )
+    if covered != list(range(rep.n)):
+        findings.append("super-nodes are not a partition of 0..n-1")
+        return findings
+    overlap = rep.additions & rep.removals
+    if overlap:
+        findings.append(
+            f"{len(overlap)} corrections appear with both signs, "
+            f"e.g. {next(iter(overlap))}"
+        )
+        return findings
+
+    superedge_pairs = {
+        (min(su, sv), max(su, sv)) for su, sv in rep.summary_edges
+    }
+    for u, v in rep.removals:
+        pu, pv = rep.node_to_supernode[u], rep.node_to_supernode[v]
+        if (min(pu, pv), max(pu, pv)) not in superedge_pairs:
+            findings.append(
+                f"minus-correction ({u}, {v}) is not implied by any "
+                "summary edge"
+            )
+            break
+    for u, v in rep.additions:
+        pu, pv = rep.node_to_supernode[u], rep.node_to_supernode[v]
+        if (min(pu, pv), max(pu, pv)) in superedge_pairs:
+            findings.append(
+                f"plus-correction ({u}, {v}) duplicates a pair the "
+                f"summary edge already implies"
+            )
+            break
+
+    reconstructed = rep.reconstruct()
+    if graph is not None:
+        try:
+            verify_lossless(graph, rep)
+        except LosslessnessError as exc:
+            findings.append(str(exc))
+            return findings
+
+    # Re-encode the representation's own partition over the graph it
+    # encodes and demand bit-for-bit agreement plus an exact cost
+    # recount (Equation 1).
+    partition = SuperNodePartition(reconstructed)
+    for members in rep.supernodes.values():
+        root = members[0]
+        for node in members[1:]:
+            # merge() picks its own survivor, so chain through it.
+            root = partition.merge(root, node)
+    reencoded = encode(partition)
+
+    def canonical(r: Representation):
+        groups = {
+            frozenset(members) for members in r.supernodes.values()
+        }
+        edges = {
+            frozenset(
+                (frozenset(r.supernodes[su]), frozenset(r.supernodes[sv]))
+            )
+            for su, sv in r.summary_edges
+        }
+        return groups, edges, set(r.additions), set(r.removals)
+
+    stored = canonical(rep)
+    fresh = canonical(reencoded)
+    labels = ("super-node groups", "summary edges", "additions", "removals")
+    for label, a, b in zip(labels, stored, fresh):
+        if a != b:
+            findings.append(
+                f"stored {label} differ from the optimal re-encoding "
+                f"({len(a)} stored vs {len(b)} re-encoded)"
+            )
+    if rep.cost != reencoded.cost:
+        findings.append(
+            f"stored cost {rep.cost} differs from the exact recount "
+            f"{reencoded.cost}"
+        )
+    return findings

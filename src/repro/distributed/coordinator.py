@@ -149,7 +149,18 @@ class DistributedSummarizer:
 
     # ------------------------------------------------------------------
     def summarize(self, graph: Graph) -> DistributedResult:
-        """Run the three-phase pipeline on ``graph``."""
+        """Run the three-phase pipeline on ``graph``.
+
+        Raises :class:`ValueError` up front when ``workers`` exceeds
+        the node count — every partitioner would strand workers with
+        no nodes, and a custom partitioner should not be able to
+        bypass that check.
+        """
+        if graph.n and self.workers > graph.n:
+            raise ValueError(
+                f"workers ({self.workers}) exceeds the node count "
+                f"({graph.n}); lower workers to at most {graph.n}"
+            )
         tracer = active_tracer()
 
         def _span(name: str, **attrs):

@@ -35,7 +35,14 @@ __all__ = [
 
 def _validate(graph: Graph, workers: int) -> None:
     if workers < 1:
-        raise ValueError("workers must be >= 1")
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    # An empty graph partitions trivially under any worker count.
+    if graph.n and workers > graph.n:
+        raise ValueError(
+            f"workers ({workers}) exceeds the node count ({graph.n}); "
+            "at least one worker would own no nodes — lower workers to "
+            f"at most {graph.n}"
+        )
 
 
 def hash_partition(graph: Graph, workers: int, seed: int = 0) -> list[int]:

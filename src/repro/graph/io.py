@@ -1,19 +1,45 @@
-"""Edge-list I/O and cleaning.
+"""Edge-list I/O, cleaning, and validated ingestion.
 
 The paper's experimental setup (Section 6.1) removes all edge
 directions, duplicated edges, and self-loops before summarizing.
 :func:`clean_edges` implements exactly that normalisation, and the
 reader/writer pair round-trips graphs through the common whitespace
 separated edge-list format used by SNAP/LAW/NetworkRepository dumps.
+
+Ingestion is a trust boundary: uploads arrive malformed, truncated,
+oversized, or adversarial, so :func:`load_graph` validates every line
+and reports problems with a 1-based line number, the byte offset of
+the line in the (decompressed) stream, and the offending text
+truncated to 80 characters.  A ``policy`` selects what happens to a
+bad record:
+
+``strict``
+    (default) raise on the first bad line — the historical behavior;
+``skip``
+    drop bad lines, counting them per reason;
+``quarantine``
+    like ``skip``, but also append each rejected line to a sidecar
+    file (``<input>.quarantine`` unless overridden) as
+    ``line<TAB>byte_offset<TAB>reason<TAB>snippet`` for later triage.
+
+Resource caps (``max_nodes``, ``max_edges``, ``max_line_bytes``)
+defend against decompression bombs and runaway inputs; cap violations
+always raise regardless of policy, as does gzip truncation/corruption
+(the framing is unrecoverable, so skipping cannot be sound).  Rejected
+lines are counted under ``repro_ingest_rejected_lines_total{reason=}``
+when :mod:`repro.obs` is loaded (resolved through ``sys.modules`` so
+this module never imports it).
 """
 
 from __future__ import annotations
 
 import gzip
+import sys
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
 
-from repro.graph.graph import Graph
+from repro.graph.graph import Graph, GraphError
 
 __all__ = [
     "clean_edges",
@@ -21,8 +47,23 @@ __all__ = [
     "read_declared_node_count",
     "write_edge_list",
     "load_graph",
+    "load_graph_checked",
     "save_graph",
+    "IngestReport",
+    "INGEST_POLICIES",
+    "DEFAULT_MAX_LINE_BYTES",
 ]
+
+#: Ingestion policies accepted by :func:`load_graph`.
+INGEST_POLICIES = ("strict", "skip", "quarantine")
+
+#: Default per-line length cap for :func:`load_graph` — far above any
+#: legitimate ``u v [extras]`` line, low enough that a decompression
+#: bomb of unterminated garbage fails fast.
+DEFAULT_MAX_LINE_BYTES = 1 << 16
+
+#: Offending text shown in diagnostics is truncated to this length.
+_SNIPPET_CHARS = 80
 
 
 def clean_edges(
@@ -73,7 +114,98 @@ def _open_text(path: Path, mode: str):
     return open(path, mode)
 
 
-def read_edge_list(path: str | Path) -> Iterator[tuple[int, int]]:
+def _snippet(line: str) -> str:
+    """The offending text of a diagnostic, truncated to 80 chars."""
+    text = line.rstrip("\n")
+    if len(text) > _SNIPPET_CHARS:
+        text = text[:_SNIPPET_CHARS] + "..."
+    return text
+
+
+def _where(line_no: int, offset: int, line: str) -> str:
+    """The standard location suffix of every per-line diagnostic."""
+    return f"(line {line_no}, byte {offset}): {_snippet(line)!r}"
+
+
+def _iter_lines(path: Path) -> Iterator[tuple[int, int, str]]:
+    """Yield ``(line_no, byte_offset, line)`` with gzip errors mapped
+    to :class:`~repro.graph.graph.GraphError`.
+
+    ``line_no`` is 1-based; ``byte_offset`` is the position of the
+    line's first byte in the *decompressed* stream (what a text editor
+    on the unpacked file would see).
+    """
+    offset = 0
+    try:
+        with _open_text(path, "r") as handle:
+            for line_no, line in enumerate(handle, start=1):
+                yield line_no, offset, line
+                offset += len(line.encode("utf-8", "surrogateescape"))
+    except (EOFError, gzip.BadGzipFile) as exc:
+        raise GraphError(
+            f"{path}: truncated or corrupt gzip stream after line "
+            f"offset {offset} ({type(exc).__name__}: {exc})"
+        ) from exc
+    except UnicodeDecodeError as exc:
+        raise GraphError(
+            f"{path}: not a text edge list (binary or wrongly encoded "
+            f"data near byte {exc.start})"
+        ) from exc
+
+
+def _record_rejected(reason: str, count: int = 1) -> None:
+    """Count a rejected line when :mod:`repro.obs` is already loaded.
+
+    Resolved through ``sys.modules`` (same gate as
+    :func:`repro.algorithms.base.active_tracer`) so ingestion never
+    drags the observability stack into a process that does not use it.
+    """
+    obs = sys.modules.get("repro.obs.metrics")
+    if obs is None:
+        return
+    obs.get_registry().counter(
+        "repro_ingest_rejected_lines_total", reason=reason
+    ).inc(count)
+
+
+def _classify_line(
+    line: str, max_line_bytes: int | None
+) -> tuple[str, tuple[int, int] | None, str]:
+    """Classify one raw line.
+
+    Returns ``(kind, edge, reason)`` where ``kind`` is ``"edge"``
+    (``edge`` holds the pair), ``"blank"`` (comment/empty, always
+    skipped), or ``"bad"`` (``reason`` one of ``line_too_long``,
+    ``malformed``, ``non_integer``).
+    """
+    if (
+        max_line_bytes is not None
+        and len(line.encode("utf-8", "surrogateescape")) > max_line_bytes
+    ):
+        return "bad", None, "line_too_long"
+    stripped = line.strip()
+    if not stripped or stripped[0] in "#%":
+        return "blank", None, ""
+    parts = stripped.split()
+    if len(parts) < 2:
+        return "bad", None, "malformed"
+    try:
+        return "edge", (int(parts[0]), int(parts[1])), ""
+    except ValueError:
+        return "bad", None, "non_integer"
+
+
+_REASON_MESSAGES = {
+    "line_too_long": "edge line exceeds the byte cap",
+    "malformed": "malformed edge line, expected 'u v'",
+    "non_integer": "malformed edge line, non-integer endpoint",
+    "id_out_of_range": "node id outside the declared range",
+}
+
+
+def read_edge_list(
+    path: str | Path, *, max_line_bytes: int | None = None
+) -> Iterator[tuple[int, int]]:
     """Yield raw integer edges from a whitespace-separated file.
 
     Lines starting with ``#`` or ``%`` (SNAP / NetworkRepository
@@ -82,39 +214,55 @@ def read_edge_list(path: str | Path) -> Iterator[tuple[int, int]]:
     (use :func:`read_declared_node_count` to recover it).  Extra
     columns beyond the first two (e.g. timestamps or weights) are
     ignored.
+
+    Every ``ValueError`` names the 1-based line number, the byte
+    offset of the line in the (decompressed) stream, and the offending
+    text truncated to 80 characters.  ``max_line_bytes`` optionally
+    caps the per-line length (``None`` = unbounded, the historical
+    behavior); :func:`load_graph` applies its default cap and its
+    ingestion policy on top of this reader.
     """
     path = Path(path)
-    with _open_text(path, "r") as handle:
-        for line in handle:
-            stripped = line.strip()
-            if not stripped or stripped[0] in "#%":
-                continue
-            parts = stripped.split()
-            if len(parts) < 2:
-                raise ValueError(f"malformed edge line: {line!r}")
-            yield int(parts[0]), int(parts[1])
+    for line_no, offset, line in _iter_lines(path):
+        kind, edge, reason = _classify_line(line, max_line_bytes)
+        if kind == "edge":
+            yield edge
+        elif kind == "bad":
+            raise ValueError(
+                f"{path}: {_REASON_MESSAGES[reason]} "
+                f"{_where(line_no, offset, line)}"
+            )
 
 
 def read_declared_node_count(path: str | Path) -> int | None:
     """The ``# n=<count>`` header value, or ``None`` if absent.
 
     Only the leading run of comment/blank lines is scanned, so edge
-    data is never touched; a malformed count raises ``ValueError``.
+    data is never touched; a malformed count raises ``ValueError``
+    naming the line and its text.
     """
     path = Path(path)
-    with _open_text(path, "r") as handle:
-        for line in handle:
-            stripped = line.strip()
-            if not stripped:
-                continue
-            if stripped[0] not in "#%":
-                return None
-            body = stripped.lstrip("#%").strip()
-            if body.startswith("n="):
+    for line_no, offset, line in _iter_lines(path):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped[0] not in "#%":
+            return None
+        body = stripped.lstrip("#%").strip()
+        if body.startswith("n="):
+            try:
                 count = int(body[2:].strip())
-                if count < 0:
-                    raise ValueError(f"negative node count header: {count}")
-                return count
+            except ValueError:
+                raise ValueError(
+                    f"{path}: malformed node count header "
+                    f"{_where(line_no, offset, line)}"
+                ) from None
+            if count < 0:
+                raise ValueError(
+                    f"{path}: negative node count header: {count} "
+                    f"{_where(line_no, offset, line)}"
+                )
+            return count
     return None
 
 
@@ -139,32 +287,198 @@ def write_edge_list(
             handle.write(f"{u} {v}\n")
 
 
-def load_graph(path: str | Path) -> Graph:
-    """Read, clean, and build a :class:`Graph` from an edge-list file.
+@dataclass
+class IngestReport:
+    """What :func:`load_graph_checked` accepted and rejected."""
+
+    #: Total lines scanned (including comments and blanks).
+    lines_total: int = 0
+    #: Edge records accepted (before dedup / self-loop cleaning).
+    edges_accepted: int = 0
+    #: Lines rejected by the policy (``skip`` / ``quarantine``).
+    rejected: int = 0
+    #: Rejection counts keyed by reason (``malformed``,
+    #: ``non_integer``, ``line_too_long``, ``id_out_of_range``).
+    rejected_by_reason: dict[str, int] = field(default_factory=dict)
+    #: Sidecar path, set only when quarantining wrote at least a line.
+    quarantine_path: Path | None = None
+
+    def note(self, reason: str) -> None:
+        self.rejected += 1
+        self.rejected_by_reason[reason] = (
+            self.rejected_by_reason.get(reason, 0) + 1
+        )
+
+
+class _Quarantine:
+    """Lazily-created sidecar for rejected lines."""
+
+    def __init__(self, path: Path):
+        self.path = path
+        self._handle = None
+
+    def write(self, line_no: int, offset: int, reason: str, line: str) -> None:
+        if self._handle is None:
+            self._handle = open(self.path, "w")
+        self._handle.write(
+            f"{line_no}\t{offset}\t{reason}\t{_snippet(line)}\n"
+        )
+
+    def close(self) -> Path | None:
+        if self._handle is None:
+            return None
+        self._handle.close()
+        return self.path
+
+
+def load_graph_checked(
+    path: str | Path,
+    *,
+    policy: str = "strict",
+    max_nodes: int | None = None,
+    max_edges: int | None = None,
+    max_line_bytes: int | None = DEFAULT_MAX_LINE_BYTES,
+    quarantine_path: str | Path | None = None,
+) -> tuple[Graph, IngestReport]:
+    """Validated ingestion: :func:`load_graph` plus an
+    :class:`IngestReport` of everything that was rejected.
+
+    See :func:`load_graph` for the semantics; this variant exists for
+    callers (the CLI, services) that need to surface rejection counts
+    instead of silently accepting a partially-skipped file.
+    """
+    path = Path(path)
+    if policy not in INGEST_POLICIES:
+        raise ValueError(
+            f"unknown ingestion policy {policy!r}; "
+            f"expected one of {', '.join(INGEST_POLICIES)}"
+        )
+    report = IngestReport()
+    quarantine: _Quarantine | None = None
+    if policy == "quarantine":
+        sidecar = (
+            Path(quarantine_path)
+            if quarantine_path is not None
+            else path.with_name(path.name + ".quarantine")
+        )
+        quarantine = _Quarantine(sidecar)
+
+    declared = read_declared_node_count(path)
+    if (
+        declared is not None
+        and max_nodes is not None
+        and declared > max_nodes
+    ):
+        raise GraphError(
+            f"{path}: declared node count {declared} exceeds the "
+            f"max_nodes cap of {max_nodes}"
+        )
+
+    def reject(line_no: int, offset: int, reason: str, line: str) -> None:
+        report.note(reason)
+        _record_rejected(reason)
+        if policy == "strict":
+            raise_type = (
+                GraphError if reason == "id_out_of_range" else ValueError
+            )
+            raise raise_type(
+                f"{path}: {_REASON_MESSAGES[reason]} "
+                f"{_where(line_no, offset, line)}"
+            )
+        if quarantine is not None:
+            quarantine.write(line_no, offset, reason, line)
+
+    raw_edges: list[tuple[int, int]] = []
+    seen: set[tuple[int, int]] = set()
+    headered_edges: list[tuple[int, int]] = []
+    try:
+        for line_no, offset, line in _iter_lines(path):
+            report.lines_total = line_no
+            kind, edge, reason = _classify_line(line, max_line_bytes)
+            if kind == "blank":
+                continue
+            if kind == "bad":
+                reject(line_no, offset, reason, line)
+                continue
+            a, b = edge
+            if declared is not None and not (
+                0 <= a < declared and 0 <= b < declared
+            ):
+                reject(line_no, offset, "id_out_of_range", line)
+                continue
+            report.edges_accepted += 1
+            if max_edges is not None and report.edges_accepted > max_edges:
+                raise GraphError(
+                    f"{path}: edge record count exceeds the max_edges "
+                    f"cap of {max_edges} at line {line_no}"
+                )
+            if declared is None:
+                raw_edges.append((a, b))
+            else:
+                # Headered files are already densely labeled: dedupe
+                # and drop self-loops, but never relabel, so the
+                # save_graph/load_graph roundtrip is the identity.
+                if a == b:
+                    continue
+                key = (a, b) if a < b else (b, a)
+                if key not in seen:
+                    seen.add(key)
+                    headered_edges.append(key)
+    finally:
+        if quarantine is not None:
+            report.quarantine_path = quarantine.close()
+
+    if declared is not None:
+        return Graph(declared, headered_edges), report
+    n, edges = clean_edges(raw_edges)
+    if max_nodes is not None and n > max_nodes:
+        raise GraphError(
+            f"{path}: node count {n} exceeds the max_nodes cap "
+            f"of {max_nodes}"
+        )
+    return Graph(n, edges), report
+
+
+def load_graph(
+    path: str | Path,
+    *,
+    policy: str = "strict",
+    max_nodes: int | None = None,
+    max_edges: int | None = None,
+    max_line_bytes: int | None = DEFAULT_MAX_LINE_BYTES,
+    quarantine_path: str | Path | None = None,
+) -> Graph:
+    """Read, validate, clean, and build a :class:`Graph` from an
+    edge-list file.
 
     Files carrying the ``# n=<count>`` header (everything written by
     :func:`save_graph`) are treated as already densely labeled: edges
     are deduplicated and self-loops dropped, but ids are *not*
     relabeled, and the declared count preserves isolated nodes — so
     ``load_graph(save_graph(g)) == g`` exactly.  An edge id at or
-    beyond the declared count raises :class:`~repro.graph.graph.GraphError`.
+    beyond the declared count is an ``id_out_of_range`` issue (a
+    :class:`~repro.graph.graph.GraphError` under the strict policy).
     Headerless files fall back to the paper's Section 6.1
     normalisation via :func:`clean_edges`, as before.
+
+    ``policy`` decides what happens to bad lines (see the module
+    docstring): ``strict`` raises with the line number, byte offset
+    and offending text; ``skip`` drops them; ``quarantine``
+    additionally appends them to ``quarantine_path`` (default
+    ``<input>.quarantine``).  ``max_nodes`` / ``max_edges`` /
+    ``max_line_bytes`` are hard resource caps and raise regardless of
+    policy, as does gzip truncation or binary junk.  Self-loops and
+    duplicate edges are normal cleaning, never rejections.
     """
-    declared = read_declared_node_count(path)
-    if declared is None:
-        n, edges = clean_edges(read_edge_list(path))
-        return Graph(n, edges)
-    seen: set[tuple[int, int]] = set()
-    edges = []
-    for a, b in read_edge_list(path):
-        if a == b:
-            continue
-        key = (a, b) if a < b else (b, a)
-        if key not in seen:
-            seen.add(key)
-            edges.append(key)
-    return Graph(declared, edges)
+    graph, _report = load_graph_checked(
+        path,
+        policy=policy,
+        max_nodes=max_nodes,
+        max_edges=max_edges,
+        max_line_bytes=max_line_bytes,
+        quarantine_path=quarantine_path,
+    )
+    return graph
 
 
 def save_graph(path: str | Path, graph: Graph) -> None:

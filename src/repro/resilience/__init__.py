@@ -13,7 +13,10 @@ Four small, composable pieces:
   checksum-verified :class:`CheckpointStore` for long summarization
   runs (``python -m repro summarize --checkpoint-dir/--resume``);
 * :mod:`repro.resilience.breaker` — :class:`CircuitBreaker` guarding
-  the serving engine.
+  the serving engine;
+* :mod:`repro.resilience.guard` — :class:`ResourceBudget` resource
+  governance (wall-clock deadline, RSS watchdog, merge/candidate
+  caps) that turns the summarizers into anytime algorithms.
 
 Consumers: :class:`~repro.service.client.SummaryServiceClient`
 (auto-reconnect + idempotent retry),
@@ -44,6 +47,7 @@ from repro.resilience.faults import (
     set_injector,
     use_injector,
 )
+from repro.resilience.guard import ResourceBudget, current_rss_mb
 from repro.resilience.retry import (
     Deadline,
     DeadlineExceeded,
@@ -76,4 +80,7 @@ __all__ = [
     "CheckpointCorrupt",
     # breaker
     "CircuitBreaker",
+    # guard
+    "ResourceBudget",
+    "current_rss_mb",
 ]

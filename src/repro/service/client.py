@@ -29,7 +29,14 @@ import socket
 
 from repro.resilience.faults import active_injector
 from repro.resilience.retry import Deadline, RetriesExhausted, RetryPolicy, call_with_retry
-from repro.service.protocol import LineReader, ProtocolError, decode_line, encode_message
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    LineReader,
+    ProtocolError,
+    decode_line,
+    encode_message,
+    validate_response,
+)
 
 __all__ = ["SummaryServiceClient", "ServiceError"]
 
@@ -66,6 +73,13 @@ class SummaryServiceClient:
         *including* all retries and backoff sleeps.
     seed:
         Seeds the backoff jitter so retry schedules replay exactly.
+    max_line_bytes:
+        Frame cap applied to *inbound* responses, mirroring the
+        server's limit: a hostile or broken server streaming an
+        unterminated line gets its connection dropped with a
+        structured :class:`~repro.service.protocol.ProtocolError`
+        after this many buffered bytes instead of growing the
+        client's memory without bound.
     """
 
     def __init__(
@@ -77,10 +91,12 @@ class SummaryServiceClient:
         retry_policy: RetryPolicy | None = None,
         retry_budget: float | None = None,
         seed: int = 0,
+        max_line_bytes: int = MAX_LINE_BYTES,
     ):
         self._host = host
         self._port = port
         self._timeout = timeout
+        self._max_line_bytes = max_line_bytes
         self._retry_policy = retry_policy
         self._retry_budget = retry_budget
         self._rng = random.Random(seed)
@@ -96,7 +112,9 @@ class SummaryServiceClient:
         self._sock = socket.create_connection(
             (self._host, self._port), timeout=self._timeout
         )
-        self._reader = LineReader(self._sock)
+        self._reader = LineReader(
+            self._sock, max_line_bytes=self._max_line_bytes
+        )
 
     def _teardown(self) -> None:
         """Drop the current socket (a later attempt reconnects)."""
@@ -148,8 +166,10 @@ class SummaryServiceClient:
             self._teardown()
             raise ConnectionError("server closed the connection")
         try:
-            return decode_line(line)
+            return validate_response(decode_line(line))
         except ProtocolError:
+            # Undecodable or schema-invalid response: the server (or
+            # whatever is impersonating it) cannot be trusted further.
             self._mark_unusable()
             raise
 

@@ -180,6 +180,17 @@ class ServiceMetrics:
         """One request rejected while the breaker was open."""
         self._breaker_rejected.inc()
 
+    def protocol_rejected(self, reason: str) -> None:
+        """One inbound frame rejected at the protocol boundary.
+
+        ``reason`` is ``"frame"`` (undecodable: bad JSON, oversized,
+        non-object) or ``"schema"`` (decodable but invalid: unknown
+        op, unknown field, wrong types, out-of-range k, bad batch).
+        """
+        self.registry.counter(
+            "service_protocol_rejected_total", reason=reason
+        ).inc()
+
     # -- reporting -------------------------------------------------------
     def _by_op(self, name: str) -> dict[str, int]:
         return {

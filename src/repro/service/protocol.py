@@ -30,6 +30,14 @@ additionally carries ``"degraded": true``.
 Framing is newline-delimited UTF-8 JSON, so the protocol is usable
 from ``nc`` for debugging.  Lines longer than :data:`MAX_LINE_BYTES`
 are rejected with ``bad_request`` to bound per-connection memory.
+
+Both transport halves are hardened trust boundaries:
+:func:`validate_request` schema-checks every inbound request field
+(unknown ops, unknown fields, wrong types, out-of-range ``k``,
+oversized batches) before the engine sees it, and
+:func:`validate_response` lets clients reject a malformed or hostile
+server reply instead of acting on it.  ``tools/proto_fuzz.py`` fires
+seeded malformed frames at a live server to keep these checks honest.
 """
 
 from __future__ import annotations
@@ -39,14 +47,58 @@ import socket
 
 __all__ = [
     "MAX_LINE_BYTES",
+    "MAX_BATCH_REQUESTS",
+    "MAX_KHOP_K",
+    "KNOWN_OPS",
     "encode_message",
     "decode_line",
+    "validate_request",
+    "validate_response",
     "LineReader",
     "ProtocolError",
 ]
 
 #: Upper bound on one request/response line (1 MiB).
 MAX_LINE_BYTES = 1 << 20
+
+#: Upper bound on sub-requests in one ``batch`` frame.
+MAX_BATCH_REQUESTS = 1024
+
+#: Upper bound on the ``khop`` radius; a BFS that covers the whole
+#: summary finishes long before this, so larger values only buy an
+#: attacker CPU time.
+MAX_KHOP_K = 64
+
+#: Every op the protocol defines (the engine serves a subset of these
+#: directly; ``batch`` and ``shutdown`` are handled by the server).
+KNOWN_OPS = (
+    "neighbors",
+    "degree",
+    "khop",
+    "pagerank",
+    "batch",
+    "stats",
+    "ping",
+    "shutdown",
+)
+
+#: Exact field whitelist per op; an unknown field is rejected rather
+#: than ignored, so typos ("nodes") fail loudly and smuggled payloads
+#: never reach the engine.
+_ALLOWED_FIELDS: dict[str, frozenset[str]] = {
+    "neighbors": frozenset({"id", "op", "node"}),
+    "degree": frozenset({"id", "op", "node"}),
+    "khop": frozenset({"id", "op", "node", "k"}),
+    "pagerank": frozenset({"id", "op", "node"}),
+    "batch": frozenset({"id", "op", "requests"}),
+    "stats": frozenset({"id", "op", "format"}),
+    "ping": frozenset({"id", "op"}),
+    "shutdown": frozenset({"id", "op"}),
+}
+
+_RESPONSE_FIELDS = frozenset(
+    {"id", "ok", "op", "result", "error", "degraded"}
+)
 
 
 class ProtocolError(ValueError):
@@ -76,6 +128,113 @@ def decode_line(line: bytes) -> dict:
     return message
 
 
+def _is_scalar(value) -> bool:
+    return value is None or isinstance(value, (str, int, float, bool))
+
+
+def _check_node_field(request: dict, op: str) -> None:
+    node = request.get("node")
+    if not isinstance(node, int) or isinstance(node, bool):
+        raise ProtocolError(f"op {op!r} needs an integer 'node' field")
+
+
+def validate_request(request: dict) -> dict:
+    """Schema-check one inbound request; returns it unchanged.
+
+    Raises :class:`ProtocolError` on: a non-scalar ``id`` (it must be
+    echoable without interpretation), a missing/unknown ``op``, any
+    field outside the op's whitelist, a non-integer ``node``, a ``k``
+    outside ``[0, MAX_KHOP_K]``, a ``batch`` whose ``requests`` is not
+    a list of at most :data:`MAX_BATCH_REQUESTS` objects, or a
+    ``stats`` ``format`` other than ``"prometheus"``.  Range checks
+    that need the served summary (``node`` against ``n``) stay in the
+    engine.
+    """
+    if not _is_scalar(request.get("id")):
+        raise ProtocolError("'id' must be a JSON scalar")
+    op = request.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("request needs a string 'op' field")
+    if op not in KNOWN_OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; supported: {', '.join(KNOWN_OPS)}"
+        )
+    unknown = set(request) - _ALLOWED_FIELDS[op]
+    if unknown:
+        raise ProtocolError(
+            f"op {op!r} does not accept field(s) "
+            f"{', '.join(sorted(map(repr, unknown)))}"
+        )
+    if op in ("neighbors", "degree", "khop", "pagerank"):
+        _check_node_field(request, op)
+    if op == "khop":
+        k = request.get("k", 1)
+        if not isinstance(k, int) or isinstance(k, bool):
+            raise ProtocolError("'k' must be an integer")
+        if not 0 <= k <= MAX_KHOP_K:
+            raise ProtocolError(
+                f"'k' must be in [0, {MAX_KHOP_K}], got {k}"
+            )
+    elif op == "batch":
+        sub = request.get("requests")
+        if not isinstance(sub, list):
+            raise ProtocolError("'batch' needs a 'requests' list")
+        if len(sub) > MAX_BATCH_REQUESTS:
+            raise ProtocolError(
+                f"batch of {len(sub)} requests exceeds the cap of "
+                f"{MAX_BATCH_REQUESTS}"
+            )
+        for index, item in enumerate(sub):
+            # Shallow shape check only; each sub-request is validated
+            # by the engine, which reports errors inline per item.
+            if not isinstance(item, dict):
+                raise ProtocolError(
+                    f"batch request #{index} is not a JSON object"
+                )
+    elif op == "stats":
+        fmt = request.get("format")
+        if fmt is not None and fmt != "prometheus":
+            raise ProtocolError(
+                f"unknown stats format {fmt!r}; supported: 'prometheus'"
+            )
+    return request
+
+
+def validate_response(message: dict) -> dict:
+    """Schema-check one server response; returns it unchanged.
+
+    The client-side half of the trust boundary: a hostile or buggy
+    server cannot make the client act on a response missing its
+    verdict (``ok``), carrying a malformed ``error`` body, or smuggling
+    unknown fields.  Raises :class:`ProtocolError` on violation.
+    """
+    unknown = set(message) - _RESPONSE_FIELDS
+    if unknown:
+        raise ProtocolError(
+            f"response carries unknown field(s) "
+            f"{', '.join(sorted(map(repr, unknown)))}"
+        )
+    ok = message.get("ok")
+    if not isinstance(ok, bool):
+        raise ProtocolError("response needs a boolean 'ok' field")
+    if not _is_scalar(message.get("id")):
+        raise ProtocolError("response 'id' must be a JSON scalar")
+    if ok:
+        if "result" not in message:
+            raise ProtocolError("ok response is missing 'result'")
+    else:
+        error = message.get("error")
+        if not isinstance(error, dict):
+            raise ProtocolError("error response needs an 'error' object")
+        if not isinstance(error.get("type"), str) or not isinstance(
+            error.get("message"), str
+        ):
+            raise ProtocolError(
+                "'error' needs string 'type' and 'message' fields"
+            )
+    return message
+
+
 class LineReader:
     """Incremental ``\\n``-splitter over a socket.
 
@@ -91,9 +250,15 @@ class LineReader:
     response and close the connection.
     """
 
-    def __init__(self, sock: socket.socket, chunk_size: int = 65536):
+    def __init__(
+        self,
+        sock: socket.socket,
+        chunk_size: int = 65536,
+        max_line_bytes: int = MAX_LINE_BYTES,
+    ):
         self._sock = sock
         self._chunk_size = chunk_size
+        self._max_line_bytes = max_line_bytes
         self._buffer = bytearray()
         self._eof = False
         self._poisoned = False
@@ -112,10 +277,10 @@ class LineReader:
                 return line
             if self._eof:
                 return None
-            if len(self._buffer) > MAX_LINE_BYTES:
+            if len(self._buffer) > self._max_line_bytes:
                 self._poisoned = True
                 raise ProtocolError(
-                    f"unterminated line exceeds {MAX_LINE_BYTES} bytes"
+                    f"unterminated line exceeds {self._max_line_bytes} bytes"
                 )
             chunk = self._sock.recv(self._chunk_size)
             if not chunk:

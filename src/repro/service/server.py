@@ -58,6 +58,7 @@ from repro.service.protocol import (
     ProtocolError,
     decode_line,
     encode_message,
+    validate_request,
 )
 
 __all__ = ["SummaryQueryServer"]
@@ -337,7 +338,15 @@ class SummaryQueryServer:
         try:
             request = decode_line(line)
         except ProtocolError as exc:
+            self.metrics.protocol_rejected("frame")
             return _protocol_error(exc), False
+        try:
+            validate_request(request)
+        except ProtocolError as exc:
+            # Schema violations echo the id (when it is echoable) so
+            # pipelining clients can pair the rejection to its request.
+            self.metrics.protocol_rejected("schema")
+            return _schema_error(request, exc), False
         tracer = get_tracer()
         if not tracer.enabled:
             return self._handle_request(request)
@@ -442,5 +451,19 @@ def _protocol_error(exc: ProtocolError) -> dict:
         "id": None,
         "ok": False,
         "op": None,
+        "error": {"type": "bad_request", "message": str(exc)},
+    }
+
+
+def _schema_error(request: dict, exc: ProtocolError) -> dict:
+    """A ``bad_request`` for a decodable frame that failed validation."""
+    request_id = request.get("id")
+    if not isinstance(request_id, (str, int, float, bool, type(None))):
+        request_id = None  # unechoable id: do not reflect it back
+    op = request.get("op")
+    return {
+        "id": request_id,
+        "ok": False,
+        "op": op if isinstance(op, str) else None,
         "error": {"type": "bad_request", "message": str(exc)},
     }

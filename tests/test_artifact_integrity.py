@@ -1,0 +1,261 @@
+"""Artifact-integrity tests: checksummed summaries + deep audits.
+
+Three layers of defense, each tested here:
+
+1. the ``# sha256`` footer catches any byte-level tamper
+   (flips, deletions, appends) at load time;
+2. :func:`repro.core.verify.deep_audit` catches *semantic*
+   corruption that still parses — inconsistent corrections, dropped
+   super-edges, wrong costs — with or without the original graph;
+3. the ``repro verify`` CLI surfaces both with nonzero exits.
+
+A corruption that yields a *valid encoding of a different graph*
+(e.g. a spurious, non-conflicting plus-correction) is undetectable
+without ground truth by design; those cases assert detection only
+when the original graph is supplied.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.algorithms.mags import MagsSummarizer
+from repro.cli import main as cli_main
+from repro.core.serialization import (
+    FormatError,
+    load_representation,
+    load_representation_checked,
+    save_representation,
+)
+from repro.core.verify import deep_audit
+from repro.graph.generators import planted_partition
+from repro.graph.io import save_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return planted_partition(120, 8, 0.6, 0.04, seed=11)
+
+
+@pytest.fixture(scope="module")
+def rep(graph):
+    return MagsSummarizer(iterations=8, seed=1).summarize(graph).representation
+
+
+class TestChecksum:
+    def test_roundtrip_is_verified(self, rep, tmp_path):
+        path = tmp_path / "summary.txt"
+        save_representation(path, rep)
+        loaded, status = load_representation_checked(path)
+        assert status == "verified"
+        assert loaded.cost == rep.cost
+
+    def test_gzip_roundtrip_is_verified(self, rep, tmp_path):
+        path = tmp_path / "summary.txt.gz"
+        save_representation(path, rep)
+        _loaded, status = load_representation_checked(path)
+        assert status == "verified"
+
+    def test_legacy_file_without_footer_loads_as_absent(self, rep, tmp_path):
+        path = tmp_path / "summary.txt"
+        save_representation(path, rep)
+        lines = path.read_text().splitlines(keepends=True)
+        assert lines[-1].startswith("# sha256 ")
+        legacy = tmp_path / "legacy.txt"
+        legacy.write_text("".join(lines[:-1]))
+        loaded, status = load_representation_checked(legacy)
+        assert status == "absent"
+        assert loaded.cost == rep.cost
+
+    @pytest.mark.parametrize("mutation", ["flip", "delete", "append"])
+    def test_tamper_is_caught(self, rep, tmp_path, mutation):
+        path = tmp_path / "summary.txt"
+        save_representation(path, rep)
+        lines = path.read_text().splitlines(keepends=True)
+        record = next(
+            i for i, line in enumerate(lines) if line.startswith("E ")
+        )
+        if mutation == "flip":
+            u, v = lines[record].split()[1:]
+            lines[record] = f"E {u} {int(v) + 1}\n"
+        elif mutation == "delete":
+            del lines[record]
+        else:  # append after the footer
+            lines.append("+ 0 1\n")
+        path.write_text("".join(lines))
+        with pytest.raises(FormatError, match="checksum|after the sha256"):
+            load_representation(path)
+
+    def test_duplicate_footer_rejected(self, rep, tmp_path):
+        path = tmp_path / "summary.txt"
+        save_representation(path, rep)
+        footer = path.read_text().splitlines(keepends=True)[-1]
+        with open(path, "a") as handle:
+            handle.write(footer)
+        with pytest.raises(FormatError, match="duplicate"):
+            load_representation(path)
+
+    def test_pre_footer_comments_are_covered(self, rep, tmp_path):
+        # A comment inserted before the footer changes the content the
+        # footer covers, so it must fail (comments are hashed too).
+        path = tmp_path / "summary.txt"
+        save_representation(path, rep)
+        lines = path.read_text().splitlines(keepends=True)
+        lines.insert(2, "# innocuous note\n")
+        path.write_text("".join(lines))
+        with pytest.raises(FormatError, match="checksum"):
+            load_representation(path)
+
+
+def _mutate(rep, **changes):
+    return dataclasses.replace(rep, **changes)
+
+
+def _superedge_with_removals(rep):
+    """The stored summary-edge tuple some minus-correction depends on."""
+    for u, v in rep.removals:
+        pu, pv = rep.node_to_supernode[u], rep.node_to_supernode[v]
+        for su, sv in rep.summary_edges:
+            if {su, sv} == {pu, pv} or (pu == pv == su == sv):
+                return (su, sv)
+    raise AssertionError("fixture has no removal-bearing super-edge")
+
+
+class TestDeepAudit:
+    def test_clean_artifact_has_no_findings(self, rep, graph):
+        assert deep_audit(rep) == []
+        assert deep_audit(rep, graph) == []
+
+    def test_orphan_minus_correction_caught_without_graph(self, rep):
+        # A removal whose endpoints' super-nodes share no summary edge
+        # is dead weight no correct writer emits.
+        u, v = 0, 1
+        corrupted = _mutate(
+            rep,
+            removals=rep.removals | {(u, v)},
+            summary_edges=set(),
+        )
+        findings = deep_audit(corrupted)
+        assert any("not implied by any summary edge" in f for f in findings)
+
+    def test_dropped_superedge_caught_without_graph(self, rep):
+        # Dropping a super-edge that has minus-corrections strands
+        # them: the audit fires with no ground truth available.  (A
+        # super-edge with *no* corrections would decode to a valid
+        # encoding of a different graph — see the next test.)
+        victim = _superedge_with_removals(rep)
+        corrupted = _mutate(
+            rep, summary_edges=rep.summary_edges - {victim}
+        )
+        findings = deep_audit(corrupted)
+        assert any("not implied by any summary edge" in f for f in findings)
+
+    def test_spurious_addition_needs_ground_truth(self, rep, graph):
+        # Add a plus-correction for a pair no summary edge implies:
+        # the artifact is a *valid* encoding of a slightly different
+        # graph — internally undetectable, caught only against the
+        # original.
+        pair = None
+        edges = graph.edge_set()
+        superedges = {
+            (min(a, b), max(a, b)) for a, b in rep.summary_edges
+        }
+        for u in range(graph.n):
+            for v in range(u + 1, graph.n):
+                pu, pv = rep.node_to_supernode[u], rep.node_to_supernode[v]
+                if (
+                    (u, v) not in edges
+                    and (min(pu, pv), max(pu, pv)) not in superedges
+                ):
+                    pair = (u, v)
+                    break
+            if pair:
+                break
+        assert pair is not None
+        corrupted = _mutate(rep, additions=rep.additions | {pair})
+        assert deep_audit(corrupted, graph) != []
+
+    def test_broken_partition_caught(self, rep):
+        # Drop a node from one super-node: no longer a partition.
+        sid = next(
+            s for s, members in rep.supernodes.items() if len(members) > 1
+        )
+        broken_supernodes = {
+            s: list(m) for s, m in rep.supernodes.items()
+        }
+        broken_supernodes[sid] = broken_supernodes[sid][:-1]
+        corrupted = _mutate(rep, supernodes=broken_supernodes)
+        assert deep_audit(corrupted) == [
+            "super-nodes are not a partition of 0..n-1"
+        ]
+
+    def test_both_signs_caught(self, rep):
+        pair = next(iter(rep.additions or rep.removals))
+        corrupted = _mutate(
+            rep,
+            additions=rep.additions | {pair},
+            removals=rep.removals | {pair},
+        )
+        findings = deep_audit(corrupted)
+        assert any("both signs" in f for f in findings)
+
+
+class TestVerifyCLI:
+    def _write(self, tmp_path, rep, graph):
+        summary = tmp_path / "summary.txt"
+        edges = tmp_path / "graph.txt"
+        save_representation(summary, rep)
+        save_graph(edges, graph)
+        return summary, edges
+
+    def test_ok_paths(self, rep, graph, tmp_path, capsys):
+        summary, edges = self._write(tmp_path, rep, graph)
+        assert cli_main(["verify", str(summary)]) == 0
+        assert cli_main(["verify", str(summary), "--deep"]) == 0
+        assert (
+            cli_main(
+                ["verify", str(summary), "--graph", str(edges), "--deep"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "checksum: verified" in out
+        assert "deep audit" in out
+
+    def test_tampered_file_exits_nonzero(self, rep, graph, tmp_path, capsys):
+        summary, _edges = self._write(tmp_path, rep, graph)
+        content = summary.read_text().replace("E ", "E 9999", 1)
+        summary.write_text(content)
+        assert cli_main(["verify", str(summary)]) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_semantic_corruption_needs_deep(self, rep, graph, tmp_path):
+        # Re-save a structurally-valid but inconsistent artifact:
+        # drop a removal-bearing summary edge and re-checksum
+        # (simulating a buggy writer that signs what it writes).
+        victim = _superedge_with_removals(rep)
+        corrupted = _mutate(
+            rep, summary_edges=rep.summary_edges - {victim}
+        )
+        summary = tmp_path / "corrupted.txt"
+        save_representation(summary, corrupted)
+        # Parses fine, checksum matches (the writer signed it)...
+        assert cli_main(["verify", str(summary)]) == 0
+        # ...but the deep audit sees the non-optimal encoding.
+        assert cli_main(["verify", str(summary), "--deep"]) == 1
+
+    def test_graph_mismatch_caught_without_deep(
+        self, rep, graph, tmp_path
+    ):
+        summary, _edges = self._write(tmp_path, rep, graph)
+        other = planted_partition(120, 8, 0.6, 0.04, seed=99)
+        edges = tmp_path / "other.txt"
+        save_graph(edges, other)
+        assert (
+            cli_main(["verify", str(summary), "--graph", str(edges)]) == 1
+        )
+
+    def test_unreadable_file_exits_nonzero(self, tmp_path):
+        bogus = tmp_path / "bogus.txt"
+        bogus.write_text("not a summary\n")
+        assert cli_main(["verify", str(bogus)]) == 1

@@ -76,6 +76,17 @@ class TestPartitioners:
         with pytest.raises(ValueError):
             neighborhood_partition(triangle, 0)
 
+    def test_more_workers_than_nodes_rejected(self, triangle):
+        for partitioner in (
+            hash_partition, chunk_partition, neighborhood_partition
+        ):
+            with pytest.raises(ValueError, match="exceeds the node count"):
+                partitioner(triangle, triangle.n + 1)
+
+    def test_workers_equal_nodes_allowed(self, triangle):
+        assignment = chunk_partition(triangle, triangle.n)
+        assert sorted(assignment) == list(range(triangle.n))
+
     def test_negative_slack_rejected(self, triangle):
         with pytest.raises(ValueError):
             neighborhood_partition(triangle, 2, balance_slack=-0.1)
@@ -160,6 +171,16 @@ class TestDistributedSummarizer:
             DistributedSummarizer(workers=0)
         with pytest.raises(ValueError):
             DistributedSummarizer(workers=2, refinement_rounds=-1)
+
+    def test_more_workers_than_nodes_rejected_up_front(self):
+        # Even a custom partitioner that would tolerate it cannot
+        # bypass the coordinator's own check.
+        graph = Graph(3, [(0, 1), (1, 2)])
+        summarizer = self._summarizer(
+            8, partitioner=lambda g, w: [0] * g.n
+        )
+        with pytest.raises(ValueError, match="exceeds the node count"):
+            summarizer.summarize(graph)
 
     def test_deterministic(self, workload):
         a = self._summarizer(4).summarize(workload)

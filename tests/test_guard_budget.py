@@ -1,0 +1,182 @@
+"""Resource governance tests: budgets and the anytime contract.
+
+The contract under test (ISSUE 5 tentpole): a summarization run given
+a :class:`~repro.resilience.guard.ResourceBudget` that runs out stops
+merging at the next safe boundary and returns a **valid lossless
+summary of the work done so far**, flagged ``truncated`` — and a
+budget that never trips changes *nothing*, bit for bit.
+"""
+
+import time
+
+import pytest
+
+from repro.algorithms.greedy import GreedySummarizer
+from repro.algorithms.mags import MagsSummarizer
+from repro.algorithms.mags_dm import MagsDMSummarizer
+from repro.core.serialization import load_representation, save_representation
+from repro.core.verify import deep_audit, verify_lossless
+from repro.graph.generators import planted_partition
+from repro.resilience.guard import ResourceBudget, current_rss_mb
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return planted_partition(200, 10, 0.55, 0.04, seed=3)
+
+
+SUMMARIZERS = {
+    "mags": lambda: MagsSummarizer(iterations=8, seed=1),
+    "mags-dm": lambda: MagsDMSummarizer(iterations=8, seed=1),
+    "greedy": lambda: GreedySummarizer(seed=1),
+}
+
+
+class TestResourceBudget:
+    def test_rejects_nonsensical_limits(self):
+        with pytest.raises(ValueError):
+            ResourceBudget(time_budget=-1.0)
+        with pytest.raises(ValueError):
+            ResourceBudget(memory_budget_mb=0)
+        with pytest.raises(ValueError):
+            ResourceBudget(max_merges=-5)
+        with pytest.raises(ValueError):
+            ResourceBudget(max_candidates=-1)
+        with pytest.raises(ValueError):
+            ResourceBudget(poll_interval=0.0)
+
+    def test_time_budget_trips(self):
+        budget = ResourceBudget(time_budget=0.01)
+        with budget:
+            time.sleep(0.03)
+            assert budget.exhausted() == "time_budget"
+        assert "time_budget" in budget.trips
+
+    def test_merge_cap_trips(self):
+        budget = ResourceBudget(max_merges=3)
+        with budget:
+            budget.note_merges(2)
+            assert budget.exhausted() is None
+            budget.note_merges(1)
+            assert budget.exhausted() == "merge_cap"
+
+    def test_candidate_cap_clamps(self):
+        budget = ResourceBudget(max_candidates=2)
+        with budget:
+            kept = budget.clamp_candidates([1, 2, 3, 4])
+            assert kept == [1, 2]
+            assert "candidate_cap" in budget.trips
+            # Under the cap nothing is clamped or recorded twice.
+            assert budget.clamp_candidates([5]) == [5]
+
+    def test_never_tripped_budget_reports_nothing(self):
+        budget = ResourceBudget(time_budget=3600.0, max_merges=10**9)
+        with budget:
+            budget.note_merges(1)
+            assert budget.exhausted() is None
+        assert budget.trips == []
+
+    def test_restartable(self):
+        budget = ResourceBudget(max_merges=1)
+        with budget:
+            budget.note_merges(1)
+            assert budget.exhausted() == "merge_cap"
+        # A second run starts from zero.
+        with budget:
+            assert budget.exhausted() is None
+
+    def test_current_rss_readable_on_linux(self):
+        rss = current_rss_mb()
+        # May be None on exotic platforms; on the CI image it is real.
+        if rss is not None:
+            assert rss > 1.0
+
+
+class TestAnytimeContract:
+    @pytest.mark.parametrize("name", sorted(SUMMARIZERS))
+    def test_zero_time_budget_is_lossless_and_flagged(self, graph, name):
+        summarizer = SUMMARIZERS[name]().configure_budget(
+            ResourceBudget(time_budget=0.0)
+        )
+        result = summarizer.summarize(graph)
+        assert result.truncated
+        assert result.truncated_reason == "time_budget"
+        verify_lossless(graph, result.representation)
+        assert deep_audit(result.representation, graph) == []
+        assert "truncated=time_budget" in result.summary_line()
+
+    @pytest.mark.parametrize("name", sorted(SUMMARIZERS))
+    def test_merge_cap_respected(self, graph, name):
+        summarizer = SUMMARIZERS[name]().configure_budget(
+            ResourceBudget(max_merges=5)
+        )
+        result = summarizer.summarize(graph)
+        assert result.truncated
+        assert result.truncated_reason == "merge_cap"
+        # Batched algorithms may overshoot within one committed batch,
+        # but never by more than the batch that crossed the line.
+        assert graph.n - result.representation.num_supernodes <= 64
+        verify_lossless(graph, result.representation)
+
+    def test_candidate_cap_truncates_mags(self, graph):
+        summarizer = MagsSummarizer(iterations=8, seed=1).configure_budget(
+            ResourceBudget(max_candidates=10)
+        )
+        result = summarizer.summarize(graph)
+        assert result.truncated
+        assert result.truncated_reason == "candidate_cap"
+        verify_lossless(graph, result.representation)
+
+    @pytest.mark.parametrize("name", sorted(SUMMARIZERS))
+    def test_generous_budget_is_bit_identical(self, graph, name, tmp_path):
+        plain = SUMMARIZERS[name]().summarize(graph)
+        budgeted = SUMMARIZERS[name]().configure_budget(
+            ResourceBudget(
+                time_budget=3600.0,
+                max_merges=10**9,
+                max_candidates=10**9,
+            )
+        ).summarize(graph)
+        assert not budgeted.truncated
+        a = tmp_path / "plain.txt"
+        b = tmp_path / "budgeted.txt"
+        save_representation(a, plain.representation)
+        save_representation(b, budgeted.representation)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_budget_detaches(self, graph):
+        summarizer = MagsSummarizer(iterations=4, seed=1).configure_budget(
+            ResourceBudget(time_budget=0.0)
+        )
+        assert summarizer.summarize(graph).truncated
+        summarizer.configure_budget(None)
+        assert not summarizer.summarize(graph).truncated
+
+    def test_truncated_artifact_roundtrips(self, graph, tmp_path):
+        summarizer = MagsSummarizer(iterations=8, seed=1).configure_budget(
+            ResourceBudget(max_merges=10)
+        )
+        result = summarizer.summarize(graph)
+        path = tmp_path / "truncated.txt"
+        save_representation(path, result.representation)
+        loaded = load_representation(path)
+        assert deep_audit(loaded, graph) == []
+
+    def test_trips_counted_in_metrics(self, graph):
+        from repro.obs.metrics import get_registry
+
+        registry = get_registry()
+
+        def trips(reason):
+            for labels, metric in registry.family(
+                "repro_guard_budget_trips_total"
+            ):
+                if labels.get("reason") == reason:
+                    return metric.value
+            return 0
+
+        before = trips("merge_cap")
+        MagsSummarizer(iterations=4, seed=1).configure_budget(
+            ResourceBudget(max_merges=2)
+        ).summarize(graph)
+        assert trips("merge_cap") == before + 1

@@ -1,0 +1,188 @@
+"""Adversarial-input hardening tests for validated graph ingestion.
+
+Exercises the malformed-input corpus in ``tests/fixtures/malformed/``
+under all three ingestion policies (``strict`` / ``skip`` /
+``quarantine``), plus the resource caps (``max_nodes`` /
+``max_edges`` / ``max_line_bytes``) and the diagnostic contract:
+every strict-mode rejection names the 1-based line number, the byte
+offset, and a truncated snippet of the offending line.
+"""
+
+import gzip
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.graph.graph import GraphError
+from repro.graph.io import (
+    DEFAULT_MAX_LINE_BYTES,
+    INGEST_POLICIES,
+    load_graph,
+    load_graph_checked,
+)
+
+CORPUS = Path(__file__).parent / "fixtures" / "malformed"
+
+#: fixture -> (reason counted in skip/quarantine, rejected line count).
+PER_LINE_FIXTURES = {
+    "nan_tokens.txt": ("non_integer", 2),
+    "short_line.txt": ("malformed", 1),
+    "long_line.txt": ("line_too_long", 1),
+    "out_of_range.txt": ("id_out_of_range", 1),
+}
+
+#: Structurally broken files: fatal under *every* policy — a corrupt
+#: header or stream is not a skippable line.
+FATAL_FIXTURES = ["bad_header.txt", "negative_count.txt", "truncated.txt.gz"]
+
+
+class TestCorpusStrict:
+    @pytest.mark.parametrize("name", sorted(PER_LINE_FIXTURES))
+    def test_per_line_fixtures_fail_strict(self, name):
+        with pytest.raises((ValueError, GraphError)) as excinfo:
+            load_graph(CORPUS / name, policy="strict")
+        message = str(excinfo.value)
+        assert name in message  # names the file
+        assert re.search(r"\(line \d+, byte \d+\)", message)
+
+    @pytest.mark.parametrize("name", FATAL_FIXTURES)
+    @pytest.mark.parametrize("policy", INGEST_POLICIES)
+    def test_fatal_fixtures_fail_every_policy(self, name, policy):
+        with pytest.raises((ValueError, GraphError)):
+            load_graph(CORPUS / name, policy=policy)
+
+    def test_diagnostic_names_line_and_snippet(self):
+        with pytest.raises(ValueError) as excinfo:
+            load_graph(CORPUS / "nan_tokens.txt", policy="strict")
+        message = str(excinfo.value)
+        # line 2 ("nan inf") starts after "0 1\n" = byte 4.
+        assert "(line 2, byte 4)" in message
+        assert "'nan inf'" in message
+
+    def test_long_snippet_is_truncated(self):
+        with pytest.raises(ValueError) as excinfo:
+            load_graph(CORPUS / "long_line.txt", policy="strict")
+        message = str(excinfo.value)
+        assert "..." in message
+        assert len(message) < 300  # not the whole 70 KB line
+
+    def test_clean_but_messy_file_loads_under_strict(self):
+        # Self-loops and duplicates are *cleaning* concerns, not
+        # validity concerns: no policy rejects them.
+        graph, report = load_graph_checked(
+            CORPUS / "selfloop_dup_flood.txt", policy="strict"
+        )
+        assert (graph.n, graph.m) == (3, 2)
+        assert report.rejected == 0
+
+
+class TestCorpusSkip:
+    @pytest.mark.parametrize("name", sorted(PER_LINE_FIXTURES))
+    def test_skip_drops_and_counts(self, name):
+        reason, count = PER_LINE_FIXTURES[name]
+        graph, report = load_graph_checked(CORPUS / name, policy="skip")
+        assert report.rejected == count
+        assert report.rejected_by_reason == {reason: count}
+        # The surviving lines form the same clean 3-node path.
+        assert (graph.n, graph.m) == (3, 2)
+        assert report.quarantine_path is None
+
+    def test_rejections_visible_in_metrics(self):
+        from repro.obs.metrics import get_registry
+
+        registry = get_registry()
+
+        def total():
+            return sum(
+                metric.value
+                for labels, metric in registry.family(
+                    "repro_ingest_rejected_lines_total"
+                )
+            )
+
+        before = total()
+        load_graph_checked(CORPUS / "nan_tokens.txt", policy="skip")
+        assert total() == before + 2
+
+
+class TestCorpusQuarantine:
+    @pytest.mark.parametrize("name", sorted(PER_LINE_FIXTURES))
+    def test_quarantine_writes_sidecar(self, name, tmp_path):
+        reason, count = PER_LINE_FIXTURES[name]
+        sidecar = tmp_path / f"{name}.quarantine"
+        graph, report = load_graph_checked(
+            CORPUS / name, policy="quarantine", quarantine_path=sidecar
+        )
+        assert (graph.n, graph.m) == (3, 2)
+        assert report.quarantine_path == sidecar
+        rows = sidecar.read_text().splitlines()
+        assert len(rows) == count
+        line_no, offset, row_reason, snippet = rows[0].split("\t")
+        assert int(line_no) >= 1
+        assert int(offset) >= 0
+        assert row_reason == reason
+        assert snippet  # the offending text rides along
+
+    def test_default_sidecar_beside_input(self, tmp_path):
+        source = tmp_path / "edges.txt"
+        source.write_text("0 1\nbad line here x\n1 2\n")
+        _graph, report = load_graph_checked(source, policy="quarantine")
+        assert report.quarantine_path == tmp_path / "edges.txt.quarantine"
+        assert report.quarantine_path.exists()
+
+    def test_clean_file_leaves_no_sidecar(self, tmp_path):
+        source = tmp_path / "clean.txt"
+        source.write_text("0 1\n1 2\n")
+        _graph, report = load_graph_checked(source, policy="quarantine")
+        assert report.rejected == 0
+        assert report.quarantine_path is None
+        assert not (tmp_path / "clean.txt.quarantine").exists()
+
+
+class TestCaps:
+    def test_unknown_policy_rejected(self, tmp_path):
+        source = tmp_path / "edges.txt"
+        source.write_text("0 1\n")
+        with pytest.raises(ValueError, match="policy"):
+            load_graph(source, policy="lenient")
+
+    def test_max_nodes_enforced(self, tmp_path):
+        source = tmp_path / "edges.txt"
+        source.write_text("0 1\n1 2\n2 3\n")
+        with pytest.raises(GraphError, match="max_nodes"):
+            load_graph(source, max_nodes=2)
+        assert load_graph(source, max_nodes=4).n == 4
+
+    def test_max_nodes_checked_against_header_up_front(self, tmp_path):
+        source = tmp_path / "edges.txt"
+        source.write_text("# n=1000000\n0 1\n")
+        with pytest.raises(GraphError, match="max_nodes"):
+            load_graph(source, max_nodes=100)
+
+    def test_max_edges_enforced(self, tmp_path):
+        source = tmp_path / "edges.txt"
+        source.write_text("".join(f"{i} {i + 1}\n" for i in range(10)))
+        with pytest.raises(GraphError, match="max_edges"):
+            load_graph(source, max_edges=5)
+        assert load_graph(source, max_edges=10).m == 10
+
+    def test_line_cap_is_tunable(self, tmp_path):
+        source = tmp_path / "edges.txt"
+        source.write_text("0 1\n1 2\n")
+        # A cap shorter than any line rejects everything in strict.
+        with pytest.raises(ValueError, match="byte cap"):
+            load_graph(source, max_line_bytes=2)
+        # And None disables the cap entirely.
+        big = tmp_path / "big.txt"
+        big.write_text("0 1" + " " * (DEFAULT_MAX_LINE_BYTES + 10) + "\n")
+        assert load_graph(big, max_line_bytes=None).m == 1
+
+    def test_gzip_quarantine_roundtrip(self, tmp_path):
+        source = tmp_path / "edges.txt.gz"
+        with gzip.open(source, "wt") as handle:
+            handle.write("0 1\njunk token line\n1 2\n")
+        graph, report = load_graph_checked(source, policy="quarantine")
+        assert (graph.n, graph.m) == (3, 2)
+        assert report.rejected == 1
+        assert report.quarantine_path.exists()
