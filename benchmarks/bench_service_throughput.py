@@ -36,3 +36,42 @@ def test_service_throughput(benchmark):
     assert by_phase["warm"]["hit_rate"] == 1.0
     for row in rows:
         assert row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]
+
+
+def test_cluster_throughput(benchmark):
+    """1 -> 2 -> 4 shards behind the router, identical wire path.
+
+    The acceptance bars: aggregate throughput must scale >= 1.7x at 2
+    shards and >= 3x at 4 shards over the single-shard baseline, at a
+    p99 no worse than the baseline's (the speedup must not be bought
+    with a latency regression).
+    """
+    from repro.bench.runner import quick_mode
+
+    rows = run_and_report(
+        benchmark,
+        experiments.cluster_throughput,
+        "cluster_throughput",
+        columns=[
+            "config", "scope", "queries", "qps",
+            "p50_ms", "p95_ms", "p99_ms", "hit_rate", "speedup",
+        ],
+    )
+    agg = {r["config"]: r for r in rows if r["scope"] == "aggregate"}
+    assert set(agg) == {"1-shard", "2-shard", "4-shard"}
+    baseline = agg["1-shard"]
+    # Per-shard rows exist for every instance of every configuration.
+    assert sum(r["scope"] != "aggregate" for r in rows) == 1 + 2 + 4
+    for row in agg.values():
+        assert row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]
+    # More shards -> more aggregate cache -> higher hit rate.
+    assert agg["4-shard"]["hit_rate"] > agg["1-shard"]["hit_rate"]
+    if quick_mode():
+        # Reduced n: still must scale, but without the full-run bars.
+        assert agg["2-shard"]["qps"] > baseline["qps"]
+        assert agg["4-shard"]["qps"] > baseline["qps"]
+        return
+    assert agg["2-shard"]["qps"] >= 1.7 * baseline["qps"]
+    assert agg["4-shard"]["qps"] >= 3.0 * baseline["qps"]
+    assert agg["2-shard"]["p99_ms"] <= baseline["p99_ms"]
+    assert agg["4-shard"]["p99_ms"] <= baseline["p99_ms"]

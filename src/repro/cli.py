@@ -9,6 +9,8 @@ Exposes the library's pipeline as a tool::
     python -m repro compare graph.txt -a mags,mags-dm,ldme
     python -m repro dataset CN -o cn_analog.txt
     python -m repro serve summary.txt --port 7077
+    python -m repro cluster plan graph.txt -o cluster/ --shards 2
+    python -m repro cluster start cluster/topology.json
     python -m repro profile -a mags-dm -d CA --trace-out trace.jsonl
     python -m repro trace trace.jsonl --validate --phases
 
@@ -294,6 +296,76 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    cluster = sub.add_parser(
+        "cluster",
+        help="sharded serving: plan/start/stop/status a summary cluster",
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command", required=True)
+
+    cplan = cluster_sub.add_parser(
+        "plan",
+        help=(
+            "slice a graph into per-shard summary artifacts and write "
+            "topology.json"
+        ),
+    )
+    cplan.add_argument("input", help="edge-list file (u v per line)")
+    cplan.add_argument("-o", "--out", required=True, help="cluster directory")
+    cplan.add_argument("--shards", type=int, default=2)
+    cplan.add_argument("--replicas", type=int, default=1)
+    cplan.add_argument(
+        "-a", "--algorithm", choices=sorted(ALGORITHMS), default="mags-dm"
+    )
+    cplan.add_argument("-T", "--iterations", type=int, default=25)
+    cplan.add_argument("-s", "--seed", type=int, default=0)
+    cplan.add_argument("--host", default="127.0.0.1")
+    cplan.add_argument(
+        "--base-port", type=int, default=7400,
+        help="router port; instances get consecutive ports above it",
+    )
+    cplan.add_argument(
+        "--topology", default=None,
+        help="merge ports/failover settings from an existing topology file",
+    )
+    _add_ingest_options(cplan)
+
+    cstart = cluster_sub.add_parser(
+        "start",
+        help=(
+            "launch every instance subprocess plus the router and serve "
+            "until SIGINT"
+        ),
+    )
+    cstart.add_argument("topology", help="topology.json from 'cluster plan'")
+    cstart.add_argument(
+        "--workers", type=int, default=4,
+        help="worker threads per instance (default 4)",
+    )
+    cstart.add_argument(
+        "--router-workers", type=int, default=8,
+        help="router worker threads (default 8)",
+    )
+    cstart.add_argument(
+        "--cache-size", type=int, default=4096,
+        help="per-instance LRU cache capacity (default 4096)",
+    )
+
+    cstatus = cluster_sub.add_parser(
+        "status", help="probe the router and every instance of a topology"
+    )
+    cstatus.add_argument("topology", help="topology.json")
+    cstatus.add_argument("--timeout", type=float, default=3.0)
+
+    cstop = cluster_sub.add_parser(
+        "stop",
+        help=(
+            "send a shutdown request to the router and every reachable "
+            "instance"
+        ),
+    )
+    cstop.add_argument("topology", help="topology.json")
+    cstop.add_argument("--timeout", type=float, default=5.0)
+
     bench = sub.add_parser(
         "bench", help="run one of the paper's experiments and print it"
     )
@@ -536,11 +608,134 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         breaker=breaker,
     )
     server.start()
+    # Graceful-stop handlers must be live before readiness is
+    # announced: a supervisor that signals the moment it sees the
+    # line must never hit the default (process-killing) handler.
+    import signal as _signal
+
+    for signum in (_signal.SIGINT, _signal.SIGTERM):
+        _signal.signal(signum, lambda *_: server.shutdown())
     host, port = server.address
     print(f"serving on {host}:{port}", flush=True)
     server.serve_forever()
     print("shutdown complete")
     return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import logging
+
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    from repro.cluster import (
+        ClusterManager,
+        TopologyError,
+        default_spec,
+        load_topology,
+        plan_cluster,
+        probe_topology,
+    )
+
+    if args.cluster_command == "plan":
+        graph = _load_graph_from_args(args, args.input)
+        print(f"loaded {graph}")
+        if args.topology:
+            spec = load_topology(args.topology)
+            if spec.shards != args.shards or spec.replicas != args.replicas:
+                print(
+                    f"error: --topology declares "
+                    f"{spec.shards}x{spec.replicas} but the command asked "
+                    f"for {args.shards}x{args.replicas}",
+                    file=sys.stderr,
+                )
+                return 2
+            spec.seed = args.seed
+        else:
+            spec = default_spec(
+                args.shards,
+                args.replicas,
+                seed=args.seed,
+                host=args.host,
+                base_port=args.base_port,
+            )
+        factory = lambda: ALGORITHMS[args.algorithm](  # noqa: E731
+            args.iterations, args.seed
+        )
+        report = plan_cluster(graph, spec, args.out, factory)
+        for line in report.summary_lines():
+            print(line)
+        print(f"topology written to {args.out}/topology.json")
+        return 0
+
+    try:
+        spec = load_topology(args.topology)
+    except (TopologyError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.cluster_command == "start":
+        manager = ClusterManager(
+            spec, workers=args.workers, cache_size=args.cache_size
+        )
+        try:
+            manager.start_instances()
+        except TopologyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        manager.start_router(workers=args.router_workers)
+        host, port = manager.router_server.address
+        print(
+            f"cluster up: {spec.shards} shard(s) x {spec.replicas} "
+            f"replica(s); router serving on {host}:{port}",
+            flush=True,
+        )
+        try:
+            manager.router_server.serve_forever()
+        finally:
+            manager.stop()
+        print("cluster shutdown complete")
+        return 0
+
+    if args.cluster_command == "status":
+        rows = probe_topology(spec, timeout=args.timeout)
+        all_up = True
+        for row in rows:
+            if row["up"]:
+                print(
+                    f"{row['target']:12s} {row['address']:22s} up  "
+                    f"requests={row['requests_total']} "
+                    f"errors={row['errors_total']}"
+                )
+            else:
+                all_up = False
+                print(
+                    f"{row['target']:12s} {row['address']:22s} DOWN "
+                    f"({row['error']})"
+                )
+        return 0 if all_up else 1
+
+    if args.cluster_command == "stop":
+        from repro.service.client import ServiceError, SummaryServiceClient
+
+        # Router first so it stops fanning out to dying instances.
+        targets = [("router", spec.router_host, spec.router_port)]
+        targets += [(i.label, i.host, i.port) for i in spec.instances]
+        failures = 0
+        for label, host, port in targets:
+            try:
+                with SummaryServiceClient(
+                    host, port, timeout=args.timeout
+                ) as client:
+                    client.shutdown_server()
+                print(f"{label}: shutdown acknowledged")
+            except (OSError, ServiceError, ValueError) as exc:
+                failures += 1
+                print(f"{label}: unreachable ({exc})")
+        return 0 if failures == 0 else 1
+
+    raise AssertionError(f"unhandled cluster command {args.cluster_command}")
 
 
 #: CLI experiment name -> repro.bench.experiments function name.
@@ -562,6 +757,7 @@ _EXPERIMENTS = {
     "table3": "table3_pagerank",
     "neighbor": "neighbor_query_cost",
     "service": "service_throughput",
+    "cluster": "cluster_throughput",
 }
 
 
@@ -686,6 +882,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "dataset": _cmd_dataset,
     "serve": _cmd_serve,
+    "cluster": _cmd_cluster,
     "bench": _cmd_bench,
     "profile": _cmd_profile,
     "trace": _cmd_trace,

@@ -25,12 +25,36 @@ from __future__ import annotations
 from repro.graph.graph import Graph
 
 __all__ = [
+    "shard_for_node",
     "hash_partition",
     "chunk_partition",
     "neighborhood_partition",
     "cut_edges",
     "partition_quality",
 ]
+
+_MASK64 = (1 << 64) - 1
+
+
+def shard_for_node(node: int, shards: int, seed: int = 0) -> int:
+    """Owning shard of ``node`` under the seeded keyed hash.
+
+    The standalone form of the :func:`hash_partition` assignment: a
+    splitmix64-style scramble of ``(node, seed)``, reduced mod
+    ``shards``.  It needs no :class:`Graph` in hand, so a query router
+    can map ids it has never seen, and it is independent of
+    ``PYTHONHASHSEED`` (no use of Python's randomised ``hash``), so
+    every process — summarizer, shard server, router, client — agrees
+    on the same map for the same ``(shards, seed)``.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if node < 0:
+        raise ValueError(f"node must be >= 0, got {node}")
+    x = (node + seed * 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (x ^ (x >> 31)) % shards
 
 
 def _validate(graph: Graph, workers: int) -> None:
@@ -46,21 +70,13 @@ def _validate(graph: Graph, workers: int) -> None:
 
 
 def hash_partition(graph: Graph, workers: int, seed: int = 0) -> list[int]:
-    """Assign node ``u`` to partition ``hash(u, seed) mod workers``.
+    """Assign node ``u`` to partition :func:`shard_for_node(u, workers,
+    seed) <shard_for_node>`.
 
     Deterministic and balanced in expectation, oblivious to structure.
     """
     _validate(graph, workers)
-    # Splitmix-style scramble keeps the assignment seed-sensitive
-    # without Python's per-process hash randomisation.
-    mask = (1 << 64) - 1
-    out = []
-    for u in range(graph.n):
-        x = (u + seed * 0x9E3779B97F4A7C15) & mask
-        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & mask
-        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & mask
-        out.append((x ^ (x >> 31)) % workers)
-    return out
+    return [shard_for_node(u, workers, seed) for u in range(graph.n)]
 
 
 def chunk_partition(graph: Graph, workers: int) -> list[int]:

@@ -46,7 +46,7 @@ from repro.queries.neighbors import SummaryNeighborIndex, neighbor_query
 from repro.queries.pagerank import SummaryPageRank
 from repro.service.metrics import ServiceMetrics
 
-__all__ = ["QueryEngine", "QueryError", "QueryTimeout", "OPS"]
+__all__ = ["QueryEngine", "QueryError", "QueryTimeout", "LRUCache", "OPS"]
 
 #: Request types the engine understands (the protocol's ``op`` field).
 OPS = ("neighbors", "degree", "khop", "pagerank", "stats", "ping")
@@ -105,6 +105,11 @@ class _LRUCache:
     @property
     def capacity(self) -> int:
         return self._capacity
+
+
+#: Public name for the serving LRU; the cluster router reuses it for
+#: its cross-shard neighborhood cache.
+LRUCache = _LRUCache
 
 
 class QueryEngine:

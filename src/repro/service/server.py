@@ -169,11 +169,16 @@ class SummaryQueryServer:
             )
             self._metrics_logger.start()
         host, port = self.address
+        describe = getattr(self.engine, "describe", None)
+        if callable(describe):
+            # Router-style engines serve no representation of their own.
+            what = describe()
+        else:
+            rep = self.engine.representation
+            what = f"summary (n={rep.n}, |P|={rep.num_supernodes})"
         logger.info(
-            "serving summary (n=%d, |P|=%d) on %s:%d with %d workers",
-            self.engine.representation.n,
-            self.engine.representation.num_supernodes,
-            host, port, self._workers,
+            "serving %s on %s:%d with %d workers",
+            what, host, port, self._workers,
         )
         return self
 

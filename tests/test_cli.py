@@ -165,3 +165,72 @@ class TestCheckpointCLI:
             "--checkpoint-dir", str(tmp_path / "none"), "--resume",
         ]) == 0
         assert "no valid checkpoint found" in capsys.readouterr().out
+
+
+class TestClusterCLI:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["cluster", "plan", "g.txt", "-o", "out"]
+        )
+        assert args.cluster_command == "plan"
+        assert args.shards == 2
+        assert args.replicas == 1
+        assert args.base_port == 7400
+
+    def test_plan_then_status_down(self, tmp_path, edge_file, capsys):
+        path, graph = edge_file
+        out = tmp_path / "cluster"
+        code = main([
+            "cluster", "plan", str(path),
+            "-o", str(out),
+            "--shards", "2",
+            "-T", "4",
+            "--base-port", "7610",
+        ])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "topology written" in captured
+        assert (out / "topology.json").exists()
+        assert (out / "shard-0.summary.txt.gz").exists()
+        assert (out / "shard-1.summary.txt.gz").exists()
+
+        # Nothing is running: status reports every target down.
+        code = main(["cluster", "status", str(out / "topology.json")])
+        assert code == 1
+        assert "DOWN" in capsys.readouterr().out
+
+    def test_plan_rejects_mismatched_template(self, tmp_path, edge_file):
+        import json
+
+        path, _ = edge_file
+        template = tmp_path / "template.json"
+        from repro.cluster.topology import default_spec, save_topology
+
+        save_topology(template, default_spec(4, 1))
+        code = main([
+            "cluster", "plan", str(path),
+            "-o", str(tmp_path / "out"),
+            "--shards", "2",
+            "--topology", str(template),
+        ])
+        assert code == 2
+
+    def test_stop_unreachable_reports_failure(self, tmp_path, edge_file):
+        path, _ = edge_file
+        out = tmp_path / "cluster"
+        assert main([
+            "cluster", "plan", str(path), "-o", str(out),
+            "-T", "2", "--base-port", "7620",
+        ]) == 0
+        code = main([
+            "cluster", "stop", str(out / "topology.json"),
+            "--timeout", "0.5",
+        ])
+        assert code == 1
+
+    def test_status_missing_topology(self, tmp_path, capsys):
+        code = main([
+            "cluster", "status", str(tmp_path / "missing.json")
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,539 @@
+"""Tests for the consistent-hash router: bit-identity with a single
+server, batch fan-out semantics, and replica failover."""
+
+import random
+import time
+
+import pytest
+
+from repro.algorithms.mags_dm import MagsDMSummarizer
+from repro.cluster.manager import start_local_cluster
+from repro.cluster.router import RouterEngine, ShardDownError
+from repro.cluster.sharder import shard_graph
+from repro.cluster.topology import TopologyError, default_spec
+from repro.graph.generators import planted_partition
+from repro.resilience.retry import RetryPolicy
+from repro.service import (
+    QueryEngine,
+    ServiceError,
+    SummaryQueryServer,
+    SummaryServiceClient,
+)
+
+SEED = 0
+SHARDS = 2
+
+#: Keeps failover tests fast: one sweep per request, no backoff.
+FAST_RETRY = RetryPolicy(max_attempts=2, base_delay=0.01, max_delay=0.02)
+
+
+def summarize(graph):
+    return (
+        MagsDMSummarizer(iterations=8, seed=1)
+        .summarize(graph)
+        .representation
+    )
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return planted_partition(200, 10, 0.6, 0.03, seed=11)
+
+
+@pytest.fixture(scope="module")
+def full_rep(graph):
+    return summarize(graph)
+
+
+@pytest.fixture(scope="module")
+def shard_reps(graph):
+    return [summarize(sub) for sub in shard_graph(graph, SHARDS, seed=SEED)]
+
+
+@pytest.fixture(scope="module")
+def single_engine(full_rep):
+    return QueryEngine(full_rep, cache_size=1024)
+
+
+def far_deadline():
+    return time.monotonic() + 30.0
+
+
+@pytest.fixture(scope="module")
+def single_client(full_rep):
+    """A plain one-server deployment, the wire-level reference."""
+    engine = QueryEngine(full_rep, cache_size=1024)
+    with SummaryQueryServer(engine, workers=4) as server:
+        host, port = server.address
+        with SummaryServiceClient(host, port, timeout=30.0) as client:
+            yield client
+
+
+@pytest.fixture(scope="module")
+def cluster(shard_reps, graph):
+    with start_local_cluster(
+        shard_reps,
+        replicas=1,
+        seed=SEED,
+        n=graph.n,
+        retry_policy=FAST_RETRY,
+    ) as local:
+        yield local
+
+
+@pytest.fixture(scope="module")
+def router_client(cluster):
+    host, port = cluster.router_address
+    with SummaryServiceClient(host, port, timeout=30.0) as client:
+        yield client
+
+
+class TestBitIdentity:
+    """Router answers must be indistinguishable from a single server's
+    on a randomized corpus (the acceptance bar for the cluster)."""
+
+    def test_neighbors_every_node(
+        self, router_client, single_engine, graph
+    ):
+        for node in range(graph.n):
+            want = single_engine.query(
+                {"op": "neighbors", "node": node}, far_deadline()
+            )["result"]
+            assert router_client.neighbors(node) == want
+
+    def test_degree_every_node(self, router_client, single_engine, graph):
+        for node in range(graph.n):
+            want = single_engine.query(
+                {"op": "degree", "node": node}, far_deadline()
+            )["result"]
+            assert router_client.degree(node) == want
+
+    def test_khop_randomized(self, router_client, single_engine, graph):
+        rng = random.Random(99)
+        for _ in range(30):
+            node = rng.randrange(graph.n)
+            k = rng.randrange(0, 5)
+            want = single_engine.query(
+                {"op": "khop", "node": node, "k": k}, far_deadline()
+            )["result"]
+            got = router_client.khop(node, k)
+            assert got == {int(v): d for v, d in want.items()}
+
+    def test_batch_randomized(self, router_client, single_engine, graph):
+        rng = random.Random(5)
+        requests = []
+        for i in range(200):
+            op = rng.choice(["neighbors", "degree", "khop", "ping"])
+            request = {"id": f"r{i}", "op": op}
+            if op != "ping":
+                request["node"] = rng.randrange(graph.n)
+            if op == "khop":
+                request["k"] = rng.randrange(0, 4)
+            requests.append(request)
+        want = single_engine.query_many(requests, far_deadline())
+        got = router_client.batch(requests)
+        assert got == want
+
+    def test_error_messages_identical(
+        self, router_client, single_client, graph
+    ):
+        """Rejections must carry the exact single-server wording."""
+        bad = [
+            {"op": "neighbors"},                      # missing node
+            {"op": "degree", "node": "x"},            # non-int node
+            {"op": "neighbors", "node": graph.n},     # out of range
+            {"op": "neighbors", "node": -1},          # negative
+            {"op": "khop", "node": 0, "k": "x"},      # bad k
+            {"op": "khop", "node": 0, "k": -2},       # negative k
+        ]
+        for request in bad:
+            params = {k: v for k, v in request.items() if k != "op"}
+            with pytest.raises(ServiceError) as want:
+                single_client.request(request["op"], **params)
+            with pytest.raises(ServiceError) as got:
+                router_client.request(request["op"], **params)
+            assert got.value.type == want.value.type
+            assert got.value.message == want.value.message
+
+    def test_ping_and_unknown_op(self, router_client, single_client):
+        assert router_client.ping() == "pong"
+        with pytest.raises(ServiceError) as want:
+            single_client.request("frobnicate")
+        with pytest.raises(ServiceError) as got:
+            router_client.request("frobnicate")
+        assert got.value.message == want.value.message
+
+    def test_stats_has_cluster_section(self, router_client):
+        stats = router_client.stats()
+        agg = stats["cluster"]["aggregate"]
+        assert agg["instances_total"] == SHARDS
+        assert agg["instances_up"] == SHARDS
+        assert len(stats["cluster"]["shards"]) == SHARDS
+
+
+class TestBatchFanOut:
+    """Satellite: router-split batches must preserve the client's
+    per-request ordering and ids however sub-batches come back."""
+
+    def test_order_preserved_when_one_shard_is_slow(self, cluster, graph):
+        """Delay one shard's sub-batch so it returns after the other;
+        the reassembled list must still match input order exactly."""
+        engine = cluster.router_engine
+        slow = engine._shards[0]
+        original = slow.request
+
+        def delayed(op, **params):
+            time.sleep(0.05)
+            return original(op, **params)
+
+        requests = [
+            {"id": i, "op": "degree", "node": node}
+            for i, node in enumerate(range(graph.n))
+        ]
+        slow.request = delayed
+        try:
+            responses = engine.query_many(requests, far_deadline())
+        finally:
+            slow.request = original
+        assert [r["id"] for r in responses] == list(range(graph.n))
+        assert all(r["ok"] for r in responses)
+
+    def test_batch_at_protocol_cap(self, router_client, graph):
+        """1024 requests — the protocol maximum — through the router."""
+        rng = random.Random(1)
+        requests = [
+            {"id": i, "op": "degree", "node": rng.randrange(graph.n)}
+            for i in range(1024)
+        ]
+        responses = router_client.batch(requests)
+        assert len(responses) == 1024
+        assert [r["id"] for r in responses] == list(range(1024))
+        assert all(r["ok"] for r in responses)
+
+    def test_oversized_batch_rejected_like_single_server(
+        self, router_client
+    ):
+        requests = [
+            {"id": i, "op": "ping"} for i in range(1025)
+        ]
+        with pytest.raises(ServiceError) as info:
+            router_client.batch(requests)
+        assert info.value.type == "bad_request"
+
+    def test_sub_batch_chunking_beyond_cap(self, cluster, graph):
+        """query_many() called directly (no wire cap) must chunk a
+        shard's sub-batch at the protocol limit transparently."""
+        engine = cluster.router_engine
+        requests = [
+            {"id": i, "op": "degree", "node": i % graph.n}
+            for i in range(1500)
+        ]
+        responses = engine.query_many(requests, far_deadline())
+        assert len(responses) == 1500
+        assert [r["id"] for r in responses] == list(range(1500))
+        assert all(r["ok"] for r in responses)
+
+    def test_batch_landing_on_single_shard(self, router_client, graph):
+        """A batch whose nodes all hash to one shard takes the
+        single-fan-out path and must behave identically."""
+        from repro.distributed.partitioning import shard_for_node
+
+        nodes = [
+            u for u in range(graph.n)
+            if shard_for_node(u, SHARDS, SEED) == 1
+        ][:40]
+        assert nodes, "corpus has no shard-1 nodes?"
+        requests = [
+            {"id": f"n{u}", "op": "neighbors", "node": u} for u in nodes
+        ]
+        responses = router_client.batch(requests)
+        assert [r["id"] for r in responses] == [f"n{u}" for u in nodes]
+        assert all(r["ok"] for r in responses)
+
+    def test_mixed_validity_batch(self, router_client, single_engine, graph):
+        requests = [
+            {"id": 0, "op": "degree", "node": 0},
+            {"id": 1, "op": "degree", "node": graph.n + 5},
+            {"id": 2, "op": "nope"},
+            {"id": 3, "op": "degree", "node": 1},
+        ]
+        want = single_engine.query_many(requests, far_deadline())
+        got = router_client.batch(requests)
+        assert got == want
+
+
+class TestRouterEngineDirect:
+    def test_requires_planned_spec(self):
+        spec = default_spec(2, 1)  # template: no n recorded
+        with pytest.raises(TopologyError, match="plan"):
+            RouterEngine(spec)
+
+    def test_describe(self, cluster):
+        text = cluster.router_engine.describe()
+        assert "router" in text
+        assert f"{SHARDS} shard(s)" in text
+
+    def test_router_cache_serves_repeats(self, cluster, graph):
+        engine = cluster.router_engine
+        node = 3
+        first = engine.query(
+            {"op": "neighbors", "node": node}, far_deadline()
+        )
+        before = engine.cache_len
+        again = engine.query(
+            {"op": "neighbors", "node": node}, far_deadline()
+        )
+        assert first["result"] == again["result"]
+        assert engine.cache_len == before
+
+
+class TestConnectionCap:
+    """The replica pool must never open more connections than the
+    instance server has workers to serve — persistent pooled
+    connections beyond that would starve in the accept queue and
+    masquerade as replica death (a 10s timeout, then a false
+    ejection)."""
+
+    def test_pool_blocks_at_cap_instead_of_opening_more(
+        self, shard_reps, graph
+    ):
+        import threading
+
+        cluster = start_local_cluster(
+            shard_reps, seed=SEED, n=graph.n, workers=2,
+            retry_policy=FAST_RETRY,
+        )
+        try:
+            engine = cluster.router_engine
+            pool = engine._shards[0].replicas[0]
+            assert pool._max == 1  # workers=2 -> cap workers-1
+
+            errors: list[str] = []
+
+            def hammer() -> None:
+                try:
+                    for _ in range(20):
+                        pool.request("ping")
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(repr(exc))
+
+            threads = [
+                threading.Thread(target=hammer) for _ in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert errors == []
+            # Contention made callers wait; it never minted extras.
+            assert pool._open <= 1
+        finally:
+            cluster.close()
+
+    def test_direct_client_not_starved_by_the_pool(
+        self, shard_reps, graph
+    ):
+        """After router traffic saturates the pools, a fresh direct
+        connection to an instance must still get served (one worker
+        is reserved for exactly this)."""
+        cluster = start_local_cluster(
+            shard_reps, seed=SEED, n=graph.n, workers=2,
+            retry_policy=FAST_RETRY,
+        )
+        try:
+            with SummaryServiceClient(
+                *cluster.router_address
+            ) as router:
+                router.batch([
+                    {"id": i, "op": "degree", "node": i % graph.n}
+                    for i in range(64)
+                ])
+            inst = cluster.spec.instances_for(0)[0]
+            with SummaryServiceClient(
+                *inst.address, timeout=5.0
+            ) as direct:
+                assert direct.ping() == "pong"
+        finally:
+            cluster.close()
+
+    def test_closing_pool_releases_waiters(self, shard_reps, graph):
+        import threading
+
+        cluster = start_local_cluster(
+            shard_reps, seed=SEED, n=graph.n, workers=2,
+            retry_policy=FAST_RETRY,
+        )
+        closed = False
+        try:
+            engine = cluster.router_engine
+            pool = engine._shards[0].replicas[0]
+            held = pool._acquire()  # cap is 1: next acquire waits
+            outcome: list[str] = []
+
+            def waiter() -> None:
+                try:
+                    pool._acquire()
+                    outcome.append("acquired")
+                except ConnectionError:
+                    outcome.append("closed")
+                except TimeoutError:
+                    outcome.append("timeout")
+
+            thread = threading.Thread(target=waiter)
+            thread.start()
+            time.sleep(0.1)
+            cluster.close()
+            closed = True
+            thread.join(timeout=5.0)
+            assert not thread.is_alive()
+            assert outcome == ["closed"]
+            held.close()
+        finally:
+            if not closed:
+                cluster.close()
+
+
+class TestFailover:
+    """Replica failover: ejection, readmission, and shard-down."""
+
+    def make_cluster(self, shard_reps, graph, **kwargs):
+        kwargs.setdefault("retry_policy", FAST_RETRY)
+        kwargs.setdefault("breaker_threshold", 2)
+        kwargs.setdefault("breaker_reset_s", 0.3)
+        return start_local_cluster(
+            shard_reps, seed=SEED, n=graph.n, **kwargs
+        )
+
+    def test_replica_loss_is_invisible(self, shard_reps, graph):
+        """Kill one replica of each shard under traffic: zero
+        client-visible errors, failovers recorded."""
+        with self.make_cluster(shard_reps, graph, replicas=2) as local:
+            host, port = local.router_address
+            with SummaryServiceClient(host, port, timeout=30.0) as client:
+                for node in range(0, 40):
+                    client.degree(node)
+                local.kill_instance("shard0/r0")
+                local.kill_instance("shard1/r0")
+                for node in range(graph.n):
+                    assert client.degree(node) >= 0
+                registry = (
+                    local.router_engine.metrics.registry.snapshot()
+                )
+                failovers = registry.get("router_failover_total", [])
+                assert failovers and sum(
+                    row["value"] for row in failovers
+                ) >= 1
+
+    def test_dead_replica_is_ejected(self, shard_reps, graph):
+        """After breaker_threshold transport failures the breaker
+        opens and the replica leaves the rotation."""
+        with self.make_cluster(
+            shard_reps, graph, replicas=2, breaker_reset_s=60.0
+        ) as local:
+            engine = local.router_engine
+            local.kill_instance("shard0/r0")
+            shard0 = engine._shards[0]
+            dead = next(
+                p for p in shard0.replicas
+                if p.instance.label == "shard0/r0"
+            )
+            # Drive traffic at shard 0 until the breaker trips.
+            owned = [
+                u for u in range(graph.n)
+                if local.spec.owner(u) == 0
+            ]
+            for u in owned[:10]:
+                shard0.request("degree", node=u)
+            assert dead.breaker.state == "open"
+            registry = engine.metrics.registry.snapshot()
+            ejections = [
+                row
+                for row in registry.get("router_ejections_total", [])
+                if row["labels"].get("instance") == "shard0/r0"
+            ]
+            assert ejections and ejections[0]["value"] >= 1
+            # Ejected replicas are skipped: requests keep succeeding.
+            for u in owned[10:20]:
+                shard0.request("degree", node=u)
+
+    def test_restarted_replica_is_readmitted(self, shard_reps, graph):
+        """Half-open probe after breaker_reset_s readmits a replica
+        that came back on the same address."""
+        with self.make_cluster(
+            shard_reps, graph, replicas=2, breaker_reset_s=0.2
+        ) as local:
+            engine = local.router_engine
+            label = "shard0/r0"
+            dead_spec = next(
+                i for i in local.spec.instances if i.label == label
+            )
+            local.kill_instance(label)
+            shard0 = engine._shards[0]
+            owned = [
+                u for u in range(graph.n)
+                if local.spec.owner(u) == 0
+            ]
+            for u in owned[:10]:
+                shard0.request("degree", node=u)
+            pool = next(
+                p for p in shard0.replicas
+                if p.instance.label == label
+            )
+            assert pool.breaker.state == "open"
+
+            # Resurrect the instance on its original port.
+            revived = SummaryQueryServer(
+                QueryEngine(shard_reps[0], cache_size=256),
+                host=dead_spec.host,
+                port=dead_spec.port,
+                workers=2,
+            ).start()
+            local.servers[label] = revived
+            time.sleep(0.25)  # let the reset window elapse
+            for u in owned:
+                shard0.request("degree", node=u)
+            assert pool.breaker.state == "closed"
+
+    def test_whole_shard_down_is_unavailable(self, shard_reps, graph):
+        """Single-replica shard dies: owned nodes answer a structured
+        'unavailable' error; the other shard keeps serving."""
+        with self.make_cluster(shard_reps, graph, replicas=1) as local:
+            host, port = local.router_address
+            local.kill_instance("shard0/r0")
+            down = next(
+                u for u in range(graph.n) if local.spec.owner(u) == 0
+            )
+            alive = next(
+                u for u in range(graph.n) if local.spec.owner(u) == 1
+            )
+            with SummaryServiceClient(host, port, timeout=30.0) as client:
+                with pytest.raises(ServiceError) as info:
+                    client.neighbors(down)
+                assert info.value.type == "unavailable"
+                assert "shard 0" in info.value.message
+                assert client.degree(alive) >= 0
+            registry = local.router_engine.metrics.registry.snapshot()
+            assert registry.get("router_shard_down_total")
+
+    def test_khop_degrades_when_shard_down(self, shard_reps, graph):
+        """A BFS that crosses a dead shard returns a partial answer
+        flagged degraded instead of failing outright."""
+        with self.make_cluster(shard_reps, graph, replicas=1) as local:
+            host, port = local.router_address
+            local.kill_instance("shard0/r0")
+            start = next(
+                u for u in range(graph.n)
+                if local.spec.owner(u) == 1 and graph.degree(u) > 0
+            )
+            with SummaryServiceClient(host, port, timeout=30.0) as client:
+                response = client.request_raw(
+                    {"id": 1, "op": "khop", "node": start, "k": 3}
+                )
+            assert response["ok"]
+            assert response.get("degraded") is True
+            assert response["result"][str(start)] == 0
+
+    def test_shard_down_error_shape(self):
+        exc = ShardDownError(3, 2)
+        assert exc.kind == "unavailable"
+        assert "shard 3" in str(exc)

@@ -193,3 +193,70 @@ class TestDistributedSummarizer:
         result = self._summarizer(4).summarize(graph)
         verify_lossless(graph, result.representation)
         assert result.relative_size < 1.0
+
+
+class TestShardForNode:
+    """The standalone keyed node->shard map the cluster router uses."""
+
+    def test_matches_hash_partition(self, community_graph):
+        from repro.distributed.partitioning import shard_for_node
+
+        assignment = hash_partition(community_graph, 4, seed=3)
+        assert assignment == [
+            shard_for_node(u, 4, seed=3)
+            for u in range(community_graph.n)
+        ]
+
+    def test_no_graph_needed(self):
+        from repro.distributed.partitioning import shard_for_node
+
+        # Placeable ids the process has never seen in any Graph.
+        assert 0 <= shard_for_node(10**12, 7, seed=5) < 7
+
+    def test_validation(self):
+        from repro.distributed.partitioning import shard_for_node
+
+        with pytest.raises(ValueError, match="shards"):
+            shard_for_node(0, 0)
+        with pytest.raises(ValueError, match="node"):
+            shard_for_node(-1, 4)
+
+    def test_independent_of_pythonhashseed(self):
+        """The map must agree across processes with different (and
+        randomized) PYTHONHASHSEED — it keys splitmix64, not hash()."""
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        src_dir = str(Path(repro.__file__).resolve().parents[1])
+        script = (
+            "from repro.distributed.partitioning import shard_for_node;"
+            "print([shard_for_node(u, 5, seed=9) for u in range(64)])"
+        )
+        outputs = set()
+        for hash_seed in ("0", "1", "random"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hash_seed
+            env["PYTHONPATH"] = os.pathsep.join(
+                [src_dir, env.get("PYTHONPATH", "")]
+            ).rstrip(os.pathsep)
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            outputs.add(result.stdout.strip())
+        assert len(outputs) == 1
+
+    def test_roughly_balanced_over_large_range(self):
+        from repro.distributed.partitioning import shard_for_node
+
+        counts = [0] * 8
+        for u in range(4096):
+            counts[shard_for_node(u, 8, seed=0)] += 1
+        assert max(counts) < 1.35 * (4096 / 8)

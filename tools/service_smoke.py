@@ -1,4 +1,5 @@
-"""End-to-end smoke test of ``python -m repro serve``.
+"""End-to-end smoke test of ``python -m repro serve`` (and, with
+``--router``, of the sharded cluster).
 
 What CI runs after the unit suite: summarize a graph, start the real
 server process on an ephemeral port, fire a concurrent batch of
@@ -7,7 +8,15 @@ against Algorithm 6), then send SIGINT and assert a clean, graceful
 exit.  The whole run is bounded by a watchdog so a wedged server
 fails the job instead of hanging it.
 
-Run:  PYTHONPATH=src python tools/service_smoke.py
+``--router`` runs the cluster chaos drill instead: plan the committed
+2-shard/2-replica example topology (``examples/cluster_topology.json``)
+against a generated graph, launch every instance as a real
+``repro serve`` subprocess with the router in front, hammer the router
+from concurrent clients while one replica is SIGKILLed mid-run, and
+assert **zero** failed requests, breaker ejection + readmission after
+the replica restarts, and a clean shutdown of every process.
+
+Run:  PYTHONPATH=src python tools/service_smoke.py [--router]
 """
 
 from __future__ import annotations
@@ -15,6 +24,7 @@ from __future__ import annotations
 import os
 import re
 import signal
+import socket
 import subprocess
 import sys
 import tempfile
@@ -34,6 +44,9 @@ from repro.service import SummaryServiceClient  # noqa: E402
 CLIENT_THREADS = 8
 STARTUP_TIMEOUT_S = 30
 SHUTDOWN_TIMEOUT_S = 15
+
+EXAMPLE_TOPOLOGY = REPO / "examples" / "cluster_topology.json"
+CHAOS_VICTIM = "shard0/r1"
 
 
 def main() -> int:
@@ -146,5 +159,157 @@ def _hammer(rep, port: int) -> None:
         )
 
 
+def _free_ports(count: int) -> list[int]:
+    sockets, ports = [], []
+    for _ in range(count):
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        sockets.append(sock)
+        ports.append(sock.getsockname()[1])
+    for sock in sockets:
+        sock.close()
+    return ports
+
+
+def router_main() -> int:
+    """The cluster chaos drill (see module docstring)."""
+    from repro.cluster import (
+        ClusterManager,
+        InstanceSpec,
+        load_topology,
+        plan_cluster,
+    )
+
+    spec = load_topology(EXAMPLE_TOPOLOGY)
+    print(
+        f"loaded {EXAMPLE_TOPOLOGY.name}: {spec.shards} shard(s) x "
+        f"{spec.replicas} replica(s)"
+    )
+    # Committed ports are a convention; remap to free ones so the
+    # drill cannot collide with anything already on the box.
+    ports = _free_ports(len(spec.instances) + 1)
+    spec.router_port = ports[0]
+    spec.instances = [
+        InstanceSpec(i.shard, i.replica, i.host, port)
+        for i, port in zip(spec.instances, ports[1:])
+    ]
+
+    graph = generators.planted_partition(300, 15, 0.6, 0.02, seed=5)
+    full = MagsDMSummarizer(iterations=8, seed=0).summarize(
+        graph
+    ).representation
+
+    with tempfile.TemporaryDirectory() as tmp:
+        plan_cluster(
+            graph,
+            spec,
+            tmp,
+            lambda: MagsDMSummarizer(iterations=8, seed=0),
+        )
+        print(f"planned {spec.shards} shard artifact(s)")
+        manager = ClusterManager(spec, workers=4)
+        try:
+            manager.start()
+            host, port = manager.router_server.address
+            print(f"router up on {host}:{port}")
+            _chaos_hammer(manager, full, port)
+            _verify_readmission(manager, port)
+        finally:
+            codes = manager.stop()
+        bad = {label: c for label, c in codes.items() if c != 0}
+        if bad:
+            raise SystemExit(f"instances exited uncleanly: {bad}")
+    print("all instances shut down cleanly")
+    print("cluster smoke test PASSED")
+    return 0
+
+
+def _chaos_hammer(manager, rep, port: int) -> None:
+    """Concurrent clients vs. a replica SIGKILL: zero failures
+    allowed."""
+    failures: list[object] = []
+
+    def worker(tid: int) -> None:
+        try:
+            with SummaryServiceClient("127.0.0.1", port) as client:
+                for sweep in range(3):
+                    for q in range(tid, rep.n, CLIENT_THREADS):
+                        got = set(client.neighbors(q))
+                        want = neighbor_query(rep, q)
+                        if got != want:
+                            failures.append(("mismatch", q))
+                    responses = client.batch([
+                        {
+                            "id": i,
+                            "op": "degree",
+                            "node": (tid * 13 + i) % rep.n,
+                        }
+                        for i in range(64)
+                    ])
+                    if not all(r["ok"] for r in responses):
+                        failures.append(("batch", tid, sweep))
+        except Exception as exc:
+            failures.append((tid, repr(exc)))
+
+    threads = [
+        threading.Thread(target=worker, args=(t,))
+        for t in range(CLIENT_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    time.sleep(0.3)  # let traffic build before pulling the plug
+    manager.processes[CHAOS_VICTIM].kill()
+    print(f"killed replica {CHAOS_VICTIM} mid-run")
+    for thread in threads:
+        thread.join()
+    if failures:
+        raise SystemExit(
+            f"{len(failures)} request(s) failed during chaos: "
+            f"{failures[:5]}"
+        )
+    print("zero failed requests during replica loss")
+
+
+def _verify_readmission(manager, port: int) -> None:
+    """The dead replica must show as ejected, then rejoin after a
+    restart once the breaker's reset window elapses."""
+    def breaker_state() -> str:
+        with SummaryServiceClient("127.0.0.1", port) as client:
+            stats = client.stats()
+        for shard in stats["cluster"]["shards"]:
+            for inst in shard["instances"]:
+                if inst["instance"] == CHAOS_VICTIM:
+                    return inst["breaker"]
+        raise SystemExit(f"{CHAOS_VICTIM} missing from router stats")
+
+    state = breaker_state()
+    if state == "closed":
+        raise SystemExit(
+            f"breaker for killed replica {CHAOS_VICTIM} never opened"
+        )
+    print(f"breaker for {CHAOS_VICTIM}: {state} (ejected)")
+
+    manager.processes[CHAOS_VICTIM].start()
+    print(f"restarted {CHAOS_VICTIM}")
+    reset_s = manager.spec.breaker_reset_s
+    deadline = time.monotonic() + reset_s + 20
+    while time.monotonic() < deadline:
+        time.sleep(max(0.2, reset_s / 2))
+        # Batched degrees are forwarded to the shards (never served
+        # from the router cache), so the half-open probe gets traffic.
+        with SummaryServiceClient("127.0.0.1", port) as client:
+            client.batch([
+                {"id": i, "op": "degree", "node": i} for i in range(256)
+            ])
+        if breaker_state() == "closed":
+            print(f"{CHAOS_VICTIM} readmitted (breaker closed)")
+            return
+    raise SystemExit(
+        f"{CHAOS_VICTIM} was not readmitted within {reset_s + 20:.0f}s"
+    )
+
+
 if __name__ == "__main__":
+    if "--router" in sys.argv[1:]:
+        sys.exit(router_main())
     sys.exit(main())
