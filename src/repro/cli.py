@@ -295,6 +295,20 @@ def build_parser() -> argparse.ArgumentParser:
             "opens (0 disables the breaker)"
         ),
     )
+    serve.add_argument(
+        "--trace-dir", default=None,
+        help=(
+            "enable tracing and stream span records to a size-capped "
+            "JSONL file in this directory (cluster collector input)"
+        ),
+    )
+    serve.add_argument(
+        "--instance-label", default=None,
+        help=(
+            "label stamped into span records and the telemetry op "
+            "(e.g. shard0/r1); default: pid-<pid> when tracing"
+        ),
+    )
 
     cluster = sub.add_parser(
         "cluster",
@@ -348,6 +362,51 @@ def build_parser() -> argparse.ArgumentParser:
     cstart.add_argument(
         "--cache-size", type=int, default=4096,
         help="per-instance LRU cache capacity (default 4096)",
+    )
+    cstart.add_argument(
+        "--trace-dir", default=None,
+        help=(
+            "enable cluster-wide tracing: every instance (and the "
+            "router) streams its spans into this directory"
+        ),
+    )
+
+    ctrace = cluster_sub.add_parser(
+        "trace",
+        help=(
+            "reassemble one request's cross-process span tree from a "
+            "cluster --trace-dir"
+        ),
+    )
+    ctrace.add_argument("trace_id", help="the request's trace id")
+    ctrace.add_argument(
+        "--trace-dir", required=True,
+        help="directory the cluster instances exported spans into",
+    )
+    ctrace.add_argument(
+        "--out", default=None,
+        help="also write the merged single-trace JSONL here",
+    )
+
+    ctelemetry = cluster_sub.add_parser(
+        "telemetry",
+        help=(
+            "pull every instance's registry snapshot and print the "
+            "merged cluster Prometheus dump"
+        ),
+    )
+    ctelemetry.add_argument("topology", help="topology.json")
+    ctelemetry.add_argument("--timeout", type=float, default=5.0)
+    ctelemetry.add_argument(
+        "--json-out", default=None,
+        help=(
+            "write the raw per-instance snapshots as a "
+            "cluster_telemetry JSON file ('repro slo' input)"
+        ),
+    )
+    ctelemetry.add_argument(
+        "--prom-out", default=None,
+        help="write the merged Prometheus dump here instead of stdout",
     )
 
     cstatus = cluster_sub.add_parser(
@@ -418,6 +477,33 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--diff", metavar="OTHER",
         help="compare phase totals against another trace file",
+    )
+
+    slo = sub.add_parser(
+        "slo",
+        help=(
+            "evaluate availability/latency SLOs against cluster "
+            "telemetry; nonzero exit on violation"
+        ),
+    )
+    slo.add_argument(
+        "source",
+        help=(
+            "cluster_telemetry JSON ('repro cluster telemetry "
+            "--json-out') or a topology.json to pull live telemetry "
+            "from"
+        ),
+    )
+    slo.add_argument(
+        "--config", default=None,
+        help=(
+            "SLO definitions JSON ({\"slos\": [...]}); default: "
+            "99%% availability + 1s p99 latency"
+        ),
+    )
+    slo.add_argument(
+        "--timeout", type=float, default=5.0,
+        help="per-instance pull timeout when source is a topology",
     )
 
     return parser
@@ -592,6 +678,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"superedges={len(rep.summary_edges)}, "
         f"corrections={rep.num_corrections}"
     )
+    sink = None
+    if args.trace_dir or args.instance_label:
+        import os as _os
+
+        from repro.obs.tracer import Tracer, set_instance_label, set_tracer
+
+        label = args.instance_label or f"pid-{_os.getpid()}"
+        set_instance_label(label)
+        if args.trace_dir:
+            from repro.obs.exporters import SpanSink
+
+            sink = SpanSink(args.trace_dir, label)
+            set_tracer(Tracer(sink=sink.write))
+            print(f"tracing to {sink.path} as {label!r}")
     breaker = None
     if args.breaker_threshold > 0:
         from repro.resilience import CircuitBreaker
@@ -617,7 +717,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         _signal.signal(signum, lambda *_: server.shutdown())
     host, port = server.address
     print(f"serving on {host}:{port}", flush=True)
-    server.serve_forever()
+    try:
+        server.serve_forever()
+    finally:
+        if sink is not None:
+            sink.close()
     print("shutdown complete")
     return 0
 
@@ -669,15 +773,77 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         print(f"topology written to {args.out}/topology.json")
         return 0
 
+    if args.cluster_command == "trace":
+        from repro.obs import collect, schema
+        from repro.obs.exporters import write_trace_jsonl
+
+        records = collect.read_trace_dir(args.trace_dir)
+        merged = collect.assemble_trace(records, args.trace_id)
+        if not merged.records:
+            known = collect.trace_ids(records)
+            print(
+                f"no spans for trace {args.trace_id!r} under "
+                f"{args.trace_dir} ({len(known)} trace id(s) present)",
+                file=sys.stderr,
+            )
+            return 1
+        print(collect.render_merged_trace(merged))
+        if args.out:
+            write_trace_jsonl(merged.records, args.out)
+            print(
+                f"merged trace written to {args.out} "
+                f"({len(merged.records)} span(s))"
+            )
+        errors = schema.validate_trace(merged.records)
+        if errors:
+            for error in errors:
+                print(error, file=sys.stderr)
+            return 1
+        return 0
+
     try:
         spec = load_topology(args.topology)
     except (TopologyError, OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
+    if args.cluster_command == "telemetry":
+        from pathlib import Path
+
+        from repro.obs import collect, registry_to_prometheus
+
+        telemetry = collect.pull_cluster_telemetry(
+            spec, timeout=args.timeout
+        )
+        snapshots = collect.registry_snapshots(telemetry)
+        for label, entry in sorted(telemetry.items()):
+            if label not in snapshots:
+                print(
+                    f"{label}: unreachable ({entry.get('error')})",
+                    file=sys.stderr,
+                )
+        if not snapshots:
+            print("error: no instance reachable", file=sys.stderr)
+            return 1
+        if args.json_out:
+            collect.write_cluster_telemetry(telemetry, args.json_out)
+            print(f"telemetry written to {args.json_out}", file=sys.stderr)
+        text = registry_to_prometheus(
+            collect.merge_registry_snapshots(snapshots)
+        )
+        if args.prom_out:
+            Path(args.prom_out).write_text(text, encoding="utf-8")
+            print(f"merged dump written to {args.prom_out}", file=sys.stderr)
+        else:
+            print(text, end="")
+        return 0
+
     if args.cluster_command == "start":
         manager = ClusterManager(
-            spec, workers=args.workers, cache_size=args.cache_size
+            spec,
+            workers=args.workers,
+            cache_size=args.cache_size,
+            trace_dir=args.trace_dir,
         )
         try:
             manager.start_instances()
@@ -703,10 +869,15 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         all_up = True
         for row in rows:
             if row["up"]:
+                p99 = row.get("p99_ms")
+                p99_text = (
+                    f"{p99:.1f}" if isinstance(p99, (int, float)) else "-"
+                )
                 print(
                     f"{row['target']:12s} {row['address']:22s} up  "
                     f"requests={row['requests_total']} "
-                    f"errors={row['errors_total']}"
+                    f"errors={row['errors_total']} "
+                    f"p99_ms={p99_text}"
                 )
             else:
                 all_up = False
@@ -874,6 +1045,63 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return status
 
 
+def _cmd_slo(args: argparse.Namespace) -> int:
+    from repro.obs import collect
+    from repro.obs.slo import (
+        DEFAULT_SLOS,
+        evaluate_slos,
+        format_slo_report,
+        load_slo_config,
+    )
+
+    if args.config:
+        try:
+            slos = load_slo_config(args.config)
+        except (OSError, ValueError) as exc:
+            print(f"error: bad SLO config: {exc}", file=sys.stderr)
+            return 2
+    else:
+        slos = DEFAULT_SLOS
+
+    # The source is either a saved cluster_telemetry dump or a
+    # topology file to pull live telemetry from — try the dump format
+    # first, it is self-identifying via its "kind" field.
+    try:
+        snapshots = collect.load_cluster_telemetry(args.source)
+    except ValueError:
+        from repro.cluster.topology import TopologyError, load_topology
+
+        try:
+            spec = load_topology(args.source)
+        except (TopologyError, OSError, ValueError) as exc:
+            print(
+                f"error: {args.source!r} is neither a cluster telemetry "
+                f"dump nor a topology file ({exc})",
+                file=sys.stderr,
+            )
+            return 2
+        telemetry = collect.pull_cluster_telemetry(
+            spec, timeout=args.timeout
+        )
+        snapshots = collect.registry_snapshots(telemetry)
+        for label, entry in sorted(telemetry.items()):
+            if label not in snapshots:
+                print(
+                    f"{label}: unreachable ({entry.get('error')})",
+                    file=sys.stderr,
+                )
+        if not snapshots:
+            print("error: no instance reachable", file=sys.stderr)
+            return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    results = evaluate_slos(snapshots, slos)
+    print(format_slo_report(results))
+    return 0 if all(result.ok for result in results) else 1
+
+
 _COMMANDS = {
     "summarize": _cmd_summarize,
     "reconstruct": _cmd_reconstruct,
@@ -886,6 +1114,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "profile": _cmd_profile,
     "trace": _cmd_trace,
+    "slo": _cmd_slo,
 }
 
 

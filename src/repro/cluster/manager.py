@@ -25,7 +25,7 @@ import threading
 from collections import deque
 from pathlib import Path
 
-from repro.cluster.router import RouterEngine
+from repro.cluster.router import RouterEngine, worst_p99_ms
 from repro.cluster.topology import ClusterSpec, InstanceSpec, TopologyError
 from repro.service.client import ServiceError, SummaryServiceClient
 from repro.service.engine import QueryEngine
@@ -177,15 +177,30 @@ class ClusterManager:
         cache_size: int = 4096,
         router_cache_size: int = 4096,
         instance_args: list[str] | None = None,
+        trace_dir: str | Path | None = None,
     ):
         self.spec = spec
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+
+        def extra_args(instance: InstanceSpec) -> list[str]:
+            args = list(instance_args or [])
+            if self.trace_dir is not None:
+                # Every instance exports its spans into the shared
+                # directory under its own label, so the collector can
+                # reassemble cross-process traces from one place.
+                args += [
+                    "--trace-dir", str(self.trace_dir),
+                    "--instance-label", instance.label,
+                ]
+            return args
+
         self.processes: dict[str, InstanceProcess] = {
             instance.label: InstanceProcess(
                 instance,
                 spec.artifact_path(instance.shard),
                 workers=workers,
                 cache_size=cache_size,
-                extra_args=instance_args,
+                extra_args=extra_args(instance),
             )
             for instance in spec.instances
         }
@@ -193,6 +208,8 @@ class ClusterManager:
         self._router_cache_size = router_cache_size
         self.router_engine: RouterEngine | None = None
         self.router_server: SummaryQueryServer | None = None
+        self._router_sink = None
+        self._previous_tracer = None
 
     def start_instances(self, startup_timeout: float = 60.0) -> None:
         started: list[InstanceProcess] = []
@@ -207,6 +224,18 @@ class ClusterManager:
 
     def start_router(self, *, workers: int = 8) -> SummaryQueryServer:
         """Serve the router on the spec's router address, in-process."""
+        if self.trace_dir is not None and self._router_sink is None:
+            # The router runs in-process: give it its own tracer +
+            # span file alongside the instances' so a collector sees
+            # the whole request tree in one directory.
+            from repro.obs import tracer as obs_tracer
+            from repro.obs.exporters import SpanSink
+
+            obs_tracer.set_instance_label("router")
+            self._router_sink = SpanSink(self.trace_dir, "router")
+            self._previous_tracer = obs_tracer.set_tracer(
+                obs_tracer.Tracer(sink=self._router_sink.write)
+            )
         # The pool cap must stay below each instance's worker count:
         # pooled connections are persistent, and the server parks a
         # worker on every connection — capping at workers-1 keeps one
@@ -237,6 +266,14 @@ class ClusterManager:
         if self.router_engine is not None:
             self.router_engine.close()
             self.router_engine = None
+        if self._previous_tracer is not None:
+            from repro.obs.tracer import set_tracer
+
+            set_tracer(self._previous_tracer)
+            self._previous_tracer = None
+        if self._router_sink is not None:
+            self._router_sink.close()
+            self._router_sink = None
         return {
             label: process.stop()
             for label, process in self.processes.items()
@@ -379,6 +416,7 @@ def probe_topology(spec: ClusterSpec, timeout: float = 3.0) -> list[dict]:
             row["up"] = True
             row["requests_total"] = stats.get("requests_total")
             row["errors_total"] = stats.get("errors_total")
+            row["p99_ms"] = worst_p99_ms(stats.get("latency_ms"))
         except (OSError, ServiceError, ValueError) as exc:
             row["up"] = False
             row["error"] = f"{type(exc).__name__}: {exc}"

@@ -29,6 +29,14 @@ Routing semantics
   preserved exactly.
 * ``stats`` — the router's own counters plus a ``cluster`` section
   aggregated from a best-effort ``stats`` probe of every instance.
+* ``telemetry`` — the router's identity and registry snapshot; the
+  cluster collector (:mod:`repro.obs.collect`) pairs it with each
+  instance's own ``telemetry`` answer to build the merged registry.
+
+When tracing is on, every outbound shard call runs under a
+``router:fanout`` span whose context rides the wire (the ``trace``
+request field), so shard-side ``service:request`` spans parent under
+it and ``repro cluster trace <id>`` can reassemble the full tree.
 
 Failover states
 ---------------
@@ -55,11 +63,13 @@ the dead shard.
 from __future__ import annotations
 
 import logging
+import os
 import random
 import threading
 import time
 
 from repro.cluster.topology import ClusterSpec, InstanceSpec, TopologyError
+from repro.obs.tracer import get_instance_label, get_tracer
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.retry import (
     Deadline,
@@ -72,6 +82,7 @@ from repro.service.client import ServiceError, SummaryServiceClient
 from repro.service.engine import (
     LRUCache,
     OPS,
+    TELEMETRY_SAMPLES,
     QueryError,
     QueryTimeout,
     error_response,
@@ -79,7 +90,13 @@ from repro.service.engine import (
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import MAX_BATCH_REQUESTS, ProtocolError
 
-__all__ = ["RouterEngine", "ShardDownError", "ReplicaPool", "ShardPool"]
+__all__ = [
+    "RouterEngine",
+    "ShardDownError",
+    "ReplicaPool",
+    "ShardPool",
+    "worst_p99_ms",
+]
 
 logger = logging.getLogger("repro.cluster")
 
@@ -89,6 +106,21 @@ _SINGLE_SHARD_OPS = ("neighbors", "degree", "pagerank")
 #: Transport-level failures that trigger failover to a sibling
 #: replica (``OSError`` covers ``ConnectionError`` and timeouts).
 _FAILOVER_ERRORS = (OSError, ProtocolError)
+
+
+def worst_p99_ms(latency: dict | None) -> float | None:
+    """Worst per-op p99 from a ``stats`` snapshot's ``latency_ms``
+    section (``None`` when nothing was recorded) — the one-number
+    latency summary ``repro cluster status`` prints per instance."""
+    if not isinstance(latency, dict):
+        return None
+    values = [
+        entry["p99_ms"]
+        for entry in latency.values()
+        if isinstance(entry, dict)
+        and isinstance(entry.get("p99_ms"), (int, float))
+    ]
+    return max(values) if values else None
 
 
 class ShardDownError(QueryError):
@@ -476,13 +508,19 @@ class RouterEngine:
                 unique_nodes.add(request["node"])
         self.metrics.batch(len(requests), len(unique_nodes))
 
+        # Fan-out spans run on worker threads; the parent must be the
+        # *dispatching* thread's open span (thread-local stacks).
+        parent_span = get_tracer().current()
+
         def forward(shard: int, indices: list[int]) -> None:
             for start in range(0, len(indices), MAX_BATCH_REQUESTS):
                 chunk = indices[start:start + MAX_BATCH_REQUESTS]
                 try:
                     _check_deadline(deadline)
-                    answers = self._shards[shard].request(
+                    answers = self._shard_request(
+                        self._shards[shard],
                         "batch",
+                        parent=parent_span,
                         requests=[requests[i] for i in chunk],
                     )
                     if not isinstance(answers, list) or len(answers) != len(
@@ -549,6 +587,14 @@ class RouterEngine:
             if request.get("format") == "prometheus":
                 return self.metrics.to_prometheus()
             return self._stats_snapshot()
+        if op == "telemetry":
+            return {
+                "instance": get_instance_label() or "router",
+                "pid": os.getpid(),
+                "registry": self.metrics.registry.snapshot(
+                    samples=TELEMETRY_SAMPLES
+                ),
+            }
         node = request.get("node")
         if not isinstance(node, int) or isinstance(node, bool):
             raise QueryError(
@@ -566,7 +612,9 @@ class RouterEngine:
             distances = self._khop(node, k, deadline, degraded_sink)
             return {str(v): d for v, d in sorted(distances.items())}
         if op == "pagerank":
-            result = self.owner_pool(node).request("pagerank", node=node)
+            result = self._shard_request(
+                self.owner_pool(node), "pagerank", node=node
+            )
             return self._coerce_service_error(result, float, "pagerank")
         raise QueryError("bad_request", f"unhandled op {op!r}")
 
@@ -579,6 +627,30 @@ class RouterEngine:
 
     def owner_pool(self, node: int) -> ShardPool:
         return self._shards[self.spec.owner(node)]
+
+    def _shard_request(
+        self, shard_pool: ShardPool, op: str, parent=None, **params
+    ):
+        """One outbound shard call, wrapped in a ``router:fanout``
+        span carrying this router's trace context to the shard.
+
+        ``parent`` must be captured *in the dispatching thread* (the
+        tracer's span stack is thread-local) when the call runs on a
+        fan-out worker thread; single-shard paths leave it ``None``
+        and pick up the calling thread's current span.  When tracing
+        is off this is a plain forward — no span, no ``trace`` field.
+        """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return shard_pool.request(op, **params)
+        with tracer.span(
+            "router:fanout", parent=parent, op=op, shard=shard_pool.shard
+        ) as span:
+            return shard_pool.request(
+                op,
+                trace={"id": span.trace_id, "span": span.span_id},
+                **params,
+            )
 
     @staticmethod
     def _coerce_service_error(value, kind, op: str):
@@ -599,7 +671,9 @@ class RouterEngine:
             self.metrics.cache_hit()
             return cached
         self.metrics.cache_miss()
-        raw = self.owner_pool(node).request("neighbors", node=node)
+        raw = self._shard_request(
+            self.owner_pool(node), "neighbors", node=node
+        )
         result = tuple(self._coerce_service_error(raw, list, "neighbors"))
         self._cache.put(node, result)
         return result
@@ -623,12 +697,16 @@ class RouterEngine:
                 self.metrics.cache_miss()
                 need.setdefault(self.spec.owner(u), []).append(u)
 
+        parent_span = get_tracer().current()
+
         def fetch(shard: int, nodes: list[int]) -> None:
             for start in range(0, len(nodes), MAX_BATCH_REQUESTS):
                 chunk = nodes[start:start + MAX_BATCH_REQUESTS]
                 try:
-                    answers = self._shards[shard].request(
+                    answers = self._shard_request(
+                        self._shards[shard],
                         "batch",
+                        parent=parent_span,
                         requests=[
                             {"id": i, "op": "neighbors", "node": u}
                             for i, u in enumerate(chunk)
@@ -716,9 +794,13 @@ class RouterEngine:
                 stats = pool.try_stats()
                 healthy = stats is not None
                 up += int(healthy)
+                requests = errors = p99 = None
                 if healthy:
-                    agg_requests += stats.get("requests_total", 0)
-                    agg_errors += stats.get("errors_total", 0)
+                    requests = stats.get("requests_total", 0)
+                    errors = stats.get("errors_total", 0)
+                    p99 = worst_p99_ms(stats.get("latency_ms"))
+                    agg_requests += requests
+                    agg_errors += errors
                 instances.append(
                     {
                         "instance": pool.instance.label,
@@ -726,6 +808,12 @@ class RouterEngine:
                         "port": pool.instance.port,
                         "healthy": healthy,
                         "breaker": pool.breaker.state,
+                        # Per-instance traffic summary inline so
+                        # `repro cluster status` is useful without
+                        # the telemetry collector.
+                        "requests": requests,
+                        "errors": errors,
+                        "p99_ms": p99,
                         "stats": stats,
                     }
                 )

@@ -12,6 +12,13 @@ The observability layer the rest of the package reports into:
   Prometheus text dumps;
 * :mod:`repro.obs.schema` — the documented span-record schema and its
   validator (CI checks emitted traces against it);
+* :mod:`repro.obs.context` — the trace context that rides on wire
+  requests so spans parent correctly across processes;
+* :mod:`repro.obs.collect` — the cluster collector: merges
+  per-instance span files into one request tree and per-instance
+  registry snapshots into one labelled registry;
+* :mod:`repro.obs.slo` — declarative availability/latency objectives
+  with error-budget burn, evaluated against merged telemetry;
 * :mod:`repro.obs.profiled` — span-per-call decorator for entry
   points.
 
@@ -23,7 +30,17 @@ so processes that never import ``repro.obs`` run the pre-observability
 code paths untouched (the overhead guard test pins this).
 """
 
+from repro.obs.collect import (
+    MergedTrace,
+    assemble_trace,
+    merge_registry_snapshots,
+    pull_cluster_telemetry,
+    read_trace_dir,
+    render_merged_trace,
+)
+from repro.obs.context import TraceContext, new_trace_id, validate_trace_field
 from repro.obs.exporters import (
+    SpanSink,
     diff_phase_totals,
     phase_totals,
     read_trace_jsonl,
@@ -42,16 +59,27 @@ from repro.obs.metrics import (
 from repro.obs.profiled import profiled
 from repro.obs.schema import (
     SCHEMA_VERSION,
+    SCHEMA_VERSIONS,
     validate_record,
     validate_trace,
     validate_trace_file,
+)
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    SLO,
+    SLOResult,
+    evaluate_slos,
+    format_slo_report,
+    load_slo_config,
 )
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
     Span,
     Tracer,
+    get_instance_label,
     get_tracer,
+    set_instance_label,
     set_tracer,
     start_tracing,
     stop_tracing,
@@ -69,6 +97,12 @@ __all__ = [
     "use_tracer",
     "start_tracing",
     "stop_tracing",
+    "get_instance_label",
+    "set_instance_label",
+    # context
+    "TraceContext",
+    "new_trace_id",
+    "validate_trace_field",
     # metrics
     "Counter",
     "Gauge",
@@ -77,6 +111,7 @@ __all__ = [
     "REGISTRY",
     "get_registry",
     # exporters
+    "SpanSink",
     "write_trace_jsonl",
     "read_trace_jsonl",
     "render_trace_tree",
@@ -85,9 +120,24 @@ __all__ = [
     "registry_to_prometheus",
     # schema
     "SCHEMA_VERSION",
+    "SCHEMA_VERSIONS",
     "validate_record",
     "validate_trace",
     "validate_trace_file",
+    # collector
+    "MergedTrace",
+    "assemble_trace",
+    "read_trace_dir",
+    "render_merged_trace",
+    "merge_registry_snapshots",
+    "pull_cluster_telemetry",
+    # SLOs
+    "SLO",
+    "SLOResult",
+    "DEFAULT_SLOS",
+    "evaluate_slos",
+    "load_slo_config",
+    "format_slo_report",
     # decorator
     "profiled",
 ]

@@ -1,0 +1,122 @@
+"""Trace context propagation across process boundaries.
+
+A :class:`TraceContext` is the tiny piece of tracer state that rides
+on a wire request — the trace id plus (optionally) the caller's span
+id — so a server can parent its ``service:request`` span under the
+router's fan-out span and a collector can stitch the per-process
+fragments back into one tree.
+
+Wire form (the optional ``"trace"`` field of a service request)::
+
+    {"id": "6f1d2c3b4a596877", "span": "aabbccdd00112233"}
+
+``id`` is required; ``span`` is optional (a client that starts a trace
+itself sends only ``id``, making the first server-side span the
+root).  Both are bounded, charset-restricted strings so the protocol
+validator can reject adversarial values before they reach the tracer
+(see :func:`validate_trace_field`, called by
+``repro.service.protocol.validate_request``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obs.tracer import Span, Tracer, _new_id
+
+__all__ = [
+    "TraceContext",
+    "new_trace_id",
+    "validate_trace_field",
+    "TRACE_ID_MAX_LEN",
+]
+
+#: Upper bound on wire trace/span id length (a fresh local id is 16
+#: hex chars; foreign tracers may be longer, but not unbounded).
+TRACE_ID_MAX_LEN = 64
+
+_ID_RE = re.compile(r"^[0-9A-Za-z_.\-]{1,%d}$" % TRACE_ID_MAX_LEN)
+
+_WIRE_KEYS = frozenset({"id", "span"})
+
+
+def new_trace_id() -> str:
+    """A fresh random trace id (16 hex chars)."""
+    return _new_id()
+
+
+def _check_id(value: Any, what: str) -> str:
+    if not isinstance(value, str) or not _ID_RE.match(value):
+        raise ValueError(
+            f"trace {what} must be a 1-{TRACE_ID_MAX_LEN} char string of "
+            "[0-9A-Za-z_.-]"
+        )
+    return value
+
+
+def validate_trace_field(value: Any) -> None:
+    """Raise ``ValueError`` unless ``value`` is a well-formed wire
+    trace context (``{"id": ...}`` with an optional ``"span"``)."""
+    if not isinstance(value, dict):
+        raise ValueError("'trace' must be an object")
+    unknown = set(value) - _WIRE_KEYS
+    if unknown:
+        raise ValueError(
+            f"'trace' has unknown keys: {sorted(unknown)}"
+        )
+    if "id" not in value:
+        raise ValueError("'trace' is missing required key 'id'")
+    _check_id(value["id"], "id")
+    if "span" in value:
+        _check_id(value["span"], "span")
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """A propagated trace identity: trace id + parent span id."""
+
+    trace_id: str
+    parent_span_id: str | None = None
+
+    def to_wire(self) -> dict[str, str]:
+        """The ``"trace"`` request-field value for this context."""
+        wire = {"id": self.trace_id}
+        if self.parent_span_id is not None:
+            wire["span"] = self.parent_span_id
+        return wire
+
+    @classmethod
+    def from_wire(cls, value: Any) -> "TraceContext":
+        """Decode (and validate) a wire ``"trace"`` value.
+
+        Raises ``ValueError`` on anything malformed — same checks as
+        :func:`validate_trace_field`.
+        """
+        validate_trace_field(value)
+        return cls(trace_id=value["id"], parent_span_id=value.get("span"))
+
+    @classmethod
+    def new(cls) -> "TraceContext":
+        """A fresh root context (client starting a distributed trace)."""
+        return cls(trace_id=new_trace_id())
+
+    @classmethod
+    def from_span(cls, span: Span) -> "TraceContext":
+        """The context an outbound request should carry so the remote
+        side parents under ``span``."""
+        return cls(trace_id=span.trace_id, parent_span_id=span.span_id)
+
+    @classmethod
+    def current(cls, tracer: Tracer | None = None) -> "TraceContext | None":
+        """Context of the calling thread's innermost open span, if
+        any (``None`` when tracing is off or no span is open)."""
+        if tracer is None:
+            from repro.obs.tracer import get_tracer
+
+            tracer = get_tracer()
+        span = tracer.current()
+        if span is None:
+            return None
+        return cls.from_span(span)

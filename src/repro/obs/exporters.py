@@ -19,12 +19,15 @@ from __future__ import annotations
 
 import gzip
 import json
+import re
+import threading
 from pathlib import Path
 from typing import Any, Iterable
 
 from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
+    "SpanSink",
     "write_trace_jsonl",
     "read_trace_jsonl",
     "render_trace_tree",
@@ -62,6 +65,108 @@ def read_trace_jsonl(path: str | Path) -> list[dict[str, Any]]:
             if line:
                 records.append(json.loads(line))
     return records
+
+
+# ---------------------------------------------------------------------------
+# Streaming per-span export (what `repro serve --trace-dir` writes)
+# ---------------------------------------------------------------------------
+#: Suffix of the live per-instance span file; rotated generations are
+#: ``<name>.trace.jsonl.1`` .. ``.<keep>``.
+TRACE_FILE_SUFFIX = ".trace.jsonl"
+
+_UNSAFE_FILENAME_RE = re.compile(r"[^0-9A-Za-z_.\-]")
+
+
+def instance_filename(instance: str) -> str:
+    """The span-file name for an instance label (``shard0/r1`` ->
+    ``shard0-r1.trace.jsonl``)."""
+    safe = _UNSAFE_FILENAME_RE.sub("-", instance) or "trace"
+    return safe + TRACE_FILE_SUFFIX
+
+
+class SpanSink:
+    """Append finished span records to a size-capped JSONL file.
+
+    The per-process export half of cluster tracing: hand
+    ``sink.write`` to :class:`~repro.obs.tracer.Tracer` as its
+    ``sink`` and every finished span lands on disk (flushed per
+    write) *before* the request's response is sent, so a collector
+    reading after a response never races the writer.
+
+    Rotation: when the live file would exceed ``max_bytes`` it is
+    shifted to ``.1`` (existing generations shift up, the oldest
+    beyond ``keep`` is deleted) and a fresh file is started.  Records
+    failing schema validation are dropped and counted in
+    :attr:`rejected` rather than poisoning the file.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        instance: str = "",
+        *,
+        max_bytes: int = 8 * 1024 * 1024,
+        keep: int = 3,
+    ):
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / instance_filename(instance)
+        self.max_bytes = max_bytes
+        self.keep = keep
+        self.rejected = 0
+        self.rotations = 0
+        self._lock = threading.Lock()
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._size = self.path.stat().st_size
+
+    def write(self, record: dict[str, Any]) -> None:
+        """Validate, serialise and append one span record."""
+        from repro.obs.schema import validate_record
+
+        if validate_record(record):
+            self.rejected += 1
+            return
+        line = json.dumps(record, sort_keys=True) + "\n"
+        encoded = line.encode("utf-8")
+        with self._lock:
+            if self._fh is None:
+                raise ValueError("sink is closed")
+            if self._size and self._size + len(encoded) > self.max_bytes:
+                self._rotate_locked()
+            self._fh.write(line)
+            self._fh.flush()
+            self._size += len(encoded)
+
+    def _rotate_locked(self) -> None:
+        self._fh.close()
+        oldest = self.path.with_name(self.path.name + f".{self.keep}")
+        oldest.unlink(missing_ok=True)
+        for generation in range(self.keep - 1, 0, -1):
+            source = self.path.with_name(self.path.name + f".{generation}")
+            if source.exists():
+                source.rename(
+                    self.path.with_name(self.path.name + f".{generation + 1}")
+                )
+        self.path.rename(self.path.with_name(self.path.name + ".1"))
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._size = 0
+        self.rotations += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "SpanSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 # ---------------------------------------------------------------------------

@@ -36,6 +36,8 @@ DEFAULT_RESERVOIR = 8192
 #: Percentiles reported by :meth:`Histogram.snapshot`.
 PERCENTILES = (50.0, 95.0, 99.0)
 
+_NUMBER_T = (int, float)
+
 
 def nearest_rank(sorted_values: list[float], percentile: float) -> float:
     """Nearest-rank percentile of an already-sorted non-empty list."""
@@ -143,15 +145,25 @@ class Histogram:
             return 0.0
         return nearest_rank(window, percentile)
 
-    def snapshot(self) -> dict[str, float]:
-        """Lifetime stats plus window percentiles, in observed units."""
+    def snapshot(self, samples: int = 0) -> dict[str, Any]:
+        """Lifetime stats plus window percentiles, in observed units.
+
+        ``samples > 0`` additionally includes (up to) that many of the
+        most recent reservoir samples under ``"samples"`` — what makes
+        a snapshot *mergeable* with bounded wire size: the cluster
+        telemetry op ships capped samples so the collector's merged
+        histogram can still answer percentile queries.
+        """
         with self._lock:
             window = sorted(self._samples)
             count, total = self._count, self._sum
             lo, hi = self._min, self._max
+            recent = (
+                list(self._samples)[-samples:] if samples > 0 else None
+            )
         if not count:
             return {"count": 0}
-        snap: dict[str, float] = {
+        snap: dict[str, Any] = {
             "count": count,
             "sum": total,
             "mean": total / count,
@@ -160,7 +172,36 @@ class Histogram:
         }
         for percentile in PERCENTILES:
             snap[f"p{percentile:g}"] = nearest_rank(window, percentile)
+        if recent is not None:
+            snap["samples"] = recent
         return snap
+
+    def merge(self, snapshot: dict[str, Any]) -> "Histogram":
+        """Fold another histogram's :meth:`snapshot` into this one.
+
+        Lifetime ``count``/``sum``/``min``/``max`` merge exactly; the
+        reservoir extends with the snapshot's carried ``"samples"``
+        (if any), so merged percentiles are computed over the union of
+        the retained windows.  Returns self for chaining.
+        """
+        count = snapshot.get("count", 0)
+        if not isinstance(count, _NUMBER_T) or count <= 0:
+            return self
+        total = snapshot.get("sum", 0.0)
+        lo, hi = snapshot.get("min"), snapshot.get("max")
+        carried = snapshot.get("samples") or ()
+        with self._lock:
+            self._count += int(count)
+            if isinstance(total, _NUMBER_T):
+                self._sum += float(total)
+            if isinstance(lo, _NUMBER_T) and lo < self._min:
+                self._min = float(lo)
+            if isinstance(hi, _NUMBER_T) and hi > self._max:
+                self._max = float(hi)
+            for value in carried:
+                if isinstance(value, _NUMBER_T):
+                    self._samples.append(float(value))
+        return self
 
 
 _LabelKey = tuple[tuple[str, str], ...]
@@ -226,14 +267,17 @@ class MetricsRegistry:
         for (name, label_key), metric in items:
             yield name, dict(label_key), metric
 
-    def snapshot(self) -> dict[str, list[dict[str, Any]]]:
+    def snapshot(self, samples: int = 0) -> dict[str, list[dict[str, Any]]]:
         """Everything, as one JSON-serialisable dict keyed by metric
-        name; each entry carries its labels, kind and value/stats."""
+        name; each entry carries its labels, kind and value/stats.
+        ``samples`` is forwarded to :meth:`Histogram.snapshot` (the
+        telemetry op ships capped samples for mergeable percentiles).
+        """
         out: dict[str, list[dict[str, Any]]] = {}
         for name, labels, metric in self.collect():
             entry: dict[str, Any] = {"labels": labels, "kind": metric.kind}
             if metric.kind == "histogram":
-                entry.update(metric.snapshot())
+                entry.update(metric.snapshot(samples=samples))
             else:
                 entry["value"] = metric.value
             out.setdefault(name, []).append(entry)

@@ -1,15 +1,18 @@
 """The trace record schema and its validator.
 
-Every line of a trace JSONL file is one **span record** (schema v1):
+Every line of a trace JSONL file is one **span record** (schema v2):
 
 ===========  =========  ==================================================
 field        type       meaning
 ===========  =========  ==================================================
-``v``        int        schema version (currently 1)
+``v``        int        schema version (1 or 2; emitter writes 2)
 ``type``     str        record type, always ``"span"``
 ``trace``    str        trace id shared by every span of one run
 ``span``     str        unique span id
 ``parent``   str|null   parent span id (null for roots)
+``pid``      int        emitting process id (v2+)
+``instance`` str        emitting instance label, e.g. ``shard0/r1``
+                        (v2+; empty when the process was not labelled)
 ``name``     str        span name, e.g. ``summarize:Mags`` /
                         ``phase:merge`` / ``service:request``
 ``start_unix``  number  wall-clock start (``time.time()``)
@@ -19,6 +22,10 @@ field        type       meaning
 ``counters`` object     name -> accumulated number
 ``events``   array      ``{"name", "at_s", "attrs"}`` point events
 ===========  =========  ==================================================
+
+v1 records (no ``pid``/``instance``) are still accepted by the
+validator — old traces stay readable; the cluster collector falls
+back to per-record defaults for them.
 
 The validator is what the CI observability job (and ``python -m repro
 trace --validate``) runs against emitted traces, so the schema above
@@ -35,10 +42,15 @@ from repro.obs.tracer import SCHEMA_VERSION
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SCHEMA_VERSIONS",
     "validate_record",
     "validate_trace",
     "validate_trace_file",
 ]
+
+#: Schema versions the validator accepts (the emitter always writes
+#: the newest).
+SCHEMA_VERSIONS = (1, 2)
 
 _NUMBER = (int, float)
 
@@ -58,13 +70,26 @@ _FIELDS: dict[str, tuple] = {
     "events": (list,),
 }
 
+#: Fields added in schema v2 (required from v2 on; optional — but
+#: still type-checked when present — in v1 records).
+_V2_FIELDS: dict[str, tuple] = {
+    "pid": (int,),
+    "instance": (str,),
+}
+
 
 def validate_record(record: Any, where: str = "record") -> list[str]:
     """Schema errors of one span record (empty list == valid)."""
     if not isinstance(record, dict):
         return [f"{where}: not a JSON object"]
     errors: list[str] = []
-    for field, types in _FIELDS.items():
+    version = record.get("v")
+    fields = dict(_FIELDS)
+    v2_required = isinstance(version, int) and version >= 2
+    for field, types in _V2_FIELDS.items():
+        if v2_required or field in record:
+            fields[field] = types
+    for field, types in fields.items():
         if field not in record:
             errors.append(f"{where}: missing field {field!r}")
             continue
@@ -76,10 +101,10 @@ def validate_record(record: Any, where: str = "record") -> list[str]:
                 f"{'/'.join(t.__name__ for t in types)}"
             )
     if not errors:
-        if record["v"] != SCHEMA_VERSION:
+        if record["v"] not in SCHEMA_VERSIONS:
             errors.append(
                 f"{where}: schema version {record['v']}, "
-                f"expected {SCHEMA_VERSION}"
+                f"expected one of {list(SCHEMA_VERSIONS)}"
             )
         if record["type"] != "span":
             errors.append(f"{where}: type {record['type']!r} != 'span'")
@@ -101,11 +126,19 @@ def validate_record(record: Any, where: str = "record") -> list[str]:
     return errors
 
 
-def validate_trace(records: list[dict[str, Any]]) -> list[str]:
+def validate_trace(
+    records: list[dict[str, Any]],
+    *,
+    require_single_trace: bool = True,
+) -> list[str]:
     """Schema + referential errors of a whole trace.
 
     Beyond per-record checks: every non-null parent id must resolve to
-    a span in the trace, and all spans must share one trace id.
+    a span in the trace, and all spans must share one trace id.  Pass
+    ``require_single_trace=False`` for per-instance span files, which
+    interleave spans from many requests *and* may reference parents
+    living in another process's file (the cluster collector merges
+    the fragments down to one trace id before full validation).
     """
     errors: list[str] = []
     for i, record in enumerate(records):
@@ -114,10 +147,12 @@ def validate_trace(records: list[dict[str, Any]]) -> list[str]:
         return errors
     if not records:
         return ["trace is empty"]
-    ids = {r["span"] for r in records}
     traces = {r["trace"] for r in records}
+    if not require_single_trace:
+        return errors
     if len(traces) > 1:
         errors.append(f"multiple trace ids in one file: {sorted(traces)}")
+    ids = {r["span"] for r in records}
     for i, record in enumerate(records):
         parent = record["parent"]
         if parent is not None and parent not in ids:

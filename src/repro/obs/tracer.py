@@ -43,10 +43,14 @@ __all__ = [
     "use_tracer",
     "start_tracing",
     "stop_tracing",
+    "get_instance_label",
+    "set_instance_label",
 ]
 
 #: Version stamped into every exported span record ("v" field).
-SCHEMA_VERSION = 1
+#: v2 added process identity (``pid``/``instance``) so traces merged
+#: across cluster instances attribute every span to its process.
+SCHEMA_VERSION = 2
 
 #: Finished spans kept per tracer; beyond this, spans are dropped (and
 #: counted in :attr:`Tracer.dropped`) so a runaway loop cannot exhaust
@@ -57,6 +61,24 @@ DEFAULT_MAX_SPANS = 100_000
 def _new_id() -> str:
     """16-hex-char random identifier (trace and span ids)."""
     return os.urandom(8).hex()
+
+
+_instance_label = ""
+
+
+def get_instance_label() -> str:
+    """The process-wide instance label stamped into span records
+    (empty until :func:`set_instance_label`)."""
+    return _instance_label
+
+
+def set_instance_label(label: str) -> str:
+    """Name this process (e.g. ``shard0/r1`` or ``router``) in every
+    span it emits from now on; returns the previous label."""
+    global _instance_label
+    previous = _instance_label
+    _instance_label = str(label)
+    return previous
 
 
 class Span:
@@ -130,13 +152,15 @@ class Span:
             self.cpu_s = time.process_time() - self._cpu0
 
     def as_record(self) -> dict[str, Any]:
-        """The JSON-serialisable trace record (schema v1)."""
+        """The JSON-serialisable trace record (schema v2)."""
         return {
             "v": SCHEMA_VERSION,
             "type": "span",
             "trace": self.trace_id,
             "span": self.span_id,
             "parent": self.parent_id,
+            "pid": os.getpid(),
+            "instance": _instance_label,
             "name": self.name,
             "start_unix": self.start_unix,
             "wall_s": round(self.wall_s or 0.0, 9),
@@ -159,14 +183,30 @@ class Tracer:
     to :meth:`start_span`/:meth:`span` to attach a worker-thread span
     under a span of the spawning thread (the parallel merge paths do
     this).  The finished-record list is guarded by a lock.
+
+    Cross-process behaviour: pass ``context=`` (anything with a
+    ``trace_id`` and ``parent_span_id``, e.g.
+    :class:`repro.obs.context.TraceContext` decoded from a wire
+    request) to adopt a remote caller's trace — the span takes the
+    caller's trace id and parents under the caller's span, so a
+    collector can reassemble one tree across processes.  ``sink``, if
+    given, is called with each finished span record as it closes
+    (the JSONL export hook); sink exceptions are swallowed and counted
+    in :attr:`sink_errors` so a full disk cannot take down serving.
     """
 
     enabled = True
 
-    def __init__(self, max_spans: int = DEFAULT_MAX_SPANS):
+    def __init__(
+        self,
+        max_spans: int = DEFAULT_MAX_SPANS,
+        sink=None,
+    ):
         self.trace_id = _new_id()
         self.dropped = 0
+        self.sink_errors = 0
         self._max_spans = max_spans
+        self._sink = sink
         self._records: list[dict[str, Any]] = []
         self._lock = threading.Lock()
         self._local = threading.local()
@@ -184,21 +224,34 @@ class Tracer:
         return stack[-1] if stack else None
 
     def start_span(
-        self, name: str, parent: Span | None = None, **attrs: Any
+        self,
+        name: str,
+        parent: Span | None = None,
+        context=None,
+        **attrs: Any,
     ) -> Span:
         """Open a span (explicit form; prefer :meth:`span`).
 
         The parent defaults to the calling thread's innermost open
-        span; pass ``parent=`` to override (cross-thread nesting).
+        span; pass ``parent=`` to override (cross-thread nesting) or
+        ``context=`` to adopt a remote caller's trace id and parent
+        span id (``context`` wins over any local parent).  A child
+        span inherits its parent's trace id, so adoption propagates
+        down the whole local subtree.
         """
-        if parent is None:
-            parent = self.current()
-        span = Span(
-            name,
-            self.trace_id,
-            parent.span_id if parent is not None else None,
-            attrs,
-        )
+        if context is not None:
+            trace_id = context.trace_id
+            parent_id = context.parent_span_id
+        else:
+            if parent is None:
+                parent = self.current()
+            if parent is not None:
+                trace_id = parent.trace_id
+                parent_id = parent.span_id
+            else:
+                trace_id = self.trace_id
+                parent_id = None
+        span = Span(name, trace_id, parent_id, attrs)
         self._stack().append(span)
         return span
 
@@ -209,22 +262,33 @@ class Tracer:
         if span in stack:
             # Usually the top; tolerate out-of-order ends from misuse.
             stack.remove(span)
+        record = span.as_record()
+        sink = self._sink
+        if sink is not None:
+            try:
+                sink(record)
+            except Exception:
+                self.sink_errors += 1
         with self._lock:
             if len(self._records) < self._max_spans:
-                self._records.append(span.as_record())
+                self._records.append(record)
             else:
                 self.dropped += 1
 
     @contextlib.contextmanager
     def span(
-        self, name: str, parent: Span | None = None, **attrs: Any
+        self,
+        name: str,
+        parent: Span | None = None,
+        context=None,
+        **attrs: Any,
     ) -> Iterator[Span]:
         """Context manager around one span::
 
             with tracer.span("phase:merge", t=3) as span:
                 span.inc("merges")
         """
-        opened = self.start_span(name, parent=parent, **attrs)
+        opened = self.start_span(name, parent=parent, context=context, **attrs)
         try:
             yield opened
         except BaseException as exc:
@@ -299,10 +363,12 @@ class NullTracer:
 
     enabled = False
 
-    def span(self, name: str, parent=None, **attrs: Any) -> _NullSpan:
+    def span(self, name: str, parent=None, context=None, **attrs: Any) \
+            -> _NullSpan:
         return NULL_SPAN
 
-    def start_span(self, name: str, parent=None, **attrs: Any) -> _NullSpan:
+    def start_span(self, name: str, parent=None, context=None,
+                   **attrs: Any) -> _NullSpan:
         return NULL_SPAN
 
     def end_span(self, span) -> None:
@@ -355,9 +421,9 @@ def use_tracer(tracer: Tracer | NullTracer) -> Iterator[Tracer | NullTracer]:
         set_tracer(previous)
 
 
-def start_tracing(max_spans: int = DEFAULT_MAX_SPANS) -> Tracer:
+def start_tracing(max_spans: int = DEFAULT_MAX_SPANS, sink=None) -> Tracer:
     """Create a fresh :class:`Tracer`, install it globally, return it."""
-    tracer = Tracer(max_spans=max_spans)
+    tracer = Tracer(max_spans=max_spans, sink=sink)
     set_tracer(tracer)
     return tracer
 

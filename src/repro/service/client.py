@@ -252,6 +252,12 @@ class SummaryServiceClient:
     def stats(self) -> dict:
         return self.request("stats")
 
+    def telemetry(self) -> dict:
+        """The server's identity + full registry snapshot
+        (``{"instance", "pid", "registry"}``) — what the cluster
+        collector merges across instances."""
+        return self.request("telemetry")
+
     def batch(self, requests: list[dict]) -> list[dict]:
         """Send a batch; returns the per-request response dicts in
         request order (errors inline, not raised)."""

@@ -35,6 +35,7 @@ dedicated lock.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import OrderedDict
@@ -46,10 +47,24 @@ from repro.queries.neighbors import SummaryNeighborIndex, neighbor_query
 from repro.queries.pagerank import SummaryPageRank
 from repro.service.metrics import ServiceMetrics
 
-__all__ = ["QueryEngine", "QueryError", "QueryTimeout", "LRUCache", "OPS"]
+__all__ = [
+    "QueryEngine",
+    "QueryError",
+    "QueryTimeout",
+    "LRUCache",
+    "OPS",
+    "TELEMETRY_SAMPLES",
+]
 
 #: Request types the engine understands (the protocol's ``op`` field).
-OPS = ("neighbors", "degree", "khop", "pagerank", "stats", "ping")
+OPS = (
+    "neighbors", "degree", "khop", "pagerank", "stats", "telemetry", "ping",
+)
+
+#: Reservoir samples per histogram carried in a ``telemetry`` reply —
+#: mirrors :data:`repro.obs.collect.TELEMETRY_SAMPLES`; keeps a full
+#: registry snapshot well under the 1 MiB wire line cap.
+TELEMETRY_SAMPLES = 1024
 
 
 class QueryError(ValueError):
@@ -382,6 +397,16 @@ class QueryEngine:
             snapshot["cache"]["capacity"] = self._cache.capacity
             snapshot["registry"] = self.metrics.registry.snapshot()
             return snapshot
+        if op == "telemetry":
+            from repro.obs.tracer import get_instance_label
+
+            return {
+                "instance": get_instance_label(),
+                "pid": os.getpid(),
+                "registry": self.metrics.registry.snapshot(
+                    samples=TELEMETRY_SAMPLES
+                ),
+            }
         node = request.get("node")
         if not isinstance(node, int) or isinstance(node, bool):
             raise QueryError(

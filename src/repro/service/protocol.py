@@ -14,9 +14,16 @@ khop       ``node``, ``k``             ``{node: hop_distance}`` (string keys)
 pagerank   ``node``                    PageRank score (float)
 batch      ``requests`` (list of ops)  list of per-request responses
 stats      —                           metrics snapshot
+telemetry  —                           ``{"instance", "pid", "registry"}``
 ping       —                           ``"pong"``
 shutdown   —                           ``"shutting down"`` (server then stops)
 ========== =========================== ==========================================
+
+Every op additionally accepts an optional ``trace`` field —
+``{"id": <trace id>, "span": <parent span id>}`` (``span`` optional)
+— the distributed-tracing context of :mod:`repro.obs.context`.  A
+tracing server adopts it so its spans join the caller's trace; a
+non-tracing server validates and ignores it.
 
 Responses
 ---------
@@ -25,7 +32,9 @@ Responses
 failure.  Error types: ``bad_request``, ``timeout``, ``overloaded``,
 ``internal``.  A degraded-mode success (truncated ``khop``,
 approximate ``pagerank`` — see :mod:`repro.service.engine`)
-additionally carries ``"degraded": true``.
+additionally carries ``"degraded": true``.  A tracing server echoes
+``"trace": {"id", "span"}`` (its request-span identity) when the
+request carried a trace context.
 
 Framing is newline-delimited UTF-8 JSON, so the protocol is usable
 from ``nc`` for debugging.  Lines longer than :data:`MAX_LINE_BYTES`
@@ -44,6 +53,8 @@ from __future__ import annotations
 
 import json
 import socket
+
+from repro.obs.context import validate_trace_field
 
 __all__ = [
     "MAX_LINE_BYTES",
@@ -78,26 +89,29 @@ KNOWN_OPS = (
     "pagerank",
     "batch",
     "stats",
+    "telemetry",
     "ping",
     "shutdown",
 )
 
 #: Exact field whitelist per op; an unknown field is rejected rather
 #: than ignored, so typos ("nodes") fail loudly and smuggled payloads
-#: never reach the engine.
+#: never reach the engine.  Every op also accepts the optional
+#: ``trace`` context field.
 _ALLOWED_FIELDS: dict[str, frozenset[str]] = {
-    "neighbors": frozenset({"id", "op", "node"}),
-    "degree": frozenset({"id", "op", "node"}),
-    "khop": frozenset({"id", "op", "node", "k"}),
-    "pagerank": frozenset({"id", "op", "node"}),
-    "batch": frozenset({"id", "op", "requests"}),
-    "stats": frozenset({"id", "op", "format"}),
-    "ping": frozenset({"id", "op"}),
-    "shutdown": frozenset({"id", "op"}),
+    "neighbors": frozenset({"id", "op", "node", "trace"}),
+    "degree": frozenset({"id", "op", "node", "trace"}),
+    "khop": frozenset({"id", "op", "node", "k", "trace"}),
+    "pagerank": frozenset({"id", "op", "node", "trace"}),
+    "batch": frozenset({"id", "op", "requests", "trace"}),
+    "stats": frozenset({"id", "op", "format", "trace"}),
+    "telemetry": frozenset({"id", "op", "trace"}),
+    "ping": frozenset({"id", "op", "trace"}),
+    "shutdown": frozenset({"id", "op", "trace"}),
 }
 
 _RESPONSE_FIELDS = frozenset(
-    {"id", "ok", "op", "result", "error", "degraded"}
+    {"id", "ok", "op", "result", "error", "degraded", "trace"}
 )
 
 
@@ -145,8 +159,10 @@ def validate_request(request: dict) -> dict:
     echoable without interpretation), a missing/unknown ``op``, any
     field outside the op's whitelist, a non-integer ``node``, a ``k``
     outside ``[0, MAX_KHOP_K]``, a ``batch`` whose ``requests`` is not
-    a list of at most :data:`MAX_BATCH_REQUESTS` objects, or a
-    ``stats`` ``format`` other than ``"prometheus"``.  Range checks
+    a list of at most :data:`MAX_BATCH_REQUESTS` objects, a
+    ``stats`` ``format`` other than ``"prometheus"``, or a malformed
+    ``trace`` context (non-object, missing/over-long ids, unknown
+    keys).  Range checks
     that need the served summary (``node`` against ``n``) stay in the
     engine.
     """
@@ -165,6 +181,11 @@ def validate_request(request: dict) -> dict:
             f"op {op!r} does not accept field(s) "
             f"{', '.join(sorted(map(repr, unknown)))}"
         )
+    if "trace" in request:
+        try:
+            validate_trace_field(request["trace"])
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from exc
     if op in ("neighbors", "degree", "khop", "pagerank"):
         _check_node_field(request, op)
     if op == "khop":
@@ -219,6 +240,11 @@ def validate_response(message: dict) -> dict:
         raise ProtocolError("response needs a boolean 'ok' field")
     if not _is_scalar(message.get("id")):
         raise ProtocolError("response 'id' must be a JSON scalar")
+    if "trace" in message:
+        try:
+            validate_trace_field(message["trace"])
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from exc
     if ok:
         if "result" not in message:
             raise ProtocolError("ok response is missing 'result'")

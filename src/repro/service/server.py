@@ -355,11 +355,27 @@ class SummaryQueryServer:
         tracer = get_tracer()
         if not tracer.enabled:
             return self._handle_request(request)
+        # Adopt the caller's trace context (already validated above)
+        # so this span — and every span nested under it, including
+        # fan-outs to further shards — joins the caller's trace.  The
+        # span closes (and hits the tracer's sink) before the response
+        # is sent, so a collector reading after the client saw the
+        # reply never races the span file.
+        context = None
+        wire_trace = request.get("trace")
+        if wire_trace is not None:
+            from repro.obs.context import TraceContext
+
+            context = TraceContext.from_wire(wire_trace)
         with tracer.span(
-            "service:request", op=request.get("op")
+            "service:request", context=context, op=request.get("op")
         ) as span:
             response, stop_after = self._handle_request(request)
             span.set(ok=bool(response.get("ok")))
+            if wire_trace is not None and isinstance(response, dict):
+                response["trace"] = {
+                    "id": span.trace_id, "span": span.span_id,
+                }
             return response, stop_after
 
     def _handle_request(self, request: dict) -> tuple[dict, bool]:

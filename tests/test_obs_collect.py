@@ -1,0 +1,286 @@
+"""Cluster collection: span-sink rotation, cross-process trace
+reassembly, registry merging, and Histogram.merge properties."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import registry_to_prometheus
+from repro.obs.collect import (
+    assemble_trace,
+    load_cluster_telemetry,
+    merge_registry_snapshots,
+    read_trace_dir,
+    registry_snapshots,
+    render_merged_trace,
+    trace_ids,
+    write_cluster_telemetry,
+)
+from repro.obs.exporters import SpanSink, read_trace_jsonl
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.schema import validate_trace
+
+
+def _record(
+    i: int,
+    *,
+    trace: str = "trace00",
+    parent: str | None = None,
+    instance: str = "test",
+    pid: int = 1234,
+    name: str = "work",
+    wall: float = 0.001,
+    pad: str = "",
+) -> dict:
+    return {
+        "type": "span",
+        "v": 2,
+        "name": name,
+        "span": f"{i:016x}",
+        "parent": parent,
+        "trace": trace,
+        "start_unix": 1000.0 + i,
+        "wall_s": wall,
+        "cpu_s": wall,
+        "attrs": {"pad": pad} if pad else {},
+        "counters": {},
+        "events": [],
+        "pid": pid,
+        "instance": instance,
+    }
+
+
+class TestSpanSink:
+    def test_writes_schema_valid_jsonl(self, tmp_path):
+        with SpanSink(tmp_path, "alpha") as sink:
+            for i in range(5):
+                sink.write(_record(i))
+        (path,) = list(tmp_path.iterdir())
+        assert path.name == "alpha.trace.jsonl"
+        records = read_trace_jsonl(path)
+        assert len(records) == 5
+        assert validate_trace(records) == []
+
+    def test_rotation_keeps_newest_generations(self, tmp_path):
+        # Each padded record is ~350 bytes; a 1 KiB cap forces several
+        # rotations and `keep=2` bounds total disk to 3 files.
+        sink = SpanSink(tmp_path, "alpha", max_bytes=1024, keep=2)
+        for i in range(20):
+            sink.write(_record(i, pad="x" * 250))
+        sink.close()
+        assert sink.rotations > 0
+        files = sorted(p.name for p in tmp_path.iterdir())
+        assert "alpha.trace.jsonl" in files
+        assert len(files) <= 3  # live + keep rotated generations
+        survivors = read_trace_dir(tmp_path)
+        # The newest record always survives; older generations beyond
+        # `keep` are dropped by design.
+        assert any(r["span"] == _record(19)["span"] for r in survivors)
+
+    def test_rejects_invalid_records(self, tmp_path):
+        with SpanSink(tmp_path, "alpha") as sink:
+            sink.write({"garbage": True})
+            sink.write(_record(0))
+            assert sink.rejected == 1
+        records = read_trace_dir(tmp_path)
+        assert len(records) == 1
+
+    def test_unsafe_instance_label_is_sanitised(self, tmp_path):
+        with SpanSink(tmp_path, "shard0/r1") as sink:
+            sink.write(_record(0))
+        (path,) = list(tmp_path.iterdir())
+        assert path.name == "shard0-r1.trace.jsonl"
+
+
+class TestAssembleTrace:
+    def _two_process_records(self):
+        root = _record(0, instance="router", name="service:request")
+        fans = [
+            _record(
+                i,
+                instance="router",
+                name="router:fanout",
+                parent=root["span"],
+            )
+            for i in (1, 2)
+        ]
+        shard_spans = [
+            _record(
+                10 + i,
+                instance=f"shard{i}",
+                pid=2000 + i,
+                name="service:request",
+                parent=fans[i]["span"],
+            )
+            for i in (0, 1)
+        ]
+        other = _record(99, trace="other99")
+        return [root, *fans, *shard_spans, other]
+
+    def test_single_root_and_parentage(self):
+        merged = assemble_trace(self._two_process_records(), "trace00")
+        assert len(merged.records) == 5
+        assert len(merged.roots) == 1
+        assert merged.roots[0]["name"] == "service:request"
+        assert merged.instances == ["router", "shard0", "shard1"]
+        assert merged.fanout_width == 2
+        assert validate_trace(merged.records) == []
+
+    def test_instance_totals_count_local_roots_once(self):
+        merged = assemble_trace(self._two_process_records(), "trace00")
+        # Router wall = the root only (the fan-outs nest under it);
+        # each shard contributes its own request span.
+        assert merged.instance_totals["router"]["spans"] == 3
+        assert merged.instance_totals["router"]["wall_s"] == pytest.approx(
+            0.001
+        )
+        assert merged.instance_totals["shard0"]["wall_s"] == pytest.approx(
+            0.001
+        )
+
+    def test_unknown_trace_id_is_empty(self):
+        merged = assemble_trace(self._two_process_records(), "missing")
+        assert merged.records == []
+        assert merged.roots == []
+
+    def test_trace_ids_most_recent_first(self):
+        ids = trace_ids(self._two_process_records())
+        assert ids == ["other99", "trace00"]
+
+    def test_render_tags_instances(self):
+        merged = assemble_trace(self._two_process_records(), "trace00")
+        text = render_merged_trace(merged)
+        assert "fan-out width 2" in text
+        assert "[shard0 pid=2000]" in text
+        assert "per-instance totals:" in text
+
+
+class TestMergeRegistrySnapshots:
+    def _snapshots(self):
+        out = {}
+        for label, requests in (("a", 10), ("b", 32)):
+            registry = MetricsRegistry()
+            registry.counter("service_requests_total").inc(requests)
+            registry.gauge("service_connections_active").set(2)
+            hist = registry.histogram("service_request_seconds", op="ping")
+            for i in range(requests):
+                hist.observe(0.001 * (i + 1))
+            out[label] = registry.snapshot(samples=64)
+        return out
+
+    def test_counters_keep_per_instance_values(self):
+        merged = merge_registry_snapshots(self._snapshots())
+        assert merged.counter(
+            "service_requests_total", instance="a"
+        ).value == 10
+        assert merged.counter(
+            "service_requests_total", instance="b"
+        ).value == 32
+
+    def test_histograms_fold_counts(self):
+        merged = merge_registry_snapshots(self._snapshots())
+        a = merged.histogram(
+            "service_request_seconds", op="ping", instance="a"
+        )
+        assert a.count == 10
+        assert a.percentile(50) == pytest.approx(0.005, rel=0.25)
+
+    def test_prometheus_dump_carries_instance_labels(self):
+        merged = merge_registry_snapshots(self._snapshots())
+        text = registry_to_prometheus(merged)
+        assert 'instance="a"' in text and 'instance="b"' in text
+        assert "service_requests_total" in text
+
+    def test_telemetry_file_round_trip(self, tmp_path):
+        telemetry = {
+            label: {"instance": label, "pid": 1, "registry": snapshot}
+            for label, snapshot in self._snapshots().items()
+        }
+        telemetry["down"] = {"error": "ConnectionError: boom"}
+        path = write_cluster_telemetry(telemetry, tmp_path / "ct.json")
+        loaded = load_cluster_telemetry(path)
+        assert set(loaded) == {"a", "b", "down"}
+        assert set(registry_snapshots(loaded)) == {"a", "b"}
+
+    def test_load_rejects_non_telemetry_files(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"shards": 2}')
+        with pytest.raises(ValueError):
+            load_cluster_telemetry(path)
+
+
+_values = st.lists(
+    st.floats(
+        min_value=0.0,
+        max_value=1e6,
+        allow_nan=False,
+        allow_infinity=False,
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+class TestHistogramMergeProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(xs=_values, ys=_values)
+    def test_merge_equals_concatenated_observations(self, xs, ys):
+        a, b = Histogram(), Histogram()
+        for x in xs:
+            a.observe(x)
+        for y in ys:
+            b.observe(y)
+        merged = Histogram()
+        merged.merge(a.snapshot(samples=len(xs)))
+        merged.merge(b.snapshot(samples=len(ys)))
+
+        reference = Histogram()
+        for v in xs + ys:
+            reference.observe(v)
+
+        assert merged.count == reference.count
+        assert math.isclose(
+            merged.sum, reference.sum, rel_tol=1e-9, abs_tol=1e-9
+        )
+        snap, ref = merged.snapshot(), reference.snapshot()
+        assert snap["min"] == ref["min"]
+        assert snap["max"] == ref["max"]
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        xs=_values,
+        ys=_values,
+        percentile=st.floats(min_value=1.0, max_value=100.0),
+    )
+    def test_merged_percentile_bounded_by_data(self, xs, ys, percentile):
+        a, b = Histogram(), Histogram()
+        for x in xs:
+            a.observe(x)
+        for y in ys:
+            b.observe(y)
+        merged = Histogram()
+        merged.merge(a.snapshot(samples=len(xs)))
+        merged.merge(b.snapshot(samples=len(ys)))
+        value = merged.percentile(percentile)
+        assert min(xs + ys) <= value <= max(xs + ys)
+
+    @settings(max_examples=50, deadline=None)
+    @given(xs=_values)
+    def test_merge_without_samples_keeps_lifetime_stats(self, xs):
+        source = Histogram()
+        for x in xs:
+            source.observe(x)
+        merged = Histogram()
+        merged.merge(source.snapshot())  # no carried samples
+        assert merged.count == len(xs)
+        assert math.isclose(merged.sum, source.sum, rel_tol=1e-9)
+
+    def test_merge_ignores_garbage(self):
+        h = Histogram()
+        h.merge({})
+        h.merge({"count": "ten"})
+        h.merge({"count": -3})
+        h.merge({"count": 2, "sum": "x", "samples": "zzz"})
+        assert h.count in (0, 2)  # garbage never raises

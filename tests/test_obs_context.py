@@ -1,0 +1,185 @@
+"""Trace-context propagation: wire field validation, protocol
+whitelisting, and in-process server adoption + echo."""
+
+import pytest
+
+from repro import obs
+from repro.core.encoding import encode
+from repro.core.supernodes import SuperNodePartition
+from repro.graph import generators
+from repro.obs.context import (
+    TRACE_ID_MAX_LEN,
+    TraceContext,
+    new_trace_id,
+    validate_trace_field,
+)
+from repro.service import (
+    QueryEngine,
+    SummaryQueryServer,
+    SummaryServiceClient,
+)
+from repro.service.protocol import (
+    ProtocolError,
+    validate_request,
+    validate_response,
+)
+
+
+@pytest.fixture(autouse=True)
+def restore_global_tracer():
+    yield
+    obs.stop_tracing()
+
+
+class TestTraceContext:
+    def test_wire_round_trip(self):
+        ctx = TraceContext(trace_id="abc123", parent_span_id="f" * 16)
+        assert TraceContext.from_wire(ctx.to_wire()) == ctx
+
+    def test_wire_round_trip_without_span(self):
+        ctx = TraceContext(trace_id="abc123")
+        wire = ctx.to_wire()
+        assert "span" not in wire
+        assert TraceContext.from_wire(wire) == ctx
+
+    def test_new_ids_are_valid_and_distinct(self):
+        ids = {new_trace_id() for _ in range(32)}
+        assert len(ids) == 32
+        for trace_id in ids:
+            validate_trace_field({"id": trace_id})
+
+    def test_from_span_carries_both_ids(self):
+        tracer = obs.Tracer()
+        with tracer.span("root") as span:
+            ctx = TraceContext.from_span(span)
+        assert ctx.trace_id == span.trace_id
+        assert ctx.parent_span_id == span.span_id
+
+
+class TestValidateTraceField:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "not-a-dict",
+            42,
+            [],
+            None,
+            {},
+            {"span": "f" * 16},
+            {"id": 123},
+            {"id": ""},
+            {"id": "x" * (TRACE_ID_MAX_LEN + 1)},
+            {"id": "bad id!"},
+            {"id": "ok", "span": 7},
+            {"id": "ok", "span": "nope nope"},
+            {"id": "ok", "extra": "field"},
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            validate_trace_field(bad)
+
+    def test_accepts_minimal_and_full(self):
+        validate_trace_field({"id": "a"})
+        validate_trace_field({"id": "A-b_c.9" * 8})
+        validate_trace_field({"id": "a" * TRACE_ID_MAX_LEN, "span": "b"})
+
+
+class TestProtocolWhitelisting:
+    def test_trace_allowed_on_every_op(self):
+        trace = {"id": "0123abcd"}
+        validate_request({"id": 1, "op": "ping", "trace": trace})
+        validate_request(
+            {"id": 2, "op": "khop", "node": 0, "k": 2, "trace": trace}
+        )
+        validate_request({"id": 3, "op": "telemetry", "trace": trace})
+
+    def test_malformed_trace_is_a_schema_error(self):
+        with pytest.raises(ProtocolError):
+            validate_request({"id": 1, "op": "ping", "trace": "junk"})
+        with pytest.raises(ProtocolError):
+            validate_request(
+                {"id": 1, "op": "ping", "trace": {"id": "a", "x": 1}}
+            )
+
+    def test_telemetry_rejects_extra_fields(self):
+        validate_request({"id": 1, "op": "telemetry"})
+        with pytest.raises(ProtocolError):
+            validate_request({"id": 1, "op": "telemetry", "node": 0})
+
+    def test_response_trace_echo_validates(self):
+        validate_response(
+            {
+                "id": 1,
+                "ok": True,
+                "result": "pong",
+                "trace": {"id": "abc", "span": "def"},
+            }
+        )
+        with pytest.raises(ProtocolError):
+            validate_response(
+                {"id": 1, "ok": True, "result": "pong", "trace": "abc"}
+            )
+
+
+@pytest.fixture(scope="module")
+def server():
+    graph = generators.planted_partition(60, 4, 0.5, 0.05, seed=0)
+    engine = QueryEngine(encode(SuperNodePartition(graph)), cache_size=64)
+    with SummaryQueryServer(engine, port=0, workers=2) as srv:
+        yield srv
+
+
+class TestServerAdoption:
+    def test_adopts_context_and_echoes_it(self, server):
+        tracer = obs.start_tracing()
+        trace_id = new_trace_id()
+        host, port = server.address
+        with SummaryServiceClient(host, port) as client:
+            response = client.request_raw(
+                {
+                    "id": 1,
+                    "op": "neighbors",
+                    "node": 3,
+                    "trace": {"id": trace_id},
+                }
+            )
+        assert response["ok"] is True
+        assert response["trace"]["id"] == trace_id
+        records = [r for r in tracer.records() if r["trace"] == trace_id]
+        assert [r["name"] for r in records] == ["service:request"]
+        assert records[0]["span"] == response["trace"]["span"]
+        assert records[0]["parent"] is None
+
+    def test_parent_span_id_adopted(self, server):
+        tracer = obs.start_tracing()
+        trace_id, parent = new_trace_id(), new_trace_id()
+        host, port = server.address
+        with SummaryServiceClient(host, port) as client:
+            client.request_raw(
+                {
+                    "id": 1,
+                    "op": "ping",
+                    "trace": {"id": trace_id, "span": parent},
+                }
+            )
+        (record,) = [
+            r for r in tracer.records() if r["trace"] == trace_id
+        ]
+        assert record["parent"] == parent
+
+    def test_untraced_request_gets_no_echo(self, server):
+        obs.start_tracing()
+        host, port = server.address
+        with SummaryServiceClient(host, port) as client:
+            response = client.request_raw({"id": 1, "op": "ping"})
+        assert response["ok"] is True
+        assert "trace" not in response
+
+    def test_telemetry_op_round_trips(self, server):
+        host, port = server.address
+        with SummaryServiceClient(host, port) as client:
+            telemetry = client.telemetry()
+        assert isinstance(telemetry["pid"], int)
+        assert isinstance(telemetry["instance"], str)
+        assert "service_requests_total" in telemetry["registry"]

@@ -70,6 +70,86 @@ def test_disabled_tracing_overhead_within_5_percent():
     )
 
 
+_SERVICE_SCRIPT = r"""
+import json
+import time
+
+from repro.core.encoding import encode
+from repro.core.supernodes import SuperNodePartition
+from repro.graph import generators
+from repro.service import (
+    QueryEngine,
+    SummaryQueryServer,
+    SummaryServiceClient,
+)
+import repro.service.server as server_mod
+
+graph = generators.planted_partition(120, 6, 0.6, 0.05, seed=2)
+rep = encode(SuperNodePartition(graph))
+
+REQUESTS = 300
+SWEEPS = 5
+
+
+def bench(server_cls):
+    engine = QueryEngine(rep, cache_size=256)
+    with server_cls(engine, port=0, workers=2) as srv:
+        host, port = srv.address
+        with SummaryServiceClient(host, port) as client:
+            client.ping()  # warm the connection + engine caches
+            best = float("inf")
+            for __ in range(SWEEPS):
+                started = time.perf_counter()
+                for q in range(REQUESTS):
+                    client.neighbors(q % rep.n)
+                best = min(best, time.perf_counter() - started)
+    return best
+
+
+class NoGateServer(server_mod.SummaryQueryServer):
+    # ``_handle_line`` with the tracer gate removed — the
+    # pre-observability request path, used as the overhead baseline.
+    def _handle_line(self, line):
+        try:
+            request = server_mod.decode_line(line)
+        except server_mod.ProtocolError as exc:
+            self.metrics.protocol_rejected("frame")
+            return server_mod._protocol_error(exc), False
+        try:
+            server_mod.validate_request(request)
+        except server_mod.ProtocolError as exc:
+            self.metrics.protocol_rejected("schema")
+            return server_mod._schema_error(request, exc), False
+        return self._handle_request(request)
+
+
+bench(NoGateServer)  # warm-up
+base = bench(NoGateServer)
+disabled = bench(server_mod.SummaryQueryServer)
+print(json.dumps({"base": base, "disabled": disabled}))
+"""
+
+
+def test_disabled_tracing_service_path_within_5_percent():
+    """The per-request tracer gate (``get_tracer()`` + ``enabled``
+    check) must be invisible on the untraced service bench: no
+    ``trace`` field sent, no ``--trace-dir`` configured."""
+    proc = subprocess.run(
+        [sys.executable, "-c", _SERVICE_SCRIPT],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": SRC, "PATH": ""},
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    timings = json.loads(proc.stdout.strip().splitlines()[-1])
+    base, disabled = timings["base"], timings["disabled"]
+    assert disabled <= base * 1.05 + 0.05, (
+        f"disabled-tracing service path took {disabled:.4f}s vs "
+        f"gate-free baseline {base:.4f}s for 300 requests"
+    )
+
+
 def test_algorithms_do_not_import_obs():
     """The algorithm layer must stay importable without repro.obs."""
     proc = subprocess.run(

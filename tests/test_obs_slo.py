@@ -1,0 +1,197 @@
+"""SLO definitions, error-budget burn math, config loading, report."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    SLO,
+    evaluate_slos,
+    format_slo_report,
+    load_slo_config,
+)
+
+
+def _snapshot(requests: int, errors: int, latencies: list[float]) -> dict:
+    registry = MetricsRegistry()
+    if requests:
+        registry.counter("service_requests_total").inc(requests)
+    if errors:
+        registry.counter("service_errors_total").inc(errors)
+    hist = registry.histogram("service_request_seconds", op="neighbors")
+    for value in latencies:
+        hist.observe(value)
+    return registry.snapshot(samples=256)
+
+
+class TestSLOValidation:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            SLO("x", "throughput", 1.0)
+
+    def test_rejects_out_of_range_availability(self):
+        with pytest.raises(ValueError):
+            SLO("x", "availability", 0.0)
+        with pytest.raises(ValueError):
+            SLO("x", "availability", 1.5)
+
+    def test_rejects_nonpositive_latency(self):
+        with pytest.raises(ValueError):
+            SLO("x", "latency", 0.0)
+
+    def test_rejects_bad_percentile(self):
+        with pytest.raises(ValueError):
+            SLO("x", "latency", 100.0, percentile=0.0)
+
+
+class TestAvailability:
+    def test_burn_is_error_ratio_over_allowed(self):
+        # 2 errors / 400 requests = 0.5% observed vs 1% allowed.
+        snapshots = {"a": _snapshot(400, 2, [0.001])}
+        slo = SLO("avail", "availability", 0.99)
+        (result,) = evaluate_slos(snapshots, [slo])
+        assert result.ok
+        assert result.actual == pytest.approx(0.995)
+        assert result.budget_burn == pytest.approx(0.5)
+
+    def test_violation_burns_over_one(self):
+        snapshots = {"a": _snapshot(100, 5, [0.001])}
+        slo = SLO("avail", "availability", 0.99)
+        (result,) = evaluate_slos(snapshots, [slo])
+        assert not result.ok
+        assert result.budget_burn == pytest.approx(5.0)
+
+    def test_sums_across_instances(self):
+        snapshots = {
+            "a": _snapshot(100, 0, [0.001]),
+            "b": _snapshot(100, 1, [0.001]),
+        }
+        (result,) = evaluate_slos(
+            snapshots, [SLO("avail", "availability", 0.99)]
+        )
+        assert result.actual == pytest.approx(0.995)
+
+    def test_perfect_objective_with_errors_burns_infinite(self):
+        snapshots = {"a": _snapshot(10, 1, [])}
+        (result,) = evaluate_slos(
+            snapshots, [SLO("avail", "availability", 1.0)]
+        )
+        assert not result.ok
+        assert math.isinf(result.budget_burn)
+
+    def test_no_data_is_a_vacuous_pass(self):
+        (result,) = evaluate_slos(
+            {"a": _snapshot(0, 0, [])}, [SLO("avail", "availability", 0.99)]
+        )
+        assert result.ok
+        assert result.budget_burn == 0.0
+
+
+class TestLatency:
+    def test_burn_is_percentile_over_objective(self):
+        snapshots = {"a": _snapshot(100, 0, [0.010] * 100)}
+        slo = SLO("lat", "latency", objective=20.0, percentile=99.0)
+        (result,) = evaluate_slos(snapshots, [slo])
+        assert result.ok
+        assert result.actual == pytest.approx(10.0)
+        assert result.budget_burn == pytest.approx(0.5)
+
+    def test_merges_across_instances(self):
+        snapshots = {
+            "fast": _snapshot(50, 0, [0.001] * 50),
+            "slow": _snapshot(50, 0, [0.100] * 50),
+        }
+        slo = SLO("lat", "latency", objective=50.0, percentile=99.0)
+        (result,) = evaluate_slos(snapshots, [slo])
+        assert not result.ok  # slow instance's tail dominates p99
+        assert result.actual == pytest.approx(100.0)
+        assert result.budget_burn == pytest.approx(2.0)
+
+    def test_op_filter_restricts_histograms(self):
+        registry = MetricsRegistry()
+        registry.histogram("service_request_seconds", op="ping").observe(
+            0.5
+        )
+        registry.histogram("service_request_seconds", op="khop").observe(
+            0.001
+        )
+        snapshots = {"a": registry.snapshot(samples=16)}
+        slo = SLO("khop", "latency", objective=10.0, op="khop")
+        (result,) = evaluate_slos(snapshots, [slo])
+        assert result.ok
+        assert result.actual == pytest.approx(1.0)
+
+    def test_no_observations_is_a_vacuous_pass(self):
+        (result,) = evaluate_slos(
+            {"a": _snapshot(0, 0, [])}, [SLO("lat", "latency", 10.0)]
+        )
+        assert result.ok
+
+
+class TestTelemetryEntryInput:
+    def test_accepts_full_telemetry_entries(self):
+        telemetry = {
+            "server": {
+                "instance": "server",
+                "pid": 1,
+                "registry": _snapshot(10, 0, [0.001] * 10),
+            }
+        }
+        results = evaluate_slos(telemetry, DEFAULT_SLOS)
+        assert all(r.ok for r in results)
+
+
+class TestConfigLoading:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(
+            '{"slos": ['
+            '{"name": "a", "kind": "availability", "objective": 0.999},'
+            '{"name": "k", "kind": "latency", "objective": 250,'
+            ' "percentile": 95, "op": "khop"}]}'
+        )
+        slos = load_slo_config(path)
+        assert [s.name for s in slos] == ["a", "k"]
+        assert slos[1].op == "khop"
+        assert slos[1].percentile == 95.0
+
+    @pytest.mark.parametrize(
+        "doc",
+        [
+            "[]",
+            "{}",
+            '{"slos": []}',
+            '{"slos": ["x"]}',
+            '{"slos": [{"name": "a", "kind": "availability",'
+            ' "objective": 0.9, "bogus": 1}]}',
+            '{"slos": [{"name": "a", "kind": "nope", "objective": 1}]}',
+            "not json",
+        ],
+    )
+    def test_rejects_malformed(self, tmp_path, doc):
+        path = tmp_path / "slo.json"
+        path.write_text(doc)
+        with pytest.raises(ValueError):
+            load_slo_config(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_slo_config(tmp_path / "absent.json")
+
+
+class TestReport:
+    def test_formats_ok_and_violated_rows(self):
+        snapshots = {"a": _snapshot(100, 5, [0.010] * 100)}
+        results = evaluate_slos(
+            snapshots,
+            [
+                SLO("avail", "availability", 0.99),
+                SLO("lat", "latency", 1000.0),
+            ],
+        )
+        report = format_slo_report(results)
+        assert "VIOLATED" in report
+        assert "OK" in report
+        assert "avail" in report and "lat" in report

@@ -116,7 +116,8 @@ class TestPageRank:
 class TestQueryDict:
     def test_all_ops_listed(self):
         assert set(OPS) == {
-            "neighbors", "degree", "khop", "pagerank", "stats", "ping"
+            "neighbors", "degree", "khop", "pagerank", "stats",
+            "telemetry", "ping",
         }
 
     def test_query_response_shape(self, engine, rep):

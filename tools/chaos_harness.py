@@ -23,6 +23,9 @@ that it survived:
 5. **Degraded serving** — with a zero deadline and degraded mode on,
    ``khop``/``pagerank`` return flagged approximate answers instead
    of timeout errors.
+6. **SLO gate** — a healthy server's live telemetry passes the
+   default availability/latency SLOs, while an impossible latency
+   objective is reported as violated with an error-budget burn > 1.
 
 Every scenario also checks its events are observable through the
 :mod:`repro.obs` metrics registry.
@@ -216,6 +219,48 @@ def scenario_degraded_serving(seed: int) -> str:
     return "zero-deadline khop/pagerank served degraded, flagged, counted"
 
 
+def scenario_slo_gate(seed: int) -> str:
+    """The SLO gate over live telemetry: a healthy server under real
+    traffic must stay inside the default error budgets, and an
+    impossible latency objective must be reported as violated with a
+    burn rate > 1 (the gate actually fires)."""
+    from repro.obs.slo import SLO, DEFAULT_SLOS, evaluate_slos
+
+    graph = _graph(seed)
+    rep = (
+        MagsDMSummarizer(iterations=6, seed=seed)
+        .summarize(graph)
+        .representation
+    )
+    engine = QueryEngine(rep, cache_size=128)
+    with SummaryQueryServer(engine, workers=4) as srv:
+        host, port = srv.address
+        with SummaryServiceClient(host, port) as client:
+            for q in range(120):
+                client.neighbors(q % rep.n)
+            telemetry = client.telemetry()
+    snapshots = {"server": telemetry}
+
+    results = evaluate_slos(snapshots, DEFAULT_SLOS)
+    violated = [r.slo.name for r in results if not r.ok]
+    assert not violated, f"healthy server violated SLOs: {violated}"
+    burns = {r.slo.name: r.budget_burn for r in results}
+
+    impossible = SLO(
+        "latency-impossible", "latency", objective=1e-6, percentile=99.0
+    )
+    (gate,) = evaluate_slos(snapshots, [impossible])
+    assert not gate.ok, "impossible latency SLO was not flagged"
+    assert gate.budget_burn > 1.0, (
+        f"violated SLO burn must exceed 1, got {gate.budget_burn}"
+    )
+    return (
+        f"defaults OK (burn availability={burns['availability']:.2f}, "
+        f"latency={burns['latency-p99']:.2f}); impossible objective "
+        f"fired with burn={gate.budget_burn:.0f}"
+    )
+
+
 def _counter_value(name: str, **labels) -> int:
     return int(get_registry().counter(name, **labels).value)
 
@@ -226,6 +271,7 @@ SCENARIOS = [
     scenario_connection_drop,
     scenario_checkpoint_corrupt_resume,
     scenario_degraded_serving,
+    scenario_slo_gate,
 ]
 
 

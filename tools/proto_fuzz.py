@@ -154,6 +154,60 @@ def _oversized_unterminated(rng: random.Random) -> bytes:
     return b"y" * (MAX_LINE_BYTES + 4096)
 
 
+def _trace_context_valid(rng: random.Random) -> bytes:
+    trace = rng.choice(
+        [
+            {"id": "a" * rng.randrange(1, 65)},
+            {"id": "deadbeef-01.Z_x"},
+            {"id": "0123456789abcdef", "span": "f" * 16},
+        ]
+    )
+    request = rng.choice(
+        [
+            {"id": 20, "op": "ping", "trace": trace},
+            {"id": 21, "op": "neighbors", "node": rng.randrange(60),
+             "trace": trace},
+            {"id": 22, "op": "khop", "node": rng.randrange(60), "k": 2,
+             "trace": trace},
+        ]
+    )
+    return json.dumps(request).encode() + b"\n"
+
+
+def _trace_context_malformed(rng: random.Random) -> bytes:
+    trace = rng.choice(
+        [
+            "not-a-dict",
+            42,
+            [],
+            {},  # missing id
+            {"span": "f" * 16},  # span without id
+            {"id": 123},  # wrong type
+            {"id": ""},  # empty
+            {"id": "x" * 65},  # over TRACE_ID_MAX_LEN
+            {"id": "bad id!"},  # bad charset
+            {"id": "ok", "span": 7},  # bad span type
+            {"id": "ok", "extra": "field"},  # unknown key
+        ]
+    )
+    return (
+        json.dumps({"id": 23, "op": "ping", "trace": trace}).encode()
+        + b"\n"
+    )
+
+
+def _telemetry_valid(rng: random.Random) -> bytes:
+    return json.dumps({"id": 24, "op": "telemetry"}).encode() + b"\n"
+
+
+def _telemetry_bad_field(rng: random.Random) -> bytes:
+    extra = rng.choice(["node", "k", "requests", "registry"])
+    return (
+        json.dumps({"id": 25, "op": "telemetry", extra: 1}).encode()
+        + b"\n"
+    )
+
+
 def _valid(rng: random.Random) -> bytes:
     request = rng.choice(
         [
@@ -188,6 +242,10 @@ CATEGORIES = [
     ("bad_batch", _bad_batch, False),
     ("oversized_terminated", _oversized_terminated, False),
     ("oversized_unterminated", _oversized_unterminated, False),
+    ("trace_context_valid", _trace_context_valid, True),
+    ("trace_context_malformed", _trace_context_malformed, False),
+    ("telemetry_valid", _telemetry_valid, True),
+    ("telemetry_bad_field", _telemetry_bad_field, False),
     ("valid", _valid, True),
 ]
 

@@ -16,7 +16,15 @@ from concurrent clients while one replica is SIGKILLed mid-run, and
 assert **zero** failed requests, breaker ejection + readmission after
 the replica restarts, and a clean shutdown of every process.
 
-Run:  PYTHONPATH=src python tools/service_smoke.py [--router]
+With ``--trace-dir DIR`` the router drill additionally exercises the
+observability stack end to end: every process exports spans into
+``DIR``, a traced cross-shard ``khop`` is issued through the router,
+the collector reassembles a single connected span tree from the
+per-instance files (written to ``DIR/merged_trace.jsonl``), cluster
+telemetry is pulled from every process (``DIR/cluster_telemetry.json``)
+and the default availability/latency SLOs must pass.
+
+Run:  PYTHONPATH=src python tools/service_smoke.py [--router] [--trace-dir DIR]
 """
 
 from __future__ import annotations
@@ -171,7 +179,7 @@ def _free_ports(count: int) -> list[int]:
     return ports
 
 
-def router_main() -> int:
+def router_main(trace_dir: str | None = None) -> int:
     """The cluster chaos drill (see module docstring)."""
     from repro.cluster import (
         ClusterManager,
@@ -207,13 +215,19 @@ def router_main() -> int:
             lambda: MagsDMSummarizer(iterations=8, seed=0),
         )
         print(f"planned {spec.shards} shard artifact(s)")
-        manager = ClusterManager(spec, workers=4)
+        manager = ClusterManager(spec, workers=4, trace_dir=trace_dir)
         try:
             manager.start()
             host, port = manager.router_server.address
             print(f"router up on {host}:{port}")
+            if trace_dir is not None:
+                # Before the hammer warms the router's neighbor cache:
+                # a cold khop is guaranteed to fan out to the shards.
+                _traced_drill(port, Path(trace_dir))
             _chaos_hammer(manager, full, port)
             _verify_readmission(manager, port)
+            if trace_dir is not None:
+                _slo_gate(manager, Path(trace_dir))
         finally:
             codes = manager.stop()
         bad = {label: c for label, c in codes.items() if c != 0}
@@ -309,7 +323,87 @@ def _verify_readmission(manager, port: int) -> None:
     )
 
 
+def _traced_drill(port: int, trace_dir: Path) -> None:
+    """One traced cross-shard khop through the router, then the
+    collector pass: reassemble a single connected span tree from the
+    per-instance files and write it to ``merged_trace.jsonl``."""
+    from repro.obs import collect, schema
+    from repro.obs.context import new_trace_id
+    from repro.obs.exporters import write_trace_jsonl
+
+    trace_id = new_trace_id()
+    with SummaryServiceClient("127.0.0.1", port) as client:
+        result = client.request(
+            "khop", node=0, k=2, trace={"id": trace_id}
+        )
+    if not result:
+        raise SystemExit("traced khop returned no nodes")
+
+    records = collect.read_trace_dir(trace_dir)
+    merged = collect.assemble_trace(records, trace_id)
+    if len(merged.roots) != 1:
+        raise SystemExit(
+            f"expected a single root span, got {len(merged.roots)}"
+        )
+    shard_instances = set(merged.instances) - {"router"}
+    if len(shard_instances) < 2:
+        raise SystemExit(
+            f"trace did not span multiple shards: "
+            f"{sorted(merged.instances)}"
+        )
+    errors = schema.validate_trace(merged.records)
+    if errors:
+        raise SystemExit(f"merged trace schema errors: {errors[:3]}")
+    write_trace_jsonl(merged.records, trace_dir / "merged_trace.jsonl")
+    print(
+        f"traced khop: {len(merged.records)} span(s) across "
+        f"{sorted(merged.instances)}, fan-out width {merged.fanout_width}"
+    )
+
+
+def _slo_gate(manager, trace_dir: Path) -> None:
+    """Pull telemetry from every process after the chaos run and gate
+    on the default availability/latency SLOs — a replica loss with
+    zero failed requests must still leave the error budget intact."""
+    from repro.obs import collect
+    from repro.obs.slo import DEFAULT_SLOS, evaluate_slos, format_slo_report
+
+    telemetry = collect.pull_cluster_telemetry(manager.spec)
+    snapshots = collect.registry_snapshots(telemetry)
+    if len(snapshots) < len(manager.spec.instances) + 1:
+        missing = set(telemetry) - set(snapshots)
+        raise SystemExit(
+            f"telemetry pull missed instance(s): {sorted(missing)}"
+        )
+    collect.write_cluster_telemetry(
+        telemetry, trace_dir / "cluster_telemetry.json"
+    )
+    results = evaluate_slos(snapshots, DEFAULT_SLOS)
+    print(format_slo_report(results))
+    violated = [r.slo.name for r in results if not r.ok]
+    if violated:
+        raise SystemExit(f"SLO violation(s) in smoke run: {violated}")
+    print("SLO gate passed")
+
+
 if __name__ == "__main__":
-    if "--router" in sys.argv[1:]:
-        sys.exit(router_main())
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--router", action="store_true",
+        help="run the sharded-cluster chaos drill instead",
+    )
+    parser.add_argument(
+        "--trace-dir", default=None,
+        help=(
+            "with --router: export spans here and run the traced "
+            "collector + SLO drill"
+        ),
+    )
+    cli = parser.parse_args()
+    if cli.trace_dir and not cli.router:
+        parser.error("--trace-dir requires --router")
+    if cli.router:
+        sys.exit(router_main(cli.trace_dir))
     sys.exit(main())
