@@ -1,0 +1,41 @@
+"""Durable ingest under mixed read/write load.
+
+Closed-loop clients interleave ``neighbors`` reads with acknowledged
+(WAL-appended, fsynced) single-edge ``ingest`` writes against a live
+mutable server, at two mixes:
+
+* ``90/10`` — read-heavy serving with a trickle of updates;
+* ``50/50`` — write-heavy stress on the fsync + commit path.
+
+Reported per mix: sustained total throughput, durable writes/sec
+(each one fsynced before its ack), and separate read/write latency
+percentiles — the read-latency price of a write-heavy mix is the
+number to watch.  The experiment itself asserts zero
+acknowledged-but-lost writes (final epoch == ack count).
+"""
+
+from _util import run_and_report
+
+from repro.bench import experiments
+
+
+def test_mixed_ingest_throughput(benchmark):
+    rows = run_and_report(
+        benchmark,
+        experiments.mixed_ingest_throughput,
+        "mixed_ingest_throughput",
+        columns=[
+            "mix", "threads", "reads", "writes", "total_qps",
+            "writes_per_s", "read_p50_ms", "read_p99_ms",
+            "write_p50_ms", "write_p99_ms",
+        ],
+    )
+    by_mix = {r["mix"]: r for r in rows}
+    assert set(by_mix) == {"90/10", "50/50"}
+    for row in rows:
+        assert row["reads"] > 0 and row["writes"] > 0
+        assert row["writes_per_s"] > 0
+        assert row["read_p50_ms"] <= row["read_p99_ms"]
+        assert row["write_p50_ms"] <= row["write_p99_ms"]
+    # The 50/50 mix must actually be write-heavier than 90/10.
+    assert by_mix["50/50"]["writes"] > by_mix["90/10"]["writes"]

@@ -43,6 +43,7 @@ from repro.core.serialization import (
     save_representation,
 )
 from repro.core.verify import deep_audit, verify_lossless
+from repro.durability.wal import FSYNC_POLICIES
 from repro.graph.datasets import dataset_codes, load_dataset
 from repro.graph.graph import GraphError
 from repro.graph.io import INGEST_POLICIES, load_graph_checked, save_graph
@@ -309,6 +310,51 @@ def build_parser() -> argparse.ArgumentParser:
             "(e.g. shard0/r1); default: pid-<pid> when tracing"
         ),
     )
+    serve.add_argument(
+        "--wal-dir", default=None,
+        help=(
+            "enable the durable 'ingest' op: append mutations to a "
+            "write-ahead log in this directory, recover checkpoint + "
+            "WAL tail on startup (see docs/resilience.md)"
+        ),
+    )
+    serve.add_argument(
+        "--fsync", choices=FSYNC_POLICIES, default="always",
+        help=(
+            "WAL fsync policy: 'always' (fsync every append — the "
+            "durability default), 'interval' (every --fsync-interval "
+            "appends), 'never' (leave it to the OS)"
+        ),
+    )
+    serve.add_argument(
+        "--fsync-interval", type=int, default=8,
+        help="appends between fsyncs under --fsync interval (default 8)",
+    )
+    serve.add_argument(
+        "--wal-segment-bytes", type=int, default=4 << 20,
+        help="rotate WAL segments at this size (default 4 MiB)",
+    )
+    serve.add_argument(
+        "--compact-interval", type=float, default=30.0,
+        help=(
+            "seconds between background WAL-to-checkpoint compactions "
+            "(0 disables the compactor; default 30)"
+        ),
+    )
+    serve.add_argument(
+        "--max-inflight-mutations", type=int, default=64,
+        help=(
+            "ingest admission cap: concurrent mutation batches beyond "
+            "this are shed with an 'overloaded' error (default 64)"
+        ),
+    )
+    serve.add_argument(
+        "--ingest-memory-budget", type=float, default=None,
+        help=(
+            "park ingest (structured 'overloaded') once process RSS "
+            "exceeds this many MiB; reads stay up (default: off)"
+        ),
+    )
 
     cluster = sub.add_parser(
         "cluster",
@@ -368,6 +414,14 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "enable cluster-wide tracing: every instance (and the "
             "router) streams its spans into this directory"
+        ),
+    )
+    cstart.add_argument(
+        "--wal-dir", default=None,
+        help=(
+            "enable durable ingest: every instance gets a private WAL "
+            "+ checkpoint directory under this path (requires a "
+            "replicas=1 topology)"
         ),
     )
 
@@ -667,17 +721,76 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         level=logging.INFO,
         format="%(asctime)s %(name)s %(levelname)s %(message)s",
     )
-    engine = QueryEngine.from_file(
-        args.input,
-        cache_size=args.cache_size,
-        degraded=args.degraded,
-    )
+    wal = None
+    compactor = None
+    pending: list = []
+    recovery_report = None
+    if args.wal_dir:
+        from pathlib import Path as _Path
+
+        from repro.core.serialization import load_representation
+        from repro.durability import (
+            WalCompactor,
+            WriteAheadLog,
+            recover_engine,
+            replay_tail,
+        )
+        from repro.resilience import CheckpointStore, ResourceBudget
+        from repro.service import MutableQueryEngine
+        from repro.service.metrics import ServiceMetrics
+
+        metrics = ServiceMetrics()
+        wal_dir = _Path(args.wal_dir)
+        wal = WriteAheadLog(
+            wal_dir,
+            fsync=args.fsync,
+            fsync_interval=args.fsync_interval,
+            segment_bytes=args.wal_segment_bytes,
+            registry=metrics.registry,
+        )
+        store = CheckpointStore(wal_dir / "checkpoints")
+        budget = None
+        if args.ingest_memory_budget is not None:
+            budget = ResourceBudget(
+                memory_budget_mb=args.ingest_memory_budget
+            ).start()
+        engine, pending, recovery_report = recover_engine(
+            load_representation(args.input),
+            wal,
+            store,
+            engine_factory=lambda dynamic: MutableQueryEngine(
+                dynamic,
+                wal=wal,
+                budget=budget,
+                max_inflight=args.max_inflight_mutations,
+                cache_size=args.cache_size,
+                metrics=metrics,
+                degraded=args.degraded,
+            ),
+        )
+        if args.compact_interval > 0:
+            compactor = WalCompactor(
+                engine, wal, store, interval=args.compact_interval
+            )
+    else:
+        engine = QueryEngine.from_file(
+            args.input,
+            cache_size=args.cache_size,
+            degraded=args.degraded,
+        )
     rep = engine.representation
     print(
         f"loaded summary: n={rep.n}, supernodes={rep.num_supernodes}, "
         f"superedges={len(rep.summary_edges)}, "
         f"corrections={rep.num_corrections}"
     )
+    if args.wal_dir:
+        print(
+            f"durable ingest on: wal-dir={args.wal_dir} "
+            f"fsync={args.fsync} "
+            f"checkpoint_lsn={recovery_report.checkpoint_lsn} "
+            f"wal_tail={len(pending)} record(s)"
+        )
     sink = None
     if args.trace_dir or args.instance_label:
         import os as _os
@@ -708,6 +821,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         breaker=breaker,
     )
     server.start()
+    replay_thread = None
+    if pending:
+        # The flag goes up *before* readiness is announced so the very
+        # first query already answers ``degraded: true``; the tail then
+        # drains on a background thread while the server serves.
+        engine.replaying = True
+        import threading as _threading
+
+        from repro.durability import replay_tail as _replay_tail
+
+        def _drain_tail() -> None:
+            _replay_tail(engine, pending, recovery_report)
+            print(recovery_report.describe(), flush=True)
+
+        replay_thread = _threading.Thread(
+            target=_drain_tail, name="repro-wal-replay", daemon=True
+        )
+        replay_thread.start()
+    elif recovery_report is not None:
+        print(recovery_report.describe(), flush=True)
+    if compactor is not None:
+        compactor.start()
     # Graceful-stop handlers must be live before readiness is
     # announced: a supervisor that signals the moment it sees the
     # line must never hit the default (process-killing) handler.
@@ -720,6 +855,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         server.serve_forever()
     finally:
+        if replay_thread is not None:
+            replay_thread.join(timeout=30.0)
+        if compactor is not None:
+            compactor.stop(final_compact=True)
+        if wal is not None:
+            wal.close()
         if sink is not None:
             sink.close()
     print("shutdown complete")
@@ -839,13 +980,14 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         return 0
 
     if args.cluster_command == "start":
-        manager = ClusterManager(
-            spec,
-            workers=args.workers,
-            cache_size=args.cache_size,
-            trace_dir=args.trace_dir,
-        )
         try:
+            manager = ClusterManager(
+                spec,
+                workers=args.workers,
+                cache_size=args.cache_size,
+                trace_dir=args.trace_dir,
+                wal_dir=args.wal_dir,
+            )
             manager.start_instances()
         except TopologyError as exc:
             print(f"error: {exc}", file=sys.stderr)

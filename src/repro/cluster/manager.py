@@ -178,9 +178,16 @@ class ClusterManager:
         router_cache_size: int = 4096,
         instance_args: list[str] | None = None,
         trace_dir: str | Path | None = None,
+        wal_dir: str | Path | None = None,
     ):
         self.spec = spec
         self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        self.wal_dir = Path(wal_dir) if wal_dir is not None else None
+        if self.wal_dir is not None and spec.replicas > 1:
+            raise TopologyError(
+                "durable ingest clusters need replicas=1: mutations "
+                "are not replicated across replicas"
+            )
 
         def extra_args(instance: InstanceSpec) -> list[str]:
             args = list(instance_args or [])
@@ -191,6 +198,17 @@ class ClusterManager:
                 args += [
                     "--trace-dir", str(self.trace_dir),
                     "--instance-label", instance.label,
+                ]
+            if self.wal_dir is not None:
+                # Each instance owns a private WAL + checkpoint dir;
+                # a restart of the same (shard, replica) finds its own
+                # durable state there.
+                args += [
+                    "--wal-dir",
+                    str(
+                        self.wal_dir
+                        / f"shard{instance.shard}-r{instance.replica}"
+                    ),
                 ]
             return args
 
@@ -338,6 +356,7 @@ def start_local_cluster(
     breaker_reset_s: float = 5.0,
     workers: int = 4,
     retry_policy=None,
+    mutable: bool = False,
 ) -> LocalCluster:
     """Serve per-shard ``representations`` in-process on ephemeral
     ports and front them with a router.
@@ -347,18 +366,38 @@ def start_local_cluster(
     the same ``seed``).  Each replica of a shard gets its own engine
     over the shared representation, so per-instance metrics stay
     isolated exactly as they would across processes.
+
+    ``mutable=True`` serves each shard through a
+    :class:`~repro.service.ingest.MutableQueryEngine` (no WAL — this
+    is the in-process routing-semantics testbed, not the durable
+    path) and requires ``replicas=1``, matching the router's ingest
+    contract.
     """
     from repro.cluster.topology import InstanceSpec as _Instance
 
     shards = len(representations)
     if shards < 1:
         raise TopologyError("need at least one shard representation")
+    if mutable and replicas != 1:
+        raise TopologyError(
+            "mutable local clusters need replicas=1: mutations are "
+            "not replicated across replicas"
+        )
     servers: dict[str, SummaryQueryServer] = {}
     instances: list[InstanceSpec] = []
     try:
         for shard, rep in enumerate(representations):
             for replica in range(replicas):
-                engine = QueryEngine(rep, cache_size=cache_size)
+                if mutable:
+                    from repro.dynamic.summary import DynamicGraphSummary
+                    from repro.service.ingest import MutableQueryEngine
+
+                    engine = MutableQueryEngine(
+                        DynamicGraphSummary.from_representation(rep),
+                        cache_size=cache_size,
+                    )
+                else:
+                    engine = QueryEngine(rep, cache_size=cache_size)
                 server = SummaryQueryServer(
                     engine, port=0, workers=workers
                 ).start()

@@ -27,6 +27,16 @@ Routing semantics
   and may return in any order; responses are re-assembled by original
   position so the client's per-request ordering and ids are
   preserved exactly.
+* ``ingest`` — each mutation is forwarded to every shard owning one
+  of its endpoints (shard artifacts carry all edges incident to their
+  owned nodes — the 1-hop closure — so an edge toggle must land on
+  the owner of *each* endpoint to keep that invariant).  Sub-batches
+  reuse the client's ``stream``/``seq`` identity per shard, so a
+  retry after a partial failure converges: shards that already
+  applied answer ``duplicate: true``, the rest apply.  The router's
+  neighbor cache is invalidated per dirty node on success.  Requires
+  a ``replicas=1`` topology — mutations are not replicated, so with
+  sibling replicas a write would land on one and silently diverge.
 * ``stats`` — the router's own counters plus a ``cluster`` section
   aggregated from a best-effort ``stats`` probe of every instance.
 * ``telemetry`` — the router's identity and registry snapshot; the
@@ -102,6 +112,10 @@ logger = logging.getLogger("repro.cluster")
 
 #: Ops the router forwards whole to the owning shard.
 _SINGLE_SHARD_OPS = ("neighbors", "degree", "pagerank")
+
+#: Everything the router answers: the read ops plus ``ingest``
+#: (accepted only when the backing shards run mutable engines).
+ROUTER_OPS = OPS + ("ingest",)
 
 #: Transport-level failures that trigger failover to a sibling
 #: replica (``OSError`` covers ``ConnectionError`` and timeouts).
@@ -454,7 +468,11 @@ class RouterEngine:
         if not isinstance(request, dict):
             raise QueryError("bad_request", "request must be a JSON object")
         op = request.get("op")
-        if op not in OPS:
+        if op not in ROUTER_OPS:
+            # The listing deliberately prints OPS, not ROUTER_OPS:
+            # ingest support is topology-conditional (replicas=1) and
+            # the message must stay byte-identical to a single
+            # read-only server's, per the mirror contract above.
             raise QueryError(
                 "bad_request",
                 f"unknown op {op!r}; supported: {', '.join(OPS)}",
@@ -595,6 +613,8 @@ class RouterEngine:
                     samples=TELEMETRY_SAMPLES
                 ),
             }
+        if op == "ingest":
+            return self._ingest(request)
         node = request.get("node")
         if not isinstance(node, int) or isinstance(node, bool):
             raise QueryError(
@@ -661,6 +681,95 @@ class RouterEngine:
                 f"expected {kind.__name__}",
             )
         return value
+
+    # -- ingest ----------------------------------------------------------
+    def _ingest(self, request: dict) -> dict:
+        """Route one mutation batch to the shards owning its edges.
+
+        Every mutation goes to the owner of *each* endpoint (possibly
+        two shards) so shard artifacts keep their 1-hop-closure
+        invariant and ``neighbors`` answers stay exact.  All sub-calls
+        carry the client's ``stream``/``seq``, making the whole fan-out
+        idempotent per shard: a retry after a partial failure re-sends
+        everywhere, already-applied shards dedup, and the batch
+        converges to applied-exactly-once.
+        """
+        if self.spec.replicas > 1:
+            # A mutation lands on whichever replica the sweep picks;
+            # without write replication the siblings would silently
+            # diverge, so durable ingest clusters run replicas=1
+            # (failover stays a read-path feature).
+            raise QueryError(
+                "bad_request",
+                "ingest requires a replicas=1 topology: mutations are "
+                "not replicated across replicas",
+            )
+        stream = request.get("stream")
+        seq = request.get("seq")
+        mutations = request.get("mutations")
+        if not isinstance(stream, str) or not isinstance(seq, int) or (
+            isinstance(seq, bool)
+        ):
+            raise QueryError(
+                "bad_request",
+                "ingest needs a string 'stream' and integer 'seq'",
+            )
+        if not isinstance(mutations, list) or not mutations:
+            raise QueryError(
+                "bad_request", "'mutations' must be a non-empty list"
+            )
+        per_shard: dict[int, list] = {}
+        for index, item in enumerate(mutations):
+            if not (isinstance(item, (list, tuple)) and len(item) == 3):
+                raise QueryError(
+                    "bad_request",
+                    f"mutation #{index} must be [\"+\"|\"-\", u, v]",
+                )
+            sign, u, v = item
+            for node in (u, v):
+                if not isinstance(node, int) or isinstance(node, bool):
+                    raise QueryError(
+                        "bad_request",
+                        f"mutation #{index} endpoints must be integers",
+                    )
+                self._check_node(node)
+            for shard in {self.spec.owner(u), self.spec.owner(v)}:
+                per_shard.setdefault(shard, []).append([sign, u, v])
+
+        parent_span = get_tracer().current()
+        shard_results: dict[str, dict] = {}
+
+        def forward(shard: int, subset: list) -> None:
+            result = self._shard_request(
+                self._shards[shard],
+                "ingest",
+                parent=parent_span,
+                stream=stream,
+                seq=seq,
+                mutations=subset,
+            )
+            shard_results[str(shard)] = self._coerce_service_error(
+                result, dict, "ingest"
+            )
+
+        # _parallel re-raises the first failure after all shards are
+        # attempted; a partial application is safe to retry (dedup).
+        self._parallel(
+            [
+                (lambda s=shard, ms=subset: forward(s, ms))
+                for shard, subset in per_shard.items()
+            ]
+        )
+        for __, u, v in mutations:
+            self._cache.invalidate(u)
+            self._cache.invalidate(v)
+        self.metrics.registry.counter(
+            "repro_ingest_applied_total"
+        ).inc(len(mutations))
+        return {
+            "applied": len(mutations),
+            "shards": shard_results,
+        }
 
     # -- neighbors + khop ------------------------------------------------
     def _neighbors(self, node: int) -> tuple[int, ...]:

@@ -1,0 +1,43 @@
+"""Durable online ingest: WAL, crash recovery, compaction.
+
+The systems half of dynamic summarization (ROADMAP "Online ingest"):
+:mod:`repro.dynamic.summary` gives the O(1) corrections-overlay
+update; this package makes an update stream *survive* — every
+acknowledged mutation is in the write-ahead log before it is applied,
+a background compactor folds the log into atomic checkpoints, and
+startup recovery replays the tail to reproduce the uninterrupted
+run's state exactly.  ``repro serve --wal-dir`` wires it behind the
+query service; see docs/resilience.md ("Durability & recovery").
+"""
+
+from repro.durability.compactor import WalCompactor
+from repro.durability.recovery import (
+    RecoveryReport,
+    engine_state,
+    recover_engine,
+    replay_tail,
+    representation_to_state,
+    state_to_representation,
+)
+from repro.durability.wal import (
+    FSYNC_POLICIES,
+    MUTATION_OPS,
+    WalError,
+    WalRecord,
+    WriteAheadLog,
+)
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "MUTATION_OPS",
+    "RecoveryReport",
+    "WalCompactor",
+    "WalError",
+    "WalRecord",
+    "WriteAheadLog",
+    "engine_state",
+    "recover_engine",
+    "replay_tail",
+    "representation_to_state",
+    "state_to_representation",
+]

@@ -1,0 +1,224 @@
+"""Crash recovery: newest checkpoint + WAL tail replay.
+
+The "resumed == uninterrupted" contract of the resilience layer
+(docs/resilience.md), extended to the ingest path: a server killed at
+any instant restarts by
+
+1. loading the newest *intact* checkpoint from the WAL directory's
+   :class:`~repro.resilience.checkpoint.CheckpointStore` (corrupt
+   snapshots are skipped with a metric, exactly as in batch resume);
+2. replaying every WAL record past the checkpoint's LSN through the
+   same commit path live ingest uses.
+
+Because mutations are validated *before* they are logged and the
+commit path is deterministic, replay retraces the uninterrupted run's
+states exactly — including the rebuild schedule, since the checkpoint
+carries the dynamic summary's ``base_cost``.  The recovered engine is
+therefore bit-identical (``Representation`` equality) to one that was
+never killed, over the durable prefix of the stream.
+
+Replay runs with the engine's ``replaying`` flag up, so queries served
+meanwhile carry ``"degraded": true`` (the established convention)
+instead of being refused, and ingest is parked with a structured
+``overloaded`` error until the tail is drained.  Each replay is
+wrapped in a ``recovery:replay`` span when tracing is on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.encoding import Representation
+from repro.dynamic.summary import DynamicGraphSummary
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
+from repro.resilience.checkpoint import CheckpointStore
+
+__all__ = [
+    "RecoveryReport",
+    "representation_to_state",
+    "state_to_representation",
+    "engine_state",
+    "recover_engine",
+    "replay_tail",
+]
+
+STATE_VERSION = 1
+
+
+@dataclass
+class RecoveryReport:
+    """What startup recovery found and did."""
+
+    checkpoint_lsn: int  #: LSN of the loaded checkpoint (0 = none)
+    records_replayed: int
+    epoch: int
+    applied_lsn: int
+
+    def describe(self) -> str:
+        return (
+            f"recovered from checkpoint lsn={self.checkpoint_lsn}, "
+            f"replayed {self.records_replayed} WAL record(s) -> "
+            f"epoch={self.epoch}, lsn={self.applied_lsn}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Representation <-> JSON-safe state
+# ----------------------------------------------------------------------
+def representation_to_state(rep: Representation) -> dict:
+    """A JSON-clean snapshot (sorted lists, no integer dict keys —
+    JSON would silently stringify those)."""
+    return {
+        "n": rep.n,
+        "m": rep.m,
+        "supernodes": [
+            [sid, list(members)]
+            for sid, members in sorted(rep.supernodes.items())
+        ],
+        "summary_edges": sorted(list(e) for e in rep.summary_edges),
+        "additions": sorted(list(e) for e in rep.additions),
+        "removals": sorted(list(e) for e in rep.removals),
+    }
+
+
+def state_to_representation(state: dict) -> Representation:
+    supernodes = {
+        int(sid): [int(x) for x in members]
+        for sid, members in state["supernodes"]
+    }
+    node_to_supernode = {
+        node: sid for sid, members in supernodes.items() for node in members
+    }
+    return Representation(
+        n=int(state["n"]),
+        m=int(state["m"]),
+        supernodes=supernodes,
+        node_to_supernode=node_to_supernode,
+        summary_edges={(int(u), int(v)) for u, v in state["summary_edges"]},
+        additions={(int(u), int(v)) for u, v in state["additions"]},
+        removals={(int(u), int(v)) for u, v in state["removals"]},
+    )
+
+
+def engine_state(engine) -> dict:
+    """The checkpointable state of a
+    :class:`~repro.service.ingest.MutableQueryEngine`.
+
+    Must be called under the engine's state lock (the compactor does)
+    so representation, epoch, LSN, and dedup map are one consistent
+    cut.
+    """
+    return {
+        "v": STATE_VERSION,
+        "representation": representation_to_state(
+            engine._dynamic.to_representation()
+        ),
+        "base_cost": engine._dynamic.base_cost,
+        "epoch": engine.epoch,
+        "applied_lsn": engine.applied_lsn,
+        "dedup": [
+            [stream, seq, dict(result)]
+            for stream, (seq, result) in sorted(engine._dedup.items())
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
+# Startup recovery
+# ----------------------------------------------------------------------
+def recover_engine(
+    base_representation: Representation,
+    wal,
+    store: CheckpointStore | None,
+    *,
+    engine_factory,
+    rebuild_factor: float | None = None,
+):
+    """Build a recovered engine plus the WAL tail still to replay.
+
+    Loads the newest intact checkpoint (falling back to
+    ``base_representation`` at epoch 0 when there is none), constructs
+    the dynamic overlay and engine via ``engine_factory(dynamic)``,
+    restores epoch/LSN/dedup, and returns
+    ``(engine, pending_records, report)``.  The caller decides whether
+    to drain ``pending_records`` inline (tests, small tails) or on a
+    background thread while already serving degraded answers — both go
+    through :func:`replay_tail`.
+    """
+    checkpoint = store.latest() if store is not None else None
+    base_cost = None
+    epoch = 0
+    applied_lsn = 0
+    dedup: dict[str, tuple[int, dict]] = {}
+    if checkpoint is not None:
+        state = checkpoint.state
+        if state.get("v") != STATE_VERSION:
+            raise ValueError(
+                f"unsupported ingest checkpoint version {state.get('v')!r}"
+            )
+        rep = state_to_representation(state["representation"])
+        base_cost = int(state["base_cost"])
+        epoch = int(state["epoch"])
+        applied_lsn = int(state["applied_lsn"])
+        dedup = {
+            str(stream): (int(seq), dict(result))
+            for stream, seq, result in state.get("dedup", [])
+        }
+        get_registry().counter(
+            "repro_recovery_total", event="checkpoint_loaded"
+        ).inc()
+    else:
+        rep = base_representation
+        get_registry().counter(
+            "repro_recovery_total", event="cold_start"
+        ).inc()
+    dynamic = DynamicGraphSummary.from_representation(
+        rep, rebuild_factor=rebuild_factor, base_cost=base_cost
+    )
+    engine = engine_factory(dynamic)
+    engine.epoch = epoch
+    engine.applied_lsn = applied_lsn
+    engine._dedup = dedup
+    pending = wal.records(after_lsn=applied_lsn) if wal is not None else []
+    report = RecoveryReport(
+        checkpoint_lsn=applied_lsn,
+        records_replayed=0,
+        epoch=epoch,
+        applied_lsn=applied_lsn,
+    )
+    return engine, pending, report
+
+
+def replay_tail(engine, records, report: RecoveryReport) -> RecoveryReport:
+    """Drain the WAL tail into ``engine`` under its ``replaying`` flag.
+
+    Safe to run on a background thread while the server is already
+    answering (degraded) queries; ingest stays parked until the flag
+    drops.  Updates and returns ``report``.
+    """
+    tracer = get_tracer()
+    engine.replaying = True
+    try:
+        if tracer.enabled:
+            with tracer.span("recovery:replay", records=len(records)):
+                replayed = _drain(engine, records)
+        else:
+            replayed = _drain(engine, records)
+    finally:
+        engine.replaying = False
+    report.records_replayed = replayed
+    report.epoch = engine.epoch
+    report.applied_lsn = engine.applied_lsn
+    get_registry().counter(
+        "repro_recovery_total", event="replay_complete"
+    ).inc()
+    return report
+
+
+def _drain(engine, records) -> int:
+    replayed = 0
+    for record in records:
+        if engine.replay_record(record):
+            replayed += 1
+    return replayed

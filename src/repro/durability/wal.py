@@ -1,0 +1,413 @@
+"""Write-ahead log for streamed edge mutations.
+
+The durability half of online ingest (docs/resilience.md, "Durability
+& recovery"): every accepted mutation batch is appended — and, under
+the default policy, fsynced — here *before* it is applied to the live
+:class:`~repro.dynamic.summary.DynamicGraphSummary`, so an
+acknowledged write survives ``kill -9``.
+
+On-disk format
+--------------
+A WAL directory holds numbered segment files ``wal-<8 digits>.log``.
+Each segment is a sequence of records framed as::
+
+    varint(len(payload)) . payload . varint(crc32(payload))
+
+reusing the LEB128 varints of :mod:`repro.compression.varint`.  The
+payload is itself varint-packed::
+
+    lsn . seq . len(stream) . stream-utf8 . n_ops . (op u v)*
+
+where ``op`` is 0 for insert and 1 for delete.  LSNs (log sequence
+numbers) are assigned densely by :meth:`WriteAheadLog.append` and are
+the recovery cursor: a checkpoint records the LSN it folded through,
+and replay skips records at or below it.
+
+Torn tails
+----------
+A crash mid-append leaves a truncated or checksum-broken record at
+the end of a segment.  The scan run on open (and by :meth:`records`)
+stops at the first record that fails to frame or checksum, truncates
+the segment back to the last intact record, drops any later segments
+(nothing after a broken record can be trusted to be contiguous), and
+counts the event under ``repro_wal_records_total{event="torn_dropped"}``.
+Only *unacknowledged* data can be lost this way: acknowledgement
+happens strictly after the record is durable.
+
+Fsync policies
+--------------
+``always``  fsync after every append (the durability default);
+``interval``  fsync every ``fsync_interval`` appends — bounded loss
+window, much higher throughput;
+``never``  leave flushing to the OS (benchmarks only).
+Fsync latency feeds the ``repro_wal_fsync_seconds`` histogram.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.compression.varint import decode_varint, encode_varint
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+__all__ = [
+    "WalRecord",
+    "WriteAheadLog",
+    "WalError",
+    "FSYNC_POLICIES",
+    "MUTATION_OPS",
+]
+
+FSYNC_POLICIES = ("always", "interval", "never")
+
+#: Wire spelling of the two mutation kinds; index == on-disk opcode.
+MUTATION_OPS = ("+", "-")
+
+_SEGMENT_RE = re.compile(r"^wal-(\d{8})\.log$")
+
+
+class WalError(RuntimeError):
+    """The log cannot be opened, appended to, or decoded."""
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One durable mutation batch."""
+
+    lsn: int
+    stream: str
+    seq: int
+    mutations: tuple[tuple[str, int, int], ...]
+
+
+def encode_record(record: WalRecord) -> bytes:
+    """Frame one record (length prefix + payload + crc32 varint)."""
+    stream_bytes = record.stream.encode("utf-8")
+    payload = bytearray()
+    payload += encode_varint(record.lsn)
+    payload += encode_varint(record.seq)
+    payload += encode_varint(len(stream_bytes))
+    payload += stream_bytes
+    payload += encode_varint(len(record.mutations))
+    for op, u, v in record.mutations:
+        payload += encode_varint(MUTATION_OPS.index(op))
+        payload += encode_varint(u)
+        payload += encode_varint(v)
+    body = bytes(payload)
+    return (
+        encode_varint(len(body)) + body + encode_varint(zlib.crc32(body))
+    )
+
+
+def _decode_payload(body: bytes) -> WalRecord:
+    offset = 0
+    lsn, offset = decode_varint(body, offset)
+    seq, offset = decode_varint(body, offset)
+    stream_len, offset = decode_varint(body, offset)
+    if offset + stream_len > len(body):
+        raise ValueError("truncated stream id")
+    stream = body[offset:offset + stream_len].decode("utf-8")
+    offset += stream_len
+    count, offset = decode_varint(body, offset)
+    mutations = []
+    for _ in range(count):
+        code, offset = decode_varint(body, offset)
+        u, offset = decode_varint(body, offset)
+        v, offset = decode_varint(body, offset)
+        if code >= len(MUTATION_OPS):
+            raise ValueError(f"unknown mutation opcode {code}")
+        mutations.append((MUTATION_OPS[code], u, v))
+    if offset != len(body):
+        raise ValueError("trailing bytes in record payload")
+    return WalRecord(
+        lsn=lsn, stream=stream, seq=seq, mutations=tuple(mutations)
+    )
+
+
+def _scan_segment(data: bytes) -> tuple[list[WalRecord], int, bool]:
+    """Parse one segment's bytes.
+
+    Returns ``(records, clean_end_offset, torn)`` where
+    ``clean_end_offset`` is the byte offset just past the last intact
+    record and ``torn`` reports whether anything after it had to be
+    dropped.
+    """
+    records: list[WalRecord] = []
+    offset = 0
+    while offset < len(data):
+        try:
+            length, body_start = decode_varint(data, offset)
+            body_end = body_start + length
+            if body_end > len(data):
+                raise ValueError("truncated record body")
+            body = data[body_start:body_end]
+            crc, next_offset = decode_varint(data, body_end)
+            if crc != zlib.crc32(body):
+                raise ValueError("record checksum mismatch")
+            record = _decode_payload(body)
+        except ValueError:
+            return records, offset, True
+        records.append(record)
+        offset = next_offset
+    return records, offset, False
+
+
+class WriteAheadLog:
+    """Append-only, segment-rotated, checksummed mutation log.
+
+    Parameters
+    ----------
+    directory:
+        Created if missing.  Existing segments are scanned on open:
+        the torn tail (if any) is truncated away so new appends start
+        at a clean boundary, and the next LSN continues from the last
+        durable record.
+    fsync:
+        One of :data:`FSYNC_POLICIES`.
+    fsync_interval:
+        Appends between fsyncs under the ``interval`` policy.
+    segment_bytes:
+        Rotate to a fresh segment once the active one reaches this
+        size (checked before each append, so records never split
+        across segments).
+    registry:
+        Metrics registry; defaults to the process-global one.  Pass
+        the serving :class:`~repro.service.metrics.ServiceMetrics`
+        registry so WAL counters ride the ``stats``/``telemetry`` ops.
+
+    All methods are thread-safe; appends are serialized by one lock,
+    which also makes LSN assignment race-free.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        fsync: str = "always",
+        fsync_interval: int = 8,
+        segment_bytes: int = 4 << 20,
+        registry: MetricsRegistry | None = None,
+    ):
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"unknown fsync policy {fsync!r}; "
+                f"choose from {', '.join(FSYNC_POLICIES)}"
+            )
+        if fsync_interval < 1:
+            raise ValueError("fsync_interval must be >= 1")
+        if segment_bytes < 1:
+            raise ValueError("segment_bytes must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._fsync = fsync
+        self._fsync_interval = fsync_interval
+        self._segment_bytes = segment_bytes
+        self._registry = registry if registry is not None else get_registry()
+        self._lock = threading.Lock()
+        self._unsynced = 0
+        self._file = None
+        # segment index -> last LSN it holds (-1 while empty).
+        self._segment_last_lsn: dict[int, int] = {}
+        self._open_segments()
+
+    # -- lifecycle -------------------------------------------------------
+    def _segment_path(self, index: int) -> Path:
+        return self.directory / f"wal-{index:08d}.log"
+
+    def _segment_indexes(self) -> list[int]:
+        found = []
+        for entry in self.directory.iterdir():
+            match = _SEGMENT_RE.match(entry.name)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def _open_segments(self) -> None:
+        """Scan existing segments, repair the torn tail, and position
+        the log for appends."""
+        last_lsn = 0
+        indexes = self._segment_indexes()
+        for position, index in enumerate(indexes):
+            path = self._segment_path(index)
+            records, clean_end, torn = _scan_segment(path.read_bytes())
+            if records:
+                last_lsn = records[-1].lsn
+            self._segment_last_lsn[index] = (
+                records[-1].lsn if records else -1
+            )
+            if torn:
+                self._count_records("torn_dropped")
+                with path.open("r+b") as handle:
+                    handle.truncate(clean_end)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                # Nothing after a broken record is trustworthy.
+                for later in indexes[position + 1:]:
+                    self._segment_path(later).unlink(missing_ok=True)
+                    self._segment_last_lsn.pop(later, None)
+                    self._count_segments("dropped")
+                self._count_segments("repaired")
+                break
+        self._last_lsn = last_lsn
+        self._active_index = max(self._segment_last_lsn, default=0)
+        path = self._segment_path(self._active_index)
+        self._segment_last_lsn.setdefault(self._active_index, -1)
+        self._file = path.open("ab")
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._sync_locked(force=True)
+                self._file.close()
+                self._file = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- write -----------------------------------------------------------
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the newest durable record (0 when the log is empty)."""
+        with self._lock:
+            return self._last_lsn
+
+    def append(
+        self, stream: str, seq: int, mutations, *, lsn: int | None = None
+    ) -> int:
+        """Append one mutation batch; returns its LSN.
+
+        The record is on disk (and fsynced, policy permitting) when
+        this returns — the caller may only apply and acknowledge the
+        batch afterwards.  ``lsn`` is normally assigned here; passing
+        one is for tests that need a gap.
+        """
+        with self._lock:
+            if self._file is None:
+                raise WalError("write-ahead log is closed")
+            if lsn is None:
+                lsn = self._last_lsn + 1
+            elif lsn <= self._last_lsn:
+                raise WalError(
+                    f"lsn {lsn} is not past the last lsn {self._last_lsn}"
+                )
+            record = WalRecord(
+                lsn=lsn,
+                stream=stream,
+                seq=seq,
+                mutations=tuple(
+                    (op, int(u), int(v)) for op, u, v in mutations
+                ),
+            )
+            frame = encode_record(record)
+            if self._file.tell() > 0 and (
+                self._file.tell() + len(frame) > self._segment_bytes
+            ):
+                self._rotate_locked()
+            self._file.write(frame)
+            self._file.flush()
+            self._unsynced += 1
+            if self._fsync == "always" or (
+                self._fsync == "interval"
+                and self._unsynced >= self._fsync_interval
+            ):
+                self._sync_locked()
+            self._last_lsn = lsn
+            self._segment_last_lsn[self._active_index] = lsn
+            self._count_records("appended")
+            return lsn
+
+    def _rotate_locked(self) -> None:
+        self._sync_locked(force=True)
+        self._file.close()
+        self._active_index += 1
+        self._segment_last_lsn[self._active_index] = -1
+        self._file = self._segment_path(self._active_index).open("ab")
+        self._count_segments("rotated")
+
+    def _sync_locked(self, force: bool = False) -> None:
+        if self._unsynced == 0 and not force:
+            return
+        if self._fsync == "never" and not force:
+            self._unsynced = 0
+            return
+        import time
+
+        started = time.perf_counter()
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._registry.histogram("repro_wal_fsync_seconds").observe(
+            time.perf_counter() - started
+        )
+        self._unsynced = 0
+
+    def sync(self) -> None:
+        """Force an fsync of the active segment."""
+        with self._lock:
+            if self._file is not None:
+                self._sync_locked(force=True)
+
+    # -- read ------------------------------------------------------------
+    def records(self, after_lsn: int = 0) -> list[WalRecord]:
+        """All durable records with ``lsn > after_lsn``, oldest first.
+
+        Re-reads the segments from disk, so it sees exactly what a
+        recovering process would; a torn tail ends the scan (the
+        in-memory writer position is not consulted).
+        """
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+            out: list[WalRecord] = []
+            for index in self._segment_indexes():
+                data = self._segment_path(index).read_bytes()
+                records, _, torn = _scan_segment(data)
+                for record in records:
+                    if record.lsn > after_lsn:
+                        out.append(record)
+                        self._count_records("replayed")
+                if torn:
+                    self._count_records("torn_dropped")
+                    break
+            return out
+
+    # -- compaction ------------------------------------------------------
+    def truncate_through(self, lsn: int) -> int:
+        """Delete whole segments made redundant by a checkpoint at
+        ``lsn``; returns how many were removed.
+
+        A segment is removable when every record it holds is at or
+        below ``lsn`` — except the active segment, which stays (its
+        already-applied records are skipped on replay via the
+        checkpoint's LSN cursor).
+        """
+        removed = 0
+        with self._lock:
+            for index in sorted(self._segment_last_lsn):
+                if index == self._active_index:
+                    continue
+                last = self._segment_last_lsn[index]
+                if last <= lsn:
+                    self._segment_path(index).unlink(missing_ok=True)
+                    del self._segment_last_lsn[index]
+                    removed += 1
+                    self._count_segments("truncated")
+        return removed
+
+    # -- metrics ---------------------------------------------------------
+    def _count_records(self, event: str) -> None:
+        self._registry.counter(
+            "repro_wal_records_total", event=event
+        ).inc()
+
+    def _count_segments(self, event: str) -> None:
+        self._registry.counter(
+            "repro_wal_segments_total", event=event
+        ).inc()

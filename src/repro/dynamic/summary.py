@@ -70,6 +70,47 @@ class DynamicGraphSummary:
         self.num_updates = 0
         self._install(self._summarize(graph))
 
+    @classmethod
+    def from_representation(
+        cls,
+        rep: Representation,
+        summarizer_factory: Callable[[], Summarizer] | None = None,
+        rebuild_factor: float | None = None,
+        base_cost: int | None = None,
+    ) -> "DynamicGraphSummary":
+        """Wrap an already-built representation without re-summarizing.
+
+        The serving path (``repro serve --wal-dir``) loads a summary
+        artifact and mutates it in place; paying a from-scratch
+        summarization on startup would defeat the point.  Automatic
+        rebuilds default to *off* here because a rebuild's trigger
+        point depends on ``base_cost``: crash recovery must restore
+        the exact ``base_cost`` of the interrupted run (it travels in
+        the checkpoint) for replay to retrace the uninterrupted run's
+        rebuild schedule bit-for-bit.
+        """
+        if rebuild_factor is not None and rebuild_factor < 1.0:
+            raise ValueError("rebuild_factor must be >= 1.0 (or None)")
+        self = cls.__new__(cls)
+        self._make_summarizer = summarizer_factory or (
+            lambda: MagsDMSummarizer(iterations=20)
+        )
+        self.rebuild_factor = rebuild_factor
+        self.num_rebuilds = 0
+        self.num_updates = 0
+        self._install(rep)
+        if base_cost is not None:
+            if base_cost < 1:
+                raise ValueError("base_cost must be >= 1")
+            self._base_cost = int(base_cost)
+        return self
+
+    @property
+    def base_cost(self) -> int:
+        """Representation cost right after the last (re)build — the
+        reference point of the rebuild trigger."""
+        return self._base_cost
+
     # ------------------------------------------------------------------
     # State management
     # ------------------------------------------------------------------

@@ -16,6 +16,7 @@ from repro.service.engine import (
     QueryError,
     QueryTimeout,
 )
+from repro.service.ingest import MutableQueryEngine
 from repro.service.metrics import (
     LatencyRecorder,
     MetricsLogger,
@@ -25,6 +26,7 @@ from repro.service.server import SummaryQueryServer
 
 __all__ = [
     "OPS",
+    "MutableQueryEngine",
     "QueryEngine",
     "QueryError",
     "QueryTimeout",

@@ -8,9 +8,15 @@ model.
 
 Fault tolerance (:mod:`repro.resilience`): constructed with a
 :class:`~repro.resilience.retry.RetryPolicy`, the client transparently
-**reconnects and retries** idempotent requests (every op except
-``shutdown`` is a read) on connection failures, with exponential
-backoff + seeded jitter under an optional per-request deadline budget.
+**reconnects and retries** idempotent requests on connection failures,
+with exponential backoff + seeded jitter under an optional per-request
+deadline budget.  Which requests are idempotent: every read, and
+``ingest`` *because* it carries a per-stream sequence number — the
+request dict is built once, so every retry resends the **original**
+``seq`` and the server dedupes a batch that was applied but whose
+acknowledgement was lost in transit (at-most-once application over
+at-least-once delivery).  ``shutdown``, and an ``ingest`` missing its
+``stream``/``seq`` identity, are never blindly retried.
 A **desynchronized** stream — a response whose ``id`` does not match
 the request, or an undecodable line — can never be reused: the socket
 is closed immediately, and without a retry policy the client is marked
@@ -50,6 +56,25 @@ class ServiceError(RuntimeError):
         )
         self.type = error.get("type", "unknown")
         self.message = error.get("message", "")
+
+
+def _retry_safe(op: str, params: dict) -> bool:
+    """Whether a transport-failed request may be replayed verbatim.
+
+    Reads are always safe.  ``shutdown`` never is (a second delivery
+    stops a freshly restarted server).  ``ingest`` is safe only when
+    it carries its dedup identity — without ``stream`` + ``seq`` the
+    server cannot tell a retry from a new batch, and a blind replay
+    could double-apply.
+    """
+    if op == "shutdown":
+        return False
+    if op == "ingest":
+        return (
+            isinstance(params.get("stream"), str)
+            and isinstance(params.get("seq"), int)
+        )
+    return True
 
 
 class SummaryServiceClient:
@@ -103,6 +128,8 @@ class SummaryServiceClient:
         self._sock: socket.socket | None = None
         self._reader: LineReader | None = None
         self._next_id = 0
+        self._ingest_stream: str | None = None
+        self._ingest_seq = 0
         self._broken = False
         self._closed = False
         self._connect()
@@ -193,11 +220,12 @@ class SummaryServiceClient:
             )
         self._next_id += 1
         request_id = self._next_id
+        # Built exactly once: every retry below resends this same dict,
+        # so a mutating request keeps its original sequence number and
+        # the server's dedup map can absorb the replay.
         request = {"id": request_id, "op": op, **params}
 
-        if self._retry_policy is None or op == "shutdown":
-            # shutdown is not idempotent; everything else simply keeps
-            # the historical single-attempt behaviour without a policy.
+        if self._retry_policy is None or not _retry_safe(op, params):
             response = self._attempt(request)
         else:
             deadline = (
@@ -262,6 +290,41 @@ class SummaryServiceClient:
         """Send a batch; returns the per-request response dicts in
         request order (errors inline, not raised)."""
         return self.request("batch", requests=requests)
+
+    def ingest(
+        self,
+        mutations: list,
+        *,
+        stream: str | None = None,
+        seq: int | None = None,
+    ) -> dict:
+        """Stream one edge-mutation batch to a mutable server.
+
+        ``mutations`` is a list of ``["+"|"-", u, v]`` items.  The
+        client manages its own stream identity: a random stream id is
+        minted on first use and ``seq`` auto-increments per
+        acknowledged batch, so retries (transport failures under a
+        retry policy) are deduplicated server-side.  Pass explicit
+        ``stream``/``seq`` to drive the sequencing yourself (e.g. to
+        resume a stream after a client restart).
+
+        Returns the result dict ``{"applied", "lsn"[, "duplicate"]}``.
+        """
+        if stream is None:
+            if self._ingest_stream is None:
+                import uuid
+
+                self._ingest_stream = f"c-{uuid.uuid4().hex[:16]}"
+            stream = self._ingest_stream
+        auto = seq is None
+        if auto:
+            seq = self._ingest_seq
+        result = self.request(
+            "ingest", stream=stream, seq=seq, mutations=mutations
+        )
+        if auto:
+            self._ingest_seq += 1
+        return result
 
     def shutdown_server(self) -> str:
         """Ask the server to stop gracefully."""

@@ -113,6 +113,12 @@ class _LRUCache:
             while len(self._data) > self._capacity:
                 self._data.popitem(last=False)
 
+    def invalidate(self, key: int) -> None:
+        """Drop one entry (mutation path: only the dirty nodes lose
+        their cached expansion, the rest of the cache stays hot)."""
+        with self._lock:
+            self._data.pop(key, None)
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._data)
@@ -159,6 +165,10 @@ class QueryEngine:
         degraded: bool = False,
     ):
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        #: Ops this engine instance answers; a mutable engine
+        #: (:class:`repro.service.ingest.MutableQueryEngine`) extends
+        #: this with ``ingest``.
+        self.ops: tuple[str, ...] = OPS
         self._index = SummaryNeighborIndex(representation)
         self._cache = _LRUCache(cache_size)
         self._damping = damping
@@ -294,10 +304,17 @@ class QueryEngine:
         if not isinstance(request, dict):
             raise QueryError("bad_request", "request must be a JSON object")
         op = request.get("op")
-        if op not in OPS:
+        if op not in self.ops:
+            if op == "ingest":
+                raise QueryError(
+                    "bad_request",
+                    "ingest is not enabled on this server "
+                    "(read-only engine; start with a mutable engine / "
+                    "--wal-dir)",
+                )
             raise QueryError(
                 "bad_request",
-                f"unknown op {op!r}; supported: {', '.join(OPS)}",
+                f"unknown op {op!r}; supported: {', '.join(self.ops)}",
             )
         degraded_sink: list | None = (
             [] if self.degraded_enabled and op in ("khop", "pagerank")
@@ -321,7 +338,7 @@ class QueryEngine:
         if degraded_sink:
             response["degraded"] = True
             self.metrics.degraded(op)
-        return response
+        return self._finalize(response)
 
     def query_many(
         self, requests: list[dict], deadline: float | None = None
@@ -359,20 +376,20 @@ class QueryEngine:
                 node = request.get("node") if isinstance(request, dict) else None
                 if node in expanded and request.get("op") == "neighbors":
                     self.metrics.observe("neighbors", 0.0)
-                    responses.append({
+                    responses.append(self._finalize({
                         "id": request.get("id"),
                         "ok": True,
                         "op": "neighbors",
                         "result": sorted(expanded[node]),
-                    })
+                    }))
                 elif node in expanded and request.get("op") == "degree":
                     self.metrics.observe("degree", 0.0)
-                    responses.append({
+                    responses.append(self._finalize({
                         "id": request.get("id"),
                         "ok": True,
                         "op": "degree",
                         "result": len(expanded[node]),
-                    })
+                    }))
                 else:
                     responses.append(self.query(request, deadline))
             except QueryError as exc:
@@ -380,6 +397,12 @@ class QueryEngine:
         return responses
 
     # -- internals -------------------------------------------------------
+    def _finalize(self, response: dict) -> dict:
+        """Last touch on every successful response.  The base engine
+        is a no-op; a mutable engine stamps the read-consistency
+        ``epoch`` and the mid-replay ``degraded`` flag here."""
+        return response
+
     def _dispatch(
         self,
         op: str,

@@ -1,0 +1,398 @@
+"""Mutable query engine: the ``ingest`` op behind the query service.
+
+Extends :class:`~repro.service.engine.QueryEngine` over a
+:class:`~repro.dynamic.summary.DynamicGraphSummary` so a live server
+accepts streamed edge insertions/deletions while continuing to answer
+reads.  The contract, end to end:
+
+**Durability** — an accepted batch is appended (and fsynced, policy
+permitting) to the :class:`~repro.durability.wal.WriteAheadLog`
+*before* it is applied; the acknowledgement therefore implies the
+mutation survives ``kill -9`` (see docs/resilience.md).
+
+**Read consistency** — every mutation batch commits atomically under
+one state lock and bumps a monotonically increasing ``epoch``; every
+successful response echoes the epoch it was served at, and the LRU
+cache is invalidated per dirty node (an edge toggle only changes the
+neighbor sets of its two endpoints), not wholesale.  While crash
+recovery is still replaying the WAL tail, reads are answered from the
+partially-replayed state flagged ``"degraded": true`` — the
+established degraded-mode convention — instead of being refused.
+
+**Idempotence** — each ingest names a client ``stream`` and a
+per-stream ``seq``.  The server remembers the last sequence (and its
+result) per stream: a repeat of the last ``seq`` returns the cached
+result marked ``"duplicate": true`` without re-applying (the client
+retry path resends the *original* sequence number after a transport
+error), and a rewound sequence is a structured ``bad_request``.
+
+**Backpressure** — at most ``max_inflight`` ingest requests may be
+past admission at once, and an optional
+:class:`~repro.resilience.guard.ResourceBudget` (memory ceiling) can
+park ingest entirely; both reject with a structured ``overloaded``
+error rather than a dropped connection.  Note the budget's memory
+trip is sticky by design: once RSS crossed the ceiling, ingest stays
+parked until restart.
+
+**Atomicity of a batch** — the batch is validated against the live
+state (plus its own earlier mutations) before the WAL append, so a
+logged batch always applies cleanly; a rejected batch changes
+nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.dynamic.summary import DynamicGraphSummary
+from repro.queries.pagerank import SummaryPageRank
+from repro.service.engine import OPS, QueryEngine, QueryError
+from repro.service.protocol import MAX_INGEST_MUTATIONS, MAX_STREAM_LEN
+
+__all__ = ["MutableQueryEngine"]
+
+_SIGNS = ("+", "-")
+
+
+def _ordered(u: int, v: int) -> tuple[int, int]:
+    return (u, v) if u <= v else (v, u)
+
+
+class MutableQueryEngine(QueryEngine):
+    """A :class:`QueryEngine` whose summary accepts live mutations.
+
+    Parameters
+    ----------
+    dynamic:
+        The corrections-overlay summary to serve and mutate.
+    wal:
+        Optional :class:`~repro.durability.wal.WriteAheadLog`; without
+        one, mutations are volatile (tests, benchmarks) but the full
+        ingest contract minus durability still holds.
+    budget:
+        Optional armed :class:`~repro.resilience.guard.ResourceBudget`
+        consulted at ingest admission.
+    max_inflight:
+        Bound on concurrently admitted ingest requests (0 disables
+        the bound).
+    """
+
+    def __init__(
+        self,
+        dynamic: DynamicGraphSummary,
+        *,
+        wal=None,
+        budget=None,
+        max_inflight: int = 64,
+        **kwargs,
+    ):
+        super().__init__(dynamic.to_representation(), **kwargs)
+        self.ops = OPS + ("ingest",)
+        self._dynamic = dynamic
+        self._wal = wal
+        self._budget = budget
+        self._max_inflight = max_inflight
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        #: Guards the dynamic overlay, epoch, LSN and dedup map; reads
+        #: take it only on a cache miss, writes for the whole commit.
+        self._state_lock = threading.RLock()
+        #: Bumped once per committed mutation batch; echoed on every
+        #: successful response.
+        self.epoch = 0
+        #: LSN of the newest applied WAL record.
+        self.applied_lsn = wal.last_lsn if wal is not None else 0
+        #: stream id -> (last seq, its result dict).
+        self._dedup: dict[str, tuple[int, dict]] = {}
+        #: True while crash recovery replays the WAL tail.
+        self.replaying = False
+        self._rep_snapshot: tuple[int, object] | None = None
+
+    # -- read path overrides ---------------------------------------------
+    @property
+    def representation(self):
+        """A consistent snapshot of the live state, cached per epoch
+        (PageRank builds and ``verify_against`` read it; per-request
+        paths use the overlay directly)."""
+        with self._state_lock:
+            cached = self._rep_snapshot
+            if cached is not None and cached[0] == self.epoch:
+                return cached[1]
+            rep = self._dynamic.to_representation()
+            self._rep_snapshot = (self.epoch, rep)
+            return rep
+
+    def _check_node(self, node: int) -> None:
+        if not isinstance(node, int) or isinstance(node, bool):
+            raise QueryError("bad_request", "'node' must be an integer")
+        if not 0 <= node < self._dynamic.n:
+            raise QueryError(
+                "bad_request",
+                f"node {node} out of range [0, {self._dynamic.n})",
+            )
+
+    def neighbors(self, node: int) -> frozenset[int]:
+        self._check_node(node)
+        cached = self._cache.get(node)
+        if cached is not None:
+            self.metrics.cache_hit()
+            return cached
+        self.metrics.cache_miss()
+        # Expansion and cache fill happen under the state lock so a
+        # concurrent commit can never interleave between computing a
+        # neighbor set and caching it (which would cache a stale set
+        # right past its invalidation).
+        with self._state_lock:
+            result = frozenset(self._dynamic.neighbors(node))
+            self._cache.put(node, result)
+        return result
+
+    def pagerank_score(
+        self,
+        node: int,
+        deadline: float | None = None,
+        degraded_sink: list | None = None,
+    ) -> float:
+        """Exact score from a vector built on an epoch-consistent
+        snapshot.  A commit invalidates the vector; if the epoch moves
+        *while* a build is running, the just-built (self-consistent
+        but already stale) vector answers this request without being
+        installed, so no request ever sees a torn state and a
+        sustained write load cannot livelock the build loop.
+        """
+        self._check_node(node)
+        scores = self._pagerank_scores
+        if scores is None:
+            import time
+
+            if (
+                degraded_sink is not None
+                and deadline is not None
+                and time.monotonic() >= deadline
+            ):
+                degraded_sink.append("pagerank")
+                with self._state_lock:
+                    n, m = self._dynamic.n, self._dynamic.m
+                degree = len(self.neighbors(node))
+                return (1.0 - self._damping) / max(1, n) + (
+                    self._damping * degree / max(1, 2 * m)
+                )
+            with self._pagerank_lock:
+                scores = self._pagerank_scores
+                if scores is None:
+                    with self._state_lock:
+                        built_at = self.epoch
+                        rep = self.representation
+                    scores = SummaryPageRank(rep).run(
+                        self._damping, self._pagerank_iterations
+                    )
+                    with self._state_lock:
+                        if self.epoch == built_at:
+                            self._pagerank_scores = scores
+        return float(scores[node])
+
+    def _finalize(self, response: dict) -> dict:
+        response["epoch"] = self.epoch
+        if self.replaying and not response.get("degraded"):
+            response["degraded"] = True
+            self.metrics.degraded(response.get("op") or "unknown")
+        return response
+
+    # -- dispatch --------------------------------------------------------
+    def _dispatch(self, op, request, deadline, degraded_sink=None):
+        if op == "ingest":
+            return self.ingest(
+                request.get("stream"),
+                request.get("seq"),
+                request.get("mutations"),
+            )
+        return super()._dispatch(op, request, deadline, degraded_sink)
+
+    # -- the ingest op ---------------------------------------------------
+    def ingest(self, stream, seq, mutations) -> dict:
+        """Validate, log, apply, and acknowledge one mutation batch.
+
+        Returns ``{"applied", "lsn"}`` plus ``"duplicate": true`` for
+        a deduplicated retry; the surrounding response carries the
+        post-commit ``epoch``.  Raises :class:`QueryError` with kind
+        ``overloaded`` (backpressure, replay in progress) or
+        ``bad_request`` (malformed or inapplicable batch, rewound
+        sequence).
+        """
+        self._admit()
+        try:
+            if self.replaying:
+                raise QueryError(
+                    "overloaded",
+                    "recovery replay in progress; retry shortly",
+                )
+            parsed = self._parse_batch(stream, seq, mutations)
+            with self._state_lock:
+                last = self._dedup.get(stream)
+                if last is not None:
+                    last_seq, last_result = last
+                    if seq == last_seq:
+                        self.metrics.registry.counter(
+                            "repro_ingest_duplicates_total"
+                        ).inc()
+                        return {**last_result, "duplicate": True}
+                    if seq < last_seq:
+                        self._count("rewound")
+                        raise QueryError(
+                            "bad_request",
+                            f"stream {stream!r} sequence rewound: got "
+                            f"{seq}, last acknowledged {last_seq}",
+                        )
+                self._dry_run(parsed)
+                if self._wal is not None:
+                    lsn = self._wal.append(stream, seq, parsed)
+                else:
+                    lsn = self.applied_lsn + 1
+                return dict(self._commit(stream, seq, parsed, lsn))
+        finally:
+            self._release()
+
+    def replay_record(self, record) -> bool:
+        """Re-apply one WAL record during recovery; returns whether it
+        was applied (records at or below the checkpoint LSN are
+        skipped).  Replay bypasses validation — a logged record was
+        validated against exactly the state replay has rebuilt — but a
+        corrupt-yet-checksum-valid record still surfaces as an error
+        rather than silent divergence (``insert_edge``/``delete_edge``
+        raise)."""
+        with self._state_lock:
+            if record.lsn <= self.applied_lsn:
+                return False
+            self._commit(
+                record.stream, record.seq, list(record.mutations),
+                record.lsn,
+            )
+            return True
+
+    # -- internals -------------------------------------------------------
+    def _admit(self) -> None:
+        if self._budget is not None:
+            reason = self._budget.exhausted()
+            if reason is not None:
+                self._count("budget")
+                raise QueryError(
+                    "overloaded",
+                    f"ingest parked: resource budget exhausted ({reason})",
+                )
+        if self._max_inflight > 0:
+            with self._inflight_lock:
+                if self._inflight >= self._max_inflight:
+                    self._count("overloaded")
+                    raise QueryError(
+                        "overloaded",
+                        f"ingest queue full ({self._max_inflight} "
+                        "in flight); back off and retry",
+                    )
+                self._inflight += 1
+
+    def _release(self) -> None:
+        if self._max_inflight > 0:
+            with self._inflight_lock:
+                self._inflight -= 1
+
+    def _parse_batch(self, stream, seq, mutations) -> list:
+        if not isinstance(stream, str) or not 1 <= len(stream) <= (
+            MAX_STREAM_LEN
+        ):
+            raise QueryError(
+                "bad_request",
+                "'stream' must be a string of 1.."
+                f"{MAX_STREAM_LEN} characters",
+            )
+        if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+            raise QueryError(
+                "bad_request", "'seq' must be a non-negative integer"
+            )
+        if not isinstance(mutations, list) or not mutations:
+            raise QueryError(
+                "bad_request", "'mutations' must be a non-empty list"
+            )
+        if len(mutations) > MAX_INGEST_MUTATIONS:
+            raise QueryError(
+                "bad_request",
+                f"batch of {len(mutations)} mutations exceeds the cap "
+                f"of {MAX_INGEST_MUTATIONS}",
+            )
+        parsed = []
+        for index, item in enumerate(mutations):
+            if not (isinstance(item, (list, tuple)) and len(item) == 3):
+                raise QueryError(
+                    "bad_request",
+                    f"mutation #{index} must be [\"+\"|\"-\", u, v]",
+                )
+            sign, u, v = item
+            if sign not in _SIGNS:
+                raise QueryError(
+                    "bad_request",
+                    f"mutation #{index} has unknown sign {sign!r}",
+                )
+            for node in (u, v):
+                if not isinstance(node, int) or isinstance(node, bool):
+                    raise QueryError(
+                        "bad_request",
+                        f"mutation #{index} endpoints must be integers",
+                    )
+                if not 0 <= node < self._dynamic.n:
+                    raise QueryError(
+                        "bad_request",
+                        f"mutation #{index}: node {node} out of range "
+                        f"[0, {self._dynamic.n})",
+                    )
+            if u == v:
+                raise QueryError(
+                    "bad_request",
+                    f"mutation #{index} is a self-loop ({u}, {v})",
+                )
+            parsed.append((sign, u, v))
+        return parsed
+
+    def _dry_run(self, parsed: list) -> None:
+        """Check the whole batch applies cleanly against the live
+        state (plus its own earlier toggles) — called under the state
+        lock, *before* the WAL append, so the log never holds an
+        inapplicable record and a rejected batch is a no-op."""
+        overlay: dict[tuple[int, int], bool] = {}
+        for sign, u, v in parsed:
+            key = _ordered(u, v)
+            exists = overlay.get(key)
+            if exists is None:
+                exists = self._dynamic.has_edge(u, v)
+            if sign == "+" and exists:
+                raise QueryError(
+                    "bad_request", f"edge ({u}, {v}) already exists"
+                )
+            if sign == "-" and not exists:
+                raise QueryError(
+                    "bad_request", f"edge ({u}, {v}) does not exist"
+                )
+            overlay[key] = sign == "+"
+
+    def _commit(self, stream, seq, parsed, lsn) -> dict:
+        """Apply one validated batch; caller holds the state lock."""
+        for sign, u, v in parsed:
+            if sign == "+":
+                self._dynamic.insert_edge(u, v)
+            else:
+                self._dynamic.delete_edge(u, v)
+            self._cache.invalidate(u)
+            self._cache.invalidate(v)
+        self.epoch += 1
+        self.applied_lsn = lsn
+        self._pagerank_scores = None
+        self._rep_snapshot = None
+        result = {"applied": len(parsed), "lsn": lsn}
+        self._dedup[stream] = (seq, result)
+        self.metrics.registry.counter(
+            "repro_ingest_applied_total"
+        ).inc(len(parsed))
+        return result
+
+    def _count(self, reason: str) -> None:
+        self.metrics.registry.counter(
+            "repro_ingest_rejected_total", reason=reason
+        ).inc()

@@ -16,8 +16,16 @@ batch      ``requests`` (list of ops)  list of per-request responses
 stats      —                           metrics snapshot
 telemetry  —                           ``{"instance", "pid", "registry"}``
 ping       —                           ``"pong"``
+ingest     ``stream``, ``seq``,        ``{"applied", "lsn"[, "duplicate"]}``
+           ``mutations``
 shutdown   —                           ``"shutting down"`` (server then stops)
 ========== =========================== ==========================================
+
+``ingest`` (mutable servers only — see :mod:`repro.service.ingest`)
+streams edge mutations: ``mutations`` is a list of up to
+:data:`MAX_INGEST_MUTATIONS` items ``["+"|"-", u, v]``; ``stream`` is
+a client-chosen id and ``seq`` its per-stream sequence number, which
+makes retries idempotent (the server dedupes).
 
 Every op additionally accepts an optional ``trace`` field —
 ``{"id": <trace id>, "span": <parent span id>}`` (``span`` optional)
@@ -31,8 +39,11 @@ Responses
 ``{"id", "ok": false, "op", "error": {"type", "message"}}`` on
 failure.  Error types: ``bad_request``, ``timeout``, ``overloaded``,
 ``internal``.  A degraded-mode success (truncated ``khop``,
-approximate ``pagerank`` — see :mod:`repro.service.engine`)
-additionally carries ``"degraded": true``.  A tracing server echoes
+approximate ``pagerank`` — see :mod:`repro.service.engine` — or any
+answer served while crash recovery is still replaying)
+additionally carries ``"degraded": true``.  A mutable server stamps
+every successful response with its read-consistency ``"epoch"`` (the
+count of committed mutation batches the answer reflects).  A tracing server echoes
 ``"trace": {"id", "span"}`` (its request-span identity) when the
 request carried a trace context.
 
@@ -60,6 +71,8 @@ __all__ = [
     "MAX_LINE_BYTES",
     "MAX_BATCH_REQUESTS",
     "MAX_KHOP_K",
+    "MAX_INGEST_MUTATIONS",
+    "MAX_STREAM_LEN",
     "KNOWN_OPS",
     "encode_message",
     "decode_line",
@@ -80,6 +93,12 @@ MAX_BATCH_REQUESTS = 1024
 #: attacker CPU time.
 MAX_KHOP_K = 64
 
+#: Upper bound on mutations in one ``ingest`` batch.
+MAX_INGEST_MUTATIONS = 1024
+
+#: Upper bound on the ``ingest`` client stream-id length.
+MAX_STREAM_LEN = 128
+
 #: Every op the protocol defines (the engine serves a subset of these
 #: directly; ``batch`` and ``shutdown`` are handled by the server).
 KNOWN_OPS = (
@@ -91,6 +110,7 @@ KNOWN_OPS = (
     "stats",
     "telemetry",
     "ping",
+    "ingest",
     "shutdown",
 )
 
@@ -107,11 +127,14 @@ _ALLOWED_FIELDS: dict[str, frozenset[str]] = {
     "stats": frozenset({"id", "op", "format", "trace"}),
     "telemetry": frozenset({"id", "op", "trace"}),
     "ping": frozenset({"id", "op", "trace"}),
+    "ingest": frozenset(
+        {"id", "op", "stream", "seq", "mutations", "trace"}
+    ),
     "shutdown": frozenset({"id", "op", "trace"}),
 }
 
 _RESPONSE_FIELDS = frozenset(
-    {"id", "ok", "op", "result", "error", "degraded", "trace"}
+    {"id", "ok", "op", "result", "error", "degraded", "epoch", "trace"}
 )
 
 
@@ -160,7 +183,9 @@ def validate_request(request: dict) -> dict:
     field outside the op's whitelist, a non-integer ``node``, a ``k``
     outside ``[0, MAX_KHOP_K]``, a ``batch`` whose ``requests`` is not
     a list of at most :data:`MAX_BATCH_REQUESTS` objects, a
-    ``stats`` ``format`` other than ``"prometheus"``, or a malformed
+    ``stats`` ``format`` other than ``"prometheus"``, a malformed
+    ``ingest`` body (bad ``stream``/``seq`` types, a mutation that is
+    not ``["+"|"-", u, v]``, an oversized batch), or a malformed
     ``trace`` context (non-object, missing/over-long ids, unknown
     keys).  Range checks
     that need the served summary (``node`` against ``n``) stay in the
@@ -218,7 +243,56 @@ def validate_request(request: dict) -> dict:
             raise ProtocolError(
                 f"unknown stats format {fmt!r}; supported: 'prometheus'"
             )
+    elif op == "ingest":
+        _check_ingest_fields(request)
     return request
+
+
+def _check_ingest_fields(request: dict) -> None:
+    """Shape-check an ``ingest`` frame before the engine sees it.
+
+    Everything stateful (range checks against ``n``, applicability,
+    sequence ordering) stays in the mutable engine; this bounds sizes
+    and types so a hostile frame cannot smuggle arbitrary payloads or
+    oversized batches past the trust boundary.
+    """
+    stream = request.get("stream")
+    if not isinstance(stream, str) or not 1 <= len(stream) <= (
+        MAX_STREAM_LEN
+    ):
+        raise ProtocolError(
+            f"'stream' must be a string of 1..{MAX_STREAM_LEN} characters"
+        )
+    seq = request.get("seq")
+    if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+        raise ProtocolError("'seq' must be a non-negative integer")
+    mutations = request.get("mutations")
+    if not isinstance(mutations, list) or not mutations:
+        raise ProtocolError("'mutations' must be a non-empty list")
+    if len(mutations) > MAX_INGEST_MUTATIONS:
+        raise ProtocolError(
+            f"batch of {len(mutations)} mutations exceeds the cap of "
+            f"{MAX_INGEST_MUTATIONS}"
+        )
+    for index, item in enumerate(mutations):
+        if not (isinstance(item, list) and len(item) == 3):
+            raise ProtocolError(
+                f"mutation #{index} must be a 3-item list "
+                '["+"|"-", u, v]'
+            )
+        sign, u, v = item
+        if sign not in ("+", "-"):
+            raise ProtocolError(
+                f"mutation #{index} has unknown sign {sign!r}"
+            )
+        for node in (u, v):
+            if not isinstance(node, int) or isinstance(node, bool) or (
+                node < 0
+            ):
+                raise ProtocolError(
+                    f"mutation #{index} endpoints must be "
+                    "non-negative integers"
+                )
 
 
 def validate_response(message: dict) -> dict:
@@ -245,6 +319,14 @@ def validate_response(message: dict) -> dict:
             validate_trace_field(message["trace"])
         except ValueError as exc:
             raise ProtocolError(str(exc)) from exc
+    if "epoch" in message:
+        epoch = message["epoch"]
+        if not isinstance(epoch, int) or isinstance(epoch, bool) or (
+            epoch < 0
+        ):
+            raise ProtocolError(
+                "'epoch' must be a non-negative integer"
+            )
     if ok:
         if "result" not in message:
             raise ProtocolError("ok response is missing 'result'")

@@ -28,7 +28,14 @@ Operational behaviour:
   :class:`~repro.resilience.breaker.CircuitBreaker` attached,
   consecutive *internal* engine faults open the breaker and requests
   are rejected cheaply with ``overloaded`` errors until the reset
-  window lets a probe through.
+  window lets a probe through;
+* **mutable engines** — serving a
+  :class:`~repro.service.ingest.MutableQueryEngine` additionally
+  enables the ``ingest`` op; the server itself needs no special
+  handling (ingest rides the normal ``query`` path), but error
+  responses, like successes, are stamped with the engine's
+  read-consistency ``epoch`` so a client can always tell which state
+  a verdict was issued against.
 
 Fault-injection site: ``server:accept`` (a scheduled ``drop`` fault
 closes the freshly-accepted connection, the client sees a peer
@@ -414,7 +421,11 @@ class SummaryQueryServer:
             # the engine is sick; they do not trip the breaker.
             if breaker is not None:
                 breaker.record_success()
-            return error_response(request, exc), False
+            response = error_response(request, exc)
+            epoch = getattr(self.engine, "epoch", None)
+            if isinstance(epoch, int):
+                response["epoch"] = epoch
+            return response, False
         except Exception as exc:  # noqa: BLE001 - protocol boundary
             if breaker is not None:
                 opened_before = breaker.times_opened

@@ -1,0 +1,124 @@
+"""Router-level ingest: endpoint-owner fan-out over a mutable cluster."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.mags_dm import MagsDMSummarizer
+from repro.cluster.manager import start_local_cluster
+from repro.cluster.sharder import shard_graph
+from repro.cluster.topology import TopologyError
+from repro.graph import generators
+from repro.service import ServiceError, SummaryServiceClient
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.planted_partition(120, 6, 0.6, 0.05, seed=3)
+
+
+@pytest.fixture(scope="module")
+def shard_reps(graph):
+    summarizer = MagsDMSummarizer(iterations=8, seed=1)
+    return [
+        summarizer.summarize(subgraph).representation
+        for subgraph in shard_graph(graph, 2, seed=0)
+    ]
+
+
+@pytest.fixture
+def cluster(graph, shard_reps):
+    with start_local_cluster(
+        shard_reps, replicas=1, seed=0, n=graph.n, mutable=True
+    ) as local:
+        yield local
+
+
+def _free_cross_shard_edge(cluster, graph):
+    """A non-edge whose endpoints live on different shards."""
+    spec = cluster.spec
+    edges = set(graph.edges())
+    for u in range(graph.n):
+        for v in range(u + 1, graph.n):
+            if (u, v) in edges:
+                continue
+            if spec.owner(u) != spec.owner(v):
+                return u, v
+    raise AssertionError("no cross-shard free pair")
+
+
+class TestRouterIngest:
+    def test_cross_shard_insert_lands_on_both_owners(
+        self, cluster, graph
+    ):
+        u, v = _free_cross_shard_edge(cluster, graph)
+        host, port = cluster.router_address
+        with SummaryServiceClient(host, port) as client:
+            result = client.ingest([["+", u, v]])
+            assert result["applied"] == 1
+            # Both endpoint shards applied their sub-batch.
+            assert set(result["shards"]) == {
+                str(cluster.spec.owner(u)), str(cluster.spec.owner(v))
+            }
+            # Both directions answer through the router (each endpoint
+            # is served by a different shard) - the 1-hop-closure
+            # invariant held.
+            assert v in client.neighbors(u)
+            assert u in client.neighbors(v)
+            client.ingest([["-", u, v]])
+            assert v not in client.neighbors(u)
+            assert u not in client.neighbors(v)
+
+    def test_router_cache_invalidated_per_dirty_node(
+        self, cluster, graph
+    ):
+        u, v = _free_cross_shard_edge(cluster, graph)
+        host, port = cluster.router_address
+        with SummaryServiceClient(host, port) as client:
+            before = set(client.neighbors(u))  # warms the router cache
+            client.ingest([["+", u, v]])
+            assert set(client.neighbors(u)) == before | {v}
+
+    def test_duplicate_batch_converges_per_shard(self, cluster, graph):
+        u, v = _free_cross_shard_edge(cluster, graph)
+        host, port = cluster.router_address
+        with SummaryServiceClient(host, port) as client:
+            client.ingest([["+", u, v]], stream="dup", seq=0)
+            retry = client.ingest([["+", u, v]], stream="dup", seq=0)
+            assert all(
+                shard.get("duplicate") is True
+                for shard in retry["shards"].values()
+            )
+
+    def test_malformed_ingest_rejected_before_fanout(self, cluster):
+        host, port = cluster.router_address
+        with SummaryServiceClient(host, port) as client:
+            with pytest.raises(ServiceError, match="out of range"):
+                client.ingest([["+", 0, 10**9]])
+            with pytest.raises(ServiceError) as excinfo:
+                client.request("ingest", stream="s", seq=0,
+                               mutations=[["+", 0, 0]])
+            assert excinfo.value.type == "bad_request"
+
+
+class TestReplicasGuard:
+    def test_mutable_local_cluster_requires_single_replica(
+        self, graph, shard_reps
+    ):
+        with pytest.raises(TopologyError, match="replicas=1"):
+            start_local_cluster(
+                shard_reps, replicas=2, seed=0, n=graph.n, mutable=True
+            )
+
+    def test_router_rejects_ingest_on_replicated_topology(
+        self, graph, shard_reps
+    ):
+        with start_local_cluster(
+            shard_reps, replicas=2, seed=0, n=graph.n
+        ) as local:
+            host, port = local.router_address
+            with SummaryServiceClient(host, port) as client:
+                with pytest.raises(
+                    ServiceError, match="replicas=1 topology"
+                ):
+                    client.ingest([["+", 0, 1]])

@@ -1,0 +1,170 @@
+"""Tests for the write-ahead log: framing, rotation, torn tails."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.durability.wal import (
+    WalError,
+    WalRecord,
+    WriteAheadLog,
+    encode_record,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _mutations(*pairs):
+    return [("+", u, v) for u, v in pairs]
+
+
+class TestFraming:
+    def test_roundtrip_through_disk(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync="never") as wal:
+            lsn1 = wal.append("s", 0, [("+", 1, 2), ("-", 3, 4)])
+            lsn2 = wal.append("t", 7, [("+", 0, 5)])
+            assert (lsn1, lsn2) == (1, 2)
+            records = wal.records()
+        assert [r.lsn for r in records] == [1, 2]
+        assert records[0].stream == "s"
+        assert records[0].seq == 0
+        assert records[0].mutations == (("+", 1, 2), ("-", 3, 4))
+        assert records[1] == WalRecord(
+            lsn=2, stream="t", seq=7, mutations=(("+", 0, 5),)
+        )
+
+    def test_lsn_continues_across_reopen(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync="never") as wal:
+            wal.append("s", 0, _mutations((1, 2)))
+        with WriteAheadLog(tmp_path, fsync="never") as wal:
+            assert wal.last_lsn == 1
+            assert wal.append("s", 1, _mutations((2, 3))) == 2
+
+    def test_explicit_lsn_must_advance(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync="never") as wal:
+            wal.append("s", 0, _mutations((1, 2)), lsn=5)
+            with pytest.raises(WalError, match="not past"):
+                wal.append("s", 1, _mutations((2, 3)), lsn=5)
+            assert wal.append("s", 1, _mutations((2, 3))) == 6
+
+    def test_append_after_close_raises(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="never")
+        wal.close()
+        with pytest.raises(WalError, match="closed"):
+            wal.append("s", 0, _mutations((1, 2)))
+
+    def test_records_after_lsn_cursor(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync="never") as wal:
+            for i in range(5):
+                wal.append("s", i, _mutations((i, i + 1)))
+            tail = wal.records(after_lsn=3)
+        assert [r.lsn for r in tail] == [4, 5]
+
+    def test_bad_policy_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="fsync policy"):
+            WriteAheadLog(tmp_path, fsync="sometimes")
+
+
+class TestRotation:
+    def test_segments_rotate_and_truncate(self, tmp_path):
+        frame = len(encode_record(
+            WalRecord(lsn=1, stream="s", seq=0, mutations=(("+", 1, 2),))
+        ))
+        with WriteAheadLog(
+            tmp_path, fsync="never", segment_bytes=frame * 2
+        ) as wal:
+            for i in range(6):
+                wal.append("s", i, _mutations((1, 2)))
+            segments = sorted(p.name for p in tmp_path.glob("wal-*.log"))
+            assert len(segments) == 3
+            # Checkpoint at lsn=4: the first two segments (lsns 1-4)
+            # are redundant; the active one stays.
+            assert wal.truncate_through(4) == 2
+            assert [r.lsn for r in wal.records(after_lsn=4)] == [5, 6]
+            # New appends continue seamlessly after compaction.
+            assert wal.append("s", 6, _mutations((1, 2))) == 7
+
+    def test_active_segment_never_truncated(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync="never") as wal:
+            wal.append("s", 0, _mutations((1, 2)))
+            assert wal.truncate_through(10) == 0
+            assert wal.records() != []
+
+
+class TestTornTail:
+    def _write_three(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync="never") as wal:
+            for i in range(3):
+                wal.append("s", i, _mutations((i, i + 1)))
+
+    def test_garbage_tail_repaired_on_open(self, tmp_path):
+        self._write_three(tmp_path)
+        segment = next(tmp_path.glob("wal-*.log"))
+        clean_size = segment.stat().st_size
+        with segment.open("ab") as handle:
+            handle.write(b"\xff\x13garbage")
+        registry = MetricsRegistry()
+        with WriteAheadLog(
+            tmp_path, fsync="never", registry=registry
+        ) as wal:
+            assert wal.last_lsn == 3
+            assert [r.lsn for r in wal.records()] == [1, 2, 3]
+            # Appends land at a clean boundary after the repair.
+            assert wal.append("s", 3, _mutations((7, 8))) == 4
+        assert segment.stat().st_size > clean_size  # repaired + appended
+        assert (
+            registry.counter(
+                "repro_wal_records_total", event="torn_dropped"
+            ).value
+            == 1
+        )
+
+    def test_truncated_record_dropped(self, tmp_path):
+        self._write_three(tmp_path)
+        segment = next(tmp_path.glob("wal-*.log"))
+        data = segment.read_bytes()
+        segment.write_bytes(data[:-3])  # tear the last record
+        with WriteAheadLog(tmp_path, fsync="never") as wal:
+            assert wal.last_lsn == 2
+            assert [r.lsn for r in wal.records()] == [1, 2]
+
+    def test_corrupt_mid_segment_drops_later_segments(self, tmp_path):
+        frame = len(encode_record(
+            WalRecord(lsn=1, stream="s", seq=0, mutations=(("+", 0, 1),))
+        ))
+        with WriteAheadLog(
+            tmp_path, fsync="never", segment_bytes=frame * 2
+        ) as wal:
+            for i in range(6):
+                wal.append("s", i, _mutations((0, 1)))
+        segments = sorted(tmp_path.glob("wal-*.log"))
+        assert len(segments) >= 2
+        # Flip a byte inside the FIRST segment's second record: every
+        # later segment is no longer trustworthy and must go.
+        data = bytearray(segments[0].read_bytes())
+        data[frame + 5] ^= 0xFF
+        segments[0].write_bytes(bytes(data))
+        with WriteAheadLog(tmp_path, fsync="never") as wal:
+            assert wal.last_lsn == 1
+            assert [r.lsn for r in wal.records()] == [1]
+        assert len(list(tmp_path.glob("wal-*.log"))) == 1
+
+
+class TestFsyncPolicies:
+    @pytest.mark.parametrize("policy", ["always", "interval", "never"])
+    def test_all_policies_durable_after_close(self, tmp_path, policy):
+        directory = tmp_path / policy
+        with WriteAheadLog(
+            directory, fsync=policy, fsync_interval=3
+        ) as wal:
+            for i in range(7):
+                wal.append("s", i, _mutations((i, i + 1)))
+        with WriteAheadLog(directory, fsync="never") as wal:
+            assert wal.last_lsn == 7
+
+    def test_always_policy_records_fsync_latency(self, tmp_path):
+        registry = MetricsRegistry()
+        with WriteAheadLog(
+            tmp_path, fsync="always", registry=registry
+        ) as wal:
+            wal.append("s", 0, _mutations((1, 2)))
+        assert registry.histogram("repro_wal_fsync_seconds").count >= 1

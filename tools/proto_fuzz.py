@@ -4,7 +4,8 @@ Throws a battery of adversarial frames at a live
 :class:`~repro.service.server.SummaryQueryServer` — random bytes,
 invalid UTF-8, JSON non-objects, truncated JSON, oversized frames
 (terminated and unterminated), unknown ops, wrong-typed and
-out-of-range parameters, malformed batches, unechoable ids — mixed
+out-of-range parameters, malformed batches, unechoable ids,
+malformed/duplicate/rewound/oversized ``ingest`` mutations — mixed
 with valid requests, and asserts the hardening contract:
 
 * **no crash, no hang** — every frame is answered with exactly one
@@ -44,11 +45,14 @@ from repro.core.encoding import encode  # noqa: E402
 from repro.core.supernodes import SuperNodePartition  # noqa: E402
 from repro.graph import generators  # noqa: E402
 from repro.service import (  # noqa: E402
-    QueryEngine,
     SummaryQueryServer,
     SummaryServiceClient,
 )
-from repro.service.protocol import MAX_LINE_BYTES  # noqa: E402
+from repro.service.protocol import (  # noqa: E402
+    MAX_INGEST_MUTATIONS,
+    MAX_LINE_BYTES,
+    MAX_STREAM_LEN,
+)
 
 #: Read deadline per response; a frame that cannot be answered within
 #: this window counts as a hang.
@@ -208,6 +212,88 @@ def _telemetry_bad_field(rng: random.Random) -> bytes:
     )
 
 
+def _ingest_malformed(rng: random.Random) -> bytes:
+    request = rng.choice(
+        [
+            # field-level type confusion
+            {"id": 30, "op": "ingest", "seq": 0, "mutations": [["+", 0, 1]]},
+            {"id": 30, "op": "ingest", "stream": 7, "seq": 0,
+             "mutations": [["+", 0, 1]]},
+            {"id": 30, "op": "ingest", "stream": "s", "seq": "zero",
+             "mutations": [["+", 0, 1]]},
+            {"id": 30, "op": "ingest", "stream": "s", "seq": True,
+             "mutations": [["+", 0, 1]]},
+            {"id": 30, "op": "ingest", "stream": "s", "seq": -1,
+             "mutations": [["+", 0, 1]]},
+            {"id": 30, "op": "ingest", "stream": "s", "seq": 0,
+             "mutations": "not-a-list"},
+            {"id": 30, "op": "ingest", "stream": "s", "seq": 0,
+             "mutations": []},
+            # mutation-level garbage
+            {"id": 30, "op": "ingest", "stream": "s", "seq": 0,
+             "mutations": [["+", 0]]},
+            {"id": 30, "op": "ingest", "stream": "s", "seq": 0,
+             "mutations": [["*", 0, 1]]},
+            {"id": 30, "op": "ingest", "stream": "s", "seq": 0,
+             "mutations": [["+", 0.5, 1]]},
+            {"id": 30, "op": "ingest", "stream": "s", "seq": 0,
+             "mutations": [["+", 0, None]]},
+            {"id": 30, "op": "ingest", "stream": "s", "seq": 0,
+             "mutations": [["+", 3, 3]]},  # self-loop
+            {"id": 30, "op": "ingest", "stream": "s", "seq": 0,
+             "mutations": [["+", 0, 10**9]]},  # out of range
+            {"id": 30, "op": "ingest", "stream": "s", "seq": 0,
+             "mutations": [{"op": "+", "u": 0, "v": 1}]},
+        ]
+    )
+    return json.dumps(request).encode() + b"\n"
+
+
+def _ingest_oversized(rng: random.Random) -> bytes:
+    request = rng.choice(
+        [
+            {"id": 31, "op": "ingest", "stream": "s", "seq": 0,
+             "mutations": [["+", 0, 1]] * (MAX_INGEST_MUTATIONS + 1)},
+            {"id": 31, "op": "ingest", "stream": "s" * (MAX_STREAM_LEN + 1),
+             "seq": 0, "mutations": [["+", 0, 1]]},
+        ]
+    )
+    return json.dumps(request).encode() + b"\n"
+
+
+def _ingest_seq_replay(rng: random.Random) -> bytes:
+    """Duplicate / rewound / fresh sequence numbers on a shared
+    stream: any mix must come back structured (ok + dedup, or a
+    ``bad_request`` rewind) and never crash the server."""
+    u = rng.randrange(59)
+    request = {
+        "id": 32,
+        "op": "ingest",
+        "stream": rng.choice(["fuzz-a", "fuzz-b"]),
+        "seq": rng.randrange(6),
+        "mutations": [[rng.choice(["+", "-"]), u, u + 1]],
+    }
+    return json.dumps(request).encode() + b"\n"
+
+
+def _ingest_with_trace(rng: random.Random) -> bytes:
+    """Well-formed ingest mixed with trace context; whether it lands
+    or is rejected (edge already present / absent, stale seq) depends
+    on accumulated server state — it must always answer structured."""
+    u = rng.randrange(59)
+    request = {
+        "id": 33,
+        "op": "ingest",
+        "stream": "fuzz-traced",
+        "seq": rng.randrange(50),
+        "mutations": [
+            [rng.choice(["+", "-"]), u, rng.randrange(u + 1, 60)]
+        ],
+        "trace": {"id": "0123456789abcdef", "span": "f" * 16},
+    }
+    return json.dumps(request).encode() + b"\n"
+
+
 def _valid(rng: random.Random) -> bytes:
     request = rng.choice(
         [
@@ -226,8 +312,10 @@ def _valid(rng: random.Random) -> bytes:
     return json.dumps(request).encode() + b"\n"
 
 
-#: (name, generator, expect_ok) — expect_ok marks frames whose answer
-#: must be ``ok: true``; everything else must be a structured error.
+#: (name, generator, expect_ok) — ``True``: the answer must be
+#: ``ok: true``; ``False``: it must be a structured error; ``None``:
+#: either is acceptable (state-dependent outcome) but it must still
+#: be exactly one structured, non-``internal`` response.
 CATEGORIES = [
     ("random_bytes", _rand_bytes, False),
     ("invalid_utf8", _invalid_utf8, False),
@@ -246,6 +334,10 @@ CATEGORIES = [
     ("trace_context_malformed", _trace_context_malformed, False),
     ("telemetry_valid", _telemetry_valid, True),
     ("telemetry_bad_field", _telemetry_bad_field, False),
+    ("ingest_malformed", _ingest_malformed, False),
+    ("ingest_oversized", _ingest_oversized, False),
+    ("ingest_seq_replay", _ingest_seq_replay, None),
+    ("ingest_with_trace", _ingest_with_trace, None),
     ("valid", _valid, True),
 ]
 
@@ -270,7 +362,9 @@ def _exchange(host: str, port: int, frame: bytes) -> bytes | None:
         return buffer.split(b"\n", 1)[0]
 
 
-def _check_response(name: str, line: bytes | None, expect_ok: bool) -> str:
+def _check_response(
+    name: str, line: bytes | None, expect_ok: bool | None
+) -> str:
     """Validate one response; returns a failure description or ''."""
     if line is None:
         return f"{name}: connection closed without a structured response"
@@ -280,9 +374,11 @@ def _check_response(name: str, line: bytes | None, expect_ok: bool) -> str:
         return f"{name}: response is not JSON: {line[:120]!r}"
     if not isinstance(message, dict):
         return f"{name}: response is not an object: {line[:120]!r}"
-    if expect_ok:
+    if expect_ok is True:
         if message.get("ok") is not True:
             return f"{name}: valid frame rejected: {line[:200]!r}"
+        return ""
+    if expect_ok is None and message.get("ok") is True:
         return ""
     if message.get("ok") is not False:
         return f"{name}: malformed frame accepted: {line[:200]!r}"
@@ -298,9 +394,17 @@ def _check_response(name: str, line: bytes | None, expect_ok: bool) -> str:
 
 
 def _build_server() -> SummaryQueryServer:
+    # A *mutable* engine (no WAL: the fuzz target is the wire layer,
+    # not the disk) so the ingest categories hit the real write path.
+    from repro.dynamic.summary import DynamicGraphSummary
+    from repro.service.ingest import MutableQueryEngine
+
     graph = generators.planted_partition(60, 4, 0.5, 0.05, seed=0)
     representation = encode(SuperNodePartition(graph))
-    engine = QueryEngine(representation, cache_size=256)
+    engine = MutableQueryEngine(
+        DynamicGraphSummary.from_representation(representation),
+        cache_size=256,
+    )
     server = SummaryQueryServer(engine, port=0, workers=4)
     server.start()
     return server
