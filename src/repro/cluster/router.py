@@ -421,6 +421,10 @@ class RouterEngine:
         self.n = spec.n
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self._cache = LRUCache(cache_size)
+        #: Serializes two-phase ingest fan-outs: no sibling batch may
+        #: commit between another batch's prepare and commit rounds,
+        #: or the prepare's validation verdict could go stale.
+        self._ingest_lock = threading.Lock()
         policy = retry_policy if retry_policy is not None else RetryPolicy(
             max_attempts=2, base_delay=0.05, max_delay=0.5
         )
@@ -688,11 +692,18 @@ class RouterEngine:
 
         Every mutation goes to the owner of *each* endpoint (possibly
         two shards) so shard artifacts keep their 1-hop-closure
-        invariant and ``neighbors`` answers stay exact.  All sub-calls
-        carry the client's ``stream``/``seq``, making the whole fan-out
-        idempotent per shard: a retry after a partial failure re-sends
-        everywhere, already-applied shards dedup, and the batch
-        converges to applied-exactly-once.
+        invariant and ``neighbors`` answers stay exact.  The fan-out is
+        **two-phase**: a prepare round sends every sub-batch with
+        ``dry_run`` so each involved shard validates it against its own
+        state, and only when all shards accept does the commit round
+        apply — a batch that any shard would reject (say, an insert of
+        an edge that already exists) is refused *before* anything is
+        applied anywhere, so a semantically invalid batch can never
+        leave a shared edge present on one endpoint-owner but absent on
+        the other.  All sub-calls carry the client's ``stream``/``seq``,
+        making the commit round idempotent per shard: a retry after a
+        partial transport failure re-sends everywhere, already-applied
+        shards dedup, and the batch converges to applied-exactly-once.
         """
         if self.spec.replicas > 1:
             # A mutation lands on whichever replica the sweep picks;
@@ -707,6 +718,9 @@ class RouterEngine:
         stream = request.get("stream")
         seq = request.get("seq")
         mutations = request.get("mutations")
+        client_dry_run = request.get("dry_run", False)
+        if not isinstance(client_dry_run, bool):
+            raise QueryError("bad_request", "'dry_run' must be a boolean")
         if not isinstance(stream, str) or not isinstance(seq, int) or (
             isinstance(seq, bool)
         ):
@@ -739,30 +753,50 @@ class RouterEngine:
         parent_span = get_tracer().current()
         shard_results: dict[str, dict] = {}
 
-        def forward(shard: int, subset: list) -> None:
+        def forward(shard: int, subset: list, dry_run: bool) -> None:
+            params = {"stream": stream, "seq": seq, "mutations": subset}
+            if dry_run:
+                params["dry_run"] = True
             result = self._shard_request(
                 self._shards[shard],
                 "ingest",
                 parent=parent_span,
-                stream=stream,
-                seq=seq,
-                mutations=subset,
+                **params,
             )
-            shard_results[str(shard)] = self._coerce_service_error(
-                result, dict, "ingest"
+            if not dry_run:
+                shard_results[str(shard)] = self._coerce_service_error(
+                    result, dict, "ingest"
+                )
+
+        def fan_out(dry_run: bool) -> None:
+            self._parallel(
+                [
+                    (lambda s=shard, ms=subset: forward(s, ms, dry_run))
+                    for shard, subset in per_shard.items()
+                ]
             )
 
-        # _parallel re-raises the first failure after all shards are
-        # attempted; a partial application is safe to retry (dedup).
-        self._parallel(
-            [
-                (lambda s=shard, ms=subset: forward(s, ms))
-                for shard, subset in per_shard.items()
-            ]
-        )
-        for __, u, v in mutations:
-            self._cache.invalidate(u)
-            self._cache.invalidate(v)
+        with self._ingest_lock:
+            # Prepare: every involved shard validates its sub-batch
+            # (already-applied shards answer from their dedup cache).
+            # A rejection here aborts the whole batch with nothing
+            # applied on any shard.
+            fan_out(dry_run=True)
+            if client_dry_run:
+                # The client asked for validation only — the prepare
+                # round *is* the answer; nothing commits anywhere.
+                return {"validated": len(mutations)}
+            # Commit: _parallel re-raises the first failure only after
+            # every shard was attempted, so by the time an error
+            # surfaces any shard may have applied — the dirty-node
+            # cache entries are dropped even on that path, and a retry
+            # (same stream/seq) converges via per-shard dedup.
+            try:
+                fan_out(dry_run=False)
+            finally:
+                for __, u, v in mutations:
+                    self._cache.invalidate(u)
+                    self._cache.invalidate(v)
         self.metrics.registry.counter(
             "repro_ingest_applied_total"
         ).inc(len(mutations))

@@ -43,7 +43,10 @@ __all__ = [
     "replay_tail",
 ]
 
-STATE_VERSION = 1
+#: v2 added the per-stream batch fingerprint to dedup rows
+#: (``[stream, seq, mutations, result]``), so a recovered server keeps
+#: rejecting a reused sequence number that carries different mutations.
+STATE_VERSION = 2
 
 
 @dataclass
@@ -118,8 +121,10 @@ def engine_state(engine) -> dict:
         "epoch": engine.epoch,
         "applied_lsn": engine.applied_lsn,
         "dedup": [
-            [stream, seq, dict(result)]
-            for stream, (seq, result) in sorted(engine._dedup.items())
+            [stream, seq, [list(item) for item in batch], dict(result)]
+            for stream, (seq, batch, result) in sorted(
+                engine._dedup.items()
+            )
         ],
     }
 
@@ -150,7 +155,9 @@ def recover_engine(
     base_cost = None
     epoch = 0
     applied_lsn = 0
-    dedup: dict[str, tuple[int, dict]] = {}
+    dedup: dict[
+        str, tuple[int, tuple[tuple[str, int, int], ...], dict]
+    ] = {}
     if checkpoint is not None:
         state = checkpoint.state
         if state.get("v") != STATE_VERSION:
@@ -162,8 +169,14 @@ def recover_engine(
         epoch = int(state["epoch"])
         applied_lsn = int(state["applied_lsn"])
         dedup = {
-            str(stream): (int(seq), dict(result))
-            for stream, seq, result in state.get("dedup", [])
+            str(stream): (
+                int(seq),
+                tuple(
+                    (str(op), int(u), int(v)) for op, u, v in batch
+                ),
+                dict(result),
+            )
+            for stream, seq, batch, result in state.get("dedup", [])
         }
         get_registry().counter(
             "repro_recovery_total", event="checkpoint_loaded"

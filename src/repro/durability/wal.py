@@ -216,6 +216,21 @@ class WriteAheadLog:
         self._open_segments()
 
     # -- lifecycle -------------------------------------------------------
+    def _fsync_directory(self) -> None:
+        """Make segment create/unlink durable, not just their bytes:
+        fsyncing a file persists its contents, but the *directory
+        entry* of a freshly created segment (or the removal of an
+        unlinked one) lives in the parent directory and needs its own
+        fsync to survive a power failure or OS crash."""
+        try:
+            fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:
+            return  # platform without directory fds (e.g. Windows)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
     def _segment_path(self, index: int) -> Path:
         return self.directory / f"wal-{index:08d}.log"
 
@@ -258,6 +273,9 @@ class WriteAheadLog:
         path = self._segment_path(self._active_index)
         self._segment_last_lsn.setdefault(self._active_index, -1)
         self._file = path.open("ab")
+        # The open above may have created the first segment, and the
+        # torn-tail repair may have unlinked later ones.
+        self._fsync_directory()
 
     def close(self) -> None:
         with self._lock:
@@ -330,6 +348,9 @@ class WriteAheadLog:
         self._active_index += 1
         self._segment_last_lsn[self._active_index] = -1
         self._file = self._segment_path(self._active_index).open("ab")
+        # Persist the new segment's directory entry before any record
+        # is acknowledged from it.
+        self._fsync_directory()
         self._count_segments("rotated")
 
     def _sync_locked(self, force: bool = False) -> None:
@@ -399,6 +420,8 @@ class WriteAheadLog:
                     del self._segment_last_lsn[index]
                     removed += 1
                     self._count_segments("truncated")
+            if removed:
+                self._fsync_directory()
         return removed
 
     # -- metrics ---------------------------------------------------------

@@ -302,11 +302,18 @@ class SummaryServiceClient:
 
         ``mutations`` is a list of ``["+"|"-", u, v]`` items.  The
         client manages its own stream identity: a random stream id is
-        minted on first use and ``seq`` auto-increments per
-        acknowledged batch, so retries (transport failures under a
-        retry policy) are deduplicated server-side.  Pass explicit
-        ``stream``/``seq`` to drive the sequencing yourself (e.g. to
-        resume a stream after a client restart).
+        minted on first use and each call consumes one ``seq`` —
+        *including* calls that fail.  A failed request may still have
+        been recorded under its sequence number somewhere (a cluster
+        shard that applied its sub-batch before a sibling failed, an
+        ack lost in transit), so reusing the number for a *different*
+        batch would let that server dedup — i.e. silently drop — the
+        new mutations; burning the number instead is always safe
+        because servers accept sequence gaps.  Retries *within* one
+        call (transport failures under a retry policy) resend the
+        original ``seq`` and are deduplicated server-side.  Pass
+        explicit ``stream``/``seq`` to drive the sequencing yourself
+        (e.g. to resume a stream after a client restart).
 
         Returns the result dict ``{"applied", "lsn"[, "duplicate"]}``.
         """
@@ -316,15 +323,12 @@ class SummaryServiceClient:
 
                 self._ingest_stream = f"c-{uuid.uuid4().hex[:16]}"
             stream = self._ingest_stream
-        auto = seq is None
-        if auto:
+        if seq is None:
             seq = self._ingest_seq
-        result = self.request(
+            self._ingest_seq += 1
+        return self.request(
             "ingest", stream=stream, seq=seq, mutations=mutations
         )
-        if auto:
-            self._ingest_seq += 1
-        return result
 
     def shutdown_server(self) -> str:
         """Ask the server to stop gracefully."""

@@ -20,11 +20,15 @@ partially-replayed state flagged ``"degraded": true`` — the
 established degraded-mode convention — instead of being refused.
 
 **Idempotence** — each ingest names a client ``stream`` and a
-per-stream ``seq``.  The server remembers the last sequence (and its
-result) per stream: a repeat of the last ``seq`` returns the cached
-result marked ``"duplicate": true`` without re-applying (the client
-retry path resends the *original* sequence number after a transport
-error), and a rewound sequence is a structured ``bad_request``.
+per-stream ``seq``.  The server remembers the last sequence (plus the
+batch content and its result) per stream: a repeat of the last ``seq``
+with the *same* mutations returns the cached result marked
+``"duplicate": true`` without re-applying (the client retry path
+resends the *original* sequence number after a transport error), a
+repeat with *different* mutations is a structured ``bad_request``
+(dedup identity is sequence + content, so a reused sequence number can
+never silently swallow a new batch), and a rewound sequence is a
+structured ``bad_request``.
 
 **Backpressure** — at most ``max_inflight`` ingest requests may be
 past admission at once, and an optional
@@ -37,7 +41,11 @@ parked until restart.
 **Atomicity of a batch** — the batch is validated against the live
 state (plus its own earlier mutations) before the WAL append, so a
 logged batch always applies cleanly; a rejected batch changes
-nothing.
+nothing.  A ``dry_run`` ingest stops after that validation — nothing
+is logged, applied, or remembered — which is the prepare half of the
+cluster router's two-phase fan-out: every involved shard validates
+its sub-batch first, and only when all accept does the commit round
+run (see :meth:`repro.cluster.router.RouterEngine._ingest`).
 """
 
 from __future__ import annotations
@@ -102,8 +110,12 @@ class MutableQueryEngine(QueryEngine):
         self.epoch = 0
         #: LSN of the newest applied WAL record.
         self.applied_lsn = wal.last_lsn if wal is not None else 0
-        #: stream id -> (last seq, its result dict).
-        self._dedup: dict[str, tuple[int, dict]] = {}
+        #: stream id -> (last seq, its mutation tuple, its result dict).
+        #: The mutation tuple is the dedup fingerprint: a replay of the
+        #: last seq must carry the same batch to count as a duplicate.
+        self._dedup: dict[
+            str, tuple[int, tuple[tuple[str, int, int], ...], dict]
+        ] = {}
         #: True while crash recovery replays the WAL tail.
         self.replaying = False
         self._rep_snapshot: tuple[int, object] | None = None
@@ -205,20 +217,30 @@ class MutableQueryEngine(QueryEngine):
                 request.get("stream"),
                 request.get("seq"),
                 request.get("mutations"),
+                dry_run=request.get("dry_run", False),
             )
         return super()._dispatch(op, request, deadline, degraded_sink)
 
     # -- the ingest op ---------------------------------------------------
-    def ingest(self, stream, seq, mutations) -> dict:
+    def ingest(self, stream, seq, mutations, *, dry_run=False) -> dict:
         """Validate, log, apply, and acknowledge one mutation batch.
 
         Returns ``{"applied", "lsn"}`` plus ``"duplicate": true`` for
         a deduplicated retry; the surrounding response carries the
-        post-commit ``epoch``.  Raises :class:`QueryError` with kind
-        ``overloaded`` (backpressure, replay in progress) or
-        ``bad_request`` (malformed or inapplicable batch, rewound
-        sequence).
+        post-commit ``epoch``.  With ``dry_run`` the batch is only
+        validated — ``{"validated": <count>}`` comes back, no WAL
+        append, no state change, no dedup entry — except that a
+        duplicate of the last acknowledged (seq, batch) still answers
+        from the dedup cache, so a prepare round over an
+        already-applied sub-batch reports acceptance rather than
+        failing validation against the post-apply state.  Raises
+        :class:`QueryError` with kind ``overloaded`` (backpressure,
+        replay in progress) or ``bad_request`` (malformed or
+        inapplicable batch, rewound sequence, or a reused sequence
+        carrying different mutations).
         """
+        if not isinstance(dry_run, bool):
+            raise QueryError("bad_request", "'dry_run' must be a boolean")
         self._admit()
         try:
             if self.replaying:
@@ -230,8 +252,16 @@ class MutableQueryEngine(QueryEngine):
             with self._state_lock:
                 last = self._dedup.get(stream)
                 if last is not None:
-                    last_seq, last_result = last
+                    last_seq, last_batch, last_result = last
                     if seq == last_seq:
+                        if tuple(parsed) != last_batch:
+                            self._count("seq_reused")
+                            raise QueryError(
+                                "bad_request",
+                                f"stream {stream!r} sequence {seq} reused "
+                                "with different mutations; a retry must "
+                                "resend the original batch",
+                            )
                         self.metrics.registry.counter(
                             "repro_ingest_duplicates_total"
                         ).inc()
@@ -244,6 +274,8 @@ class MutableQueryEngine(QueryEngine):
                             f"{seq}, last acknowledged {last_seq}",
                         )
                 self._dry_run(parsed)
+                if dry_run:
+                    return {"validated": len(parsed)}
                 if self._wal is not None:
                     lsn = self._wal.append(stream, seq, parsed)
                 else:
@@ -386,7 +418,7 @@ class MutableQueryEngine(QueryEngine):
         self._pagerank_scores = None
         self._rep_snapshot = None
         result = {"applied": len(parsed), "lsn": lsn}
-        self._dedup[stream] = (seq, result)
+        self._dedup[stream] = (seq, tuple(parsed), result)
         self.metrics.registry.counter(
             "repro_ingest_applied_total"
         ).inc(len(parsed))

@@ -17,7 +17,8 @@ stats      —                           metrics snapshot
 telemetry  —                           ``{"instance", "pid", "registry"}``
 ping       —                           ``"pong"``
 ingest     ``stream``, ``seq``,        ``{"applied", "lsn"[, "duplicate"]}``
-           ``mutations``
+           ``mutations``,              (``{"validated"}`` under ``dry_run``)
+           [``dry_run``]
 shutdown   —                           ``"shutting down"`` (server then stops)
 ========== =========================== ==========================================
 
@@ -25,7 +26,10 @@ shutdown   —                           ``"shutting down"`` (server then stops)
 streams edge mutations: ``mutations`` is a list of up to
 :data:`MAX_INGEST_MUTATIONS` items ``["+"|"-", u, v]``; ``stream`` is
 a client-chosen id and ``seq`` its per-stream sequence number, which
-makes retries idempotent (the server dedupes).
+makes retries idempotent (the server dedupes on sequence *and* batch
+content).  The optional boolean ``dry_run`` validates the batch
+without logging or applying it — the prepare half of the cluster
+router's two-phase fan-out.
 
 Every op additionally accepts an optional ``trace`` field —
 ``{"id": <trace id>, "span": <parent span id>}`` (``span`` optional)
@@ -128,7 +132,7 @@ _ALLOWED_FIELDS: dict[str, frozenset[str]] = {
     "telemetry": frozenset({"id", "op", "trace"}),
     "ping": frozenset({"id", "op", "trace"}),
     "ingest": frozenset(
-        {"id", "op", "stream", "seq", "mutations", "trace"}
+        {"id", "op", "stream", "seq", "mutations", "dry_run", "trace"}
     ),
     "shutdown": frozenset({"id", "op", "trace"}),
 }
@@ -266,6 +270,8 @@ def _check_ingest_fields(request: dict) -> None:
     seq = request.get("seq")
     if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
         raise ProtocolError("'seq' must be a non-negative integer")
+    if not isinstance(request.get("dry_run", False), bool):
+        raise ProtocolError("'dry_run' must be a boolean")
     mutations = request.get("mutations")
     if not isinstance(mutations, list) or not mutations:
         raise ProtocolError("'mutations' must be a non-empty list")

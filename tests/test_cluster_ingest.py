@@ -47,6 +47,28 @@ def _free_cross_shard_edge(cluster, graph):
     raise AssertionError("no cross-shard free pair")
 
 
+def _existing_edge_on_shard(cluster, graph, shard):
+    """An edge of the base graph wholly owned by ``shard``."""
+    spec = cluster.spec
+    for u, v in graph.edges():
+        if spec.owner(u) == shard and spec.owner(v) == shard:
+            return u, v
+    raise AssertionError(f"no intra-shard edge on shard {shard}")
+
+
+def _free_pair_on_shard(cluster, graph, shard):
+    """A non-edge whose endpoints are both owned by ``shard``."""
+    spec = cluster.spec
+    edges = set(graph.edges())
+    nodes = [n for n in range(graph.n) if spec.owner(n) == shard]
+    for i, u in enumerate(nodes):
+        for v in nodes[i + 1:]:
+            pair = (u, v) if u < v else (v, u)
+            if pair not in edges:
+                return pair
+    raise AssertionError(f"no intra-shard free pair on shard {shard}")
+
+
 class TestRouterIngest:
     def test_cross_shard_insert_lands_on_both_owners(
         self, cluster, graph
@@ -89,6 +111,53 @@ class TestRouterIngest:
                 shard.get("duplicate") is True
                 for shard in retry["shards"].values()
             )
+
+    def test_batch_invalid_on_one_shard_applies_nowhere(
+        self, cluster, graph
+    ):
+        """Cross-shard atomicity: the prepare round rejects a batch
+        that any shard finds inapplicable *before* anything commits,
+        so the shard whose sub-batch was valid must not have applied
+        it either."""
+        # An already-present edge wholly on shard 0 poisons that
+        # shard's sub-batch; a free pair wholly on shard 1 would have
+        # applied cleanly there.
+        a, b = _existing_edge_on_shard(cluster, graph, 0)
+        w, x = _free_pair_on_shard(cluster, graph, 1)
+        host, port = cluster.router_address
+        with SummaryServiceClient(host, port) as client:
+            with pytest.raises(ServiceError, match="already exists"):
+                client.ingest([["+", w, x], ["+", a, b]])
+            assert x not in client.neighbors(w)
+            # Shard 1 never applied (w, x) during the rejected batch:
+            # inserting it now at a fresh seq succeeds rather than
+            # failing with "already exists".
+            assert client.ingest([["+", w, x]])["applied"] == 1
+            assert x in client.neighbors(w)
+            client.ingest([["-", w, x]])
+
+    def test_client_dry_run_validates_without_committing(
+        self, cluster, graph
+    ):
+        """A client-sent ``dry_run`` through the router stops after
+        the prepare round: every shard validates, nothing commits."""
+        u, v = _free_cross_shard_edge(cluster, graph)
+        host, port = cluster.router_address
+        with SummaryServiceClient(host, port) as client:
+            result = client.request(
+                "ingest", stream="dr", seq=0,
+                mutations=[["+", u, v]], dry_run=True,
+            )
+            assert result == {"validated": 1}
+            assert v not in client.neighbors(u)
+            # An inapplicable dry run is rejected the same way a real
+            # ingest would be.
+            a, b = _existing_edge_on_shard(cluster, graph, 0)
+            with pytest.raises(ServiceError, match="already exists"):
+                client.request(
+                    "ingest", stream="dr", seq=0,
+                    mutations=[["+", a, b]], dry_run=True,
+                )
 
     def test_malformed_ingest_rejected_before_fanout(self, cluster):
         host, port = cluster.router_address

@@ -187,6 +187,26 @@ class TestRecovery:
         assert engine2.representation == engine.representation
         wal2.close()
 
+    def test_dedup_fingerprint_survives_recovery(self, rep, tmp_path):
+        """The checkpointed dedup map carries the batch content, so a
+        recovered server still rejects the last seq replayed with
+        *different* mutations (and still dedups the true retry)."""
+        from repro.service.engine import QueryError
+
+        store = CheckpointStore(tmp_path / "ckpt")
+        engine = MutableQueryEngine(_dynamic(rep))
+        u, v = _free_edge(rep)
+        engine.ingest("s", 0, [["+", u, v]])
+        store.save(json.loads(json.dumps(engine_state(engine))), step=1)
+
+        engine2, pending, _ = recover_engine(
+            rep, None, store, engine_factory=MutableQueryEngine
+        )
+        assert pending == []
+        assert engine2.ingest("s", 0, [["+", u, v]])["duplicate"] is True
+        with pytest.raises(QueryError, match="reused with different"):
+            engine2.ingest("s", 0, [["-", u, v]])
+
     def test_checkpoint_version_gate(self, rep, tmp_path):
         store = CheckpointStore(tmp_path / "ckpt")
         engine = MutableQueryEngine(_dynamic(rep))

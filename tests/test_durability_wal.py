@@ -89,6 +89,35 @@ class TestRotation:
             assert wal.truncate_through(10) == 0
             assert wal.records() != []
 
+    def test_directory_fsynced_on_create_rotate_truncate(
+        self, tmp_path, monkeypatch
+    ):
+        """Segment create/unlink must be followed by an fsync of the
+        WAL directory — a file fsync alone does not persist the parent
+        directory entry, so a rotated segment could vanish wholesale
+        on power failure."""
+        calls = []
+        monkeypatch.setattr(
+            WriteAheadLog,
+            "_fsync_directory",
+            lambda self: calls.append("dir"),
+        )
+        frame = len(encode_record(
+            WalRecord(lsn=1, stream="s", seq=0, mutations=(("+", 1, 2),))
+        ))
+        with WriteAheadLog(
+            tmp_path, fsync="never", segment_bytes=frame * 2
+        ) as wal:
+            assert calls == ["dir"]  # open created wal-00000000.log
+            for i in range(3):
+                wal.append("s", i, _mutations((1, 2)))
+            assert calls == ["dir"] * 2  # one rotation
+            assert wal.truncate_through(2) == 1
+            assert calls == ["dir"] * 3  # one segment unlinked
+            # A no-op truncation syncs nothing.
+            assert wal.truncate_through(2) == 0
+            assert calls == ["dir"] * 3
+
 
 class TestTornTail:
     def _write_three(self, tmp_path):

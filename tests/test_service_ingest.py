@@ -100,6 +100,44 @@ class TestMutableEngine:
         assert again == {**first, "duplicate": True}
         assert engine.epoch == 1  # applied exactly once
 
+    def test_seq_reuse_with_different_batch_rejected(self, rep):
+        """Dedup identity is sequence *and* content: the last seq
+        replayed with different mutations must surface as an error,
+        not be silently swallowed by the dedup cache."""
+        engine = _engine(rep)
+        (u, v), (x, y) = _free_edges(rep, 2)
+        engine.ingest("s", 0, [["+", u, v]])
+        with pytest.raises(QueryError, match="reused with different"):
+            engine.ingest("s", 0, [["+", x, y]])
+        assert y not in engine.neighbors(x)
+        assert engine.epoch == 1
+        # The true retry still dedups.
+        again = engine.ingest("s", 0, [["+", u, v]])
+        assert again.get("duplicate") is True
+
+    def test_dry_run_validates_without_applying(self, rep):
+        engine = _engine(rep)
+        (u, v), = _free_edges(rep, 1)
+        assert engine.ingest(
+            "s", 0, [["+", u, v]], dry_run=True
+        ) == {"validated": 1}
+        # Nothing logged, applied, or remembered.
+        assert engine.epoch == 0
+        assert v not in engine.neighbors(u)
+        result = engine.ingest("s", 0, [["+", u, v]])
+        assert result == {"applied": 1, "lsn": 1}
+        assert result.get("duplicate") is None
+        # An inapplicable dry run is the same structured rejection as
+        # a real one.
+        with pytest.raises(QueryError, match="already exists"):
+            engine.ingest("s", 1, [["+", u, v]], dry_run=True)
+        # A dry run of the last acknowledged (seq, batch) answers from
+        # the dedup cache — the prepare round of an already-applied
+        # sub-batch reports acceptance, not a validation failure.
+        again = engine.ingest("s", 0, [["+", u, v]], dry_run=True)
+        assert again.get("duplicate") is True
+        assert engine.epoch == 1
+
     def test_rewound_seq_rejected(self, rep):
         engine = _engine(rep)
         (u, v), (x, y) = _free_edges(rep, 2)
@@ -237,12 +275,18 @@ class TestIngestProtocol:
             {"mutations": [["+", 1, -2]]},
             {"mutations": [["%", 1, 2]]},
             {"mutations": [["+", 1.5, 2]]},
+            {"dry_run": 1},
+            {"dry_run": "yes"},
             {"extra": 1},
         ],
     )
     def test_malformed_requests_rejected(self, overrides):
         with pytest.raises(ProtocolError):
             validate_request(self._request(**overrides))
+
+    def test_dry_run_field_accepted(self):
+        validate_request(self._request(dry_run=True))
+        validate_request(self._request(dry_run=False))
 
     def test_oversized_batch_rejected_at_the_boundary(self):
         batch = [["+", 1, 2]] * (MAX_INGEST_MUTATIONS + 1)
@@ -293,18 +337,27 @@ class TestIngestOverTheWire:
             assert raw["ok"] is False
             assert raw["epoch"] == 1
 
-    def test_client_auto_sequencing_not_advanced_on_rejection(
+    def test_client_auto_seq_consumed_even_on_rejection(
         self, rep, server
     ):
+        """A failed ingest burns its sequence number: after a cluster
+        partial failure the number may already be recorded on some
+        server, and reusing it for *different* mutations would let
+        that server dedup — silently drop — the new batch.  Servers
+        accept sequence gaps, so burning is always safe."""
         host, port = server.address
         with SummaryServiceClient(host, port) as client:
             (u, v), = _free_edges(rep, 1)
             client.ingest([["+", u, v]])
+            assert client._ingest_seq == 1
             with pytest.raises(ServiceError, match="already exists"):
                 client.ingest([["+", u, v]])
-            # The rejected batch did not consume a sequence number.
+            # The rejected batch consumed seq 1; the next batch lands
+            # at seq 2 and the server accepts the gap.
+            assert client._ingest_seq == 2
             result = client.ingest([["-", u, v]])
             assert result["applied"] == 1
+            assert client._ingest_seq == 3
 
     def test_lost_ack_retry_is_deduplicated(self, rep, server):
         """The satellite-4 contract: a retry after a lost *response*
