@@ -1,0 +1,44 @@
+"""Compactness drift under sustained mutations, maintenance on/off.
+
+Online ingest absorbs each edge mutation in O(1) by freezing the
+super-node structure, so a stream that changes the community structure
+makes the live summary drift: cost/m rises while a from-scratch
+re-summarization of the same graph stays compact.  This bench sweeps
+mutation count and reports three tracks over one deterministic
+rewiring script — ``drift`` (overlay only), ``maintained`` (periodic
+budgeted ``maintenance_pass`` ticks), and ``scratch`` (the floor) —
+asserting the PR's acceptance bar: after the full stream the
+maintained summary stays within 1.15x of from-scratch while the
+unmaintained overlay drifts past 1.5x.
+"""
+
+from _util import run_and_report
+
+from repro.bench import experiments
+from repro.bench.runner import quick_mode
+
+
+def test_compactness_drift(benchmark):
+    rows = run_and_report(
+        benchmark,
+        experiments.compactness_drift,
+        "compactness_drift",
+        columns=[
+            "mutations", "m", "scratch_cost_per_m",
+            "maintained_cost_per_m", "drift_cost_per_m",
+            "maintained_ratio", "drift_ratio", "maintenance_passes",
+        ],
+    )
+    assert rows, "no checkpoints recorded"
+    final = rows[-1]
+    # Maintenance holds the live summary near the from-scratch floor.
+    assert final["maintained_ratio"] <= 1.15, final
+    assert final["maintenance_passes"] > 0
+    for row in rows:
+        assert row["maintained_ratio"] <= row["drift_ratio"] + 1e-9
+    if not quick_mode():
+        # The full >=10k-mutation stream must show the unmaintained
+        # overlay demonstrably drifting (the quick smoke stream is too
+        # short to open a 1.5x gap).
+        assert final["mutations"] >= 10_000, final
+        assert final["drift_ratio"] >= 1.5, final

@@ -58,6 +58,7 @@ __all__ = [
     "neighbor_query_cost",
     "service_throughput",
     "mixed_ingest_throughput",
+    "compactness_drift",
     "small_codes",
     "large_codes",
     "medium_codes",
@@ -974,5 +975,165 @@ def mixed_ingest_throughput(
     return (
         f"Durable mixed read/write serving: {threads} closed-loop "
         f"clients, n={n}, WAL fsync=always",
+        rows,
+    )
+
+
+def compactness_drift(
+    total_mutations: int = 10_000,
+    checkpoints: int = 5,
+) -> tuple[str, list[dict]]:
+    """Compactness drift under sustained structured mutations, with
+    and without background maintenance.
+
+    The corrections overlay freezes the super-node structure, so a
+    mutation stream that *changes the community structure* (here: the
+    planted blocks are gradually rewired into an orthogonal residue
+    grouping) makes the live summary drift — corrections pile up
+    against a partition that no longer matches the graph.  Three
+    tracks over the same deterministic script:
+
+    * ``drift``      — overlay only (``rebuild_factor=None``);
+    * ``maintained`` — same engine plus periodic budgeted
+      :meth:`~repro.service.ingest.MutableQueryEngine.maintenance_pass`
+      ticks (the PR's background maintenance loop);
+    * ``scratch``    — from-scratch re-summarization of the current
+      graph at each checkpoint (the compactness floor).
+
+    Reported per checkpoint: live cost/m per track and each live
+    track's ratio to scratch.  The acceptance bar: after the full
+    stream the maintained ratio stays within 1.15x of scratch while
+    the unmaintained overlay drifts past 1.5x.
+    """
+    import random as _random
+
+    from repro.dynamic.maintenance import MaintenanceTask
+    from repro.dynamic.summary import DynamicGraphSummary
+    from repro.graph import generators
+    from repro.graph.graph import Graph
+    from repro.service.ingest import MutableQueryEngine
+
+    quick = quick_mode()
+    n = 200 if quick else 600
+    communities = 10 if quick else 20
+    if quick:
+        total_mutations = min(total_mutations, 600)
+        checkpoints = min(checkpoints, 3)
+    graph = generators.planted_partition(
+        n, communities, p_in=0.6, p_out=0.01, seed=5
+    )
+    T = bench_iterations()
+    factory = lambda: MagsDMSummarizer(iterations=T, seed=0)  # noqa: E731
+    rep = factory().summarize(graph).representation
+
+    # Deterministic rewiring script: the generator's communities are
+    # residue classes (u % communities), so the orthogonal target is
+    # consecutive blocks (u // block).  Delete edges crossing the
+    # block grouping, insert the blocks' missing intra pairs — the
+    # graph migrates to a structure orthogonal to the one the frozen
+    # partition encodes.
+    rng = _random.Random(17)
+    edges = set(graph.edges())
+    block = n // communities
+    new_community = lambda x: x // block  # noqa: E731
+    deletions = [
+        e for e in sorted(edges) if new_community(e[0]) != new_community(e[1])
+    ]
+    rng.shuffle(deletions)
+    insertions = []
+    for start in range(0, n, block):
+        members = range(start, min(start + block, n))
+        for u in members:
+            for v in members:
+                if u < v and (u, v) not in edges:
+                    insertions.append((u, v))
+    rng.shuffle(insertions)
+    script: list[tuple[str, int, int]] = []
+    while len(script) < total_mutations and (deletions or insertions):
+        if deletions:
+            script.append(("-", *deletions.pop()))
+        if insertions and len(script) < total_mutations:
+            script.append(("+", *insertions.pop()))
+    total_mutations = len(script)
+
+    drift_engine = MutableQueryEngine(
+        DynamicGraphSummary.from_representation(rep),
+        cache_size=n,
+    )
+    maintained_engine = MutableQueryEngine(
+        DynamicGraphSummary.from_representation(
+            rep, summarizer_factory=factory
+        ),
+        cache_size=n,
+    )
+    task = MaintenanceTask(
+        maintained_engine,
+        interval=60.0,  # driven via run_once, never started
+        max_supernodes=48,
+        max_passes=64,
+    )
+
+    batch = 25
+    maintenance_every = 10 if quick else 20  # batches between ticks
+    step = max(1, total_mutations // checkpoints)
+    marks = sorted(
+        {min(k * step, total_mutations) for k in range(1, checkpoints)}
+        | {total_mutations}
+    )
+
+    rows: list[dict] = []
+    applied = 0
+    seq = 0
+    maintenance_passes = 0
+    for start in range(0, total_mutations, batch):
+        chunk = [list(op) for op in script[start:start + batch]]
+        seq += 1
+        for engine in (drift_engine, maintained_engine):
+            ack = engine.ingest(f"bench-{id(engine)}", seq, chunk)
+            if ack["applied"] != len(chunk):
+                raise RuntimeError(f"bad ack: {ack}")
+        applied += len(chunk)
+        at_mark = bool(marks) and applied >= marks[0]
+        if seq % maintenance_every == 0 or at_mark:
+            maintenance_passes += task.run_once()["passes"]
+        if at_mark:
+            marks.pop(0)
+            live = drift_engine._dynamic
+            m = live.m
+            current = Graph(n, live.to_representation().reconstruct_edges())
+            scratch_cost = factory().summarize(current).representation.cost
+            drift_cost = live.cost
+            maintained_cost = maintained_engine._dynamic.cost
+            rows.append(
+                {
+                    "mutations": applied,
+                    "m": m,
+                    "scratch_cost_per_m": round(scratch_cost / m, 4),
+                    "maintained_cost_per_m": round(maintained_cost / m, 4),
+                    "drift_cost_per_m": round(drift_cost / m, 4),
+                    "maintained_ratio": round(
+                        maintained_cost / scratch_cost, 4
+                    ),
+                    "drift_ratio": round(drift_cost / scratch_cost, 4),
+                    "maintenance_passes": maintenance_passes,
+                }
+            )
+
+    # Both live tracks must still decode to the same simulated graph.
+    expect = set(
+        Graph(n, (e for e in graph.edges())).edges()
+    )
+    for op, u, v in script:
+        if op == "+":
+            expect.add((u, v))
+        else:
+            expect.discard((u, v))
+    for engine in (drift_engine, maintained_engine):
+        got = set(engine._dynamic.to_representation().reconstruct_edges())
+        if got != expect:
+            raise RuntimeError("mutated summary no longer matches graph")
+    return (
+        f"Compactness drift over {total_mutations} structured "
+        f"mutations, n={n} (maintained vs drift vs from-scratch)",
         rows,
     )

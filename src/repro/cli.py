@@ -355,6 +355,42 @@ def build_parser() -> argparse.ArgumentParser:
             "exceeds this many MiB; reads stay up (default: off)"
         ),
     )
+    serve.add_argument(
+        "--dedup-capacity", type=int, default=4096,
+        help=(
+            "ingest streams remembered for retry dedup, evicted in "
+            "commit order past this (0 = unbounded; default 4096)"
+        ),
+    )
+    serve.add_argument(
+        "--maintenance-interval", type=float, default=0.0,
+        help=(
+            "seconds between background compactness-maintenance ticks "
+            "re-summarizing the dirtiest regions (requires --wal-dir; "
+            "0 disables; default 0)"
+        ),
+    )
+    serve.add_argument(
+        "--maintenance-budget-seconds", type=float, default=1.0,
+        help=(
+            "wall-clock budget per maintenance tick, checked between "
+            "passes (default 1.0; 0 = unlimited)"
+        ),
+    )
+    serve.add_argument(
+        "--maintenance-budget-merges", type=int, default=None,
+        help=(
+            "deterministic merge cap per maintenance pass, recorded "
+            "in the WAL for bit-identical replay (default: uncapped)"
+        ),
+    )
+    serve.add_argument(
+        "--maintenance-max-supernodes", type=int, default=64,
+        help=(
+            "super-nodes dissolved per maintenance pass — the chunk "
+            "size each epoch swap pays for (default 64)"
+        ),
+    )
 
     cluster = sub.add_parser(
         "cluster",
@@ -423,6 +459,25 @@ def build_parser() -> argparse.ArgumentParser:
             "+ checkpoint directory under this path (requires a "
             "replicas=1 topology)"
         ),
+    )
+    cstart.add_argument(
+        "--maintenance-interval", type=float, default=0.0,
+        help=(
+            "forward background compactness maintenance to every "
+            "instance (requires --wal-dir; 0 disables; default 0)"
+        ),
+    )
+    cstart.add_argument(
+        "--maintenance-budget-seconds", type=float, default=1.0,
+        help="per-instance maintenance tick budget (default 1.0)",
+    )
+    cstart.add_argument(
+        "--maintenance-budget-merges", type=int, default=None,
+        help="per-instance deterministic merge cap per pass",
+    )
+    cstart.add_argument(
+        "--maintenance-max-supernodes", type=int, default=64,
+        help="per-instance super-nodes dissolved per pass (default 64)",
     )
 
     ctrace = cluster_sub.add_parser(
@@ -723,6 +778,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     wal = None
     compactor = None
+    maintenance = None
     pending: list = []
     recovery_report = None
     if args.wal_dir:
@@ -763,16 +819,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 wal=wal,
                 budget=budget,
                 max_inflight=args.max_inflight_mutations,
+                dedup_capacity=args.dedup_capacity,
                 cache_size=args.cache_size,
                 metrics=metrics,
                 degraded=args.degraded,
             ),
         )
         if args.compact_interval > 0:
+            # Seed with the recovered checkpoint's LSN so the first
+            # pass doesn't re-cut a checkpoint the load already covers.
             compactor = WalCompactor(
-                engine, wal, store, interval=args.compact_interval
+                engine, wal, store,
+                interval=args.compact_interval,
+                last_lsn=recovery_report.checkpoint_lsn,
+            )
+        if args.maintenance_interval > 0:
+            from repro.dynamic import MaintenanceTask
+
+            maint_budget = None
+            if (
+                args.maintenance_budget_seconds > 0
+                or args.maintenance_budget_merges is not None
+            ):
+                maint_budget = ResourceBudget(
+                    time_budget=args.maintenance_budget_seconds or None,
+                    max_merges=args.maintenance_budget_merges,
+                )
+            maintenance = MaintenanceTask(
+                engine,
+                interval=args.maintenance_interval,
+                budget=maint_budget,
+                max_supernodes=args.maintenance_max_supernodes,
             )
     else:
+        if args.maintenance_interval > 0:
+            print(
+                "--maintenance-interval requires --wal-dir (maintenance "
+                "commits are WAL records); ignoring",
+                flush=True,
+            )
         engine = QueryEngine.from_file(
             args.input,
             cache_size=args.cache_size,
@@ -843,6 +928,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(recovery_report.describe(), flush=True)
     if compactor is not None:
         compactor.start()
+    if maintenance is not None:
+        maintenance.start()
+        print(
+            f"background maintenance on: "
+            f"interval={args.maintenance_interval}s "
+            f"max_supernodes={args.maintenance_max_supernodes}",
+            flush=True,
+        )
     # Graceful-stop handlers must be live before readiness is
     # announced: a supervisor that signals the moment it sees the
     # line must never hit the default (process-killing) handler.
@@ -857,6 +950,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         if replay_thread is not None:
             replay_thread.join(timeout=30.0)
+        if maintenance is not None:
+            maintenance.stop()
         if compactor is not None:
             compactor.stop(final_compact=True)
         if wal is not None:
@@ -980,6 +1075,21 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         return 0
 
     if args.cluster_command == "start":
+        instance_args: list[str] = []
+        if args.maintenance_interval > 0:
+            instance_args += [
+                "--maintenance-interval",
+                str(args.maintenance_interval),
+                "--maintenance-budget-seconds",
+                str(args.maintenance_budget_seconds),
+                "--maintenance-max-supernodes",
+                str(args.maintenance_max_supernodes),
+            ]
+            if args.maintenance_budget_merges is not None:
+                instance_args += [
+                    "--maintenance-budget-merges",
+                    str(args.maintenance_budget_merges),
+                ]
         try:
             manager = ClusterManager(
                 spec,
@@ -987,6 +1097,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 cache_size=args.cache_size,
                 trace_dir=args.trace_dir,
                 wal_dir=args.wal_dir,
+                instance_args=instance_args or None,
             )
             manager.start_instances()
         except TopologyError as exc:

@@ -931,6 +931,15 @@ class RouterEngine:
         up = 0
         agg_requests = 0
         agg_errors = 0
+        maint = {
+            "passes": 0,
+            "abandoned": 0,
+            "supernodes_processed": 0,
+            "cost_reclaimed": 0,
+            "dirty_supernodes": 0,
+            "dirty_corrections": 0,
+        }
+        maint_reported = 0
         for shard_pool in self._shards:
             instances = []
             for pool in shard_pool.replicas:
@@ -944,6 +953,13 @@ class RouterEngine:
                     p99 = worst_p99_ms(stats.get("latency_ms"))
                     agg_requests += requests
                     agg_errors += errors
+                    instance_maint = stats.get("maintenance")
+                    if isinstance(instance_maint, dict):
+                        maint_reported += 1
+                        for key in maint:
+                            maint[key] += int(
+                                instance_maint.get(key, 0) or 0
+                            )
                 instances.append(
                     {
                         "instance": pool.instance.label,
@@ -971,6 +987,11 @@ class RouterEngine:
                 "instances_up": up,
                 "shard_requests_total": agg_requests,
                 "shard_errors_total": agg_errors,
+                # Summed over every instance that reports a
+                # ``maintenance`` section (durable-ingest servers).
+                "maintenance": dict(
+                    maint, instances_reporting=maint_reported
+                ),
             },
         }
         return snapshot

@@ -22,6 +22,7 @@ from repro.durability.recovery import (
 from repro.durability.wal import (
     FSYNC_POLICIES,
     MUTATION_OPS,
+    ResummarizeRecord,
     WalError,
     WalRecord,
     WriteAheadLog,
@@ -31,6 +32,7 @@ __all__ = [
     "FSYNC_POLICIES",
     "MUTATION_OPS",
     "RecoveryReport",
+    "ResummarizeRecord",
     "WalCompactor",
     "WalError",
     "WalRecord",

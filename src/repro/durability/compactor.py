@@ -41,6 +41,11 @@ class WalCompactor:
         Seconds between compaction attempts; ``start()`` runs a daemon
         thread, or call :meth:`compact_now` yourself (tests, CLI
         shutdown).
+    last_lsn:
+        LSN already covered by a durable checkpoint — pass the
+        recovered checkpoint's LSN so the first pass after a restart
+        doesn't re-cut a checkpoint for (and re-truncate) work the
+        loaded checkpoint already covers.
     """
 
     def __init__(
@@ -50,6 +55,7 @@ class WalCompactor:
         store: CheckpointStore,
         *,
         interval: float = 30.0,
+        last_lsn: int = 0,
     ):
         if interval <= 0:
             raise ValueError("interval must be > 0")
@@ -59,7 +65,7 @@ class WalCompactor:
         self._interval = interval
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
-        self._last_lsn = 0
+        self._last_lsn = int(last_lsn)
 
     # -- lifecycle -------------------------------------------------------
     def start(self) -> None:

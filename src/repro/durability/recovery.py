@@ -46,7 +46,13 @@ __all__ = [
 #: v2 added the per-stream batch fingerprint to dedup rows
 #: (``[stream, seq, mutations, result]``), so a recovered server keeps
 #: rejecting a reused sequence number that carries different mutations.
-STATE_VERSION = 2
+#: v3 added the per-super-node dirtiness counters (background
+#: maintenance's drift signal) and stores dedup rows in commit-recency
+#: order so LRU eviction survives recovery; v2 checkpoints still load
+#: (dirtiness is re-derived from the live corrections, dedup recency
+#: falls back to the stored sorted order).
+STATE_VERSION = 3
+_ACCEPTED_VERSIONS = (2, 3)
 
 
 @dataclass
@@ -120,10 +126,16 @@ def engine_state(engine) -> dict:
         "base_cost": engine._dynamic.base_cost,
         "epoch": engine.epoch,
         "applied_lsn": engine.applied_lsn,
+        # Commit-recency order (oldest first), NOT sorted: the row
+        # order is the engine's LRU eviction order and must round-trip.
         "dedup": [
             [stream, seq, [list(item) for item in batch], dict(result)]
-            for stream, (seq, batch, result) in sorted(
-                engine._dedup.items()
+            for stream, (seq, batch, result) in engine._dedup.items()
+        ],
+        "dirty": [
+            [sid, count]
+            for sid, count in sorted(
+                engine._dynamic.dirty_supernodes().items()
             )
         ],
     }
@@ -151,16 +163,19 @@ def recover_engine(
     background thread while already serving degraded answers — both go
     through :func:`replay_tail`.
     """
+    from collections import OrderedDict
+
     checkpoint = store.latest() if store is not None else None
     base_cost = None
     epoch = 0
     applied_lsn = 0
-    dedup: dict[
+    dirtiness: dict[int, int] | None = None
+    dedup: OrderedDict[
         str, tuple[int, tuple[tuple[str, int, int], ...], dict]
-    ] = {}
+    ] = OrderedDict()
     if checkpoint is not None:
         state = checkpoint.state
-        if state.get("v") != STATE_VERSION:
+        if state.get("v") not in _ACCEPTED_VERSIONS:
             raise ValueError(
                 f"unsupported ingest checkpoint version {state.get('v')!r}"
             )
@@ -168,16 +183,31 @@ def recover_engine(
         base_cost = int(state["base_cost"])
         epoch = int(state["epoch"])
         applied_lsn = int(state["applied_lsn"])
-        dedup = {
-            str(stream): (
+        # Row order is preserved: for v3 it is the commit-recency
+        # (LRU eviction) order, for v2 the historical sorted order.
+        for stream, seq, batch, result in state.get("dedup", []):
+            dedup[str(stream)] = (
                 int(seq),
                 tuple(
                     (str(op), int(u), int(v)) for op, u, v in batch
                 ),
                 dict(result),
             )
-            for stream, seq, batch, result in state.get("dedup", [])
-        }
+        if "dirty" in state:
+            dirtiness = {
+                int(sid): int(count)
+                for sid, count in state["dirty"]
+            }
+        else:
+            # v2 carried no drift counters; seed them from the live
+            # corrections (one touch per endpoint) so maintenance has
+            # a signal to work with after an upgrade.
+            dirtiness = {}
+            node_to_supernode = rep.node_to_supernode
+            for u, v in sorted(rep.additions | rep.removals):
+                for node in (u, v):
+                    sid = node_to_supernode[node]
+                    dirtiness[sid] = dirtiness.get(sid, 0) + 1
         get_registry().counter(
             "repro_recovery_total", event="checkpoint_loaded"
         ).inc()
@@ -187,7 +217,10 @@ def recover_engine(
             "repro_recovery_total", event="cold_start"
         ).inc()
     dynamic = DynamicGraphSummary.from_representation(
-        rep, rebuild_factor=rebuild_factor, base_cost=base_cost
+        rep,
+        rebuild_factor=rebuild_factor,
+        base_cost=base_cost,
+        dirtiness=dirtiness,
     )
     engine = engine_factory(dynamic)
     engine.epoch = epoch

@@ -23,6 +23,22 @@ numbers) are assigned densely by :meth:`WriteAheadLog.append` and are
 the recovery cursor: a checkpoint records the LSN it folded through,
 and replay skips records at or below it.
 
+Since LSNs start at 1, a leading varint of ``0`` can never open an
+ingest payload; it marks an *extended* record instead::
+
+    0 . kind . <kind payload>
+
+Kind 1 is ``resummarize`` (a committed background-maintenance pass)::
+
+    0 . 1 . lsn . n_targets . (target)* . max_merges+1
+
+where ``max_merges+1`` is 0 when the pass ran without a merge cap.
+The record carries the *decision* — which super-nodes were dissolved
+and under what deterministic cap — so crash recovery replays the pass
+bit-identically (the re-encode is a pure function of the replayed
+state and these parameters).  Ingest records keep their exact
+original byte encoding.
+
 Torn tails
 ----------
 A crash mid-append leaves a truncated or checksum-broken record at
@@ -57,6 +73,7 @@ from repro.obs.metrics import MetricsRegistry, get_registry
 
 __all__ = [
     "WalRecord",
+    "ResummarizeRecord",
     "WriteAheadLog",
     "WalError",
     "FSYNC_POLICIES",
@@ -85,28 +102,77 @@ class WalRecord:
     mutations: tuple[tuple[str, int, int], ...]
 
 
-def encode_record(record: WalRecord) -> bytes:
+@dataclass(frozen=True)
+class ResummarizeRecord:
+    """One committed background-maintenance pass: the super-nodes it
+    dissolved and the deterministic merge cap (``None`` = uncapped)
+    its local summarizer ran under."""
+
+    lsn: int
+    targets: tuple[int, ...]
+    max_merges: int | None
+
+
+#: Discriminator of the :class:`ResummarizeRecord` extended payload.
+_KIND_RESUMMARIZE = 1
+
+
+def encode_record(record) -> bytes:
     """Frame one record (length prefix + payload + crc32 varint)."""
-    stream_bytes = record.stream.encode("utf-8")
     payload = bytearray()
-    payload += encode_varint(record.lsn)
-    payload += encode_varint(record.seq)
-    payload += encode_varint(len(stream_bytes))
-    payload += stream_bytes
-    payload += encode_varint(len(record.mutations))
-    for op, u, v in record.mutations:
-        payload += encode_varint(MUTATION_OPS.index(op))
-        payload += encode_varint(u)
-        payload += encode_varint(v)
+    if isinstance(record, ResummarizeRecord):
+        payload += encode_varint(0)
+        payload += encode_varint(_KIND_RESUMMARIZE)
+        payload += encode_varint(record.lsn)
+        payload += encode_varint(len(record.targets))
+        for target in record.targets:
+            payload += encode_varint(target)
+        payload += encode_varint(
+            0 if record.max_merges is None else record.max_merges + 1
+        )
+    else:
+        stream_bytes = record.stream.encode("utf-8")
+        payload += encode_varint(record.lsn)
+        payload += encode_varint(record.seq)
+        payload += encode_varint(len(stream_bytes))
+        payload += stream_bytes
+        payload += encode_varint(len(record.mutations))
+        for op, u, v in record.mutations:
+            payload += encode_varint(MUTATION_OPS.index(op))
+            payload += encode_varint(u)
+            payload += encode_varint(v)
     body = bytes(payload)
     return (
         encode_varint(len(body)) + body + encode_varint(zlib.crc32(body))
     )
 
 
-def _decode_payload(body: bytes) -> WalRecord:
+def _decode_extended(body: bytes, offset: int):
+    kind, offset = decode_varint(body, offset)
+    if kind != _KIND_RESUMMARIZE:
+        raise ValueError(f"unknown extended record kind {kind}")
+    lsn, offset = decode_varint(body, offset)
+    count, offset = decode_varint(body, offset)
+    targets = []
+    for _ in range(count):
+        target, offset = decode_varint(body, offset)
+        targets.append(target)
+    merges_plus_1, offset = decode_varint(body, offset)
+    if offset != len(body):
+        raise ValueError("trailing bytes in record payload")
+    return ResummarizeRecord(
+        lsn=lsn,
+        targets=tuple(targets),
+        max_merges=None if merges_plus_1 == 0 else merges_plus_1 - 1,
+    )
+
+
+def _decode_payload(body: bytes):
     offset = 0
     lsn, offset = decode_varint(body, offset)
+    if lsn == 0:
+        # LSNs are 1-based; a leading 0 marks an extended record.
+        return _decode_extended(body, offset)
     seq, offset = decode_varint(body, offset)
     stream_len, offset = decode_varint(body, offset)
     if offset + stream_len > len(body):
@@ -324,23 +390,55 @@ class WriteAheadLog:
                     (op, int(u), int(v)) for op, u, v in mutations
                 ),
             )
-            frame = encode_record(record)
-            if self._file.tell() > 0 and (
-                self._file.tell() + len(frame) > self._segment_bytes
-            ):
-                self._rotate_locked()
-            self._file.write(frame)
-            self._file.flush()
-            self._unsynced += 1
-            if self._fsync == "always" or (
-                self._fsync == "interval"
-                and self._unsynced >= self._fsync_interval
-            ):
-                self._sync_locked()
-            self._last_lsn = lsn
-            self._segment_last_lsn[self._active_index] = lsn
-            self._count_records("appended")
-            return lsn
+            return self._write_locked(record)
+
+    def append_resummarize(
+        self,
+        targets,
+        *,
+        max_merges: int | None = None,
+        lsn: int | None = None,
+    ) -> int:
+        """Append one committed maintenance pass; returns its LSN.
+
+        Same durability contract as :meth:`append`: the decision is on
+        disk (and fsynced, policy permitting) before the caller may
+        swap the re-encoded structure in.
+        """
+        with self._lock:
+            if self._file is None:
+                raise WalError("write-ahead log is closed")
+            if lsn is None:
+                lsn = self._last_lsn + 1
+            elif lsn <= self._last_lsn:
+                raise WalError(
+                    f"lsn {lsn} is not past the last lsn {self._last_lsn}"
+                )
+            record = ResummarizeRecord(
+                lsn=lsn,
+                targets=tuple(int(t) for t in targets),
+                max_merges=max_merges,
+            )
+            return self._write_locked(record)
+
+    def _write_locked(self, record) -> int:
+        frame = encode_record(record)
+        if self._file.tell() > 0 and (
+            self._file.tell() + len(frame) > self._segment_bytes
+        ):
+            self._rotate_locked()
+        self._file.write(frame)
+        self._file.flush()
+        self._unsynced += 1
+        if self._fsync == "always" or (
+            self._fsync == "interval"
+            and self._unsynced >= self._fsync_interval
+        ):
+            self._sync_locked()
+        self._last_lsn = record.lsn
+        self._segment_last_lsn[self._active_index] = record.lsn
+        self._count_records("appended")
+        return record.lsn
 
     def _rotate_locked(self) -> None:
         self._sync_locked(force=True)

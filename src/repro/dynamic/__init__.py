@@ -1,5 +1,7 @@
-"""Dynamic graph summarization (corrections overlay + rebuilds)."""
+"""Dynamic graph summarization (corrections overlay + rebuilds +
+background compactness maintenance)."""
 
+from repro.dynamic.maintenance import MaintenanceTask, select_targets
 from repro.dynamic.summary import DynamicGraphSummary
 
-__all__ = ["DynamicGraphSummary"]
+__all__ = ["DynamicGraphSummary", "MaintenanceTask", "select_targets"]

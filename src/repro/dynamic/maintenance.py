@@ -1,0 +1,234 @@
+"""Budgeted background re-summarization of dirty regions.
+
+The corrections overlay (:mod:`repro.dynamic.summary`) absorbs every
+edge mutation in O(1) by freezing the super-node structure, so a
+long-mutated live summary drifts away from a compact encoding: the
+correction set grows while the structure stops reflecting the graph.
+This module closes that loop on a *live* server without a restart —
+the ROADMAP's "background re-summarization of dirty regions" item,
+with SsAG-style score-driven selection of where to spend the budget.
+
+How a pass works (all inside
+:meth:`~repro.service.ingest.MutableQueryEngine.maintenance_pass`):
+
+1. **Select** — every commit increments per-super-node dirtiness
+   counters; :func:`select_targets` ranks super-nodes by that drift
+   score and takes the dirtiest ones plus their super-adjacent
+   neighborhood (re-grouping needs room: a drifted community's members
+   often belong with an adjacent super-node) up to a per-pass cap.
+2. **Build** — the selected region is re-encoded via
+   ``resummarize_local(targets=..., budget=...)`` on an
+   epoch-consistent snapshot *outside* the engine's state lock, under
+   a deterministic merge cap.
+3. **Swap** — under the lock, only if the epoch is unchanged (any
+   interleaved commit abandons the build; the next tick retries), the
+   pass commits exactly like a mutation batch: ``resummarize`` WAL
+   record first, then the structure swap, epoch bump, and per-node
+   LRU invalidation.  Crash recovery replays the recorded decision
+   bit-identically.
+
+:class:`MaintenanceTask` is the timer: each tick arms a
+:class:`~repro.resilience.guard.ResourceBudget` (wall-clock + memory,
+checked *between* passes — never inside one, which must stay
+deterministic) and runs passes until the budget is spent, the engine
+is clean, or a pass is abandoned.  Ticks are wrapped in
+``maintenance:pass`` spans and counted under the
+``repro_maintenance_*`` metrics.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+
+__all__ = ["MaintenanceTask", "select_targets"]
+
+logger = logging.getLogger("repro.dynamic")
+
+
+def select_targets(
+    dirty: dict[int, int],
+    rep,
+    *,
+    max_supernodes: int = 64,
+    min_dirty: int = 1,
+) -> tuple[int, ...]:
+    """Pick the super-nodes one maintenance pass should dissolve.
+
+    Deterministic and pure: seeds are the dirty super-nodes ranked by
+    descending dirtiness (id ascending on ties), each bringing its
+    super-adjacent neighbors into the target set — the drifted
+    region's members may belong with an adjacent grouping, and the
+    local summarizer can only consider moves inside the dissolved
+    region.  Stops once ``max_supernodes`` targets are collected.
+    Returns a sorted tuple (the canonical form recorded in the WAL).
+    """
+    if max_supernodes < 1:
+        return ()
+    ranked = sorted(
+        (
+            (sid, count)
+            for sid, count in dirty.items()
+            if count >= min_dirty
+        ),
+        key=lambda item: (-item[1], item[0]),
+    )
+    if not ranked:
+        return ()
+    adjacency = rep.superedge_adjacency()
+    targets: set[int] = set()
+    for sid, _ in ranked:
+        if len(targets) >= max_supernodes:
+            break
+        targets.add(sid)
+        for neighbor in sorted(adjacency.get(sid, ())):
+            if len(targets) >= max_supernodes:
+                break
+            if neighbor != sid:
+                targets.add(neighbor)
+    return tuple(sorted(targets))
+
+
+class MaintenanceTask:
+    """Run budgeted maintenance passes on a timer (or on demand).
+
+    Parameters
+    ----------
+    engine:
+        A :class:`~repro.service.ingest.MutableQueryEngine`.
+    interval:
+        Seconds between ticks; ``start()`` runs a daemon thread, or
+        call :meth:`run_once` yourself (tests, benchmarks, CLI).
+    budget:
+        Optional :class:`~repro.resilience.guard.ResourceBudget` armed
+        per tick.  Wall-clock and memory ceilings gate *whether the
+        next pass starts*; its ``max_merges`` (if set) becomes each
+        pass's deterministic merge cap, recorded in the WAL so replay
+        reproduces the pass exactly.
+    max_supernodes:
+        Per-pass cap on dissolved super-nodes (the chunk size).
+    min_dirty:
+        Dirtiness threshold below which a super-node is left alone.
+    max_passes:
+        Hard cap on passes per tick (a backstop when the budget has no
+        wall-clock ceiling).
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        interval: float = 5.0,
+        budget=None,
+        max_supernodes: int = 64,
+        min_dirty: int = 1,
+        max_passes: int = 16,
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be > 0")
+        if max_passes < 1:
+            raise ValueError("max_passes must be >= 1")
+        self._engine = engine
+        self._interval = interval
+        self._budget = budget
+        self._max_supernodes = max_supernodes
+        self._min_dirty = min_dirty
+        self._max_passes = max_passes
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> "MaintenanceTask":
+        if self._thread is not None:
+            raise RuntimeError("maintenance task already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-maintenance", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                self.run_once()
+            except Exception:  # noqa: BLE001 - keep the timer alive
+                from repro.obs.metrics import get_registry
+
+                logger.exception("maintenance tick failed")
+                get_registry().counter(
+                    "repro_maintenance_passes_total", outcome="error"
+                ).inc()
+
+    # -- one tick --------------------------------------------------------
+    def run_once(self) -> dict:
+        """One budgeted tick: passes until spent, clean, or abandoned.
+
+        Returns a summary dict (``passes``, ``supernodes``,
+        ``outcome`` of the last pass, ``budget_stop`` when the budget
+        ended the tick).
+        """
+        import time
+
+        # Imported lazily: repro.dynamic is reachable from the bare
+        # algorithm import path, which must not pull in repro.obs.
+        from repro.obs.metrics import get_registry
+        from repro.obs.tracer import get_tracer
+
+        budget = self._budget
+        if budget is not None:
+            budget.start()
+        max_merges = (
+            budget.max_merges if budget is not None else None
+        )
+        tracer = get_tracer()
+        started = time.perf_counter()
+        passes = 0
+        supernodes = 0
+        outcome = "idle"
+        budget_stop = None
+        try:
+            while passes < self._max_passes:
+                if budget is not None:
+                    budget_stop = budget.exhausted()
+                    if budget_stop is not None:
+                        break
+                if tracer.enabled:
+                    with tracer.span(
+                        "maintenance:pass",
+                        max_supernodes=self._max_supernodes,
+                    ) as span:
+                        result = self._engine.maintenance_pass(
+                            max_supernodes=self._max_supernodes,
+                            max_merges=max_merges,
+                            min_dirty=self._min_dirty,
+                        )
+                        span.set(outcome=result["outcome"])
+                else:
+                    result = self._engine.maintenance_pass(
+                        max_supernodes=self._max_supernodes,
+                        max_merges=max_merges,
+                        min_dirty=self._min_dirty,
+                    )
+                outcome = result["outcome"]
+                if outcome != "committed":
+                    break
+                passes += 1
+                supernodes += result.get("processed", 0)
+        finally:
+            if budget is not None:
+                budget.stop()
+        get_registry().histogram(
+            "repro_maintenance_pass_seconds"
+        ).observe(time.perf_counter() - started)
+        return {
+            "passes": passes,
+            "supernodes": supernodes,
+            "outcome": outcome,
+            "budget_stop": budget_stop,
+        }

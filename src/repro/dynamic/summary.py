@@ -77,6 +77,7 @@ class DynamicGraphSummary:
         summarizer_factory: Callable[[], Summarizer] | None = None,
         rebuild_factor: float | None = None,
         base_cost: int | None = None,
+        dirtiness: dict[int, int] | None = None,
     ) -> "DynamicGraphSummary":
         """Wrap an already-built representation without re-summarizing.
 
@@ -103,6 +104,12 @@ class DynamicGraphSummary:
             if base_cost < 1:
                 raise ValueError("base_cost must be >= 1")
             self._base_cost = int(base_cost)
+        if dirtiness is not None:
+            self._dirty = {
+                int(sid): int(count)
+                for sid, count in dirtiness.items()
+                if int(sid) in self._supernodes and int(count) > 0
+            }
         return self
 
     @property
@@ -146,6 +153,10 @@ class DynamicGraphSummary:
             self._remove_of[x].add(y)
             self._remove_of[y].add(x)
         self._base_cost = max(1, self.cost)
+        # Per-super-node dirtiness: cumulative count of correction
+        # toggles that touched the super-node since it was last
+        # (re)encoded.  A fresh install addressed everything.
+        self._dirty: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Read API
@@ -171,10 +182,25 @@ class DynamicGraphSummary:
 
     @property
     def relative_size(self) -> float:
-        """Live compactness relative to the current edge count."""
+        """Live compactness relative to the current edge count.
+
+        A fully-deleted graph that still pays summary-edge or removal
+        cost is *infinitely* un-compact, not "perfectly compact":
+        ``m == 0`` with ``cost > 0`` reports ``inf`` so drift on an
+        emptied graph cannot masquerade as the best possible ratio.
+        """
         if self._m == 0:
-            return 0.0
+            return 0.0 if self.cost == 0 else float("inf")
         return self.cost / self._m
+
+    def dirty_supernodes(self) -> dict[int, int]:
+        """Per-super-node dirtiness counters (a copy).
+
+        ``{sid: count}`` where ``count`` is how many correction
+        toggles touched the super-node since it was last (re)encoded —
+        the drift signal background maintenance spends its budget on.
+        """
+        return dict(self._dirty)
 
     def _covered_by_superedge(self, u: int, v: int) -> bool:
         su = self._node_to_supernode[u]
@@ -257,6 +283,7 @@ class DynamicGraphSummary:
             self._add_of[u].add(v)
             self._add_of[v].add(u)
         self._m += 1
+        self._mark_dirty(u, v)
         self._after_update()
 
     def delete_edge(self, u: int, v: int) -> None:
@@ -274,6 +301,7 @@ class DynamicGraphSummary:
             self._remove_of[u].add(v)
             self._remove_of[v].add(u)
         self._m -= 1
+        self._mark_dirty(u, v)
         self._after_update()
 
     def resummarize(self) -> None:
@@ -282,52 +310,99 @@ class DynamicGraphSummary:
         self._install(rep)
         self.num_rebuilds += 1
 
-    def resummarize_local(self) -> int:
-        """Re-summarize only the correction-touched region.
+    def resummarize_local(self, targets=None, budget=None) -> int:
+        """Re-summarize only a dirty region of the structure.
 
         Super-nodes whose members appear in any live correction are
         "dirty": the drift the update stream caused is concentrated
         there, while clean super-nodes still reflect a deliberate
-        grouping.  This rebuild keeps every clean super-node's
-        grouping, dissolves the dirty ones, re-summarizes the induced
-        subgraph over their members, and re-encodes — a cheaper
-        maintenance step than :meth:`resummarize` when few super-nodes
-        drifted.  Returns the number of dirty super-nodes processed.
+        grouping.  This rebuild keeps every untouched super-node's
+        grouping, dissolves the processed ones, re-summarizes the
+        induced subgraph over their members, and re-encodes — a
+        cheaper maintenance step than :meth:`resummarize` when few
+        super-nodes drifted.  Returns the number of super-nodes
+        processed.
+
+        Parameters
+        ----------
+        targets:
+            Super-node ids to process this pass; ``None`` processes
+            every correction-touched super-node (the historical
+            all-or-nothing behavior).  Unknown ids are ignored; the
+            remaining dirty super-nodes keep both their grouping and
+            their dirtiness counters, so a later pass can pick them
+            up.  The computation is a pure function of the current
+            state and the (sorted) target set — background maintenance
+            records the set in the WAL and crash recovery replays it
+            bit-identically.
+        budget:
+            Optional :class:`~repro.resilience.guard.ResourceBudget`
+            attached to the local summarizer (armed here), making the
+            pass *anytime*.  Only deterministic dimensions (merge
+            caps) should be used on passes that must replay
+            bit-identically; wall-clock belongs in the selection loop
+            *between* passes, never inside one.
         """
         from repro.core.encoding import encode
         from repro.core.supernodes import SuperNodePartition
 
-        dirty: set[int] = set()
-        for x, y in list(self._additions) + list(self._removals):
-            dirty.add(self._node_to_supernode[x])
-            dirty.add(self._node_to_supernode[y])
-        if not dirty:
+        if targets is None:
+            processed: set[int] = set()
+            for x, y in list(self._additions) + list(self._removals):
+                processed.add(self._node_to_supernode[x])
+                processed.add(self._node_to_supernode[y])
+        else:
+            processed = {
+                int(sid) for sid in targets
+                if int(sid) in self._supernodes
+            }
+        if not processed:
             return 0
 
         graph = self.to_graph()
         partition = SuperNodePartition(graph)
-        # Replay clean groupings verbatim.
-        for sid, members in self._supernodes.items():
-            if sid in dirty or len(members) < 2:
+        # Replay every unprocessed grouping verbatim.  Iteration is
+        # sorted (not dict order): union-find roots — and therefore
+        # the re-encoded super-node ids — depend on merge order, and
+        # crash recovery must reproduce this pass bit-identically from
+        # a checkpoint whose dict order is its own (sorted) one.
+        for sid, members in sorted(self._supernodes.items()):
+            if sid in processed or len(members) < 2:
                 continue
             root = partition.find(members[0])
             for node in members[1:]:
                 root = partition.merge(root, partition.find(node))
-        # Re-summarize the dirty region and replay its grouping.
-        dirty_members = sorted(
-            node for sid in dirty for node in self._supernodes[sid]
+        # Re-summarize the processed region and replay its grouping.
+        region = sorted(
+            node for sid in processed for node in self._supernodes[sid]
         )
-        if len(dirty_members) >= 2:
-            subgraph = graph.subgraph(dirty_members)
-            local = self._summarize(subgraph)
-            for members in local.supernodes.values():
-                mapped = [dirty_members[i] for i in members]
+        if len(region) >= 2:
+            subgraph = graph.subgraph(region)
+            summarizer = self._make_summarizer()
+            if budget is not None:
+                budget.start()
+                if hasattr(summarizer, "configure_budget"):
+                    summarizer.configure_budget(budget)
+            local = summarizer.summarize(subgraph).representation
+            for _, members in sorted(local.supernodes.items()):
+                mapped = [region[i] for i in members]
                 root = partition.find(mapped[0])
                 for node in mapped[1:]:
                     root = partition.merge(root, partition.find(node))
+        # Unprocessed groups survive the re-encode with identical
+        # member sets (the partition never cross-merges them), so
+        # their dirtiness carries over to their fresh super-node ids;
+        # processed regions start clean.
+        carried = [
+            (self._supernodes[sid][0], count)
+            for sid, count in self._dirty.items()
+            if sid not in processed
+        ]
         self._install(encode(partition))
+        for probe, count in carried:
+            self._dirty[self._node_to_supernode[probe]] = count
         self.num_rebuilds += 1
-        return len(dirty)
+        return len(processed)
 
     # ------------------------------------------------------------------
     # Internals
@@ -340,6 +415,11 @@ class DynamicGraphSummary:
 
     def _fresh_supernode_id(self) -> int:
         return max(self._supernodes, default=-1) + 1
+
+    def _mark_dirty(self, u: int, v: int) -> None:
+        for node in (u, v):
+            sid = self._node_to_supernode[node]
+            self._dirty[sid] = self._dirty.get(sid, 0) + 1
 
     def _after_update(self) -> None:
         self.num_updates += 1

@@ -51,7 +51,9 @@ run (see :meth:`repro.cluster.router.RouterEngine._ingest`).
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 
+from repro.durability.wal import ResummarizeRecord
 from repro.dynamic.summary import DynamicGraphSummary
 from repro.queries.pagerank import SummaryPageRank
 from repro.service.engine import OPS, QueryEngine, QueryError
@@ -83,6 +85,15 @@ class MutableQueryEngine(QueryEngine):
     max_inflight:
         Bound on concurrently admitted ingest requests (0 disables
         the bound).
+    dedup_capacity:
+        Bound on remembered dedup streams.  Every client instance
+        mints a fresh stream id, so an unbounded map (and every
+        checkpoint carrying it) would grow forever on a long-lived
+        server; least-recently-*committed* streams are evicted beyond
+        this cap (0 disables the bound), counted under
+        ``repro_ingest_dedup_evictions_total``.  Recency advances only
+        on commit — never on a duplicate-read hit — so eviction order
+        is a pure function of the WAL and replay stays deterministic.
     """
 
     def __init__(
@@ -92,6 +103,7 @@ class MutableQueryEngine(QueryEngine):
         wal=None,
         budget=None,
         max_inflight: int = 64,
+        dedup_capacity: int = 4096,
         **kwargs,
     ):
         super().__init__(dynamic.to_representation(), **kwargs)
@@ -110,15 +122,24 @@ class MutableQueryEngine(QueryEngine):
         self.epoch = 0
         #: LSN of the newest applied WAL record.
         self.applied_lsn = wal.last_lsn if wal is not None else 0
-        #: stream id -> (last seq, its mutation tuple, its result dict).
+        #: stream id -> (last seq, its mutation tuple, its result dict),
+        #: in commit-recency order (oldest first) for LRU eviction.
         #: The mutation tuple is the dedup fingerprint: a replay of the
         #: last seq must carry the same batch to count as a duplicate.
-        self._dedup: dict[
+        self._dedup: OrderedDict[
             str, tuple[int, tuple[tuple[str, int, int], ...], dict]
-        ] = {}
+        ] = OrderedDict()
+        self._dedup_capacity = dedup_capacity
         #: True while crash recovery replays the WAL tail.
         self.replaying = False
         self._rep_snapshot: tuple[int, object] | None = None
+        #: Background-maintenance bookkeeping (the ``stats`` section).
+        self._maintenance = {
+            "passes": 0,
+            "abandoned": 0,
+            "supernodes_processed": 0,
+            "cost_reclaimed": 0,
+        }
 
     # -- read path overrides ---------------------------------------------
     @property
@@ -183,9 +204,13 @@ class MutableQueryEngine(QueryEngine):
                 and time.monotonic() >= deadline
             ):
                 degraded_sink.append("pagerank")
+                # n, m, and the degree must come from one lock
+                # acquisition: a concurrent commit between them would
+                # mix two epochs into one estimate (the lock is
+                # reentrant, so the nested neighbors() call is fine).
                 with self._state_lock:
                     n, m = self._dynamic.n, self._dynamic.m
-                degree = len(self.neighbors(node))
+                    degree = len(self.neighbors(node))
                 return (1.0 - self._damping) / max(1, n) + (
                     self._damping * degree / max(1, 2 * m)
                 )
@@ -219,7 +244,10 @@ class MutableQueryEngine(QueryEngine):
                 request.get("mutations"),
                 dry_run=request.get("dry_run", False),
             )
-        return super()._dispatch(op, request, deadline, degraded_sink)
+        result = super()._dispatch(op, request, deadline, degraded_sink)
+        if op == "stats" and isinstance(result, dict):
+            result["maintenance"] = self.maintenance_stats()
+        return result
 
     # -- the ingest op ---------------------------------------------------
     def ingest(self, stream, seq, mutations, *, dry_run=False) -> dict:
@@ -291,15 +319,187 @@ class MutableQueryEngine(QueryEngine):
         validated against exactly the state replay has rebuilt — but a
         corrupt-yet-checksum-valid record still surfaces as an error
         rather than silent divergence (``insert_edge``/``delete_edge``
-        raise)."""
+        raise).  A :class:`~repro.durability.wal.ResummarizeRecord`
+        re-runs the recorded maintenance pass: the re-encode is a pure
+        function of the replayed state plus the recorded targets and
+        merge cap, so the recovered structure stays bit-identical."""
         with self._state_lock:
             if record.lsn <= self.applied_lsn:
                 return False
-            self._commit(
-                record.stream, record.seq, list(record.mutations),
-                record.lsn,
-            )
+            if isinstance(record, ResummarizeRecord):
+                self._apply_resummarize(
+                    record.targets, record.max_merges, record.lsn
+                )
+            else:
+                self._commit(
+                    record.stream, record.seq, list(record.mutations),
+                    record.lsn,
+                )
             return True
+
+    # -- background maintenance ------------------------------------------
+    def maintenance_stats(self) -> dict:
+        """The ``maintenance`` section of the ``stats`` op."""
+        import math
+
+        with self._state_lock:
+            dirty = self._dynamic.dirty_supernodes()
+            ratio = self._dynamic.relative_size
+            return {
+                **self._maintenance,
+                "dirty_supernodes": len(dirty),
+                "dirty_corrections": sum(dirty.values()),
+                "cost": self._dynamic.cost,
+                "base_cost": self._dynamic.base_cost,
+                "relative_size": (
+                    ratio if math.isfinite(ratio) else None
+                ),
+            }
+
+    def maintenance_pass(
+        self,
+        *,
+        max_supernodes: int = 64,
+        max_merges: int | None = None,
+        min_dirty: int = 1,
+    ) -> dict:
+        """One budgeted compactness-maintenance pass.
+
+        Mirrors the ``pagerank_score`` build-then-check pattern: the
+        dirtiest neighborhoods are selected and re-encoded on an
+        epoch-consistent snapshot *outside* the state lock, then the
+        new structure is swapped in under the lock only if the epoch
+        is unchanged.  A committed pass behaves exactly like a
+        mutation batch — ``resummarize`` WAL record first, then epoch
+        bump, per-node LRU invalidation for every node whose
+        super-node membership or correction structure changed, and
+        snapshot/PageRank cache invalidation — so crash recovery
+        replays it deterministically.  Returns an outcome dict
+        (``outcome`` is ``idle``, ``committed``, ``abandoned``, or
+        ``skipped``).
+        """
+        from repro.dynamic.maintenance import select_targets
+
+        if self.replaying:
+            return {"outcome": "skipped", "reason": "replaying"}
+        with self._state_lock:
+            built_at = self.epoch
+            dirty = self._dynamic.dirty_supernodes()
+            rep = self.representation
+            factory = self._dynamic._make_summarizer
+        targets = select_targets(
+            dirty, rep,
+            max_supernodes=max_supernodes, min_dirty=min_dirty,
+        )
+        if not targets:
+            self._count_pass("idle")
+            return {"outcome": "idle", "dirty_supernodes": len(dirty)}
+
+        # The expensive re-encode runs on a scratch overlay built from
+        # the snapshot; adopting its result under an unchanged epoch
+        # is identical to having run the recorded pass in place.
+        scratch = DynamicGraphSummary.from_representation(
+            rep, summarizer_factory=factory, dirtiness=dirty
+        )
+        processed = scratch.resummarize_local(
+            targets=targets, budget=self._merge_budget(max_merges)
+        )
+        new_rep = scratch.to_representation()
+        new_dirty = scratch.dirty_supernodes()
+
+        with self._state_lock:
+            if self.epoch != built_at:
+                self._maintenance["abandoned"] += 1
+                self._count_pass("abandoned")
+                return {
+                    "outcome": "abandoned",
+                    "targets": len(targets),
+                    "epoch": self.epoch,
+                }
+            if self._wal is not None:
+                lsn = self._wal.append_resummarize(
+                    targets, max_merges=max_merges
+                )
+            else:
+                lsn = self.applied_lsn + 1
+
+            def install() -> int:
+                dyn = self._dynamic
+                dyn._install(new_rep)
+                dyn._dirty = dict(new_dirty)
+                dyn.num_rebuilds += 1
+                return processed
+
+            cost_before = self._dynamic.cost
+            self._swap_in(install, targets, lsn)
+            return {
+                "outcome": "committed",
+                "targets": len(targets),
+                "processed": processed,
+                "cost_before": cost_before,
+                "cost_after": new_rep.cost,
+                "lsn": lsn,
+                "epoch": self.epoch,
+            }
+
+    def _apply_resummarize(self, targets, max_merges, lsn) -> int:
+        """Replay one recorded maintenance pass in place; caller holds
+        the state lock (recovery replay is single-threaded, so the
+        out-of-lock build of the live path is unnecessary here)."""
+        def install() -> int:
+            return self._dynamic.resummarize_local(
+                targets=targets, budget=self._merge_budget(max_merges)
+            )
+
+        return self._swap_in(install, targets, lsn)
+
+    def _swap_in(self, install, targets, lsn) -> int:
+        """Commit one maintenance re-encode like a mutation batch;
+        caller holds the state lock.  ``install`` swaps the structure
+        and returns the number of super-nodes processed."""
+        dyn = self._dynamic
+        cost_before = dyn.cost
+        touched = {
+            node
+            for sid in targets
+            if sid in dyn._supernodes
+            for node in dyn._supernodes[sid]
+        }
+        old_corrections = dyn._additions | dyn._removals
+        processed = install()
+        for u, v in (dyn._additions | dyn._removals) ^ old_corrections:
+            touched.add(u)
+            touched.add(v)
+        for node in touched:
+            self._cache.invalidate(node)
+        self.epoch += 1
+        self.applied_lsn = lsn
+        self._pagerank_scores = None
+        self._rep_snapshot = None
+        self._maintenance["passes"] += 1
+        self._maintenance["supernodes_processed"] += processed
+        self._maintenance["cost_reclaimed"] += cost_before - dyn.cost
+        self._count_pass("committed")
+        self.metrics.registry.counter(
+            "repro_maintenance_supernodes_total"
+        ).inc(processed)
+        self.metrics.registry.gauge(
+            "repro_maintenance_dirty_supernodes"
+        ).set(len(dyn.dirty_supernodes()))
+        return processed
+
+    @staticmethod
+    def _merge_budget(max_merges):
+        if max_merges is None:
+            return None
+        from repro.resilience.guard import ResourceBudget
+
+        return ResourceBudget(max_merges=max_merges)
+
+    def _count_pass(self, outcome: str) -> None:
+        self.metrics.registry.counter(
+            "repro_maintenance_passes_total", outcome=outcome
+        ).inc()
 
     # -- internals -------------------------------------------------------
     def _admit(self) -> None:
@@ -419,6 +619,13 @@ class MutableQueryEngine(QueryEngine):
         self._rep_snapshot = None
         result = {"applied": len(parsed), "lsn": lsn}
         self._dedup[stream] = (seq, tuple(parsed), result)
+        self._dedup.move_to_end(stream)
+        if self._dedup_capacity > 0:
+            while len(self._dedup) > self._dedup_capacity:
+                self._dedup.popitem(last=False)
+                self.metrics.registry.counter(
+                    "repro_ingest_dedup_evictions_total"
+                ).inc()
         self.metrics.registry.counter(
             "repro_ingest_applied_total"
         ).inc(len(parsed))

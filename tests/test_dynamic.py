@@ -215,3 +215,80 @@ class TestLocalResummarize:
         dyn.delete_edge(*next(iter(community_graph.edges())))
         dyn.resummarize_local()
         assert dyn.num_rebuilds == 1
+
+    def test_targets_subset_only_touches_selected_region(self):
+        graph = planted_partition(120, 6, 0.6, 0.0, seed=5)
+        dyn = _dynamic(graph, rebuild_factor=None)
+        for u in range(graph.n):
+            for v in range(u + 1, graph.n):
+                if u % 6 == v % 6 and not dyn.has_edge(u, v):
+                    dyn.insert_edge(u, v)
+        before = dyn.to_graph()
+        dirty = dyn.dirty_supernodes()
+        assert dirty
+        subset = sorted(dirty)[: max(1, len(dirty) // 3)]
+        processed = dyn.resummarize_local(targets=subset)
+        assert 0 < processed <= len(subset)
+        assert dyn.to_graph() == before
+        verify_lossless(dyn.to_graph(), dyn.to_representation())
+
+    def test_unprocessed_dirtiness_carries_over(self):
+        graph = planted_partition(120, 6, 0.6, 0.0, seed=5)
+        dyn = _dynamic(graph, rebuild_factor=None)
+        for u in range(graph.n):
+            for v in range(u + 1, graph.n):
+                if u % 6 == v % 6 and not dyn.has_edge(u, v):
+                    dyn.insert_edge(u, v)
+        dirty = dyn.dirty_supernodes()
+        subset = sorted(dirty)[: max(1, len(dirty) // 3)]
+        skipped_dirt = sum(
+            count for sid, count in dirty.items() if sid not in subset
+        )
+        dyn.resummarize_local(targets=subset)
+        remaining = dyn.dirty_supernodes()
+        # Dirt on the untargeted region survives the pass (remapped to
+        # the rebuilt ids), so the next pass still knows where to look.
+        assert sum(remaining.values()) == skipped_dirt
+
+    def test_merge_budget_caps_work(self):
+        from repro.resilience.guard import ResourceBudget
+
+        graph = planted_partition(120, 6, 0.6, 0.0, seed=5)
+        dyn = _dynamic(graph, rebuild_factor=None)
+        for u in range(graph.n):
+            for v in range(u + 1, graph.n):
+                if u % 6 == v % 6 and not dyn.has_edge(u, v):
+                    dyn.insert_edge(u, v)
+        before = dyn.to_graph()
+        budget = ResourceBudget(max_merges=3)
+        budget.start()
+        dyn.resummarize_local(budget=budget)
+        budget.stop()
+        assert dyn.to_graph() == before
+        verify_lossless(dyn.to_graph(), dyn.to_representation())
+
+
+class TestDirtinessTracking:
+    def test_mutations_mark_touched_supernodes(self, community_graph):
+        dyn = _dynamic(community_graph)
+        assert dyn.dirty_supernodes() == {}
+        u, v = next(iter(community_graph.edges()))
+        dyn.delete_edge(u, v)
+        dirty = dyn.dirty_supernodes()
+        assert dirty
+        assert all(count >= 1 for count in dirty.values())
+
+    def test_relative_size_infinite_when_empty_but_costly(self):
+        # Deleting every edge of a clique leaves the super-node's
+        # self-loop plus one removal per pair: m == 0 with cost > 0.
+        import itertools
+
+        edges = list(itertools.combinations(range(4), 2))
+        dyn = _dynamic(Graph(4, edges), rebuild_factor=None)
+        for u, v in edges:
+            dyn.delete_edge(u, v)
+        assert dyn.m == 0
+        assert dyn.cost > 0
+        # Worse than any graph's trivial encoding — never 0.0, which
+        # would read as "perfectly compact".
+        assert dyn.relative_size == float("inf")

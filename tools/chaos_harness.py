@@ -33,6 +33,13 @@ that it survived:
    mutations, at most one in-flight batch extra), dedup a
    cross-restart retry, and its state must be bit-identical to an
    uninterrupted replay and pass :func:`repro.core.verify.deep_audit`.
+8. **SIGKILL mid-maintenance** — a durable server with background
+   compactness maintenance enabled is killed twice: mid-ingest, then
+   again the moment a recovered maintenance pass commits.  A final
+   recovery must replay every ``resummarize`` WAL record
+   bit-identically (straight, repeated, and across a mid-tail
+   checkpoint cut), converge to zero dirty super-nodes, and pass
+   ``deep_audit(optimal=True)`` — the optimality waiver removed.
 
 Every scenario also checks its events are observable through the
 :mod:`repro.obs` metrics registry.
@@ -433,6 +440,271 @@ def scenario_ingest_kill9_recovery(seed: int) -> str:
     )
 
 
+def scenario_maintenance_kill9_recovery(seed: int) -> str:
+    """``kill -9`` a durable server while background maintenance is
+    re-summarizing; recovery must replay every committed pass
+    bit-identically and converge to an optimally re-encoded summary.
+
+    Three lives of one WAL directory: (1) sustained acknowledged
+    ingest with maintenance ticking, killed mid-stream; (2) restart,
+    replay, maintenance starts committing ``resummarize`` records,
+    killed again the moment one is observed — the second kill lands
+    mid-maintenance-activity; (3) restart again and let maintenance
+    drain every dirty super-node.  The offline audit then replays the
+    surviving WAL twice (and once across a mid-tail checkpoint cut):
+    all three replays must agree bit-for-bit, and because the last
+    committed record is a full re-encode of a clean summary,
+    ``deep_audit(optimal=True)`` must pass — no waiver."""
+    import json
+    import random
+    import threading
+
+    from repro.cluster.manager import _SERVING_RE, InstanceProcess
+    from repro.cluster.topology import InstanceSpec
+    from repro.core.serialization import (
+        load_representation,
+        save_representation,
+    )
+    from repro.core.verify import deep_audit
+    from repro.durability import (
+        ResummarizeRecord,
+        WriteAheadLog,
+        engine_state,
+        recover_engine,
+        replay_tail,
+    )
+    from repro.graph.graph import Graph
+    from repro.resilience.checkpoint import CheckpointStore
+    from repro.service.client import ServiceError
+    from repro.service.ingest import MutableQueryEngine
+    from repro.service.protocol import ProtocolError
+
+    graph = _graph(seed)
+    rep = (
+        MagsDMSummarizer(iterations=6, seed=seed)
+        .summarize(graph)
+        .representation
+    )
+
+    rng = random.Random(seed + 1)
+    edges = set(graph.edges())
+    script = []
+    for _ in range(2000):
+        if edges and rng.random() < 0.4:
+            edge = rng.choice(sorted(edges))
+            edges.discard(edge)
+            script.append(("-", *edge))
+        else:
+            while True:
+                u, v = rng.randrange(graph.n), rng.randrange(graph.n)
+                pair = (min(u, v), max(u, v))
+                if u != v and pair not in edges:
+                    break
+            edges.add(pair)
+            script.append(("+", *pair))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmpdir = Path(tmp)
+        artifact = tmpdir / "summary.bin"
+        save_representation(artifact, rep)
+        wal_dir = tmpdir / "wal"
+
+        def spawn() -> tuple[InstanceProcess, int]:
+            proc = InstanceProcess(
+                InstanceSpec(shard=0, replica=0, host="127.0.0.1", port=0),
+                artifact,
+                workers=2,
+                # Compaction off so the offline audit sees the whole
+                # history as WAL records; maintenance on a tight tick
+                # with a recorded merge cap.
+                extra_args=[
+                    "--wal-dir", str(wal_dir),
+                    "--compact-interval", "0",
+                    "--maintenance-interval", "0.05",
+                    "--maintenance-max-supernodes", "24",
+                    "--maintenance-budget-merges", "256",
+                    "--maintenance-budget-seconds", "0",
+                ],
+            )
+            proc.start(startup_timeout=120.0)
+            match = _SERVING_RE.search(proc.output_tail())
+            assert match, proc.output_tail()
+            return proc, int(match.group(2))
+
+        def wait_replayed(client) -> dict:
+            deadline = time.monotonic() + 60.0
+            while True:
+                response = client.request_raw({"id": 1, "op": "ping"})
+                if not response.get("degraded"):
+                    return response
+                assert time.monotonic() < deadline, "replay stuck"
+                time.sleep(0.02)
+
+        # Life 1: acknowledged ingest + maintenance ticking, kill -9.
+        server, port = spawn()
+        acked = 0
+        killer = threading.Timer(0.35, server.kill)
+        killer.start()
+        try:
+            with SummaryServiceClient("127.0.0.1", port) as client:
+                for i, mutation in enumerate(script):
+                    try:
+                        result = client.ingest(
+                            [list(mutation)], stream="maint-chaos", seq=i
+                        )
+                    except (OSError, ProtocolError):
+                        break
+                    assert result["applied"] == 1, result
+                    acked = i + 1
+        finally:
+            killer.cancel()
+            server.kill()
+        assert acked > 0, "no mutation was acknowledged before the kill"
+
+        # Life 2: recover, then kill again the moment maintenance has
+        # committed at least one pass — mid-activity by construction.
+        server, port = spawn()
+        try:
+            with SummaryServiceClient("127.0.0.1", port) as client:
+                wait_replayed(client)
+                # Cross-restart dedup: the last durable batch is either
+                # the last acknowledged one or the in-flight one whose
+                # ack the kill swallowed; a rewind rejection for the
+                # former proves the recovered dedup map knows the
+                # latter.
+                try:
+                    retry = client.ingest(
+                        [list(script[acked - 1])],
+                        stream="maint-chaos", seq=acked - 1,
+                    )
+                except ServiceError:
+                    retry = client.ingest(
+                        [list(script[acked])],
+                        stream="maint-chaos", seq=acked,
+                    )
+                assert retry.get("duplicate") is True, retry
+                deadline = time.monotonic() + 60.0
+                while True:
+                    maint = client.stats()["maintenance"]
+                    if maint["passes"] >= 1:
+                        break
+                    assert time.monotonic() < deadline, (
+                        f"maintenance never committed a pass: {maint}"
+                    )
+                    time.sleep(0.01)
+        finally:
+            server.kill()
+
+        # Life 3: recover once more and let maintenance drain.
+        server, port = spawn()
+        try:
+            with SummaryServiceClient("127.0.0.1", port) as client:
+                wait_replayed(client)
+                deadline = time.monotonic() + 120.0
+                while True:
+                    maint = client.stats()["maintenance"]
+                    if maint["dirty_supernodes"] == 0:
+                        break
+                    assert time.monotonic() < deadline, (
+                        f"maintenance never converged: {maint}"
+                    )
+                    time.sleep(0.02)
+                converged_passes = maint["passes"]
+                # The served graph is still the oracle of the durable
+                # mutation prefix (re-encoding must never change it).
+                got = set()
+                for node in range(graph.n):
+                    for peer in client.neighbors(node):
+                        got.add((min(node, peer), max(node, peer)))
+        finally:
+            server.kill()
+
+        # Offline audit of what the three lives left behind.
+        wal = WriteAheadLog(wal_dir, fsync="never", registry=get_registry())
+        records = list(wal.records(after_lsn=0))
+        resummarized = [
+            r for r in records if isinstance(r, ResummarizeRecord)
+        ]
+        assert resummarized, "no resummarize record survived the kills"
+        durable = sum(
+            1 for r in records if not isinstance(r, ResummarizeRecord)
+        )
+        assert acked <= durable <= acked + 1, (acked, durable)
+        oracle = set(graph.edges())
+        for sign, u, v in script[:durable]:
+            (oracle.add if sign == "+" else oracle.discard)((u, v))
+        assert got == oracle, "served graph diverged from oracle"
+
+        # Replay from the artifact the server itself loaded: replay
+        # determinism is member-order-sensitive (union-find roots
+        # follow member order, serialization stores it sorted), so the
+        # audit must start from the same bytes the server did.
+        base = load_representation(artifact)
+
+        def replay_all(tail):
+            engine, pending, report = recover_engine(
+                base, None, None,
+                engine_factory=lambda d: MutableQueryEngine(d),
+            )
+            replay_tail(engine, list(tail), report)
+            return engine
+
+        first = replay_all(records)
+        second = replay_all(records)
+        assert first.representation == second.representation, (
+            "independent WAL replays diverged"
+        )
+        assert first.epoch == second.epoch
+        assert (
+            first._dynamic.dirty_supernodes()
+            == second._dynamic.dirty_supernodes()
+        )
+        # Mid-tail checkpoint cut: replaying half, checkpointing, and
+        # recovering from that checkpoint plus the rest must land on
+        # the same bits as the straight-through replay.
+        half = len(records) // 2
+        prefix = replay_all(records[:half])
+        store = CheckpointStore(tmpdir / "cut-checkpoints")
+        store.save(engine_state(prefix), step=prefix.applied_lsn)
+        resumed, pending, report = recover_engine(
+            base, None, store,
+            engine_factory=lambda d: MutableQueryEngine(d),
+        )
+        replay_tail(resumed, records[half:], report)
+        assert resumed.representation == first.representation, (
+            "checkpoint-cut replay diverged from straight-through replay"
+        )
+        assert json.dumps(
+            engine_state(resumed), sort_keys=True
+        ) == json.dumps(engine_state(first), sort_keys=True)
+        # Replayed maintenance passes are observable in metrics (each
+        # engine carries its own registry).
+        replayed_passes = int(
+            first.metrics.registry.counter(
+                "repro_maintenance_passes_total", outcome="committed"
+            ).value
+        )
+        assert replayed_passes >= len(resummarized), replayed_passes
+        # Converged maintenance leaves *the* optimal encoding of its
+        # partition — the full audit, waiver removed.
+        assert first._dynamic.dirty_supernodes() == {}, (
+            "replay did not converge with the live run"
+        )
+        findings = deep_audit(
+            first.representation,
+            Graph(graph.n, sorted(oracle)),
+            optimal=True,
+        )
+        assert not findings, findings
+        wal.close()
+    return (
+        f"kill -9 x2 around {len(resummarized)} committed maintenance "
+        f"pass(es): replay bit-identical (straight, repeated, and "
+        f"checkpoint-cut), converged after {converged_passes} pass(es), "
+        f"deep_audit(optimal=True) clean"
+    )
+
+
 def _counter_value(name: str, **labels) -> int:
     return int(get_registry().counter(name, **labels).value)
 
@@ -445,6 +717,7 @@ SCENARIOS = [
     scenario_degraded_serving,
     scenario_slo_gate,
     scenario_ingest_kill9_recovery,
+    scenario_maintenance_kill9_recovery,
 ]
 
 
