@@ -391,6 +391,31 @@ def build_parser() -> argparse.ArgumentParser:
             "size each epoch swap pays for (default 64)"
         ),
     )
+    serve.add_argument(
+        "--repl-role", choices=("primary", "follower"), default=None,
+        help=(
+            "join a per-shard replication group as this role "
+            "(requires --wal-dir): a primary WAL-ships every commit "
+            "to its --repl-follower peers; a follower applies the "
+            "shipped stream and rejects direct ingest"
+        ),
+    )
+    serve.add_argument(
+        "--repl-follower", action="append", default=None,
+        metavar="HOST:PORT",
+        help=(
+            "follower address to replicate to (repeatable; primary "
+            "role only)"
+        ),
+    )
+    serve.add_argument(
+        "--repl-acks", choices=("leader", "quorum"), default="quorum",
+        help=(
+            "when to acknowledge a write: 'quorum' — once a majority "
+            "of the replica set holds it; 'leader' — once the local "
+            "WAL holds it (default quorum)"
+        ),
+    )
 
     cluster = sub.add_parser(
         "cluster",
@@ -418,6 +443,13 @@ def build_parser() -> argparse.ArgumentParser:
     cplan.add_argument(
         "--base-port", type=int, default=7400,
         help="router port; instances get consecutive ports above it",
+    )
+    cplan.add_argument(
+        "--acks", choices=("leader", "quorum"), default="quorum",
+        help=(
+            "replication ack mode recorded in the topology for "
+            "replicated durable ingest (default quorum)"
+        ),
     )
     cplan.add_argument(
         "--topology", default=None,
@@ -456,8 +488,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--wal-dir", default=None,
         help=(
             "enable durable ingest: every instance gets a private WAL "
-            "+ checkpoint directory under this path (requires a "
-            "replicas=1 topology)"
+            "+ checkpoint directory under this path; with a "
+            "replicas>1 topology each shard's replica 0 starts as "
+            "primary and WAL-ships to its siblings (acks per the "
+            "topology's 'acks' field)"
         ),
     )
     cstart.add_argument(
@@ -779,8 +813,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     wal = None
     compactor = None
     maintenance = None
-    pending: list = []
+    pending = ()
     recovery_report = None
+    tail_lsns = 0
     if args.wal_dir:
         from pathlib import Path as _Path
 
@@ -870,12 +905,61 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"corrections={rep.num_corrections}"
     )
     if args.wal_dir:
+        # ``pending`` streams lazily (a multi-GB tail must not
+        # materialize), so report the LSN span instead of a count.
+        tail_lsns = max(
+            0, wal.last_lsn - recovery_report.checkpoint_lsn
+        )
         print(
             f"durable ingest on: wal-dir={args.wal_dir} "
             f"fsync={args.fsync} "
             f"checkpoint_lsn={recovery_report.checkpoint_lsn} "
-            f"wal_tail={len(pending)} record(s)"
+            f"wal_tail={tail_lsns} lsn(s)"
         )
+    wire_replication = None
+    if args.repl_role is not None:
+        if not args.wal_dir:
+            print(
+                "error: --repl-role requires --wal-dir (replication "
+                "ships WAL records)",
+                file=sys.stderr,
+            )
+            return 2
+        repl_followers: list[tuple[str, int]] = []
+        for raw in args.repl_follower or []:
+            host_part, sep, port_part = raw.rpartition(":")
+            if not sep or not host_part or not port_part.isdigit():
+                print(
+                    f"error: --repl-follower {raw!r} is not HOST:PORT",
+                    file=sys.stderr,
+                )
+                return 2
+            repl_followers.append((host_part, int(port_part)))
+        if repl_followers and args.repl_role != "primary":
+            print(
+                "error: --repl-follower only applies to "
+                "--repl-role primary",
+                file=sys.stderr,
+            )
+            return 2
+
+        def wire_replication() -> None:
+            # Deferred until the WAL tail (if any) has replayed: a
+            # primary's configure stamps its term at the log head,
+            # which must come *after* every recovered record.
+            engine.configure_replication(
+                role=args.repl_role,
+                followers=repl_followers,
+                acks=args.repl_acks,
+                store=store,
+            )
+            print(
+                f"replication on: role={args.repl_role} "
+                f"acks={args.repl_acks} "
+                f"followers={len(repl_followers)} term={engine.term}",
+                flush=True,
+            )
+
     sink = None
     if args.trace_dir or args.instance_label:
         import os as _os
@@ -907,7 +991,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     server.start()
     replay_thread = None
-    if pending:
+    if tail_lsns > 0:
         # The flag goes up *before* readiness is announced so the very
         # first query already answers ``degraded: true``; the tail then
         # drains on a background thread while the server serves.
@@ -919,13 +1003,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         def _drain_tail() -> None:
             _replay_tail(engine, pending, recovery_report)
             print(recovery_report.describe(), flush=True)
+            if wire_replication is not None:
+                wire_replication()
 
         replay_thread = _threading.Thread(
             target=_drain_tail, name="repro-wal-replay", daemon=True
         )
         replay_thread.start()
-    elif recovery_report is not None:
-        print(recovery_report.describe(), flush=True)
+    else:
+        if recovery_report is not None:
+            print(recovery_report.describe(), flush=True)
+        if wire_replication is not None:
+            wire_replication()
     if compactor is not None:
         compactor.start()
     if maintenance is not None:
@@ -950,6 +1039,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         if replay_thread is not None:
             replay_thread.join(timeout=30.0)
+        stop_replication = getattr(engine, "stop_replication", None)
+        if stop_replication is not None:
+            stop_replication()
         if maintenance is not None:
             maintenance.stop()
         if compactor is not None:
@@ -999,6 +1091,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 host=args.host,
                 base_port=args.base_port,
+                acks=args.acks,
             )
         factory = lambda: ALGORITHMS[args.algorithm](  # noqa: E731
             args.iterations, args.seed
@@ -1126,11 +1219,21 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 p99_text = (
                     f"{p99:.1f}" if isinstance(p99, (int, float)) else "-"
                 )
+                repl_text = ""
+                if row.get("role") is not None:
+                    repl_text = (
+                        f" role={row['role']} term={row.get('term')}"
+                    )
+                    if row.get("max_follower_lag") is not None:
+                        repl_text += (
+                            f" lag={row['max_follower_lag']} lsn(s)"
+                        )
                 print(
                     f"{row['target']:12s} {row['address']:22s} up  "
                     f"requests={row['requests_total']} "
                     f"errors={row['errors_total']} "
                     f"p99_ms={p99_text}"
+                    f"{repl_text}"
                 )
             else:
                 all_up = False

@@ -183,11 +183,6 @@ class ClusterManager:
         self.spec = spec
         self.trace_dir = Path(trace_dir) if trace_dir is not None else None
         self.wal_dir = Path(wal_dir) if wal_dir is not None else None
-        if self.wal_dir is not None and spec.replicas > 1:
-            raise TopologyError(
-                "durable ingest clusters need replicas=1: mutations "
-                "are not replicated across replicas"
-            )
 
         def extra_args(instance: InstanceSpec) -> list[str]:
             args = list(instance_args or [])
@@ -210,6 +205,23 @@ class ClusterManager:
                         / f"shard{instance.shard}-r{instance.replica}"
                     ),
                 ]
+                if spec.replicas > 1:
+                    # Static replication wiring: replica 0 starts as
+                    # each shard's primary, its siblings as followers.
+                    # The router re-elects on failure; a restarted
+                    # stale primary is fenced by its higher-term
+                    # sibling and steps down on its own.
+                    if instance.replica == 0:
+                        args += ["--repl-role", "primary"]
+                        for sibling in spec.instances_for(instance.shard):
+                            if sibling.replica != instance.replica:
+                                args += [
+                                    "--repl-follower",
+                                    f"{sibling.host}:{sibling.port}",
+                                ]
+                        args += ["--repl-acks", spec.acks]
+                    else:
+                        args += ["--repl-role", "follower"]
             return args
 
         self.processes: dict[str, InstanceProcess] = {
@@ -317,11 +329,16 @@ class LocalCluster:
         servers: dict[str, SummaryQueryServer],
         router_server: SummaryQueryServer,
         router_engine: RouterEngine,
+        engines: dict[str, object] | None = None,
     ):
         self.spec = spec
         self.servers = servers
         self.router_server = router_server
         self.router_engine = router_engine
+        #: Per-instance engines by label — lets replication tests
+        #: reach into a replica's state directly (compare summary
+        #: bytes, force a step-down) without a wire round trip.
+        self.engines: dict[str, object] = dict(engines or {})
 
     @property
     def router_address(self) -> tuple[str, int]:
@@ -334,6 +351,10 @@ class LocalCluster:
     def close(self) -> None:
         self.router_server.close()
         self.router_engine.close()
+        for engine in self.engines.values():
+            stop_replication = getattr(engine, "stop_replication", None)
+            if stop_replication is not None:
+                stop_replication()
         for server in self.servers.values():
             server.close()
 
@@ -357,6 +378,7 @@ def start_local_cluster(
     workers: int = 4,
     retry_policy=None,
     mutable: bool = False,
+    acks: str = "quorum",
 ) -> LocalCluster:
     """Serve per-shard ``representations`` in-process on ephemeral
     ports and front them with a router.
@@ -370,23 +392,21 @@ def start_local_cluster(
     ``mutable=True`` serves each shard through a
     :class:`~repro.service.ingest.MutableQueryEngine` (no WAL — this
     is the in-process routing-semantics testbed, not the durable
-    path) and requires ``replicas=1``, matching the router's ingest
-    contract.
+    path).  With ``replicas > 1`` the replicas of each shard are
+    wired into a replication group over their real sockets: replica 0
+    primary, siblings followers, write acknowledgement per ``acks``.
     """
     from repro.cluster.topology import InstanceSpec as _Instance
 
     shards = len(representations)
     if shards < 1:
         raise TopologyError("need at least one shard representation")
-    if mutable and replicas != 1:
-        raise TopologyError(
-            "mutable local clusters need replicas=1: mutations are "
-            "not replicated across replicas"
-        )
     servers: dict[str, SummaryQueryServer] = {}
+    engines: dict[str, object] = {}
     instances: list[InstanceSpec] = []
     try:
         for shard, rep in enumerate(representations):
+            shard_group: list[tuple[InstanceSpec, object]] = []
             for replica in range(replicas):
                 if mutable:
                     from repro.dynamic.summary import DynamicGraphSummary
@@ -406,7 +426,25 @@ def start_local_cluster(
                     shard=shard, replica=replica, host=host, port=port
                 )
                 servers[instance.label] = server
+                engines[instance.label] = engine
                 instances.append(instance)
+                shard_group.append((instance, engine))
+            if mutable and replicas > 1:
+                # Wire the shard's replication group now that every
+                # sibling's ephemeral port is known: replica 0
+                # primary, the rest followers (same convention as
+                # ClusterManager's subprocess flags).
+                for _, follower_engine in shard_group[1:]:
+                    follower_engine.configure_replication(
+                        role="follower"
+                    )
+                shard_group[0][1].configure_replication(
+                    role="primary",
+                    followers=[
+                        inst.address for inst, _ in shard_group[1:]
+                    ],
+                    acks=acks,
+                )
         spec = ClusterSpec(
             shards=shards,
             replicas=replicas,
@@ -417,6 +455,7 @@ def start_local_cluster(
             n=n if n is not None else representations[0].n,
             breaker_threshold=breaker_threshold,
             breaker_reset_s=breaker_reset_s,
+            acks=acks,
         )
         router_engine = RouterEngine(
             spec,
@@ -428,10 +467,16 @@ def start_local_cluster(
             router_engine, port=0, workers=workers
         ).start()
     except BaseException:
+        for engine in engines.values():
+            stop_replication = getattr(engine, "stop_replication", None)
+            if stop_replication is not None:
+                stop_replication()
         for server in servers.values():
             server.close()
         raise
-    return LocalCluster(spec, servers, router_server, router_engine)
+    return LocalCluster(
+        spec, servers, router_server, router_engine, engines=engines
+    )
 
 
 def probe_topology(spec: ClusterSpec, timeout: float = 3.0) -> list[dict]:
@@ -452,10 +497,26 @@ def probe_topology(spec: ClusterSpec, timeout: float = 3.0) -> list[dict]:
         try:
             with SummaryServiceClient(host, port, timeout=timeout) as client:
                 stats = client.stats()
+                repl = None
+                if label != "router" and spec.replicas > 1:
+                    try:
+                        repl = client.repl_status()
+                    except (OSError, ServiceError, ValueError):
+                        repl = None  # read-only instance, or mid-restart
             row["up"] = True
             row["requests_total"] = stats.get("requests_total")
             row["errors_total"] = stats.get("errors_total")
             row["p99_ms"] = worst_p99_ms(stats.get("latency_ms"))
+            if isinstance(repl, dict):
+                row["role"] = repl.get("role")
+                row["term"] = repl.get("term")
+                followers = repl.get("followers")
+                if isinstance(followers, list) and followers:
+                    row["max_follower_lag"] = max(
+                        int(f.get("lag", 0) or 0)
+                        for f in followers
+                        if isinstance(f, dict)
+                    )
         except (OSError, ServiceError, ValueError) as exc:
             row["up"] = False
             row["error"] = f"{type(exc).__name__}: {exc}"

@@ -34,9 +34,17 @@ Routing semantics
   reuse the client's ``stream``/``seq`` identity per shard, so a
   retry after a partial failure converges: shards that already
   applied answer ``duplicate: true``, the rest apply.  The router's
-  neighbor cache is invalidated per dirty node on success.  Requires
-  a ``replicas=1`` topology — mutations are not replicated, so with
-  sibling replicas a write would land on one and silently diverge.
+  neighbor cache is invalidated per dirty node on success.  With
+  ``replicas > 1`` each sub-batch goes to the shard's current
+  **primary**, which ships its WAL to the sibling followers
+  (:mod:`repro.durability.replication`); when the primary dies or
+  answers ``not_primary``/``fenced``, the router probes the live
+  replicas' ``repl_status``, adopts an already-promoted primary or
+  promotes the most-caught-up follower under a strictly higher term,
+  and retries the sub-batch — the replayed ``(stream, seq)`` dedups
+  on the new primary, so a batch acked just before the failover is
+  answered ``duplicate: true`` instead of double-applied.  See
+  docs/resilience.md ("Replication & failover").
 * ``stats`` — the router's own counters plus a ``cluster`` section
   aggregated from a best-effort ``stats`` probe of every instance.
 * ``telemetry`` — the router's identity and registry snapshot; the
@@ -72,6 +80,7 @@ the dead shard.
 
 from __future__ import annotations
 
+import contextlib
 import logging
 import os
 import random
@@ -267,6 +276,17 @@ class ReplicaPool:
         except (ServiceError, *_FAILOVER_ERRORS):
             return None
 
+    def try_repl_status(self) -> dict | None:
+        """Best-effort ``repl_status`` probe (``None`` for dead or
+        read-only instances); breaker-neutral, like :meth:`try_stats`,
+        and deliberately *not* gated on the breaker — promotion must
+        be able to probe an ejected replica."""
+        try:
+            snap = self.request("repl_status")
+            return snap if isinstance(snap, dict) else None
+        except (ServiceError, *_FAILOVER_ERRORS):
+            return None
+
     def close(self) -> None:
         with self._cond:
             self._closed = True
@@ -278,7 +298,17 @@ class ReplicaPool:
 
 
 class ShardPool:
-    """The replicas of one shard, swept round-robin with failover."""
+    """The replicas of one shard, swept round-robin with failover.
+
+    Reads sweep every replica (each serves the same artifact).
+    Writes (:meth:`ingest_request`) are **primary-routed**: the pool
+    tracks which replica is the shard's primary and at what term, and
+    on a dead or demoted primary runs the promotion protocol —
+    probe live replicas' ``repl_status``, adopt an existing primary at
+    a higher term, or promote the most-caught-up follower with a
+    strictly higher term (the engines fence stale terms server-side,
+    so two racing routers cannot split the shard's write stream).
+    """
 
     def __init__(
         self,
@@ -288,6 +318,7 @@ class ShardPool:
         retry_policy: RetryPolicy,
         metrics: ServiceMetrics,
         seed: int = 0,
+        acks: str = "quorum",
     ):
         if not replicas:
             raise TopologyError(f"shard {shard} has no replicas")
@@ -298,6 +329,14 @@ class ShardPool:
         self._rng = random.Random(seed * 1000003 + shard)
         self._lock = threading.Lock()
         self._next = 0
+        #: Index of the replica currently believed to be the shard's
+        #: primary, and the replication term it was last seen or
+        #: promoted at.  Replica 0 starts as primary by convention
+        #: (matching :func:`repro.cluster.manager.cluster_commands`).
+        self.primary = 0
+        self.term = 0
+        self._acks = acks
+        self._promote_lock = threading.Lock()
 
     def _rotation(self) -> list[ReplicaPool]:
         with self._lock:
@@ -367,6 +406,148 @@ class ShardPool:
             ).inc()
             raise ShardDownError(self.shard, len(self.replicas)) from exc
 
+    # -- primary-routed writes -------------------------------------------
+    def ingest_request(self, **params):
+        """Forward one ingest sub-batch to the shard's primary,
+        promoting a new one when the current primary is dead or
+        demoted.  Single-replica shards take the plain sweep path —
+        the lone replica *is* the primary."""
+        if len(self.replicas) == 1:
+            return self.request("ingest", **params)
+        try:
+            return call_with_retry(
+                lambda: self._ingest_attempt(params),
+                policy=self._retry_policy,
+                retry_on=(_SweepFailed,),
+                rng=self._rng,
+                label=f"router_ingest_{self.shard}",
+            )
+        except (RetriesExhausted, DeadlineExceeded) as exc:
+            self._metrics.registry.counter(
+                "router_shard_down_total", shard=str(self.shard)
+            ).inc()
+            raise ShardDownError(self.shard, len(self.replicas)) from exc
+
+    def _ingest_attempt(self, params: dict):
+        """One pass: try the tracked primary; on a transport failure
+        or a ``not_primary``/``fenced`` verdict, re-elect and retry
+        against the new primary.  Bounded so a shard with no
+        promotable replica degrades to :class:`_SweepFailed` (and,
+        once the retry policy is exhausted, ``unavailable``)."""
+        for _ in range(len(self.replicas) + 1):
+            pool = self.replicas[self.primary]
+            if not pool.breaker.allow():
+                if not self.ensure_primary():
+                    break
+                continue
+            try:
+                result = pool.request("ingest", **params)
+            except ServiceError as exc:
+                # The replica answered — the connection is healthy.
+                pool.breaker.record_success()
+                if exc.type in ("not_primary", "fenced"):
+                    # Our notion of the primary is stale (it stepped
+                    # down, or a sibling holds a higher term).
+                    if not self.ensure_primary():
+                        break
+                    continue
+                raise
+            except _FAILOVER_ERRORS as exc:
+                self._record_failure(pool, exc)
+                if not self.ensure_primary():
+                    break
+                continue
+            pool.breaker.record_success()
+            return result
+        raise _SweepFailed(
+            f"shard {self.shard}: no reachable primary and no "
+            "promotable replica"
+        )
+
+    def ensure_primary(self) -> bool:
+        """Re-elect the shard's primary; returns whether one is known.
+
+        Probes every replica's ``repl_status`` (breaker-neutral — a
+        just-ejected survivor must still be electable).  A live
+        replica already claiming ``primary`` at the highest term is
+        adopted as-is (another router — or the instance's own static
+        wiring — won the race).  Otherwise the most-caught-up live
+        replica, by ``(term, last_lsn)``, is promoted with a strictly
+        higher term; the engines' fencing makes the losing side of
+        any promotion race step down.
+        """
+        with self._promote_lock:
+            statuses = [
+                (index, status)
+                for index, pool in enumerate(self.replicas)
+                if (status := pool.try_repl_status()) is not None
+            ]
+            if not statuses:
+                return False
+            live_primary = None
+            for index, status in statuses:
+                if status.get("role") == "primary":
+                    term = int(status.get("term", 0))
+                    if live_primary is None or term > live_primary[1]:
+                        live_primary = (index, term)
+            if live_primary is not None and live_primary[1] >= self.term:
+                self.primary, self.term = live_primary
+                self._gauge_term()
+                return True
+
+            def caught_up(item):
+                _, status = item
+                return (
+                    int(status.get("term", 0)),
+                    int(status.get("last_lsn", 0) or 0),
+                    int(status.get("applied_lsn", 0) or 0),
+                )
+
+            candidate, status = max(statuses, key=caught_up)
+            new_term = (
+                max(int(s.get("term", 0)) for _, s in statuses) + 1
+            )
+            followers = [
+                [pool.instance.host, pool.instance.port]
+                for index, pool in enumerate(self.replicas)
+                if index != candidate
+            ]
+            try:
+                self.replicas[candidate].request(
+                    "replicate",
+                    term=new_term,
+                    promote=True,
+                    followers=followers,
+                    acks=self._acks,
+                )
+            except (ServiceError, *_FAILOVER_ERRORS) as exc:
+                logger.warning(
+                    "shard %d: promotion of %s to term %d failed "
+                    "(%s: %s)",
+                    self.shard,
+                    self.replicas[candidate].instance.label,
+                    new_term, type(exc).__name__, exc,
+                )
+                return False
+            self.primary, self.term = candidate, new_term
+            self._gauge_term()
+            self._metrics.registry.counter(
+                "repro_replication_promotions_total",
+                shard=str(self.shard),
+            ).inc()
+            logger.warning(
+                "shard %d: promoted %s to primary at term %d",
+                self.shard,
+                self.replicas[candidate].instance.label,
+                new_term,
+            )
+            return True
+
+    def _gauge_term(self) -> None:
+        self._metrics.registry.gauge(
+            "repro_replication_term", shard=str(self.shard)
+        ).set(self.term)
+
     def close(self) -> None:
         for pool in self.replicas:
             pool.close()
@@ -421,10 +602,17 @@ class RouterEngine:
         self.n = spec.n
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self._cache = LRUCache(cache_size)
-        #: Serializes two-phase ingest fan-outs: no sibling batch may
-        #: commit between another batch's prepare and commit rounds,
-        #: or the prepare's validation verdict could go stale.
-        self._ingest_lock = threading.Lock()
+        #: Serializes two-phase ingest fan-outs *per shard*: no
+        #: sibling batch may commit between another batch's prepare
+        #: and commit rounds on a shard they both touch, or the
+        #: prepare's validation verdict could go stale — but batches
+        #: over disjoint shard sets proceed concurrently.  A batch
+        #: takes the locks of every shard it touches in ascending
+        #: shard order, so two batches sharing shards always contend
+        #: in the same order and cannot deadlock.
+        self._ingest_locks = tuple(
+            threading.Lock() for _ in range(spec.shards)
+        )
         policy = retry_policy if retry_policy is not None else RetryPolicy(
             max_attempts=2, base_delay=0.05, max_delay=0.5
         )
@@ -444,6 +632,7 @@ class RouterEngine:
                 retry_policy=policy,
                 metrics=self.metrics,
                 seed=spec.seed,
+                acks=getattr(spec, "acks", "quorum"),
             )
             for shard in range(spec.shards)
         ]
@@ -474,9 +663,10 @@ class RouterEngine:
         op = request.get("op")
         if op not in ROUTER_OPS:
             # The listing deliberately prints OPS, not ROUTER_OPS:
-            # ingest support is topology-conditional (replicas=1) and
-            # the message must stay byte-identical to a single
-            # read-only server's, per the mirror contract above.
+            # ingest support is engine-conditional (the shards must
+            # run mutable engines) and the message must stay
+            # byte-identical to a single read-only server's, per the
+            # mirror contract above.
             raise QueryError(
                 "bad_request",
                 f"unknown op {op!r}; supported: {', '.join(OPS)}",
@@ -676,6 +866,23 @@ class RouterEngine:
                 **params,
             )
 
+    def _shard_ingest(self, shard_pool: ShardPool, parent=None, **params):
+        """Like :meth:`_shard_request`, but primary-routed through
+        :meth:`ShardPool.ingest_request` (writes must land on the
+        shard's replication primary, not whichever replica the read
+        sweep would pick)."""
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return shard_pool.ingest_request(**params)
+        with tracer.span(
+            "router:fanout", parent=parent, op="ingest",
+            shard=shard_pool.shard,
+        ) as span:
+            return shard_pool.ingest_request(
+                trace={"id": span.trace_id, "span": span.span_id},
+                **params,
+            )
+
     @staticmethod
     def _coerce_service_error(value, kind, op: str):
         if not isinstance(value, kind):
@@ -704,17 +911,13 @@ class RouterEngine:
         making the commit round idempotent per shard: a retry after a
         partial transport failure re-sends everywhere, already-applied
         shards dedup, and the batch converges to applied-exactly-once.
+
+        Replicated shards take the same path, but every sub-call is
+        **primary-routed** (:meth:`ShardPool.ingest_request`): the
+        primary WAL-ships the sub-batch to its followers before — in
+        ``acks=quorum`` mode — acknowledging, and a mid-batch primary
+        death triggers promotion and a dedup-safe resend.
         """
-        if self.spec.replicas > 1:
-            # A mutation lands on whichever replica the sweep picks;
-            # without write replication the siblings would silently
-            # diverge, so durable ingest clusters run replicas=1
-            # (failover stays a read-path feature).
-            raise QueryError(
-                "bad_request",
-                "ingest requires a replicas=1 topology: mutations are "
-                "not replicated across replicas",
-            )
         stream = request.get("stream")
         seq = request.get("seq")
         mutations = request.get("mutations")
@@ -757,9 +960,8 @@ class RouterEngine:
             params = {"stream": stream, "seq": seq, "mutations": subset}
             if dry_run:
                 params["dry_run"] = True
-            result = self._shard_request(
+            result = self._shard_ingest(
                 self._shards[shard],
-                "ingest",
                 parent=parent_span,
                 **params,
             )
@@ -776,7 +978,11 @@ class RouterEngine:
                 ]
             )
 
-        with self._ingest_lock:
+        with contextlib.ExitStack() as stack:
+            # Ordered per-shard locking: batches over disjoint shard
+            # sets overlap freely; batches sharing a shard serialize.
+            for shard in sorted(per_shard):
+                stack.enter_context(self._ingest_locks[shard])
             # Prepare: every involved shard validates its sub-batch
             # (already-applied shards answer from their dedup cache).
             # A rejection here aborts the whole batch with nothing
@@ -940,6 +1146,7 @@ class RouterEngine:
             "dirty_corrections": 0,
         }
         maint_reported = 0
+        replicated = self.spec.replicas > 1
         for shard_pool in self._shards:
             instances = []
             for pool in shard_pool.replicas:
@@ -947,6 +1154,7 @@ class RouterEngine:
                 healthy = stats is not None
                 up += int(healthy)
                 requests = errors = p99 = None
+                repl = pool.try_repl_status() if replicated else None
                 if healthy:
                     requests = stats.get("requests_total", 0)
                     errors = stats.get("errors_total", 0)
@@ -960,25 +1168,43 @@ class RouterEngine:
                             maint[key] += int(
                                 instance_maint.get(key, 0) or 0
                             )
-                instances.append(
-                    {
-                        "instance": pool.instance.label,
-                        "host": pool.instance.host,
-                        "port": pool.instance.port,
-                        "healthy": healthy,
-                        "breaker": pool.breaker.state,
-                        # Per-instance traffic summary inline so
-                        # `repro cluster status` is useful without
-                        # the telemetry collector.
-                        "requests": requests,
-                        "errors": errors,
-                        "p99_ms": p99,
-                        "stats": stats,
-                    }
-                )
-            shards.append(
-                {"shard": shard_pool.shard, "instances": instances}
-            )
+                entry = {
+                    "instance": pool.instance.label,
+                    "host": pool.instance.host,
+                    "port": pool.instance.port,
+                    "healthy": healthy,
+                    "breaker": pool.breaker.state,
+                    # Per-instance traffic summary inline so
+                    # `repro cluster status` is useful without
+                    # the telemetry collector.
+                    "requests": requests,
+                    "errors": errors,
+                    "p99_ms": p99,
+                    "stats": stats,
+                }
+                if replicated:
+                    entry["replication"] = (
+                        {
+                            "role": repl.get("role"),
+                            "term": repl.get("term"),
+                            "applied_lsn": repl.get("applied_lsn"),
+                            "last_lsn": repl.get("last_lsn"),
+                            "followers": repl.get("followers"),
+                        }
+                        if repl is not None
+                        else None
+                    )
+                instances.append(entry)
+            shard_entry = {
+                "shard": shard_pool.shard, "instances": instances,
+            }
+            if replicated:
+                # The router's own view of the shard's write path.
+                shard_entry["primary"] = shard_pool.replicas[
+                    shard_pool.primary
+                ].instance.label
+                shard_entry["term"] = shard_pool.term
+            shards.append(shard_entry)
         total = len(self.spec.instances)
         snapshot["cluster"] = {
             "shards": shards,

@@ -105,6 +105,13 @@ class ClusterSpec:
     n: int | None = None
     breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD
     breaker_reset_s: float = DEFAULT_BREAKER_RESET_S
+    #: Replication acknowledgement mode for mutable replicated shards
+    #: (``replicas > 1`` with durable ingest): ``"quorum"`` — a write
+    #: is acked only once a majority of the replica set holds it;
+    #: ``"leader"`` — the primary's WAL alone acks (faster, loses the
+    #: tail if the primary dies before shipping).  Ignored by
+    #: read-only and single-replica deployments.
+    acks: str = "quorum"
     base_dir: Path | None = None
 
     def __post_init__(self):
@@ -113,6 +120,10 @@ class ClusterSpec:
         if self.replicas < 1:
             raise TopologyError(
                 f"replicas must be >= 1, got {self.replicas}"
+            )
+        if self.acks not in ("leader", "quorum"):
+            raise TopologyError(
+                f"acks must be 'leader' or 'quorum', got {self.acks!r}"
             )
         if self.breaker_threshold < 1:
             raise TopologyError("breaker_threshold must be >= 1")
@@ -207,6 +218,7 @@ class ClusterSpec:
                 "breaker_threshold": self.breaker_threshold,
                 "breaker_reset_s": self.breaker_reset_s,
             },
+            "acks": self.acks,
         }
 
 
@@ -265,6 +277,9 @@ def spec_from_dict(data: dict, base_dir: Path | None = None) -> ClusterSpec:
     n = data.get("n")
     if n is not None and (not isinstance(n, int) or isinstance(n, bool)):
         raise TopologyError("'n' must be an integer (or null)")
+    acks = data.get("acks", "quorum")
+    if not isinstance(acks, str):
+        raise TopologyError("'acks' must be a string")
     return ClusterSpec(
         shards=_require(data, "shards", int, "topology"),
         replicas=_require(data, "replicas", int, "topology"),
@@ -280,6 +295,7 @@ def spec_from_dict(data: dict, base_dir: Path | None = None) -> ClusterSpec:
         breaker_reset_s=failover.get(
             "breaker_reset_s", DEFAULT_BREAKER_RESET_S
         ),
+        acks=acks,
         base_dir=base_dir,
     )
 
@@ -314,6 +330,7 @@ def default_spec(
     host: str = "127.0.0.1",
     base_port: int = 7400,
     n: int | None = None,
+    acks: str = "quorum",
 ) -> ClusterSpec:
     """A single-host topology on consecutive ports.
 
@@ -338,4 +355,5 @@ def default_spec(
         router_port=base_port,
         instances=instances,
         n=n,
+        acks=acks,
     )

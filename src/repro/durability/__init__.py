@@ -11,6 +11,15 @@ query service; see docs/resilience.md ("Durability & recovery").
 """
 
 from repro.durability.compactor import WalCompactor
+from repro.durability.replication import (
+    ACKS_MODES,
+    ReplicaLink,
+    ReplicationError,
+    ReplicationManager,
+    quorum_size,
+    record_from_wire,
+    record_to_wire,
+)
 from repro.durability.recovery import (
     RecoveryReport,
     engine_state,
@@ -23,21 +32,30 @@ from repro.durability.wal import (
     FSYNC_POLICIES,
     MUTATION_OPS,
     ResummarizeRecord,
+    TermRecord,
     WalError,
     WalRecord,
     WriteAheadLog,
 )
 
 __all__ = [
+    "ACKS_MODES",
     "FSYNC_POLICIES",
     "MUTATION_OPS",
     "RecoveryReport",
+    "ReplicaLink",
+    "ReplicationError",
+    "ReplicationManager",
     "ResummarizeRecord",
+    "TermRecord",
     "WalCompactor",
     "WalError",
     "WalRecord",
     "WriteAheadLog",
     "engine_state",
+    "quorum_size",
+    "record_from_wire",
+    "record_to_wire",
     "recover_engine",
     "replay_tail",
     "representation_to_state",

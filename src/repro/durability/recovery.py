@@ -51,8 +51,11 @@ __all__ = [
 #: order so LRU eviction survives recovery; v2 checkpoints still load
 #: (dirtiness is re-derived from the live corrections, dedup recency
 #: falls back to the stored sorted order).
-STATE_VERSION = 3
-_ACCEPTED_VERSIONS = (2, 3)
+#: v4 added the replication ``term`` so a restarted replica rejoins
+#: with the leadership epoch it last durably observed; older
+#: checkpoints load with term 0 (the WAL's term records still apply).
+STATE_VERSION = 4
+_ACCEPTED_VERSIONS = (2, 3, 4)
 
 
 @dataclass
@@ -126,6 +129,7 @@ def engine_state(engine) -> dict:
         "base_cost": engine._dynamic.base_cost,
         "epoch": engine.epoch,
         "applied_lsn": engine.applied_lsn,
+        "term": getattr(engine, "term", 0),
         # Commit-recency order (oldest first), NOT sorted: the row
         # order is the engine's LRU eviction order and must round-trip.
         "dedup": [
@@ -169,6 +173,7 @@ def recover_engine(
     base_cost = None
     epoch = 0
     applied_lsn = 0
+    term = 0
     dirtiness: dict[int, int] | None = None
     dedup: OrderedDict[
         str, tuple[int, tuple[tuple[str, int, int], ...], dict]
@@ -183,6 +188,7 @@ def recover_engine(
         base_cost = int(state["base_cost"])
         epoch = int(state["epoch"])
         applied_lsn = int(state["applied_lsn"])
+        term = int(state.get("term", 0))
         # Row order is preserved: for v3 it is the commit-recency
         # (LRU eviction) order, for v2 the historical sorted order.
         for stream, seq, batch, result in state.get("dedup", []):
@@ -226,7 +232,19 @@ def recover_engine(
     engine.epoch = epoch
     engine.applied_lsn = applied_lsn
     engine._dedup = dedup
-    pending = wal.records(after_lsn=applied_lsn) if wal is not None else []
+    # The WAL tail may hold a newer term than the checkpoint cut
+    # (replay_record advances it record by record, but a replica must
+    # not rejoin believing a term it already durably acknowledged is
+    # still open to contest).
+    if hasattr(engine, "term"):
+        engine.term = max(
+            term, wal.last_term if wal is not None else 0
+        )
+    # Lazy: a multi-GB tail streams one record at a time through
+    # replay_tail instead of materializing into one list.
+    pending = (
+        wal.iter_records(after_lsn=applied_lsn) if wal is not None else ()
+    )
     report = RecoveryReport(
         checkpoint_lsn=applied_lsn,
         records_replayed=0,
@@ -247,8 +265,11 @@ def replay_tail(engine, records, report: RecoveryReport) -> RecoveryReport:
     engine.replaying = True
     try:
         if tracer.enabled:
-            with tracer.span("recovery:replay", records=len(records)):
+            # ``records`` may be a lazy stream, so the span reports
+            # the count only after the drain.
+            with tracer.span("recovery:replay") as span:
                 replayed = _drain(engine, records)
+                span.set(records=replayed)
         else:
             replayed = _drain(engine, records)
     finally:

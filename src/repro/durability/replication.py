@@ -1,0 +1,502 @@
+"""Primary/follower WAL shipping: the write path's redundancy.
+
+PR 9's determinism contract — replaying the log from the same
+artifact is bit-identical (``Representation`` equality) — is exactly
+the property that makes shipped-log replication exact: a shard's
+primary streams its WAL records (ingest batches, resummarize
+decisions, term changes) to follower replicas over the ``replicate``
+wire op, each follower appends them to its *own* WAL and applies them
+in LSN order through the same commit path, and primary and follower
+summaries are byte-equal at every epoch.  See docs/resilience.md,
+"Replication & failover".
+
+Terms and fencing
+-----------------
+Leadership is fenced by a monotonic *term* stamped into the WAL
+(:class:`~repro.durability.wal.TermRecord`).  Every ``replicate``
+frame carries the sender's term; a receiver whose term is higher
+rejects the frame with a structured ``fenced`` error, so a revived
+stale primary cannot overwrite a promoted follower — it steps down
+instead, and catches up like any other rejoiner.
+
+Catch-up
+--------
+Within one term a follower's log is always a prefix of its primary's,
+so catch-up is incremental: ship ``wal.iter_records(after_lsn)`` from
+the follower's cursor.  Across a term change (or a compaction gap —
+the cursor fell below :attr:`WriteAheadLog.truncated_lsn`) the tail
+cannot be trusted, so the primary ships a full checkpoint snapshot;
+the follower installs it, wipes its log (:meth:`WriteAheadLog.reset`),
+persists the checkpoint, and resumes incremental shipping.
+
+Acks modes
+----------
+``quorum`` (the durable default): an ingest acknowledgement waits
+until a majority of the replica set — leader included — has the batch
+in its WAL, so ``kill -9`` of the primary loses zero acknowledged
+mutations.  ``leader``: acknowledge after the local fsync and ship in
+the background — lower latency, and a failover can lose the unshipped
+tail (the rejoining stale primary is snapshot-reset, so the cluster
+still converges).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.durability.wal import (
+    MUTATION_OPS,
+    ResummarizeRecord,
+    TermRecord,
+    WalRecord,
+)
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+__all__ = [
+    "ACKS_MODES",
+    "REPL_MAX_RECORDS",
+    "REPL_MAX_MUTATIONS",
+    "ReplicationError",
+    "ReplicaLink",
+    "ReplicationManager",
+    "quorum_size",
+    "record_to_wire",
+    "record_from_wire",
+]
+
+ACKS_MODES = ("leader", "quorum")
+
+#: Caps per ``replicate`` frame, keeping it far below the protocol's
+#: MAX_LINE_BYTES even at worst-case mutation density.
+REPL_MAX_RECORDS = 256
+REPL_MAX_MUTATIONS = 4096
+
+
+class ReplicationError(RuntimeError):
+    """Replication cannot make progress (misconfiguration, oversized
+    snapshot, ...)."""
+
+
+def quorum_size(replicas: int) -> int:
+    """Majority of a replica set (leader included): ``floor(n/2)+1``."""
+    return replicas // 2 + 1
+
+
+# ----------------------------------------------------------------------
+# Record <-> wire (JSON-safe) codec
+# ----------------------------------------------------------------------
+def record_to_wire(record) -> dict:
+    """One WAL record as a JSON-safe ``replicate`` frame entry."""
+    if isinstance(record, ResummarizeRecord):
+        return {
+            "lsn": record.lsn,
+            "resummarize": {
+                "targets": list(record.targets),
+                "max_merges": record.max_merges,
+            },
+        }
+    if isinstance(record, TermRecord):
+        return {"lsn": record.lsn, "term": record.term}
+    return {
+        "lsn": record.lsn,
+        "stream": record.stream,
+        "seq": record.seq,
+        "mutations": [list(m) for m in record.mutations],
+    }
+
+
+def record_from_wire(obj):
+    """Decode and validate one frame entry; raises ``ValueError``."""
+    if not isinstance(obj, dict):
+        raise ValueError("replicated record must be an object")
+    lsn = obj.get("lsn")
+    if not isinstance(lsn, int) or isinstance(lsn, bool) or lsn < 1:
+        raise ValueError("replicated record needs a positive integer lsn")
+    if "term" in obj:
+        term = obj["term"]
+        if not isinstance(term, int) or isinstance(term, bool) or term < 1:
+            raise ValueError("term record needs a positive integer term")
+        return TermRecord(lsn=lsn, term=term)
+    if "resummarize" in obj:
+        body = obj["resummarize"]
+        if not isinstance(body, dict):
+            raise ValueError("resummarize record body must be an object")
+        targets = body.get("targets")
+        if not isinstance(targets, list) or not all(
+            isinstance(t, int) and not isinstance(t, bool) and t >= 0
+            for t in targets
+        ):
+            raise ValueError("resummarize targets must be node ids")
+        max_merges = body.get("max_merges")
+        if max_merges is not None and (
+            not isinstance(max_merges, int)
+            or isinstance(max_merges, bool)
+            or max_merges < 0
+        ):
+            raise ValueError("max_merges must be a non-negative integer")
+        return ResummarizeRecord(
+            lsn=lsn, targets=tuple(targets), max_merges=max_merges
+        )
+    stream = obj.get("stream")
+    seq = obj.get("seq")
+    mutations = obj.get("mutations")
+    if not isinstance(stream, str) or not stream:
+        raise ValueError("ingest record needs a stream id")
+    if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+        raise ValueError("ingest record needs a non-negative seq")
+    if not isinstance(mutations, list) or not mutations:
+        raise ValueError("ingest record needs a mutation list")
+    parsed = []
+    for item in mutations:
+        if (
+            not isinstance(item, (list, tuple))
+            or len(item) != 3
+            or item[0] not in MUTATION_OPS
+            or not all(
+                isinstance(x, int) and not isinstance(x, bool) and x >= 0
+                for x in item[1:]
+            )
+        ):
+            raise ValueError(f"malformed replicated mutation: {item!r}")
+        parsed.append((item[0], item[1], item[2]))
+    return WalRecord(
+        lsn=lsn, stream=stream, seq=seq, mutations=tuple(parsed)
+    )
+
+
+# ----------------------------------------------------------------------
+# Shipping
+# ----------------------------------------------------------------------
+class ReplicaLink:
+    """A primary's view of one follower: address, replication cursor
+    (``acked_lsn``: the follower's durable high-water mark), health."""
+
+    def __init__(self, host: str, port: int, label: str | None = None):
+        self.host = host
+        self.port = int(port)
+        self.label = label or f"{host}:{port}"
+        self.acked_lsn = 0
+        self.healthy = False
+        self.needs_snapshot = False
+        self.last_error: str | None = None
+        self.client = None
+
+
+class ReplicationManager:
+    """The primary half of log shipping for one shard.
+
+    Owns a :class:`ReplicaLink` per follower and ships committed WAL
+    records to each in LSN order.  ``publish(lsn)`` is called by the
+    engine after every local commit: under ``acks="quorum"`` it ships
+    inline and blocks until a majority of the replica set holds the
+    record (raising a structured ``unavailable`` otherwise — the
+    client may retry; the batch dedups); under ``acks="leader"`` it
+    just wakes the background shipper.  The background thread also
+    retries down followers and drives rejoin catch-up (incremental
+    from the WAL, or a checkpoint snapshot across a term change /
+    compaction gap).
+
+    ``client_factory(host, port)`` is injectable so in-process tests
+    replicate deterministically without sockets.
+    """
+
+    def __init__(
+        self,
+        engine,
+        followers,
+        *,
+        acks: str = "quorum",
+        wal=None,
+        client_factory=None,
+        timeout: float = 5.0,
+        quorum_timeout: float = 10.0,
+        poll_interval: float = 0.5,
+        buffer_records: int = 1024,
+        registry: MetricsRegistry | None = None,
+    ):
+        if acks not in ACKS_MODES:
+            raise ReplicationError(
+                f"unknown acks mode {acks!r}; "
+                f"choose from {', '.join(ACKS_MODES)}"
+            )
+        self._engine = engine
+        self._wal = wal
+        self.acks = acks
+        self._timeout = timeout
+        self._quorum_timeout = quorum_timeout
+        self._poll_interval = poll_interval
+        self._client_factory = client_factory or self._connect
+        self._registry = (
+            registry if registry is not None else get_registry()
+        )
+        self.links = [
+            ReplicaLink(host, port) for host, port in followers
+        ]
+        # Hot-path record buffer: committed records the shipper can
+        # read without touching disk (and the only source when the
+        # engine runs without a WAL, e.g. in-process local clusters).
+        self._buffer: list = []
+        self._buffer_cap = buffer_records
+        self._buffer_floor = getattr(engine, "applied_lsn", 0)
+        self._buffer_lock = threading.Lock()
+        # Serializes shipping so records leave in LSN order even when
+        # several ingest threads publish concurrently.
+        self._ship_lock = threading.Lock()
+        self._wake = threading.Event()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> "ReplicationManager":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name="repro-replication", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._wake.set()
+        thread = self._thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=5.0)
+        for link in self.links:
+            self._drop_client(link)
+
+    @property
+    def stopped(self) -> bool:
+        return self._stop.is_set()
+
+    def _connect(self, host: str, port: int):
+        from repro.service.client import SummaryServiceClient
+
+        return SummaryServiceClient(host, port, timeout=self._timeout)
+
+    def _drop_client(self, link: ReplicaLink) -> None:
+        client, link.client = link.client, None
+        if client is not None:
+            try:
+                client.close()
+            except Exception:
+                pass
+
+    # -- record sources --------------------------------------------------
+    def record_committed(self, record) -> None:
+        """Called by the engine, under its state lock, for every
+        locally committed record — keeps the hot buffer in LSN order."""
+        with self._buffer_lock:
+            self._buffer.append(record)
+            while len(self._buffer) > self._buffer_cap:
+                evicted = self._buffer.pop(0)
+                self._buffer_floor = evicted.lsn
+
+    def _records_after(self, cursor: int):
+        """Next chunk of records past ``cursor``, or ``None`` when
+        only a snapshot can bridge the gap."""
+        with self._buffer_lock:
+            if cursor >= self._buffer_floor:
+                chunk = []
+                mutation_load = 0
+                for record in self._buffer:
+                    if record.lsn <= cursor:
+                        continue
+                    chunk.append(record)
+                    mutation_load += len(getattr(record, "mutations", ()))
+                    if (
+                        len(chunk) >= REPL_MAX_RECORDS
+                        or mutation_load >= REPL_MAX_MUTATIONS
+                    ):
+                        break
+                return chunk
+        if self._wal is None or cursor < self._wal.truncated_lsn:
+            return None
+        chunk = []
+        mutation_load = 0
+        for record in self._wal.iter_records(after_lsn=cursor):
+            chunk.append(record)
+            mutation_load += len(getattr(record, "mutations", ()))
+            if (
+                len(chunk) >= REPL_MAX_RECORDS
+                or mutation_load >= REPL_MAX_MUTATIONS
+            ):
+                break
+        return chunk
+
+    # -- shipping --------------------------------------------------------
+    def notify(self) -> None:
+        """Nudge the background shipper: new records are buffered but
+        nothing is quorum-blocking on them (maintenance commits)."""
+        self._wake.set()
+
+    def publish(self, lsn: int) -> None:
+        """Make the record at ``lsn`` replication-durable.
+
+        Quorum mode ships inline and raises a structured
+        ``unavailable`` :class:`~repro.service.engine.QueryError` when
+        a majority of the replica set cannot acknowledge within the
+        quorum timeout — the caller must *not* acknowledge the batch.
+        (It stays committed locally and in the WAL; a client retry of
+        the same ``(stream, seq)`` dedups and re-awaits the quorum.)
+        """
+        if self._stop.is_set():
+            return
+        if self.acks == "leader":
+            self._wake.set()
+            return
+        needed = quorum_size(len(self.links) + 1) - 1
+        if needed <= 0:
+            return
+        deadline = time.monotonic() + self._quorum_timeout
+        while not self._stop.is_set():
+            with self._ship_lock:
+                acked = 0
+                for link in self.links:
+                    if link.acked_lsn >= lsn or self._ship(link, lsn):
+                        acked += 1
+                    if acked >= needed:
+                        return
+            if time.monotonic() >= deadline:
+                break
+            time.sleep(min(0.05, self._poll_interval))
+        from repro.service.engine import QueryError
+
+        self._count("quorum_timeouts")
+        raise QueryError(
+            "unavailable",
+            f"replication quorum not reached for lsn {lsn}: "
+            f"{needed} follower ack(s) required "
+            f"({len(self.links)} follower(s) configured)",
+        )
+
+    def _ship(self, link: ReplicaLink, target_lsn: int) -> bool:
+        """Push records to one follower until its cursor reaches
+        ``target_lsn``; returns whether it did.  Caller holds the
+        ship lock."""
+        while link.acked_lsn < target_lsn and not self._stop.is_set():
+            if link.needs_snapshot:
+                if not self._ship_snapshot(link):
+                    return False
+                continue
+            chunk = self._records_after(link.acked_lsn)
+            if chunk is None:
+                link.needs_snapshot = True
+                continue
+            if not chunk:
+                # Nothing durable past the cursor — the target LSN is
+                # not shippable (should not happen in practice).
+                return link.acked_lsn >= target_lsn
+            if not self._send(
+                link,
+                records=[record_to_wire(r) for r in chunk],
+                after_lsn=link.acked_lsn,
+            ):
+                return False
+        return link.acked_lsn >= target_lsn
+
+    def _ship_snapshot(self, link: ReplicaLink) -> bool:
+        snapshot = self._engine.snapshot_state()
+        ok = self._send(link, snapshot=snapshot)
+        if ok:
+            link.needs_snapshot = False
+            self._count("snapshots")
+        return ok
+
+    def _send(self, link: ReplicaLink, **payload) -> bool:
+        """One ``replicate`` round trip; updates the link's cursor
+        from the follower's durable high-water mark."""
+        from repro.service.client import ServiceError
+
+        try:
+            if link.client is None:
+                link.client = self._client_factory(link.host, link.port)
+            response = link.client.request(
+                "replicate", term=self._engine.term, **payload
+            )
+        except ServiceError as exc:
+            link.last_error = f"{exc.type}: {exc}"
+            if exc.type == "fenced":
+                # A higher term exists: this primary is stale.  Step
+                # down; the new primary will catch us up.
+                self._count("fenced")
+                self._engine.step_down()
+                self._stop.set()
+            elif exc.type == "bad_request":
+                # Replication gap reported by the follower.
+                link.needs_snapshot = True
+            return False
+        except Exception as exc:  # transport errors
+            link.healthy = False
+            link.last_error = str(exc)
+            self._drop_client(link)
+            self._count("transport_errors")
+            return False
+        link.healthy = True
+        link.last_error = None
+        acked = response.get("last_lsn")
+        if isinstance(acked, int) and acked > link.acked_lsn:
+            if "records" in payload:
+                self._count("records_shipped", len(payload["records"]))
+            link.acked_lsn = acked
+        self._gauge_lag(link)
+        return True
+
+    # -- background catch-up ---------------------------------------------
+    def _run(self) -> None:
+        try:
+            while not self._stop.is_set():
+                self._wake.wait(timeout=self._poll_interval)
+                self._wake.clear()
+                if self._stop.is_set():
+                    return
+                target = self._high_water()
+                with self._ship_lock:
+                    for link in self.links:
+                        if self._stop.is_set():
+                            return
+                        if link.acked_lsn < target or link.needs_snapshot:
+                            self._ship(link, target)
+        finally:
+            # Self-initiated stops (fencing) exit through here without
+            # anyone calling stop(); don't leak follower sockets.
+            if self._stop.is_set():
+                for link in self.links:
+                    self._drop_client(link)
+
+    def _high_water(self) -> int:
+        if self._wal is not None:
+            return self._wal.last_lsn
+        return getattr(self._engine, "applied_lsn", 0)
+
+    # -- introspection ---------------------------------------------------
+    def status(self) -> dict:
+        high = self._high_water()
+        return {
+            "acks": self.acks,
+            "quorum": quorum_size(len(self.links) + 1),
+            "followers": [
+                {
+                    "label": link.label,
+                    "host": link.host,
+                    "port": link.port,
+                    "acked_lsn": link.acked_lsn,
+                    "lag": max(0, high - link.acked_lsn),
+                    "healthy": link.healthy,
+                    "needs_snapshot": link.needs_snapshot,
+                    "last_error": link.last_error,
+                }
+                for link in self.links
+            ],
+        }
+
+    # -- metrics ---------------------------------------------------------
+    def _count(self, event: str, n: int = 1) -> None:
+        self._registry.counter(
+            "repro_replication_ship_total", event=event
+        ).inc(n)
+
+    def _gauge_lag(self, link: ReplicaLink) -> None:
+        self._registry.gauge(
+            "repro_replication_lag_lsns", follower=link.label
+        ).set(max(0, self._high_water() - link.acked_lsn))

@@ -39,6 +39,18 @@ bit-identically (the re-encode is a pure function of the replayed
 state and these parameters).  Ingest records keep their exact
 original byte encoding.
 
+Kind 2 is ``term`` (a replication leadership change)::
+
+    0 . 2 . lsn . term
+
+Terms are the monotonic fencing counter of primary/follower
+replication (docs/resilience.md, "Replication & failover"): a newly
+promoted primary stamps its term into the log before accepting
+writes, the record ships to followers like any other, and a revived
+stale primary — whose log lacks the newer term — is fenced when it
+tries to replicate.  Because the term is an ordinary WAL record, a
+follower's log is byte-identical to its primary's, terms included.
+
 Torn tails
 ----------
 A crash mid-append leaves a truncated or checksum-broken record at
@@ -74,6 +86,7 @@ from repro.obs.metrics import MetricsRegistry, get_registry
 __all__ = [
     "WalRecord",
     "ResummarizeRecord",
+    "TermRecord",
     "WriteAheadLog",
     "WalError",
     "FSYNC_POLICIES",
@@ -113,8 +126,20 @@ class ResummarizeRecord:
     max_merges: int | None
 
 
+@dataclass(frozen=True)
+class TermRecord:
+    """One replication leadership change: the monotonic term a newly
+    promoted primary stamped into the log before accepting writes."""
+
+    lsn: int
+    term: int
+
+
 #: Discriminator of the :class:`ResummarizeRecord` extended payload.
 _KIND_RESUMMARIZE = 1
+
+#: Discriminator of the :class:`TermRecord` extended payload.
+_KIND_TERM = 2
 
 
 def encode_record(record) -> bytes:
@@ -130,6 +155,11 @@ def encode_record(record) -> bytes:
         payload += encode_varint(
             0 if record.max_merges is None else record.max_merges + 1
         )
+    elif isinstance(record, TermRecord):
+        payload += encode_varint(0)
+        payload += encode_varint(_KIND_TERM)
+        payload += encode_varint(record.lsn)
+        payload += encode_varint(record.term)
     else:
         stream_bytes = record.stream.encode("utf-8")
         payload += encode_varint(record.lsn)
@@ -149,6 +179,12 @@ def encode_record(record) -> bytes:
 
 def _decode_extended(body: bytes, offset: int):
     kind, offset = decode_varint(body, offset)
+    if kind == _KIND_TERM:
+        lsn, offset = decode_varint(body, offset)
+        term, offset = decode_varint(body, offset)
+        if offset != len(body):
+            raise ValueError("trailing bytes in record payload")
+        return TermRecord(lsn=lsn, term=term)
     if kind != _KIND_RESUMMARIZE:
         raise ValueError(f"unknown extended record kind {kind}")
     lsn, offset = decode_varint(body, offset)
@@ -279,6 +315,12 @@ class WriteAheadLog:
         self._file = None
         # segment index -> last LSN it holds (-1 while empty).
         self._segment_last_lsn: dict[int, int] = {}
+        # Records with lsn <= _truncated_lsn are no longer in the log
+        # (compacted away, or discarded by a snapshot reset); the
+        # replication shipper uses this to decide incremental catch-up
+        # versus a full snapshot.
+        self._truncated_lsn = 0
+        self._last_term = 0
         self._open_segments()
 
     # -- lifecycle -------------------------------------------------------
@@ -312,12 +354,18 @@ class WriteAheadLog:
         """Scan existing segments, repair the torn tail, and position
         the log for appends."""
         last_lsn = 0
+        first_lsn = 0
         indexes = self._segment_indexes()
         for position, index in enumerate(indexes):
             path = self._segment_path(index)
             records, clean_end, torn = _scan_segment(path.read_bytes())
             if records:
                 last_lsn = records[-1].lsn
+                if first_lsn == 0:
+                    first_lsn = records[0].lsn
+                for record in records:
+                    if isinstance(record, TermRecord):
+                        self._last_term = max(self._last_term, record.term)
             self._segment_last_lsn[index] = (
                 records[-1].lsn if records else -1
             )
@@ -335,6 +383,8 @@ class WriteAheadLog:
                 self._count_segments("repaired")
                 break
         self._last_lsn = last_lsn
+        if first_lsn > 0:
+            self._truncated_lsn = first_lsn - 1
         self._active_index = max(self._segment_last_lsn, default=0)
         path = self._segment_path(self._active_index)
         self._segment_last_lsn.setdefault(self._active_index, -1)
@@ -362,6 +412,20 @@ class WriteAheadLog:
         """LSN of the newest durable record (0 when the log is empty)."""
         with self._lock:
             return self._last_lsn
+
+    @property
+    def last_term(self) -> int:
+        """Highest replication term recorded in the log (0 when none)."""
+        with self._lock:
+            return self._last_term
+
+    @property
+    def truncated_lsn(self) -> int:
+        """Highest LSN no longer readable from the log: records at or
+        below it were removed by :meth:`truncate_through` (their
+        effects live in a checkpoint) or by :meth:`reset`."""
+        with self._lock:
+            return self._truncated_lsn
 
     def append(
         self, stream: str, seq: int, mutations, *, lsn: int | None = None
@@ -421,6 +485,26 @@ class WriteAheadLog:
             )
             return self._write_locked(record)
 
+    def append_term(self, term: int, *, lsn: int | None = None) -> int:
+        """Append one leadership-change record; returns its LSN.
+
+        Same durability contract as :meth:`append`: a promoted primary
+        must have its term on disk before acknowledging any write made
+        under it, or a crash could revive it believing in a stale term.
+        """
+        with self._lock:
+            if self._file is None:
+                raise WalError("write-ahead log is closed")
+            if term < 1:
+                raise WalError(f"term must be >= 1, got {term}")
+            if lsn is None:
+                lsn = self._last_lsn + 1
+            elif lsn <= self._last_lsn:
+                raise WalError(
+                    f"lsn {lsn} is not past the last lsn {self._last_lsn}"
+                )
+            return self._write_locked(TermRecord(lsn=lsn, term=term))
+
     def _write_locked(self, record) -> int:
         frame = encode_record(record)
         if self._file.tell() > 0 and (
@@ -436,6 +520,8 @@ class WriteAheadLog:
         ):
             self._sync_locked()
         self._last_lsn = record.lsn
+        if isinstance(record, TermRecord):
+            self._last_term = max(self._last_term, record.term)
         self._segment_last_lsn[self._active_index] = record.lsn
         self._count_records("appended")
         return record.lsn
@@ -474,28 +560,51 @@ class WriteAheadLog:
                 self._sync_locked(force=True)
 
     # -- read ------------------------------------------------------------
-    def records(self, after_lsn: int = 0) -> list[WalRecord]:
-        """All durable records with ``lsn > after_lsn``, oldest first.
+    def iter_records(self, after_lsn: int = 0):
+        """Stream durable records with ``lsn > after_lsn``, oldest
+        first, decoding one record at a time.
 
         Re-reads the segments from disk, so it sees exactly what a
         recovering process would; a torn tail ends the scan (the
-        in-memory writer position is not consulted).
+        in-memory writer position is not consulted).  At most one
+        segment's bytes are held in memory at a time, so replaying a
+        multi-GB log — startup recovery, replication catch-up, the
+        compactor — no longer materializes every record into one list.
         """
         with self._lock:
             if self._file is not None:
                 self._file.flush()
-            out: list[WalRecord] = []
-            for index in self._segment_indexes():
+            indexes = self._segment_indexes()
+        for index in indexes:
+            try:
                 data = self._segment_path(index).read_bytes()
-                records, _, torn = _scan_segment(data)
-                for record in records:
-                    if record.lsn > after_lsn:
-                        out.append(record)
-                        self._count_records("replayed")
-                if torn:
+            except FileNotFoundError:
+                continue  # truncated away since the listing
+            offset = 0
+            while offset < len(data):
+                try:
+                    length, body_start = decode_varint(data, offset)
+                    body_end = body_start + length
+                    if body_end > len(data):
+                        raise ValueError("truncated record body")
+                    body = data[body_start:body_end]
+                    crc, next_offset = decode_varint(data, body_end)
+                    if crc != zlib.crc32(body):
+                        raise ValueError("record checksum mismatch")
+                    record = _decode_payload(body)
+                except ValueError:
                     self._count_records("torn_dropped")
-                    break
-            return out
+                    return
+                offset = next_offset
+                if record.lsn > after_lsn:
+                    self._count_records("replayed")
+                    yield record
+
+    def records(self, after_lsn: int = 0) -> list[WalRecord]:
+        """All durable records with ``lsn > after_lsn``, oldest first,
+        as one list.  Prefer :meth:`iter_records` on paths that may
+        face a large log."""
+        return list(self.iter_records(after_lsn=after_lsn))
 
     # -- compaction ------------------------------------------------------
     def truncate_through(self, lsn: int) -> int:
@@ -516,11 +625,41 @@ class WriteAheadLog:
                 if last <= lsn:
                     self._segment_path(index).unlink(missing_ok=True)
                     del self._segment_last_lsn[index]
+                    if last > 0:
+                        self._truncated_lsn = max(self._truncated_lsn, last)
                     removed += 1
                     self._count_segments("truncated")
             if removed:
                 self._fsync_directory()
         return removed
+
+    def reset(self, last_lsn: int, *, term: int = 0) -> None:
+        """Discard every segment and restart the log at ``last_lsn``.
+
+        Used when a follower installs a snapshot whose state
+        supersedes — and may *diverge from* — the local log (a fenced
+        stale primary rejoining, or a rejoin across a truncation gap):
+        the on-disk tail is wiped so nothing stale can ever replay,
+        and appends continue from the snapshot's LSN.  The caller must
+        persist a checkpoint at ``last_lsn`` so the post-restart
+        replay cursor matches.
+        """
+        with self._lock:
+            if self._file is None:
+                raise WalError("write-ahead log is closed")
+            self._sync_locked(force=True)
+            self._file.close()
+            for index in self._segment_indexes():
+                self._segment_path(index).unlink(missing_ok=True)
+            self._segment_last_lsn = {0: -1}
+            self._active_index = 0
+            self._last_lsn = last_lsn
+            self._truncated_lsn = last_lsn
+            self._last_term = term
+            self._unsynced = 0
+            self._file = self._segment_path(0).open("ab")
+            self._fsync_directory()
+            self._count_segments("reset")
 
     # -- metrics ---------------------------------------------------------
     def _count_records(self, event: str) -> None:

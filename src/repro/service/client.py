@@ -16,7 +16,12 @@ request dict is built once, so every retry resends the **original**
 ``seq`` and the server dedupes a batch that was applied but whose
 acknowledgement was lost in transit (at-most-once application over
 at-least-once delivery).  ``shutdown``, and an ``ingest`` missing its
-``stream``/``seq`` identity, are never blindly retried.
+``stream``/``seq`` identity, are never blindly retried.  ``ingest``
+additionally retries the structured errors ``not_primary`` and
+``unavailable`` — the transient faces of a replica-set failover —
+so a write that straddles a primary promotion lands exactly once
+(the new primary answers the replayed ``seq`` with
+``duplicate: true`` if it already replicated the batch).
 A **desynchronized** stream — a response whose ``id`` does not match
 the request, or an undecodable line — can never be reused: the socket
 is closed immediately, and without a retry policy the client is marked
@@ -56,6 +61,23 @@ class ServiceError(RuntimeError):
         )
         self.type = error.get("type", "unknown")
         self.message = error.get("message", "")
+        self.error = dict(error)
+
+
+#: ``ingest`` error types that a retry may outlive: ``not_primary``
+#: (the replica stepped down / we hit a follower — the router or a
+#: restarted server may route to the new primary on the next attempt)
+#: and ``unavailable`` (a replication quorum or a whole shard was
+#: momentarily unreachable).  Retrying reuses the *same* request dict,
+#: so the batch keeps its ``(stream, seq)`` identity and a new primary
+#: that already replicated the batch answers ``duplicate: true``
+#: instead of double-applying.
+_TRANSIENT_ERROR_TYPES = frozenset({"unavailable", "not_primary"})
+
+
+class _TransientServiceError(ServiceError):
+    """Internal marker so ``call_with_retry`` can distinguish a
+    retryable structured error from a terminal one."""
 
 
 def _retry_safe(op: str, params: dict) -> bool:
@@ -233,16 +255,34 @@ class SummaryServiceClient:
                 if self._retry_budget is not None
                 else Deadline.never()
             )
+            # Ingest also retries across a primary failover: the same
+            # request dict is resent, so the batch's (stream, seq)
+            # dedups on whichever replica ends up primary.
+            retry_transient = op == "ingest"
+
+            def attempt() -> dict:
+                response = self._attempt(request)
+                if retry_transient and not response.get("ok"):
+                    error = response.get("error", {})
+                    if error.get("type") in _TRANSIENT_ERROR_TYPES:
+                        raise _TransientServiceError(error)
+                return response
+
             try:
                 response = call_with_retry(
-                    lambda: self._attempt(request),
+                    attempt,
                     policy=self._retry_policy,
-                    retry_on=(OSError,),
+                    retry_on=(OSError, _TransientServiceError),
                     deadline=deadline,
                     rng=self._rng,
                     label="service_client",
                 )
             except RetriesExhausted as exc:
+                if isinstance(exc.last, _TransientServiceError):
+                    # Out of retries with the shard still unavailable
+                    # or still pointing us elsewhere: surface the
+                    # structured error, not a transport failure.
+                    raise ServiceError(exc.last.error) from exc.last
                 raise ConnectionError(str(exc)) from exc.last
         if not response.get("ok"):
             raise ServiceError(response.get("error", {}))
@@ -285,6 +325,11 @@ class SummaryServiceClient:
         (``{"instance", "pid", "registry"}``) — what the cluster
         collector merges across instances."""
         return self.request("telemetry")
+
+    def repl_status(self) -> dict:
+        """This instance's replication state: role, term, applied/last
+        LSN, and (on a primary) per-follower ack cursors and lag."""
+        return self.request("repl_status")
 
     def batch(self, requests: list[dict]) -> list[dict]:
         """Send a batch; returns the per-request response dicts in

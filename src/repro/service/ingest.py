@@ -53,13 +53,18 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 
-from repro.durability.wal import ResummarizeRecord
+from repro.durability.replication import record_from_wire
+from repro.durability.wal import ResummarizeRecord, TermRecord, WalRecord
 from repro.dynamic.summary import DynamicGraphSummary
 from repro.queries.pagerank import SummaryPageRank
 from repro.service.engine import OPS, QueryEngine, QueryError
 from repro.service.protocol import MAX_INGEST_MUTATIONS, MAX_STREAM_LEN
 
-__all__ = ["MutableQueryEngine"]
+__all__ = ["MutableQueryEngine", "REPLICATION_ROLES"]
+
+#: A replica is exactly one of these at any time; promotion and
+#: fencing move it between them (docs/resilience.md).
+REPLICATION_ROLES = ("primary", "follower")
 
 _SIGNS = ("+", "-")
 
@@ -107,7 +112,7 @@ class MutableQueryEngine(QueryEngine):
         **kwargs,
     ):
         super().__init__(dynamic.to_representation(), **kwargs)
-        self.ops = OPS + ("ingest",)
+        self.ops = OPS + ("ingest", "replicate", "repl_status")
         self._dynamic = dynamic
         self._wal = wal
         self._budget = budget
@@ -140,6 +145,13 @@ class MutableQueryEngine(QueryEngine):
             "supernodes_processed": 0,
             "cost_reclaimed": 0,
         }
+        #: Replication state.  An unreplicated engine is a "primary"
+        #: with term 0 and no manager — every legacy path unchanged.
+        self.role = "primary"
+        self.term = 0
+        self._replicator = None
+        self._repl_config: dict | None = None
+        self._checkpoint_store = None
 
     # -- read path overrides ---------------------------------------------
     @property
@@ -244,6 +256,18 @@ class MutableQueryEngine(QueryEngine):
                 request.get("mutations"),
                 dry_run=request.get("dry_run", False),
             )
+        if op == "replicate":
+            return self.apply_replicated(
+                request.get("term"),
+                after_lsn=request.get("after_lsn"),
+                records=request.get("records"),
+                snapshot=request.get("snapshot"),
+                promote=request.get("promote", False),
+                followers=request.get("followers"),
+                acks=request.get("acks"),
+            )
+        if op == "repl_status":
+            return self.repl_status()
         result = super()._dispatch(op, request, deadline, degraded_sink)
         if op == "stats" and isinstance(result, dict):
             result["maintenance"] = self.maintenance_stats()
@@ -276,8 +300,16 @@ class MutableQueryEngine(QueryEngine):
                     "overloaded",
                     "recovery replay in progress; retry shortly",
                 )
+            if self.role != "primary":
+                self._count("not_primary")
+                raise QueryError(
+                    "not_primary",
+                    f"replica is a follower (term {self.term}); "
+                    "ingest goes to the shard's primary",
+                )
             parsed = self._parse_batch(stream, seq, mutations)
             with self._state_lock:
+                result = None
                 last = self._dedup.get(stream)
                 if last is not None:
                     last_seq, last_batch, last_result = last
@@ -293,22 +325,30 @@ class MutableQueryEngine(QueryEngine):
                         self.metrics.registry.counter(
                             "repro_ingest_duplicates_total"
                         ).inc()
-                        return {**last_result, "duplicate": True}
-                    if seq < last_seq:
+                        result = {**last_result, "duplicate": True}
+                    elif seq < last_seq:
                         self._count("rewound")
                         raise QueryError(
                             "bad_request",
                             f"stream {stream!r} sequence rewound: got "
                             f"{seq}, last acknowledged {last_seq}",
                         )
-                self._dry_run(parsed)
-                if dry_run:
-                    return {"validated": len(parsed)}
-                if self._wal is not None:
-                    lsn = self._wal.append(stream, seq, parsed)
-                else:
-                    lsn = self.applied_lsn + 1
-                return dict(self._commit(stream, seq, parsed, lsn))
+                if result is None:
+                    self._dry_run(parsed)
+                    if dry_run:
+                        return {"validated": len(parsed)}
+                    if self._wal is not None:
+                        lsn = self._wal.append(stream, seq, parsed)
+                    else:
+                        lsn = self.applied_lsn + 1
+                    result = dict(self._commit(stream, seq, parsed, lsn))
+            # Outside the state lock: make the batch replication-
+            # durable before acknowledging.  A duplicate re-awaits the
+            # quorum too — its original ack already implied one, and a
+            # retry that raced a promotion must get the same guarantee.
+            if self._replicator is not None and "lsn" in result:
+                self._replicator.publish(result["lsn"])
+            return result
         finally:
             self._release()
 
@@ -326,7 +366,13 @@ class MutableQueryEngine(QueryEngine):
         with self._state_lock:
             if record.lsn <= self.applied_lsn:
                 return False
-            if isinstance(record, ResummarizeRecord):
+            if isinstance(record, TermRecord):
+                # No epoch bump (the primary's commit didn't bump one
+                # either) — just the durable leadership cursor.
+                if record.term > self.term:
+                    self.term = record.term
+                self.applied_lsn = record.lsn
+            elif isinstance(record, ResummarizeRecord):
                 self._apply_resummarize(
                     record.targets, record.max_merges, record.lsn
                 )
@@ -336,6 +382,374 @@ class MutableQueryEngine(QueryEngine):
                     record.lsn,
                 )
             return True
+
+    # -- replication -----------------------------------------------------
+    def configure_replication(
+        self,
+        *,
+        role: str = "primary",
+        followers=(),
+        acks: str = "quorum",
+        client_factory=None,
+        store=None,
+        quorum_timeout: float = 10.0,
+    ) -> None:
+        """Wire this engine into a replicated shard.
+
+        ``role`` is the replica's *configured* starting role; the live
+        role moves with promotions and fencing.  ``followers`` is the
+        primary's list of ``(host, port)`` sibling replicas.  ``store``
+        is the local checkpoint store — required for crash-safe
+        snapshot installs on a durable follower.  ``client_factory``
+        is injectable so tests replicate in-process without sockets.
+        """
+        if role not in REPLICATION_ROLES:
+            raise ValueError(
+                f"unknown replication role {role!r}; "
+                f"choose from {', '.join(REPLICATION_ROLES)}"
+            )
+        self._checkpoint_store = store
+        self._repl_config = {
+            "acks": acks,
+            "client_factory": client_factory,
+            "quorum_timeout": quorum_timeout,
+        }
+        with self._state_lock:
+            self.role = role
+            if role == "primary":
+                if followers:
+                    self._start_replicator(followers)
+                if self.term == 0:
+                    # A fresh replicated log opens at term 1; a
+                    # recovered term (checkpoint/WAL) is kept as-is.
+                    self._stamp_term(1)
+            self._repl_gauges()
+
+    def _start_replicator(self, followers) -> None:
+        """Caller holds the state lock (or is single-threaded setup)."""
+        from repro.durability.replication import ReplicationManager
+
+        cfg = self._repl_config or {}
+        manager = ReplicationManager(
+            self,
+            [(host, int(port)) for host, port in followers],
+            acks=cfg.get("acks", "quorum"),
+            wal=self._wal,
+            client_factory=cfg.get("client_factory"),
+            quorum_timeout=cfg.get("quorum_timeout", 10.0),
+            registry=self.metrics.registry,
+        )
+        self._replicator = manager.start()
+
+    def _stamp_term(self, term: int) -> int:
+        """Durably open a leadership term; caller holds the state
+        lock.  The term record rides the replication stream like any
+        committed record, so follower logs stay byte-identical."""
+        self.term = term
+        if self._wal is not None:
+            lsn = self._wal.append_term(term)
+        else:
+            lsn = self.applied_lsn + 1
+        self.applied_lsn = lsn
+        if self._replicator is not None:
+            self._replicator.record_committed(
+                TermRecord(lsn=lsn, term=term)
+            )
+        self._repl_gauges()
+        return lsn
+
+    def snapshot_state(self) -> dict:
+        """One consistent checkpoint cut (the replication snapshot)."""
+        from repro.durability.recovery import engine_state
+
+        with self._state_lock:
+            return engine_state(self)
+
+    def step_down(self, term: int | None = None) -> None:
+        """Demote to follower — this replica observed a higher term
+        (it was fenced, or a newer primary replicated to it)."""
+        with self._state_lock:
+            self.role = "follower"
+            if term is not None and term > self.term:
+                self.term = term
+            replicator, self._replicator = self._replicator, None
+            self._repl_gauges()
+        self.metrics.registry.counter(
+            "repro_replication_role_changes_total", role="follower"
+        ).inc()
+        if replicator is not None and not replicator.stopped:
+            replicator.stop()
+
+    def apply_replicated(
+        self,
+        term,
+        *,
+        after_lsn=None,
+        records=None,
+        snapshot=None,
+        promote=False,
+        followers=None,
+        acks=None,
+    ) -> dict:
+        """Handle one ``replicate`` frame from a (claimed) primary.
+
+        Fencing first: a frame from a term below ours is rejected with
+        a structured ``fenced`` error — the stale sender must step
+        down.  A frame from a higher term demotes *us* if we thought
+        we were primary, and is otherwise adopted.  Then either a
+        checkpoint ``snapshot`` is installed (wiping the local log —
+        the tail across a term change or compaction gap cannot be
+        trusted), or ``records`` are appended to the local WAL and
+        applied in LSN order through the same commit path live ingest
+        uses, which is what keeps follower summaries — epochs, dedup
+        state, bytes — identical to the primary's.
+        """
+        if not isinstance(term, int) or isinstance(term, bool) or term < 1:
+            raise QueryError(
+                "bad_request", "'term' must be a positive integer"
+            )
+        if promote:
+            return self._promote(term, followers or (), acks)
+        if term > self.term and self.role == "primary":
+            # A newer primary exists; stop competing before applying.
+            self.step_down(term)
+        with self._state_lock:
+            if term < self.term:
+                self.metrics.registry.counter(
+                    "repro_replication_fenced_total"
+                ).inc()
+                raise QueryError(
+                    "fenced",
+                    f"replicate from term {term} rejected: "
+                    f"local term is {self.term}",
+                )
+            prior_term = self.term
+            if term > self.term:
+                self.term = term
+                self._repl_gauges()
+            if snapshot is not None:
+                self._install_snapshot_locked(snapshot)
+                return self._repl_ack(applied=1)
+            applied = 0
+            if records:
+                local_last = (
+                    self._wal.last_lsn
+                    if self._wal is not None
+                    else self.applied_lsn
+                )
+                if isinstance(after_lsn, int) and after_lsn > local_last:
+                    raise QueryError(
+                        "bad_request",
+                        f"replication gap: stream resumes after lsn "
+                        f"{after_lsn} but the local log ends at "
+                        f"{local_last}",
+                    )
+                if (
+                    term > prior_term
+                    and isinstance(after_lsn, int)
+                    and local_last > after_lsn
+                ):
+                    # First frame of a new term, and our log extends
+                    # past the primary's cursor.  Within one term a
+                    # follower log is always a prefix of the
+                    # primary's, so overlap is just a re-ship — but
+                    # across a term change our suffix may be a dead
+                    # primary's unreplicated tail, and appending over
+                    # it would silently diverge.  Demand a snapshot.
+                    raise QueryError(
+                        "bad_request",
+                        f"possible divergence across term change "
+                        f"({prior_term} -> {term}): local log ends at "
+                        f"{local_last}, past the stream cursor "
+                        f"{after_lsn}; snapshot required",
+                    )
+                for obj in records:
+                    try:
+                        record = record_from_wire(obj)
+                    except ValueError as exc:
+                        raise QueryError("bad_request", str(exc))
+                    applied += self._apply_record_locked(record)
+            return self._repl_ack(applied=applied)
+
+    def _repl_ack(self, *, applied: int) -> dict:
+        """Caller holds the state lock.  ``last_lsn`` is the durable
+        high-water mark the primary advances its cursor to."""
+        return {
+            "applied": applied,
+            "last_lsn": (
+                self._wal.last_lsn
+                if self._wal is not None
+                else self.applied_lsn
+            ),
+            "applied_lsn": self.applied_lsn,
+            "term": self.term,
+            "role": self.role,
+        }
+
+    def _apply_record_locked(self, record) -> int:
+        """Durably append then apply one shipped record; idempotent
+        per LSN on both the log and the state."""
+        wal_last = self._wal.last_lsn if self._wal is not None else None
+        if isinstance(record, TermRecord):
+            if wal_last is not None and record.lsn > wal_last:
+                self._wal.append_term(record.term, lsn=record.lsn)
+            if record.lsn <= self.applied_lsn:
+                return 0
+            if record.term > self.term:
+                self.term = record.term
+                self._repl_gauges()
+            self.applied_lsn = record.lsn
+            return 1
+        if wal_last is not None and record.lsn > wal_last:
+            if isinstance(record, ResummarizeRecord):
+                self._wal.append_resummarize(
+                    record.targets,
+                    max_merges=record.max_merges,
+                    lsn=record.lsn,
+                )
+            else:
+                self._wal.append(
+                    record.stream, record.seq, list(record.mutations),
+                    lsn=record.lsn,
+                )
+        if record.lsn <= self.applied_lsn:
+            return 0
+        if isinstance(record, ResummarizeRecord):
+            self._apply_resummarize(
+                record.targets, record.max_merges, record.lsn
+            )
+        else:
+            self._commit(
+                record.stream, record.seq, list(record.mutations),
+                record.lsn,
+            )
+        return 1
+
+    def _install_snapshot_locked(self, snapshot) -> None:
+        """Replace the whole local state with the primary's checkpoint
+        cut; caller holds the state lock.
+
+        The local WAL is wiped (`reset`) — across a term change or a
+        compaction gap nothing in it can be trusted — and the
+        checkpoint is persisted *before* further records are accepted,
+        so a crash right after the install recovers at the snapshot,
+        not at a stale pre-divergence checkpoint.
+        """
+        try:
+            from repro.durability.recovery import (
+                state_to_representation,
+            )
+
+            state = dict(snapshot)
+            rep = state_to_representation(state["representation"])
+            base_cost = int(state["base_cost"])
+            epoch = int(state["epoch"])
+            applied_lsn = int(state["applied_lsn"])
+            term = int(state.get("term", self.term))
+            dedup: OrderedDict = OrderedDict()
+            for stream, seq, batch, result in state.get("dedup", []):
+                dedup[str(stream)] = (
+                    int(seq),
+                    tuple(
+                        (str(op), int(u), int(v)) for op, u, v in batch
+                    ),
+                    dict(result),
+                )
+            dirtiness = {
+                int(sid): int(count)
+                for sid, count in state.get("dirty", [])
+            }
+        except (KeyError, TypeError, ValueError) as exc:
+            raise QueryError("bad_request", f"malformed snapshot: {exc}")
+        self._dynamic = DynamicGraphSummary.from_representation(
+            rep,
+            summarizer_factory=self._dynamic._make_summarizer,
+            base_cost=base_cost,
+            dirtiness=dirtiness,
+        )
+        self.epoch = epoch
+        self.applied_lsn = applied_lsn
+        self.term = max(self.term, term)
+        self._dedup = dedup
+        self._pagerank_scores = None
+        self._rep_snapshot = None
+        self._cache = type(self._cache)(self._cache.capacity)
+        if self._wal is not None:
+            self._wal.reset(applied_lsn, term=self.term)
+        if self._checkpoint_store is not None:
+            from repro.durability.recovery import engine_state
+
+            self._checkpoint_store.save(
+                engine_state(self), step=applied_lsn
+            )
+        self._repl_gauges()
+        self.metrics.registry.counter(
+            "repro_replication_snapshots_installed_total"
+        ).inc()
+
+    def _promote(self, term, followers, acks) -> dict:
+        """Take over as the shard's primary at ``term`` (the router
+        picked this replica as the most caught-up survivor)."""
+        with self._state_lock:
+            if term <= self.term:
+                raise QueryError(
+                    "fenced",
+                    f"stale promotion: term {term} is not past "
+                    f"local term {self.term}",
+                )
+            old, self._replicator = self._replicator, None
+            self.role = "primary"
+            if acks:
+                self._repl_config = {
+                    **(self._repl_config or {}), "acks": acks,
+                }
+            if followers:
+                self._start_replicator(
+                    [(host, int(port)) for host, port in followers]
+                )
+            self._stamp_term(term)
+            status = self._repl_ack(applied=0)
+        self.metrics.registry.counter(
+            "repro_replication_role_changes_total", role="primary"
+        ).inc()
+        if old is not None and not old.stopped:
+            old.stop()
+        return status
+
+    def repl_status(self) -> dict:
+        """The ``repl_status`` op: role, term, durable and applied
+        high-water marks, plus per-follower cursors on a primary."""
+        with self._state_lock:
+            status = {
+                "role": self.role,
+                "term": self.term,
+                "epoch": self.epoch,
+                "applied_lsn": self.applied_lsn,
+                "last_lsn": (
+                    self._wal.last_lsn
+                    if self._wal is not None
+                    else self.applied_lsn
+                ),
+                "replaying": self.replaying,
+            }
+            replicator = self._replicator
+        if replicator is not None:
+            status.update(replicator.status())
+        return status
+
+    def stop_replication(self) -> None:
+        """Shutdown hook: stop the shipper thread, if any."""
+        replicator, self._replicator = self._replicator, None
+        if replicator is not None and not replicator.stopped:
+            replicator.stop()
+
+    def _repl_gauges(self) -> None:
+        self.metrics.registry.gauge("repro_replication_term").set(
+            self.term
+        )
+        self.metrics.registry.gauge("repro_replication_role").set(
+            1 if self.role == "primary" else 0
+        )
 
     # -- background maintenance ------------------------------------------
     def maintenance_stats(self) -> dict:
@@ -382,6 +796,11 @@ class MutableQueryEngine(QueryEngine):
 
         if self.replaying:
             return {"outcome": "skipped", "reason": "replaying"}
+        if self.role != "primary":
+            # Followers receive committed passes as resummarize
+            # records in the replication stream; running their own
+            # would fork the log.
+            return {"outcome": "skipped", "reason": "follower"}
         with self._state_lock:
             built_at = self.epoch
             dirty = self._dynamic.dirty_supernodes()
@@ -432,7 +851,14 @@ class MutableQueryEngine(QueryEngine):
 
             cost_before = self._dynamic.cost
             self._swap_in(install, targets, lsn)
-            return {
+            if self._replicator is not None:
+                self._replicator.record_committed(
+                    ResummarizeRecord(
+                        lsn=lsn, targets=tuple(targets),
+                        max_merges=max_merges,
+                    )
+                )
+            outcome = {
                 "outcome": "committed",
                 "targets": len(targets),
                 "processed": processed,
@@ -441,6 +867,11 @@ class MutableQueryEngine(QueryEngine):
                 "lsn": lsn,
                 "epoch": self.epoch,
             }
+        # Maintenance commits carry no client acknowledgement, so they
+        # ship in the background rather than awaiting a quorum.
+        if self._replicator is not None:
+            self._replicator.notify()
+        return outcome
 
     def _apply_resummarize(self, targets, max_merges, lsn) -> int:
         """Replay one recorded maintenance pass in place; caller holds
@@ -629,6 +1060,13 @@ class MutableQueryEngine(QueryEngine):
         self.metrics.registry.counter(
             "repro_ingest_applied_total"
         ).inc(len(parsed))
+        if self._replicator is not None:
+            self._replicator.record_committed(
+                WalRecord(
+                    lsn=lsn, stream=stream, seq=seq,
+                    mutations=tuple(parsed),
+                )
+            )
         return result
 
     def _count(self, reason: str) -> None:

@@ -19,6 +19,12 @@ ping       —                           ``"pong"``
 ingest     ``stream``, ``seq``,        ``{"applied", "lsn"[, "duplicate"]}``
            ``mutations``,              (``{"validated"}`` under ``dry_run``)
            [``dry_run``]
+replicate  ``term``, [``after_lsn``,   ``{"applied", "last_lsn",
+           ``records``, ``snapshot``,  "applied_lsn", "term", "role"}``
+           ``promote``, ``followers``,
+           ``acks``]
+repl_status —                          ``{"role", "term", "last_lsn",
+                                       "applied_lsn", ...}``
 shutdown   —                           ``"shutting down"`` (server then stops)
 ========== =========================== ==========================================
 
@@ -31,6 +37,14 @@ content).  The optional boolean ``dry_run`` validates the batch
 without logging or applying it — the prepare half of the cluster
 router's two-phase fan-out.
 
+``replicate``/``repl_status`` (mutable servers only) are the
+primary/follower WAL-shipping pair of
+:mod:`repro.durability.replication`: a shard primary streams its
+committed WAL records (``records``, resuming ``after_lsn``) or a full
+checkpoint ``snapshot`` to followers, every frame fenced by the
+monotonic leadership ``term``; ``promote`` (with the new ``followers``
+list and ``acks`` mode) turns the receiver into the shard's primary.
+
 Every op additionally accepts an optional ``trace`` field —
 ``{"id": <trace id>, "span": <parent span id>}`` (``span`` optional)
 — the distributed-tracing context of :mod:`repro.obs.context`.  A
@@ -42,7 +56,7 @@ Responses
 ``{"id", "ok": true, "op", "result"}`` on success;
 ``{"id", "ok": false, "op", "error": {"type", "message"}}`` on
 failure.  Error types: ``bad_request``, ``timeout``, ``overloaded``,
-``internal``.  A degraded-mode success (truncated ``khop``,
+``unavailable``, ``not_primary``, ``fenced``, ``internal``.  A degraded-mode success (truncated ``khop``,
 approximate ``pagerank`` — see :mod:`repro.service.engine` — or any
 answer served while crash recovery is still replaying)
 additionally carries ``"degraded": true``.  A mutable server stamps
@@ -76,6 +90,7 @@ __all__ = [
     "MAX_BATCH_REQUESTS",
     "MAX_KHOP_K",
     "MAX_INGEST_MUTATIONS",
+    "MAX_REPLICATE_RECORDS",
     "MAX_STREAM_LEN",
     "KNOWN_OPS",
     "encode_message",
@@ -115,8 +130,13 @@ KNOWN_OPS = (
     "telemetry",
     "ping",
     "ingest",
+    "replicate",
+    "repl_status",
     "shutdown",
 )
+
+#: Upper bound on records in one ``replicate`` frame.
+MAX_REPLICATE_RECORDS = 1024
 
 #: Exact field whitelist per op; an unknown field is rejected rather
 #: than ignored, so typos ("nodes") fail loudly and smuggled payloads
@@ -134,6 +154,13 @@ _ALLOWED_FIELDS: dict[str, frozenset[str]] = {
     "ingest": frozenset(
         {"id", "op", "stream", "seq", "mutations", "dry_run", "trace"}
     ),
+    "replicate": frozenset(
+        {
+            "id", "op", "term", "after_lsn", "records", "snapshot",
+            "promote", "followers", "acks", "trace",
+        }
+    ),
+    "repl_status": frozenset({"id", "op", "trace"}),
     "shutdown": frozenset({"id", "op", "trace"}),
 }
 
@@ -249,7 +276,71 @@ def validate_request(request: dict) -> dict:
             )
     elif op == "ingest":
         _check_ingest_fields(request)
+    elif op == "replicate":
+        _check_replicate_fields(request)
     return request
+
+
+def _check_replicate_fields(request: dict) -> None:
+    """Shape-check a ``replicate`` frame.
+
+    Bounds list sizes and basic types; per-record validation (LSN
+    ordering, mutation shapes) happens in
+    :func:`repro.durability.replication.record_from_wire` under the
+    engine's fencing checks.
+    """
+    term = request.get("term")
+    if not isinstance(term, int) or isinstance(term, bool) or term < 1:
+        raise ProtocolError("'term' must be a positive integer")
+    after_lsn = request.get("after_lsn")
+    if after_lsn is not None and (
+        not isinstance(after_lsn, int)
+        or isinstance(after_lsn, bool)
+        or after_lsn < 0
+    ):
+        raise ProtocolError("'after_lsn' must be a non-negative integer")
+    if not isinstance(request.get("promote", False), bool):
+        raise ProtocolError("'promote' must be a boolean")
+    acks = request.get("acks")
+    if acks is not None and acks not in ("leader", "quorum"):
+        raise ProtocolError(
+            f"unknown acks mode {acks!r}; supported: 'leader', 'quorum'"
+        )
+    records = request.get("records")
+    if records is not None:
+        if not isinstance(records, list):
+            raise ProtocolError("'records' must be a list")
+        if len(records) > MAX_REPLICATE_RECORDS:
+            raise ProtocolError(
+                f"frame of {len(records)} records exceeds the cap of "
+                f"{MAX_REPLICATE_RECORDS}"
+            )
+        for index, item in enumerate(records):
+            if not isinstance(item, dict):
+                raise ProtocolError(
+                    f"replicated record #{index} is not a JSON object"
+                )
+    snapshot = request.get("snapshot")
+    if snapshot is not None and not isinstance(snapshot, dict):
+        raise ProtocolError("'snapshot' must be a JSON object")
+    followers = request.get("followers")
+    if followers is not None:
+        if not isinstance(followers, list) or len(followers) > 64:
+            raise ProtocolError(
+                "'followers' must be a list of at most 64 addresses"
+            )
+        for index, item in enumerate(followers):
+            if (
+                not isinstance(item, list)
+                or len(item) != 2
+                or not isinstance(item[0], str)
+                or not isinstance(item[1], int)
+                or isinstance(item[1], bool)
+                or not 0 < item[1] < 65536
+            ):
+                raise ProtocolError(
+                    f"follower #{index} must be [host, port]"
+                )
 
 
 def _check_ingest_fields(request: dict) -> None:

@@ -2,14 +2,27 @@
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.algorithms.mags_dm import MagsDMSummarizer
 from repro.cluster.manager import start_local_cluster
 from repro.cluster.sharder import shard_graph
-from repro.cluster.topology import TopologyError
 from repro.graph import generators
+from repro.resilience.retry import RetryPolicy
 from repro.service import ServiceError, SummaryServiceClient
+
+
+def _wait_for_edge(engine, u, v, timeout=5.0) -> bool:
+    """Poll an engine until the background shipper has replicated
+    edge ``(u, v)`` to it."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if v in engine.neighbors(u):
+            return True
+        time.sleep(0.05)
+    return False
 
 
 @pytest.fixture(scope="module")
@@ -170,16 +183,44 @@ class TestRouterIngest:
             assert excinfo.value.type == "bad_request"
 
 
-class TestReplicasGuard:
-    def test_mutable_local_cluster_requires_single_replica(
-        self, graph, shard_reps
-    ):
-        with pytest.raises(TopologyError, match="replicas=1"):
-            start_local_cluster(
-                shard_reps, replicas=2, seed=0, n=graph.n, mutable=True
-            )
+class TestReplicatedIngest:
+    """Primary-routed writes over a replicas=2 mutable cluster."""
 
-    def test_router_rejects_ingest_on_replicated_topology(
+    @pytest.fixture
+    def replicated(self, graph, shard_reps):
+        with start_local_cluster(
+            shard_reps,
+            replicas=2,
+            seed=0,
+            n=graph.n,
+            mutable=True,
+            acks="leader",
+            retry_policy=RetryPolicy(
+                max_attempts=2, base_delay=0.02, max_delay=0.1
+            ),
+        ) as local:
+            yield local
+
+    def test_replicated_ingest_reaches_followers(
+        self, replicated, graph
+    ):
+        u, v = _free_cross_shard_edge(replicated, graph)
+        host, port = replicated.router_address
+        with SummaryServiceClient(host, port) as client:
+            assert client.ingest([["+", u, v]])["applied"] == 1
+            # Both endpoint shards' *followers* converge to the write
+            # (the primary ships it; leader acks mean we may need to
+            # wait out the background shipper).
+            for shard in {
+                replicated.spec.owner(u), replicated.spec.owner(v)
+            }:
+                follower = replicated.engines[f"shard{shard}/r1"]
+                assert _wait_for_edge(follower, u, v), (
+                    f"shard {shard} follower never saw ({u}, {v})"
+                )
+            client.ingest([["-", u, v]])
+
+    def test_read_only_replicated_cluster_still_rejects_ingest(
         self, graph, shard_reps
     ):
         with start_local_cluster(
@@ -187,7 +228,45 @@ class TestReplicasGuard:
         ) as local:
             host, port = local.router_address
             with SummaryServiceClient(host, port) as client:
-                with pytest.raises(
-                    ServiceError, match="replicas=1 topology"
-                ):
+                with pytest.raises(ServiceError) as excinfo:
                     client.ingest([["+", 0, 1]])
+                assert excinfo.value.type == "bad_request"
+
+    def test_ingest_with_all_replicas_down_is_unavailable(
+        self, replicated, graph
+    ):
+        u, v = _free_pair_on_shard(replicated, graph, 0)
+        replicated.kill_instance("shard0/r0")
+        replicated.kill_instance("shard0/r1")
+        host, port = replicated.router_address
+        with SummaryServiceClient(host, port) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.ingest([["+", u, v]])
+            assert excinfo.value.type == "unavailable"
+
+    def test_retry_across_promotion_dedups(self, replicated, graph):
+        """A batch acked just before the primary dies is answered
+        ``duplicate: true`` by the promoted follower when the client
+        replays the same ``(stream, seq)``."""
+        u, v = _free_pair_on_shard(replicated, graph, 0)
+        shard = replicated.spec.owner(u)
+        host, port = replicated.router_address
+        with SummaryServiceClient(host, port) as client:
+            first = client.ingest(
+                [["+", u, v]], stream="failover", seq=7
+            )
+            assert first["applied"] == 1
+            # The primary replicated the batch before dying: wait for
+            # the follower to hold it, then kill the primary.
+            follower = replicated.engines[f"shard{shard}/r1"]
+            assert _wait_for_edge(follower, u, v)
+            replicated.kill_instance(f"shard{shard}/r0")
+            retry = client.ingest(
+                [["+", u, v]], stream="failover", seq=7
+            )
+            assert retry["shards"][str(shard)].get("duplicate") is True
+            # The router re-elected without operator action.
+            pool = replicated.router_engine._shards[shard]
+            assert pool.replicas[pool.primary].instance.replica == 1
+            assert follower.role == "primary"
+            assert pool.term == follower.term >= 2

@@ -2,6 +2,7 @@
 server, batch fan-out semantics, and replica failover."""
 
 import random
+import threading
 import time
 
 import pytest
@@ -537,3 +538,114 @@ class TestFailover:
         exc = ShardDownError(3, 2)
         assert exc.kind == "unavailable"
         assert "shard 3" in str(exc)
+
+
+class TestPerShardIngestLocks:
+    """Router ingest ordering is per shard, not global: batches over
+    disjoint shard sets overlap in time, batches sharing a shard
+    serialize.  Fake shard pools stand in for the network."""
+
+    class _FakePool:
+        def __init__(self, shard, on_request=None):
+            self.shard = shard
+            self.on_request = on_request
+            self.active = 0
+            self.max_active = 0
+            self._lock = threading.Lock()
+
+        def ingest_request(self, **params):
+            with self._lock:
+                self.active += 1
+                self.max_active = max(self.max_active, self.active)
+            try:
+                if self.on_request is not None:
+                    self.on_request(params)
+                return {"applied": len(params["mutations"])}
+            finally:
+                with self._lock:
+                    self.active -= 1
+
+        def close(self):
+            pass
+
+    @staticmethod
+    def _engine_with_fakes(pools):
+        spec = default_spec(2, 1, n=64)
+        engine = RouterEngine(spec)
+        engine._shards = list(pools)
+        return engine
+
+    @staticmethod
+    def _node_on(spec, shard, exclude=()):
+        for node in range(spec.n):
+            if spec.owner(node) == shard and node not in exclude:
+                return node
+        raise AssertionError(f"no node on shard {shard}")
+
+    def _ingest_in_thread(self, engine, stream, mutations):
+        errors = []
+
+        def run():
+            try:
+                engine.query({
+                    "op": "ingest", "stream": stream, "seq": 0,
+                    "mutations": mutations,
+                })
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        return thread, errors
+
+    def test_disjoint_shard_batches_overlap(self):
+        entered = [threading.Event(), threading.Event()]
+
+        def rendezvous(me, other):
+            def hook(params):
+                entered[me].set()
+                # Block until the *other* batch is mid-ingest too; a
+                # global ingest lock would deadlock here and time out.
+                assert entered[other].wait(timeout=5.0), (
+                    "batches on disjoint shards did not overlap - "
+                    "ingest ordering regressed to a global lock"
+                )
+            return hook
+
+        pools = [
+            self._FakePool(0, on_request=rendezvous(0, 1)),
+            self._FakePool(1, on_request=rendezvous(1, 0)),
+        ]
+        engine = self._engine_with_fakes(pools)
+        spec = engine.spec
+        a0 = self._node_on(spec, 0)
+        a1 = self._node_on(spec, 0, exclude={a0})
+        b0 = self._node_on(spec, 1)
+        b1 = self._node_on(spec, 1, exclude={b0})
+        t0, e0 = self._ingest_in_thread(engine, "a", [["+", a0, a1]])
+        t1, e1 = self._ingest_in_thread(engine, "b", [["+", b0, b1]])
+        t0.join(timeout=10.0)
+        t1.join(timeout=10.0)
+        assert not t0.is_alive() and not t1.is_alive()
+        assert e0 == [] and e1 == []
+
+    def test_shared_shard_batches_serialize(self):
+        pool = self._FakePool(0, on_request=lambda p: time.sleep(0.05))
+        pools = [pool, self._FakePool(1)]
+        engine = self._engine_with_fakes(pools)
+        spec = engine.spec
+        nodes = []
+        while len(nodes) < 4:
+            nodes.append(self._node_on(spec, 0, exclude=set(nodes)))
+        threads = []
+        for i, (u, v) in enumerate([nodes[:2], nodes[2:]]):
+            threads.append(
+                self._ingest_in_thread(engine, f"s{i}", [["+", u, v]])
+            )
+        for thread, errors in threads:
+            thread.join(timeout=10.0)
+            assert not thread.is_alive()
+            assert errors == []
+        assert pool.max_active == 1, (
+            "two batches touching the same shard ran concurrently"
+        )

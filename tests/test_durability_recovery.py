@@ -95,7 +95,7 @@ class TestRecovery:
             rep, wal, CheckpointStore(tmp_path / "ckpt"),
             engine_factory=MutableQueryEngine,
         )
-        assert pending == []
+        assert list(pending) == []
         assert engine.epoch == 0
         assert report.checkpoint_lsn == 0
         assert engine.representation == rep
@@ -202,7 +202,7 @@ class TestRecovery:
         engine2, pending, _ = recover_engine(
             rep, None, store, engine_factory=MutableQueryEngine
         )
-        assert pending == []
+        assert list(pending) == []
         assert engine2.ingest("s", 0, [["+", u, v]])["duplicate"] is True
         with pytest.raises(QueryError, match="reused with different"):
             engine2.ingest("s", 0, [["-", u, v]])

@@ -419,7 +419,7 @@ class TestDedupLRU:
             for i, stream in enumerate("abc"):
                 engine.ingest(stream, 0, [["+", 0, i + 1]])
             state = engine_state(engine)
-            assert state["v"] == 3
+            assert state["v"] == 4
             store = CheckpointStore(tmp)
             store.save(state, step=1)
             recovered, _, _ = recover_engine(

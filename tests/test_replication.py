@@ -1,0 +1,433 @@
+"""Primary/follower WAL shipping: determinism, fencing, catch-up.
+
+Engine-level suite — replication runs over an injected in-process
+client (no sockets), so every test is deterministic: a quorum-acked
+ingest returns only after the follower holds and applied the batch,
+and the two engines can be compared byte-for-byte at every step.
+The socket path is covered by ``tests/test_cluster_ingest.py``
+(router promotion over a live local cluster) and the chaos harness.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.mags_dm import MagsDMSummarizer
+from repro.durability import (
+    WriteAheadLog,
+    engine_state,
+    quorum_size,
+    record_from_wire,
+    record_to_wire,
+    recover_engine,
+    replay_tail,
+)
+from repro.durability.wal import ResummarizeRecord, TermRecord, WalRecord
+from repro.dynamic.summary import DynamicGraphSummary
+from repro.graph import generators
+from repro.resilience import CheckpointStore
+from repro.service.client import ServiceError
+from repro.service.engine import QueryError
+from repro.service.ingest import MutableQueryEngine
+
+
+@pytest.fixture(scope="module")
+def base_rep():
+    graph = generators.planted_partition(60, 4, 0.5, 0.05, seed=7)
+    return MagsDMSummarizer(iterations=8, seed=1).summarize(
+        graph
+    ).representation
+
+
+class _DirectClient:
+    """Stand-in for ``SummaryServiceClient`` wired straight into a
+    follower engine — what the primary's ``client_factory`` returns."""
+
+    def __init__(self, engine):
+        self._engine = engine
+        self.closed = False
+
+    def request(self, op, **params):
+        try:
+            if op == "replicate":
+                return self._engine.apply_replicated(
+                    params.get("term"),
+                    after_lsn=params.get("after_lsn"),
+                    records=params.get("records"),
+                    snapshot=params.get("snapshot"),
+                    promote=params.get("promote", False),
+                    followers=params.get("followers"),
+                    acks=params.get("acks"),
+                )
+            if op == "repl_status":
+                return self._engine.repl_status()
+        except QueryError as exc:
+            raise ServiceError({"type": exc.kind, "message": str(exc)})
+        raise AssertionError(f"unexpected op {op!r}")
+
+    def close(self):
+        self.closed = True
+
+
+def _make_engine(base_rep, wal_dir=None):
+    """A mutable engine, optionally durable (WAL + checkpoint store)."""
+    wal = store = None
+    if wal_dir is not None:
+        wal = WriteAheadLog(wal_dir)
+        store = CheckpointStore(wal_dir / "checkpoints")
+    engine = MutableQueryEngine(
+        DynamicGraphSummary.from_representation(base_rep), wal=wal
+    )
+    return engine, wal, store
+
+
+def _pair(primary_engine, follower_engine, *, acks="quorum",
+          follower_store=None):
+    """Wire ``primary -> follower`` over a direct client."""
+    follower_engine.configure_replication(
+        role="follower",
+        client_factory=lambda host, port: _DirectClient(primary_engine),
+        store=follower_store,
+    )
+    primary_engine.configure_replication(
+        role="primary",
+        followers=[("follower", 0)],
+        acks=acks,
+        client_factory=lambda host, port: _DirectClient(follower_engine),
+    )
+
+
+def _state_bytes(engine) -> bytes:
+    """One engine's full replicated state as canonical bytes."""
+    with engine._state_lock:
+        state = engine_state(engine)
+    return json.dumps(state, sort_keys=True).encode()
+
+
+def _wal_bytes(wal_dir) -> bytes:
+    return b"".join(
+        path.read_bytes()
+        for path in sorted(wal_dir.glob("wal-*.log"))
+    )
+
+
+def _free_pairs(rep, count):
+    """``count`` distinct non-edges of the base graph."""
+    edges = set(rep.reconstruct().edges())
+    pairs = []
+    for u in range(rep.n):
+        for v in range(u + 1, rep.n):
+            if (u, v) not in edges:
+                pairs.append((u, v))
+                if len(pairs) == count:
+                    return pairs
+    raise AssertionError("graph too dense for test")
+
+
+class TestWireFormat:
+    def test_record_round_trip(self):
+        records = [
+            WalRecord(lsn=3, stream="s", seq=1,
+                      mutations=(("+", 1, 2), ("-", 3, 4))),
+            ResummarizeRecord(lsn=4, targets=(7, 9), max_merges=5),
+            TermRecord(lsn=5, term=2),
+        ]
+        for record in records:
+            assert record_from_wire(record_to_wire(record)) == record
+
+    def test_malformed_wire_records_rejected(self):
+        for bad in (
+            {},  # no lsn
+            {"lsn": 0, "stream": "s", "seq": 0, "mutations": []},
+            {"lsn": 1, "term": 0},
+            {"lsn": 1, "stream": "s", "seq": 0,
+             "mutations": [["*", 1, 2]]},
+            {"lsn": 1, "resummarize": {"targets": "x", "max_merges": 1}},
+        ):
+            with pytest.raises(ValueError):
+                record_from_wire(bad)
+
+    def test_quorum_sizes(self):
+        assert quorum_size(1) == 1
+        assert quorum_size(2) == 2
+        assert quorum_size(3) == 2
+        assert quorum_size(5) == 3
+
+
+class TestShipping:
+    def test_quorum_acked_ingest_is_bit_identical(
+        self, base_rep, tmp_path
+    ):
+        primary, p_wal, _ = _make_engine(base_rep, tmp_path / "p")
+        follower, f_wal, f_store = _make_engine(base_rep, tmp_path / "f")
+        _pair(primary, follower, follower_store=f_store)
+        pairs = _free_pairs(base_rep, 6)
+        for seq, (u, v) in enumerate(pairs):
+            primary.ingest("s", seq, [["+", u, v]])
+            # Quorum over {primary, follower} is 2: the ack implies
+            # the follower holds AND applied the record — states are
+            # comparable immediately, no settling sleep.
+            assert _state_bytes(primary) == _state_bytes(follower)
+        primary.ingest("s", len(pairs), [["-", pairs[0][0], pairs[0][1]]])
+        assert _state_bytes(primary) == _state_bytes(follower)
+        assert primary.epoch == follower.epoch
+        # The shipped log *is* the primary's log: byte-identical WALs.
+        p_wal.sync()
+        f_wal.sync()
+        assert _wal_bytes(tmp_path / "p") == _wal_bytes(tmp_path / "f")
+        primary.stop_replication()
+
+    def test_maintenance_pass_replicates(self, base_rep, tmp_path):
+        primary, _, _ = _make_engine(base_rep, tmp_path / "p")
+        follower, _, f_store = _make_engine(base_rep, tmp_path / "f")
+        _pair(primary, follower, follower_store=f_store)
+        pairs = _free_pairs(base_rep, 4)
+        for seq, (u, v) in enumerate(pairs):
+            primary.ingest("s", seq, [["+", u, v]])
+        outcome = primary.maintenance_pass(max_supernodes=8)
+        if outcome.get("outcome") == "committed":
+            # Maintenance ships in the background; force the lagging
+            # follower up to date by publishing its LSN inline.
+            primary._replicator.publish(outcome["lsn"])
+        assert _state_bytes(primary) == _state_bytes(follower)
+        primary.stop_replication()
+
+    def test_follower_rejects_direct_ingest(self, base_rep):
+        follower, _, _ = _make_engine(base_rep)
+        follower.configure_replication(role="follower")
+        with pytest.raises(QueryError) as excinfo:
+            follower.ingest("s", 0, [["+", 0, 1]])
+        assert excinfo.value.kind == "not_primary"
+
+    def test_follower_skips_maintenance(self, base_rep):
+        follower, _, _ = _make_engine(base_rep)
+        follower.configure_replication(role="follower")
+        assert follower.maintenance_pass() == {
+            "outcome": "skipped", "reason": "follower",
+        }
+
+    def test_repl_status_reports_lag_and_role(self, base_rep):
+        primary, _, _ = _make_engine(base_rep)
+        follower, _, _ = _make_engine(base_rep)
+        _pair(primary, follower)
+        status = primary.repl_status()
+        assert status["role"] == "primary"
+        assert status["term"] == 1
+        assert len(status["followers"]) == 1
+        assert status["followers"][0]["lag"] >= 0
+        assert follower.repl_status()["role"] == "follower"
+        primary.stop_replication()
+
+
+class TestFencingAndPromotion:
+    def test_stale_term_is_fenced(self, base_rep):
+        follower, _, _ = _make_engine(base_rep)
+        follower.configure_replication(role="follower")
+        follower.apply_replicated(
+            3, after_lsn=0,
+            records=[record_to_wire(TermRecord(lsn=1, term=3))],
+        )
+        with pytest.raises(QueryError) as excinfo:
+            follower.apply_replicated(2, after_lsn=1, records=[])
+        assert excinfo.value.kind == "fenced"
+
+    def test_promotion_takes_over_and_old_primary_catches_up(
+        self, base_rep, tmp_path
+    ):
+        a, _, _ = _make_engine(base_rep, tmp_path / "a")
+        b, _, b_store = _make_engine(base_rep, tmp_path / "b")
+        _pair(a, b, follower_store=b_store)
+        pairs = _free_pairs(base_rep, 5)
+        for seq, (u, v) in enumerate(pairs[:3]):
+            a.ingest("s", seq, [["+", u, v]])
+        # A "dies"; B is promoted with A as its (future) follower.
+        a.stop_replication()
+        status = b.apply_replicated(
+            2, promote=True, followers=[["a", 0]], acks="quorum",
+        )
+        assert status["role"] == "primary"
+        assert status["term"] == 2
+        assert b.role == "primary"
+        # Wire B's shipper to the revived A and write through B: the
+        # quorum publish drives A's catch-up inline.  A's log has the
+        # same prefix but was written under term 1 and extends past
+        # B's cursor, so the term change forces a snapshot install —
+        # the old primary cannot be incrementally appended over.
+        b._replicator._client_factory = lambda host, port: (
+            _DirectClient(a)
+        )
+        u, v = pairs[3]
+        b.ingest("s", 3, [["+", u, v]])
+        assert a.role == "follower"
+        assert a.term == 2
+        assert _state_bytes(a) == _state_bytes(b)
+        b.stop_replication()
+
+    def test_stale_promotion_is_fenced(self, base_rep):
+        engine, _, _ = _make_engine(base_rep)
+        engine.configure_replication(role="follower")
+        engine.apply_replicated(
+            4, after_lsn=0,
+            records=[record_to_wire(TermRecord(lsn=1, term=4))],
+        )
+        with pytest.raises(QueryError) as excinfo:
+            engine.apply_replicated(3, promote=True)
+        assert excinfo.value.kind == "fenced"
+
+    def test_replay_duplicate_across_promotion(self, base_rep):
+        """The acked-then-retried batch: replicated to the follower,
+        primary dies, client replays the same (stream, seq) — the
+        promoted follower answers ``duplicate: true``."""
+        a, _, _ = _make_engine(base_rep)
+        b, _, _ = _make_engine(base_rep)
+        _pair(a, b)
+        u, v = _free_pairs(base_rep, 1)[0]
+        first = a.ingest("client", 9, [["+", u, v]])
+        assert "lsn" in first
+        a.stop_replication()
+        b.apply_replicated(2, promote=True)
+        retry = b.ingest("client", 9, [["+", u, v]])
+        assert retry["duplicate"] is True
+        assert retry["applied"] == first["applied"]
+        b.stop_replication()
+
+
+class TestCatchUp:
+    def test_follower_crash_recovery_then_incremental_catch_up(
+        self, base_rep, tmp_path
+    ):
+        primary, _, _ = _make_engine(base_rep, tmp_path / "p")
+        follower, f_wal, f_store = _make_engine(
+            base_rep, tmp_path / "f"
+        )
+        _pair(primary, follower, follower_store=f_store)
+        pairs = _free_pairs(base_rep, 6)
+        for seq, (u, v) in enumerate(pairs[:3]):
+            primary.ingest("s", seq, [["+", u, v]])
+        # Follower "crashes": rebuild it from its own WAL + store.
+        primary.stop_replication()
+        f_wal.close()
+        f_wal2 = WriteAheadLog(tmp_path / "f")
+        revived, pending, report = recover_engine(
+            base_rep, f_wal2, f_store,
+            engine_factory=lambda dynamic: MutableQueryEngine(
+                dynamic, wal=f_wal2
+            ),
+        )
+        replay_tail(revived, pending, report)
+        revived.configure_replication(role="follower", store=f_store)
+        assert revived.term == primary.term
+        # Reconnect the primary and write more; same term, so the
+        # rejoin is an incremental WAL-tail ship, not a snapshot.
+        primary.configure_replication(
+            role="primary",
+            followers=[("f", 0)],
+            acks="quorum",
+            client_factory=lambda host, port: _DirectClient(revived),
+        )
+        for seq, (u, v) in enumerate(pairs[3:], start=3):
+            primary.ingest("s", seq, [["+", u, v]])
+        assert _state_bytes(primary) == _state_bytes(revived)
+        snapshots = [
+            sample
+            for sample in revived.metrics.registry.snapshot().get(
+                "counters", []
+            )
+            if sample.get("name")
+            == "repro_replication_snapshots_installed_total"
+        ]
+        assert not snapshots or all(
+            s.get("value", 0) == 0 for s in snapshots
+        )
+        primary.stop_replication()
+
+    def test_far_behind_follower_gets_snapshot(self, base_rep, tmp_path):
+        primary, p_wal, p_store = _make_engine(base_rep, tmp_path / "p")
+        pairs = _free_pairs(base_rep, 5)
+        for seq, (u, v) in enumerate(pairs):
+            primary.ingest("s", seq, [["+", u, v]])
+        # Compact + truncate the primary's WAL: the incremental
+        # records a fresh follower would need are gone.
+        with primary._state_lock:
+            state = engine_state(primary)
+        p_store.save(state, step=primary.applied_lsn)
+        p_wal.truncate_through(primary.applied_lsn)
+        follower, _, f_store = _make_engine(base_rep, tmp_path / "f")
+        follower.configure_replication(role="follower", store=f_store)
+        primary.configure_replication(
+            role="primary",
+            followers=[("f", 0)],
+            acks="quorum",
+            client_factory=lambda host, port: _DirectClient(follower),
+        )
+        u, v = _free_pairs(base_rep, 6)[5]
+        primary.ingest("s", 5, [["+", u, v]])
+        assert _state_bytes(primary) == _state_bytes(follower)
+        primary.stop_replication()
+
+
+class TestDeterminismProperty:
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        batches=st.lists(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=59),
+                    st.integers(min_value=0, max_value=59),
+                ),
+                min_size=1,
+                max_size=4,
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_primary_and_follower_identical_at_every_acked_epoch(
+        self, base_rep, batches
+    ):
+        """The determinism contract, Hypothesis-proven: after every
+        acknowledged batch the follower's edge set, epoch, and full
+        serialized state equal the primary's."""
+        primary, _, _ = _make_engine(base_rep)
+        follower, _, _ = _make_engine(base_rep)
+        _pair(primary, follower)
+        edges = set(base_rep.reconstruct().edges())
+        seq = 0
+        try:
+            for batch in batches:
+                mutations = []
+                staged = set(edges)
+                for u, v in batch:
+                    if u == v:
+                        continue
+                    pair = (min(u, v), max(u, v))
+                    if pair in staged:
+                        mutations.append(["-", pair[0], pair[1]])
+                        staged.discard(pair)
+                    else:
+                        mutations.append(["+", pair[0], pair[1]])
+                        staged.add(pair)
+                if not mutations:
+                    continue
+                primary.ingest("prop", seq, mutations)
+                seq += 1
+                edges = staged
+                assert primary.epoch == follower.epoch
+                assert (
+                    set(primary.representation.reconstruct().edges())
+                    == set(
+                        follower.representation.reconstruct().edges()
+                    )
+                    == edges
+                )
+                assert _state_bytes(primary) == _state_bytes(follower)
+        finally:
+            primary.stop_replication()

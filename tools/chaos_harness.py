@@ -40,6 +40,16 @@ that it survived:
    bit-identically (straight, repeated, and across a mid-tail
    checkpoint cut), converge to zero dirty super-nodes, and pass
    ``deep_audit(optimal=True)`` — the optimality waiver removed.
+9. **SIGKILL the primary of a replicated shard** — a replicas=2
+   ``acks=quorum`` shard loses its primary to ``kill -9`` mid-stream;
+   the router auto-promotes the surviving follower at a higher term,
+   client retries dedup across the promotion, the revived stale
+   primary is demoted and snapshot-caught-up, zero acknowledged
+   mutations are lost, and both replicas recover bit-identically.
+10. **SIGKILL + rejoin a follower** — under ``acks=leader`` the
+   primary never stops acknowledging while its follower is dead; the
+   rejoined follower drains the gap incrementally and ends with a
+   byte-identical WAL and bit-identical recovered state.
 
 Every scenario also checks its events are observable through the
 :mod:`repro.obs` metrics registry.
@@ -705,6 +715,381 @@ def scenario_maintenance_kill9_recovery(seed: int) -> str:
     )
 
 
+def _replication_script(graph, seed: int, length: int) -> list:
+    """Deterministic, always-applicable mutation script."""
+    import random
+
+    rng = random.Random(seed)
+    edges = set(graph.edges())
+    script = []
+    for _ in range(length):
+        if edges and rng.random() < 0.4:
+            edge = rng.choice(sorted(edges))
+            edges.discard(edge)
+            script.append(("-", *edge))
+        else:
+            while True:
+                u, v = rng.randrange(graph.n), rng.randrange(graph.n)
+                pair = (min(u, v), max(u, v))
+                if u != v and pair not in edges:
+                    break
+            edges.add(pair)
+            script.append(("+", *pair))
+    return script
+
+
+def _spawn_replica(artifact, wal_dir, *, replica, port, role,
+                   follower_ports=(), acks="quorum"):
+    """One replicated serve subprocess; returns ``(proc, bound_port)``."""
+    from repro.cluster.manager import _SERVING_RE, InstanceProcess
+    from repro.cluster.topology import InstanceSpec
+
+    extra = [
+        "--wal-dir", str(wal_dir),
+        "--compact-interval", "0",
+        "--repl-role", role,
+    ]
+    if role == "primary":
+        for fport in follower_ports:
+            extra += ["--repl-follower", f"127.0.0.1:{fport}"]
+        extra += ["--repl-acks", acks]
+    proc = InstanceProcess(
+        InstanceSpec(shard=0, replica=replica, host="127.0.0.1", port=port),
+        artifact,
+        workers=2,
+        extra_args=extra,
+    )
+    proc.start(startup_timeout=120.0)
+    match = _SERVING_RE.search(proc.output_tail())
+    assert match, proc.output_tail()
+    return proc, int(match.group(2))
+
+
+def _recover_offline(artifact, wal_dir):
+    """Recover a dead replica's durable state in-process.
+
+    The base loads from the serialized ``artifact`` — the same bytes
+    the server process started from — because replay determinism is
+    member-order-sensitive (see ``scenario_maintenance_kill9_recovery``).
+    """
+    from repro.core.serialization import load_representation
+    from repro.durability import WriteAheadLog, recover_engine, replay_tail
+    from repro.resilience.checkpoint import CheckpointStore
+    from repro.service.ingest import MutableQueryEngine
+
+    wal = WriteAheadLog(wal_dir, fsync="never")
+    engine, pending, report = recover_engine(
+        load_representation(artifact), wal,
+        CheckpointStore(wal_dir / "checkpoints"),
+        engine_factory=lambda d: MutableQueryEngine(d, wal=wal),
+    )
+    replay_tail(engine, pending, report)
+    wal.close()
+    return engine
+
+
+def _wait_replication_drained(port: int, timeout: float = 60.0) -> dict:
+    """Poll a primary's ``repl_status`` until every follower link is
+    healthy with zero lag; returns the final status."""
+    deadline = time.monotonic() + timeout
+    last = None
+    while time.monotonic() < deadline:
+        try:
+            with SummaryServiceClient("127.0.0.1", port) as client:
+                last = client.repl_status()
+        except (OSError, ValueError):
+            time.sleep(0.1)
+            continue
+        followers = last.get("followers", [])
+        if followers and all(
+            f.get("healthy") and f.get("lag") == 0 for f in followers
+        ):
+            return last
+        time.sleep(0.1)
+    raise AssertionError(f"followers never drained: {last}")
+
+
+def scenario_replicated_primary_kill9_failover(seed: int) -> str:
+    """``kill -9`` the primary of a replicas=2 ``acks=quorum`` shard
+    mid-stream; the router must auto-promote, the client's retried
+    batches must dedup, and nothing acknowledged may be lost.
+
+    A two-replica shard (r0 primary, r1 follower) serves a sustained
+    acknowledged mutation stream through an in-process
+    :class:`RouterEngine`.  Mid-stream the primary is SIGKILLed and
+    then revived as a follower (quorum needs both replicas back).
+    Every batch is pushed until acknowledged — retries reuse the same
+    ``(stream, seq)`` so a batch whose ack the kill swallowed converges
+    as ``duplicate``.  Afterwards: the router must have promoted on
+    its own at a higher term, the revived stale replica must have been
+    demoted and caught up (snapshot across the term change), the
+    served graph must equal the oracle of every acknowledged batch,
+    and both replicas' durable states must recover bit-identically
+    offline and pass ``deep_audit``."""
+    import json
+    import threading
+
+    from repro.cluster.router import RouterEngine
+    from repro.cluster.topology import ClusterSpec, InstanceSpec
+    from repro.core.serialization import save_representation
+    from repro.core.verify import deep_audit
+    from repro.durability import engine_state
+    from repro.graph.graph import Graph
+    from repro.service.engine import QueryError
+
+    graph = _graph(seed)
+    rep = (
+        MagsDMSummarizer(iterations=6, seed=seed)
+        .summarize(graph)
+        .representation
+    )
+    script = _replication_script(graph, seed + 2, 300)
+    kill_at = 40
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmpdir = Path(tmp)
+        artifact = tmpdir / "summary.bin"
+        save_representation(artifact, rep)
+        wal0, wal1 = tmpdir / "wal-r0", tmpdir / "wal-r1"
+
+        follower, f_port = _spawn_replica(
+            artifact, wal1, replica=1, port=0, role="follower",
+        )
+        primary, p_port = _spawn_replica(
+            artifact, wal0, replica=0, port=0, role="primary",
+            follower_ports=[f_port], acks="quorum",
+        )
+        spec = ClusterSpec(
+            shards=1, replicas=2, seed=seed,
+            router_host="127.0.0.1", router_port=1,  # in-process: unused
+            instances=[
+                InstanceSpec(shard=0, replica=0,
+                             host="127.0.0.1", port=p_port),
+                InstanceSpec(shard=0, replica=1,
+                             host="127.0.0.1", port=f_port),
+            ],
+            n=graph.n, acks="quorum",
+        )
+        router = RouterEngine(
+            spec,
+            retry_policy=RetryPolicy(
+                max_attempts=2, base_delay=0.05, max_delay=0.2
+            ),
+        )
+        procs = {"r0": primary, "r1": follower}
+        revival = []
+        try:
+            def ingest(i: int) -> dict:
+                return router.query({
+                    "op": "ingest", "stream": "repl-chaos", "seq": i,
+                    "mutations": [list(script[i])],
+                })["result"]
+
+            def revive():
+                # The supervisor rejoins a dead node as a follower;
+                # the router (or the acting primary's shipper) decides
+                # what it becomes.
+                procs["r0"], __ = _spawn_replica(
+                    artifact, wal0, replica=0, port=p_port,
+                    role="follower",
+                )
+
+            retried = 0
+            for i in range(len(script)):
+                if i == kill_at:
+                    # SIGKILL mid-stream, then revive concurrently
+                    # with the client's retries: under acks=quorum the
+                    # promoted survivor cannot ack alone.
+                    procs["r0"].kill()
+                    reviver = threading.Thread(target=revive)
+                    reviver.start()
+                    revival.append(reviver)
+                attempts = 0
+                while True:
+                    try:
+                        result = ingest(i)
+                        break
+                    except QueryError:
+                        attempts += 1
+                        assert attempts < 120, (
+                            f"batch {i} never acknowledged after the "
+                            f"failover"
+                        )
+                        time.sleep(0.25)
+                retried += 1 if attempts else 0
+                assert (
+                    result.get("applied") == 1
+                    or result["shards"]["0"].get("duplicate")
+                ), result
+            for reviver in revival:
+                reviver.join(timeout=120.0)
+
+            # The router promoted on its own: a higher term, and at
+            # least one promotion counted.
+            pool = router._shards[0]
+            assert pool.term >= 2, pool.term
+            promoted = int(
+                router.metrics.registry.counter(
+                    "repro_replication_promotions_total", shard="0"
+                ).value
+            )
+            assert promoted >= 1, "router never promoted"
+
+            # Whoever ended up primary: its follower (the revived
+            # stale replica or the original follower) must drain to
+            # zero lag, demoted to follower at the new term.
+            acting = spec.instances[pool.primary]
+            status = _wait_replication_drained(acting.port)
+            assert status["role"] == "primary", status
+            other = spec.instances[1 - pool.primary]
+            with SummaryServiceClient(
+                "127.0.0.1", other.port
+            ) as client:
+                peer = client.repl_status()
+            assert peer["role"] == "follower", peer
+            assert peer["term"] == status["term"] >= 2, (peer, status)
+            assert peer["applied_lsn"] == status["applied_lsn"]
+
+            # Zero acknowledged mutations lost: the served graph is
+            # the oracle of the full acknowledged script.
+            oracle = set(graph.edges())
+            for sign, u, v in script:
+                (oracle.add if sign == "+" else oracle.discard)((u, v))
+            got = set()
+            for node in range(graph.n):
+                response = router.query({"op": "neighbors", "node": node})
+                for peer_node in response["result"]:
+                    got.add(
+                        (min(node, peer_node), max(node, peer_node))
+                    )
+            assert got == oracle, "served graph diverged from oracle"
+        finally:
+            router.close()
+            for proc in procs.values():
+                proc.kill()
+
+        # Offline: both replicas' durable states recover to the same
+        # bits, and the summary deep-audits clean.
+        r0 = _recover_offline(artifact, wal0)
+        r1 = _recover_offline(artifact, wal1)
+        assert r0.representation == r1.representation, (
+            "replicas' recovered summaries diverged"
+        )
+        assert json.dumps(
+            engine_state(r0), sort_keys=True
+        ) == json.dumps(engine_state(r1), sort_keys=True), (
+            "replicas' recovered states are not bit-identical"
+        )
+        findings = deep_audit(
+            r0.representation, Graph(graph.n, sorted(oracle)),
+            optimal=False,
+        )
+        assert not findings, findings
+    return (
+        f"primary kill -9 at batch {kill_at}/{len(script)}: "
+        f"auto-promoted to term {status['term']}, {retried} batch(es) "
+        f"retried through failover, 0 acknowledged mutations lost, "
+        f"replicas bit-identical, deep audit clean"
+    )
+
+
+def scenario_follower_kill_rejoin(seed: int) -> str:
+    """``kill -9`` a follower mid-stream; the primary keeps serving
+    (``acks=leader``), and the rejoined follower must catch up to a
+    byte-identical log and bit-identical state without operator help.
+
+    The follower is SIGKILLed while the primary streams acknowledged
+    mutations, revived on the same port a few dozen batches later, and
+    the primary's background shipper must reconnect and drain the gap
+    incrementally (same term — no snapshot).  Afterwards both WAL
+    directories must hold byte-identical logs and recover offline to
+    bit-identical engines."""
+    import json
+
+    from repro.core.serialization import save_representation
+    from repro.core.verify import deep_audit
+    from repro.durability import engine_state
+    from repro.graph.graph import Graph
+
+    graph = _graph(seed)
+    rep = (
+        MagsDMSummarizer(iterations=6, seed=seed)
+        .summarize(graph)
+        .representation
+    )
+    script = _replication_script(graph, seed + 3, 120)
+    kill_at, revive_at = 40, 80
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmpdir = Path(tmp)
+        artifact = tmpdir / "summary.bin"
+        save_representation(artifact, rep)
+        wal0, wal1 = tmpdir / "wal-r0", tmpdir / "wal-r1"
+
+        follower, f_port = _spawn_replica(
+            artifact, wal1, replica=1, port=0, role="follower",
+        )
+        primary, p_port = _spawn_replica(
+            artifact, wal0, replica=0, port=0, role="primary",
+            follower_ports=[f_port], acks="leader",
+        )
+        try:
+            with SummaryServiceClient("127.0.0.1", p_port) as client:
+                for i, mutation in enumerate(script):
+                    if i == kill_at:
+                        follower.kill()
+                    elif i == revive_at:
+                        follower, __ = _spawn_replica(
+                            artifact, wal1, replica=1, port=f_port,
+                            role="follower",
+                        )
+                    result = client.ingest(
+                        [list(mutation)], stream="rejoin-chaos", seq=i
+                    )
+                    # Leader acks: the dead follower never blocks the
+                    # write path.
+                    assert result["applied"] == 1, result
+            status = _wait_replication_drained(p_port)
+            assert status["role"] == "primary" and status["term"] == 1
+        finally:
+            primary.kill()
+            follower.kill()
+
+        # Same term, so the rejoin must have been an incremental WAL
+        # ship: the follower's log is *byte*-identical to the
+        # primary's (its torn tail from the kill was repaired, then
+        # overwritten by the re-shipped suffix).
+        def log_bytes(wal_dir):
+            return b"".join(
+                path.read_bytes()
+                for path in sorted(wal_dir.glob("wal-*.log"))
+            )
+
+        assert log_bytes(wal0) == log_bytes(wal1), (
+            "follower WAL is not byte-identical to the primary's"
+        )
+        r0 = _recover_offline(artifact, wal0)
+        r1 = _recover_offline(artifact, wal1)
+        assert r0.epoch == r1.epoch == len(script)
+        assert r0.representation == r1.representation
+        assert json.dumps(
+            engine_state(r0), sort_keys=True
+        ) == json.dumps(engine_state(r1), sort_keys=True)
+        oracle = set(graph.edges())
+        for sign, u, v in script:
+            (oracle.add if sign == "+" else oracle.discard)((u, v))
+        findings = deep_audit(
+            r0.representation, Graph(graph.n, sorted(oracle)),
+            optimal=False,
+        )
+        assert not findings, findings
+    return (
+        f"follower kill -9 at batch {kill_at}, rejoin at {revive_at}: "
+        f"incremental catch-up, WALs byte-identical, recovered states "
+        f"bit-identical, deep audit clean"
+    )
+
+
 def _counter_value(name: str, **labels) -> int:
     return int(get_registry().counter(name, **labels).value)
 
@@ -718,6 +1103,8 @@ SCENARIOS = [
     scenario_slo_gate,
     scenario_ingest_kill9_recovery,
     scenario_maintenance_kill9_recovery,
+    scenario_replicated_primary_kill9_failover,
+    scenario_follower_kill_rejoin,
 ]
 
 
